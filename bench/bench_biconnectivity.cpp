@@ -1,0 +1,53 @@
+// Extension benchmark: full Tarjan-Vishkin biconnectivity (blocks +
+// articulation points) vs the sequential Hopcroft-Tarjan baseline.
+//
+// The paper evaluates only the bridge slice of the TV framework; this bench
+// measures the completed framework on the same graph suite, and reports the
+// marginal cost of blocks over bridges (one more CC run on the auxiliary
+// graph G'').
+#include <cstdio>
+
+#include "bridge_suite.hpp"
+#include "bridges/biconnectivity.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto kron_min = static_cast<int>(flags.get_int("kron-min", 13, ""));
+  const auto kron_max = static_cast<int>(flags.get_int("kron-max", 15, ""));
+  const auto scale = flags.get_double("scale", 1.0, "road grid scale");
+  const auto runs = static_cast<int>(flags.get_int("runs", 1, ""));
+  flags.finish();
+
+  const bench::Contexts ctx = bench::make_contexts();
+  std::printf("# Extension: full TV biconnectivity vs sequential baseline\n\n");
+  util::Table table({"graph", "blocks", "articulations", "cpu1_dfs_s",
+                     "gpu_tv_bicc_s", "gpu_tv_bridges_s"});
+
+  auto suite = bench::kron_suite(kron_min, kron_max, 89.0);
+  auto real = bench::real_suite(scale);
+  suite.insert(suite.end(), std::make_move_iterator(real.begin()),
+               std::make_move_iterator(real.end()));
+
+  for (const auto& inst : suite) {
+    const auto& g = inst.graph;
+    const auto csr = build_csr(ctx.gpu, g);
+    const auto result = bridges::biconnectivity_tv(ctx.gpu, g);
+    std::size_t articulations = 0;
+    for (const auto a : result.is_articulation) articulations += a;
+
+    const double dfs = bench::time_avg(
+        runs, [&] { bridges::biconnectivity_dfs(g, csr); });
+    const double tv = bench::time_avg(
+        runs, [&] { bridges::biconnectivity_tv(ctx.gpu, g); });
+    const double tv_bridges = bench::time_avg(
+        runs, [&] { bridges::find_bridges_tarjan_vishkin(ctx.gpu, g); });
+    table.add_row({inst.name, bench::human(result.num_blocks),
+                   bench::human(articulations), util::Table::num(dfs),
+                   util::Table::num(tv), util::Table::num(tv_bridges)});
+  }
+  table.print();
+  return 0;
+}

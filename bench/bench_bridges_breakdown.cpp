@@ -1,0 +1,70 @@
+// Figure 11 — running time breakdown of the GPU bridge-finding algorithms,
+// plus the §4.3 hybrid comparison.
+//
+// Per instance, prints each algorithm's phases in milliseconds:
+//   GPU CK     — bfs | mark_non_bridges
+//   GPU TV     — spanning_tree | euler_tour | detect_bridges
+//   GPU hybrid — spanning_tree | euler_tour | levels_and_parents |
+//                mark_non_bridges
+//
+// Expectations: BFS dominates CK as the diameter grows; hybrid beats CK on
+// most instances but never beats TV (its marking phase is not cheaper than
+// TV's detect phase once both have paid for spanning tree + Euler tour).
+#include <cstdio>
+
+#include "bridge_suite.hpp"
+#include "bridges/chaitanya_kothapalli.hpp"
+#include "bridges/hybrid.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto scale = flags.get_double("scale", 1.0, "road grid scale");
+  const auto kron_min = static_cast<int>(flags.get_int("kron-min", 13, ""));
+  const auto kron_max = static_cast<int>(flags.get_int("kron-max", 15, ""));
+  flags.finish();
+
+  const bench::Contexts ctx = bench::make_contexts();
+  std::printf("# Figure 11: runtime breakdown of GPU bridge algorithms\n\n");
+  util::Table table({"graph", "algo", "phases_ms", "total_ms"});
+
+  auto suite = bench::kron_suite(kron_min, kron_max, 89.0);
+  auto real = bench::real_suite(scale);
+  suite.insert(suite.end(), std::make_move_iterator(real.begin()),
+               std::make_move_iterator(real.end()));
+
+  for (const auto& inst : suite) {
+    const auto& g = inst.graph;
+    const auto csr = build_csr(ctx.gpu, g);
+
+    auto render = [](const util::PhaseTimer& phases) {
+      std::string out;
+      for (const auto& [name, secs] : phases.phases()) {
+        if (!out.empty()) out += " | ";
+        out += name + "=" + util::Table::num(secs * 1e3, 1);
+      }
+      return out;
+    };
+
+    util::PhaseTimer ck_phases;
+    bridges::find_bridges_ck(ctx.gpu, g, csr, &ck_phases);
+    table.add_row({inst.name, "gpu-ck", render(ck_phases),
+                   util::Table::num(ck_phases.total() * 1e3, 1)});
+
+    util::PhaseTimer tv_phases;
+    bridges::find_bridges_tarjan_vishkin(ctx.gpu, g, &tv_phases);
+    table.add_row({inst.name, "gpu-tv", render(tv_phases),
+                   util::Table::num(tv_phases.total() * 1e3, 1)});
+
+    util::PhaseTimer hy_phases;
+    bridges::find_bridges_hybrid(ctx.gpu, g, &hy_phases);
+    table.add_row({inst.name, "gpu-hybrid", render(hy_phases),
+                   util::Table::num(hy_phases.total() * 1e3, 1)});
+  }
+  table.print();
+  std::printf("\n# Section 4.3 check: hybrid total should usually sit between "
+              "CK and TV, and never below TV.\n");
+  return 0;
+}

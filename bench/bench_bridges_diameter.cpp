@@ -1,0 +1,59 @@
+// Diameter sensitivity at fixed size — the mechanism behind Figures 9-11.
+//
+// The paper's central bridges claim is that CK degrades with the input
+// diameter (its BFS runs one global round per level, and its marking walks
+// lengthen), while TV's cost is diameter-invariant. Holding n and m fixed
+// and stretching a road grid from square to ribbon isolates exactly that
+// variable — the bridge-finding analogue of the LCA depth sweep (Figure 5).
+//
+// Expectation: gpu-ck total grows roughly linearly with the diameter;
+// gpu-tv stays flat; the crossover (paper: TV ahead on every road graph)
+// appears once the diameter passes a few thousand.
+#include <cstdio>
+
+#include "bridges/chaitanya_kothapalli.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "common.hpp"
+#include "gen/graphs.hpp"
+#include "util/bits.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto area = flags.get_int("area", 1 << 18, "grid nodes (W x H)");
+  const auto runs = static_cast<int>(flags.get_int("runs", 1, ""));
+  flags.finish();
+
+  const bench::Contexts ctx = bench::make_contexts();
+  std::printf("# Diameter sensitivity of bridge finding "
+              "(fixed ~%lld-node road grids)\n\n",
+              static_cast<long long>(area));
+  util::Table table({"grid", "nodes", "edges", "diameter", "gpu_ck_s",
+                     "gpu_tv_s", "winner"});
+
+  for (NodeId width = static_cast<NodeId>(1)
+                      << (util::ceil_log2(static_cast<std::uint64_t>(area)) / 2);
+       ; width *= 2) {
+    const NodeId height = static_cast<NodeId>(area / width);
+    // Below ~16 rows the percolated ribbon fragments and the largest
+    // component no longer has ~area nodes; stop the sweep there.
+    if (height < 16) break;
+    const graph::EdgeList g = graph::largest_component(graph::simplified(
+        gen::road_graph(width, height, 0.72, 0.04, 1000 + width)));
+    const graph::Csr csr = build_csr(ctx.gpu, g);
+    const NodeId diameter = graph::estimate_diameter(csr);
+
+    const double ck = bench::time_avg(
+        runs, [&] { bridges::find_bridges_ck(ctx.gpu, g, csr); });
+    const double tv = bench::time_avg(
+        runs, [&] { bridges::find_bridges_tarjan_vishkin(ctx.gpu, g); });
+    table.add_row({std::to_string(width) + "x" + std::to_string(height),
+                   bench::human(static_cast<std::size_t>(g.num_nodes)),
+                   bench::human(g.num_edges()), std::to_string(diameter),
+                   util::Table::num(ck), util::Table::num(tv),
+                   ck <= tv ? "gpu-ck" : "gpu-tv"});
+  }
+  table.print();
+  return 0;
+}

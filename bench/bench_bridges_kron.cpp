@@ -1,0 +1,47 @@
+// Figure 9 — bridge-finding algorithms on the Kronecker ladder.
+//
+// Total times for the four configurations of the paper. Expectations:
+// both GPU algorithms beat the CPU baselines; TV beats CK on all but the
+// smallest instance (small diameter keeps CK competitive here).
+#include <cstdio>
+
+#include "bridge_suite.hpp"
+#include "bridges/chaitanya_kothapalli.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto kron_min = static_cast<int>(flags.get_int("kron-min", 12, ""));
+  const auto kron_max = static_cast<int>(flags.get_int("kron-max", 16, ""));
+  const auto kron_ef = flags.get_double("kron-edge-factor", 89.0, "");
+  const auto runs = static_cast<int>(flags.get_int("runs", 1, ""));
+  flags.finish();
+
+  const bench::Contexts ctx = bench::make_contexts();
+  std::printf("# Figure 9: bridge finding on Kronecker graphs\n\n");
+  util::Table table({"graph", "nodes", "edges", "cpu1_dfs_s", "multicore_ck_s",
+                     "gpu_ck_s", "gpu_tv_s"});
+
+  for (const auto& inst : bench::kron_suite(kron_min, kron_max, kron_ef)) {
+    const auto& g = inst.graph;
+    const auto csr = build_csr(ctx.gpu, g);
+    const double dfs = bench::time_avg(
+        runs, [&] { bridges::find_bridges_dfs(csr); });
+    const double ck_mc = bench::time_avg(
+        runs, [&] { bridges::find_bridges_ck(ctx.multicore, g, csr); });
+    const double ck_gpu = bench::time_avg(
+        runs, [&] { bridges::find_bridges_ck(ctx.gpu, g, csr); });
+    const double tv = bench::time_avg(
+        runs, [&] { bridges::find_bridges_tarjan_vishkin(ctx.gpu, g); });
+    table.add_row({inst.name,
+                   bench::human(static_cast<std::size_t>(g.num_nodes)),
+                   bench::human(g.num_edges()), util::Table::num(dfs),
+                   util::Table::num(ck_mc), util::Table::num(ck_gpu),
+                   util::Table::num(tv)});
+  }
+  table.print();
+  return 0;
+}

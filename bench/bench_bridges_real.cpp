@@ -1,0 +1,47 @@
+// Figure 10 — bridge-finding algorithms on the real-world-class suite
+// (social/web and road-network stand-ins).
+//
+// Expectations from the paper: TV wins everywhere except the smallest
+// web graph; the TV-over-CK advantage is largest on the road networks
+// (up to ~4.7x), where CK's BFS pays for the huge diameter.
+#include <cstdio>
+
+#include "bridge_suite.hpp"
+#include "bridges/chaitanya_kothapalli.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto scale = flags.get_double("scale", 1.0, "road grid scale");
+  const auto runs = static_cast<int>(flags.get_int("runs", 1, ""));
+  flags.finish();
+
+  const bench::Contexts ctx = bench::make_contexts();
+  std::printf("# Figure 10: bridge finding on real-world-class graphs\n\n");
+  util::Table table({"graph", "nodes", "edges", "cpu1_dfs_s", "multicore_ck_s",
+                     "gpu_ck_s", "gpu_tv_s", "tv_speedup_vs_ck"});
+
+  for (const auto& inst : bench::real_suite(scale)) {
+    const auto& g = inst.graph;
+    const auto csr = build_csr(ctx.gpu, g);
+    const double dfs = bench::time_avg(
+        runs, [&] { bridges::find_bridges_dfs(csr); });
+    const double ck_mc = bench::time_avg(
+        runs, [&] { bridges::find_bridges_ck(ctx.multicore, g, csr); });
+    const double ck_gpu = bench::time_avg(
+        runs, [&] { bridges::find_bridges_ck(ctx.gpu, g, csr); });
+    const double tv = bench::time_avg(
+        runs, [&] { bridges::find_bridges_tarjan_vishkin(ctx.gpu, g); });
+    table.add_row({inst.name,
+                   bench::human(static_cast<std::size_t>(g.num_nodes)),
+                   bench::human(g.num_edges()), util::Table::num(dfs),
+                   util::Table::num(ck_mc), util::Table::num(ck_gpu),
+                   util::Table::num(tv),
+                   util::Table::num(ck_gpu / tv, 2) + "x"});
+  }
+  table.print();
+  return 0;
+}

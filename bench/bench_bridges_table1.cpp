@@ -1,0 +1,43 @@
+// Table 1 — statistics of the largest connected components of the graphs
+// used in the bridge-finding experiments: nodes, edges, bridges, diameter.
+//
+// Bridges are counted with Tarjan-Vishkin (validated against DFS in the
+// test suite); the diameter column is the standard iterated double-BFS
+// lower bound, which is what experimental papers report at this scale.
+#include <cstdio>
+
+#include "bridge_suite.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto kron_min = static_cast<int>(flags.get_int("kron-min", 12, ""));
+  const auto kron_max = static_cast<int>(flags.get_int("kron-max", 16, ""));
+  const auto kron_ef = flags.get_double("kron-edge-factor", 89.0, "");
+  const auto scale = flags.get_double("scale", 1.0, "road grid scale");
+  flags.finish();
+
+  const bench::Contexts ctx = bench::make_contexts();
+  std::printf("# Table 1: statistics of largest connected components\n\n");
+  util::Table table({"graph", "nodes", "edges", "bridges", "diameter"});
+
+  auto suite = bench::kron_suite(kron_min, kron_max, kron_ef);
+  auto real = bench::real_suite(scale);
+  suite.insert(suite.end(), std::make_move_iterator(real.begin()),
+               std::make_move_iterator(real.end()));
+
+  for (const auto& inst : suite) {
+    const auto& g = inst.graph;
+    const auto mask = bridges::find_bridges_tarjan_vishkin(ctx.gpu, g);
+    const auto csr = graph::build_csr(ctx.gpu, g);
+    table.add_row({inst.name,
+                   bench::human(static_cast<std::size_t>(g.num_nodes)),
+                   bench::human(g.num_edges()),
+                   bench::human(bridges::count_bridges(mask)),
+                   std::to_string(graph::estimate_diameter(csr))});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// §3.1 preliminary experiment — choosing the sequential CPU baseline.
+//
+// Sequential Inlabel vs the RMQ/segment-tree LCA. Paper expectations:
+// RMQ preprocessing ~2x faster; Inlabel queries ~3x faster; at q = n the
+// two draw on total time.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gen/trees.hpp"
+#include "lca/inlabel.hpp"
+#include "lca/rmq_lca.hpp"
+#include "lca/tarjan_offline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto n64 = flags.get_int("nodes", 1 << 19, "tree size");
+  const auto runs = static_cast<int>(flags.get_int("runs", 3, "runs per point"));
+  flags.finish();
+  const auto n = static_cast<NodeId>(n64);
+
+  const device::Context seq = device::Context::sequential();
+  core::ParentTree tree = gen::random_tree(n, gen::kInfiniteGrasp, 1);
+  gen::scramble_ids(tree, 2);
+  const auto queries =
+      gen::random_queries(n, static_cast<std::size_t>(n), 3);
+  std::vector<NodeId> answers;
+
+  std::printf(
+      "# Preliminary experiment (Section 3.1): sequential Inlabel vs "
+      "RMQ-based LCA, n = q = %s\n\n",
+      bench::human(static_cast<std::size_t>(n)).c_str());
+
+  lca::InlabelLca inlabel = lca::InlabelLca::build_sequential(tree);
+  const double inlabel_prep = bench::time_avg(
+      runs, [&] { inlabel = lca::InlabelLca::build_sequential(tree); });
+  const double inlabel_query = bench::time_avg(
+      runs, [&] { inlabel.query_batch(seq, queries, answers); });
+
+  lca::RmqLca rmq = lca::RmqLca::build(tree);
+  const double rmq_prep =
+      bench::time_avg(runs, [&] { rmq = lca::RmqLca::build(tree); });
+  const double rmq_query = bench::time_avg(
+      runs, [&] { rmq.query_batch(seq, queries, answers); });
+
+  // Extra row beyond the paper: Tarjan's offline algorithm, the classical
+  // all-queries-up-front baseline (no prep/query split — one DFS).
+  const double offline_total = bench::time_avg(
+      runs, [&] { lca::tarjan_offline_lca(tree, queries); });
+
+  util::Table table({"algo", "prep_s", "query_s", "total_s"});
+  table.add_row({"cpu1-inlabel", util::Table::num(inlabel_prep),
+                 util::Table::num(inlabel_query),
+                 util::Table::num(inlabel_prep + inlabel_query)});
+  table.add_row({"cpu1-rmq", util::Table::num(rmq_prep),
+                 util::Table::num(rmq_query),
+                 util::Table::num(rmq_prep + rmq_query)});
+  table.add_row({"cpu1-tarjan-offline", "-", "-",
+                 util::Table::num(offline_total)});
+  table.print();
+  std::printf(
+      "\nratios: rmq_prep/inlabel_prep = %.2fx (paper ~0.5x),"
+      " rmq_query/inlabel_query = %.2fx (paper ~3x)\n",
+      rmq_prep / inlabel_prep, rmq_query / inlabel_query);
+  return 0;
+}

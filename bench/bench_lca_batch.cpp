@@ -1,0 +1,61 @@
+// Figure 6 — benefit of answering LCA queries in parallel vs batch size.
+//
+// Queries arrive in batches of a fixed size; each batch is answered with
+// one bulk launch. Paper expectations: single-core throughput flat across
+// batch sizes; multi-core overtakes it after ~10 queries per batch and
+// plateaus ~1000; the GPU overtakes single-core around 100 and reaches its
+// peak throughput by batch size ~10000.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gen/trees.hpp"
+#include "lca/inlabel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto n64 = flags.get_int("nodes", 1 << 19, "tree size");
+  const auto total64 = flags.get_int("queries", 1 << 17, "total queries");
+  flags.finish();
+  const auto n = static_cast<NodeId>(n64);
+  const auto total = static_cast<std::size_t>(total64);
+
+  const bench::Contexts ctx = bench::make_contexts();
+  core::ParentTree tree = gen::random_tree(n, gen::kInfiniteGrasp, 21);
+  gen::scramble_ids(tree, 22);
+  const auto queries = gen::random_queries(n, total, 23);
+
+  const auto cpu1 = lca::InlabelLca::build_sequential(tree);
+  const auto multicore = lca::InlabelLca::build_parallel(ctx.multicore, tree);
+  const auto gpu = lca::InlabelLca::build_parallel(ctx.gpu, tree);
+
+  std::printf("# Figure 6: query throughput vs batch size "
+              "(n = %s, %s total queries)\n\n",
+              bench::human(static_cast<std::size_t>(n)).c_str(),
+              bench::human(total).c_str());
+  util::Table table({"batch", "cpu1_q_per_s", "multicore_q_per_s",
+                     "gpu_q_per_s"});
+
+  auto throughput = [&](const lca::InlabelLca& lca,
+                        const device::Context& context, std::size_t batch) {
+    std::vector<std::pair<NodeId, NodeId>> chunk;
+    std::vector<NodeId> answers;
+    util::Timer timer;
+    for (std::size_t start = 0; start < queries.size(); start += batch) {
+      const std::size_t end = std::min(queries.size(), start + batch);
+      chunk.assign(queries.begin() + start, queries.begin() + end);
+      lca.query_batch(context, chunk, answers);
+    }
+    return static_cast<double>(queries.size()) / timer.seconds();
+  };
+
+  for (std::size_t batch = 1; batch <= total; batch *= 10) {
+    table.add_row(
+        {bench::human(batch),
+         util::Table::sci(throughput(cpu1, ctx.cpu1, batch)),
+         util::Table::sci(throughput(multicore, ctx.multicore, batch)),
+         util::Table::sci(throughput(gpu, ctx.gpu, batch))});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 5 — total time to answer n queries in an n-node tree vs tree depth.
+//
+// Grasp swept from 1 (a path) towards infinity; the paper reports the GPU
+// Inlabel total flat across depths, the naive algorithm ~2.6x faster on the
+// shallowest trees, a draw around average depth ~91, and rapid degradation
+// beyond.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/tree.hpp"
+#include "gen/trees.hpp"
+#include "lca/inlabel.hpp"
+#include "lca/naive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto n64 = flags.get_int("nodes", 1 << 16, "tree size");
+  const auto runs = static_cast<int>(flags.get_int("runs", 1, "runs per point"));
+  flags.finish();
+  const auto n = static_cast<NodeId>(n64);
+
+  const bench::Contexts ctx = bench::make_contexts();
+  std::printf("# Figure 5: total time vs average node depth "
+              "(n = q = %s)\n\n",
+              bench::human(static_cast<std::size_t>(n)).c_str());
+  util::Table table({"grasp", "avg_depth", "naive_total_s", "inlabel_total_s",
+                     "winner"});
+
+  std::vector<NodeId> grasps;
+  for (NodeId g = 1; g < n; g *= 10) grasps.push_back(g);
+  grasps.push_back(gen::kInfiniteGrasp);
+
+  for (const NodeId grasp : grasps) {
+    core::ParentTree tree = gen::random_tree(n, grasp, 7 + grasp);
+    gen::scramble_ids(tree, 8 + grasp);
+    const auto depths = core::depths_reference(tree);
+    double avg_depth = 0;
+    for (const NodeId d : depths) avg_depth += d;
+    avg_depth /= static_cast<double>(n);
+    const auto queries =
+        gen::random_queries(n, static_cast<std::size_t>(n), 9 + grasp);
+    std::vector<NodeId> answers;
+
+    const double naive_total = bench::time_avg(runs, [&] {
+      const auto lca = lca::NaiveLca::build(ctx.gpu, tree);
+      lca.query_batch(ctx.gpu, queries, answers);
+    });
+    const double inlabel_total = bench::time_avg(runs, [&] {
+      const auto lca = lca::InlabelLca::build_parallel(ctx.gpu, tree);
+      lca.query_batch(ctx.gpu, queries, answers);
+    });
+    table.add_row({grasp == gen::kInfiniteGrasp ? "inf" : std::to_string(grasp),
+                   util::Table::num(avg_depth, 1),
+                   util::Table::num(naive_total),
+                   util::Table::num(inlabel_total),
+                   naive_total <= inlabel_total ? "gpu-naive" : "gpu-inlabel"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 3 — general comparison of LCA algorithms.
+//
+// Reproduces all four panels: preprocessing throughput (nodes/s) and query
+// throughput (queries/s), on shallow (grasp = infinity) and deep
+// (grasp = 1000) trees, for the four algorithm configurations:
+//   cpu1-inlabel   — single-core CPU Inlabel (DFS preprocessing)
+//   multicore-inlabel — parallel Inlabel on a CPU-width context
+//   gpu-naive      — naive pointer-walking algorithm on the device context
+//   gpu-inlabel    — Euler-tour Inlabel on the device context
+//
+// Paper expectations (EXPERIMENTS.md): naive has the fastest preprocessing;
+// on shallow trees both GPU algorithms beat the CPU baselines on queries; on
+// deep trees the naive query throughput collapses below even cpu1.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gen/trees.hpp"
+#include "lca/inlabel.hpp"
+#include "lca/naive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto min_n = flags.get_int("min-nodes", 1 << 16, "smallest tree");
+  const auto max_n = flags.get_int("max-nodes", 1 << 19, "largest tree");
+  const auto runs = static_cast<int>(flags.get_int("runs", 1, "runs per point"));
+  const auto deep_grasp =
+      flags.get_int("deep-grasp", 1000, "grasp for the deep-tree panels");
+  flags.finish();
+
+  const bench::Contexts ctx = bench::make_contexts();
+  std::printf("# Figure 3: general comparison of LCA algorithms\n");
+  std::printf("# gpu context: %u workers, multicore: %u workers\n\n",
+              ctx.gpu.workers(), ctx.multicore.workers());
+
+  for (const bool deep : {false, true}) {
+    util::Table table({"shape", "nodes", "algo", "prep_nodes_per_s",
+                       "query_per_s"});
+    for (std::int64_t n = min_n; n <= max_n; n *= 2) {
+      const NodeId grasp =
+          deep ? static_cast<NodeId>(deep_grasp) : gen::kInfiniteGrasp;
+      core::ParentTree tree =
+          gen::random_tree(static_cast<NodeId>(n), grasp, 7 * n + deep);
+      gen::scramble_ids(tree, 9 * n + deep);
+      const auto queries =
+          gen::random_queries(static_cast<NodeId>(n),
+                              static_cast<std::size_t>(n), 11 * n + deep);
+      std::vector<NodeId> answers;
+
+      struct Row {
+        const char* algo;
+        double prep;
+        double query;
+      };
+      std::vector<Row> rows;
+
+      {
+        lca::InlabelLca lca = lca::InlabelLca::build_sequential(tree);
+        const double prep = bench::time_avg(runs, [&] {
+          lca = lca::InlabelLca::build_sequential(tree);
+        });
+        const double query = bench::time_avg(
+            runs, [&] { lca.query_batch(ctx.cpu1, queries, answers); });
+        rows.push_back({"cpu1-inlabel", prep, query});
+      }
+      {
+        lca::InlabelLca lca = lca::InlabelLca::build_parallel(ctx.multicore, tree);
+        const double prep = bench::time_avg(runs, [&] {
+          lca = lca::InlabelLca::build_parallel(ctx.multicore, tree);
+        });
+        const double query = bench::time_avg(
+            runs, [&] { lca.query_batch(ctx.multicore, queries, answers); });
+        rows.push_back({"multicore-inlabel", prep, query});
+      }
+      {
+        lca::NaiveLca lca = lca::NaiveLca::build(ctx.gpu, tree);
+        const double prep = bench::time_avg(
+            runs, [&] { lca = lca::NaiveLca::build(ctx.gpu, tree); });
+        const double query = bench::time_avg(
+            runs, [&] { lca.query_batch(ctx.gpu, queries, answers); });
+        rows.push_back({"gpu-naive", prep, query});
+      }
+      {
+        lca::InlabelLca lca = lca::InlabelLca::build_parallel(ctx.gpu, tree);
+        const double prep = bench::time_avg(runs, [&] {
+          lca = lca::InlabelLca::build_parallel(ctx.gpu, tree);
+        });
+        const double query = bench::time_avg(
+            runs, [&] { lca.query_batch(ctx.gpu, queries, answers); });
+        rows.push_back({"gpu-inlabel", prep, query});
+      }
+
+      for (const Row& row : rows) {
+        table.add_row({deep ? "deep" : "shallow", bench::human(n), row.algo,
+                       util::Table::sci(n / row.prep),
+                       util::Table::sci(queries.size() / row.query)});
+      }
+    }
+    std::printf("## %s trees (grasp=%s)\n", deep ? "deep" : "shallow",
+                deep ? std::to_string(deep_grasp).c_str() : "inf");
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 4 — total time (preprocessing + queries) vs queries-to-nodes ratio.
+//
+// Shallow 8M-node tree in the paper (scaled here), ratio swept 0.125..16.
+// Paper expectation: GPU Inlabel overtakes GPU naive at around a 4:1
+// queries-to-nodes ratio; the crossover location is size-independent.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "gen/trees.hpp"
+#include "lca/inlabel.hpp"
+#include "lca/naive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto n64 = flags.get_int("nodes", 1 << 19, "tree size");
+  const auto runs = static_cast<int>(flags.get_int("runs", 1, "runs per point"));
+  flags.finish();
+  const auto n = static_cast<NodeId>(n64);
+
+  const bench::Contexts ctx = bench::make_contexts();
+  core::ParentTree tree = gen::random_tree(n, gen::kInfiniteGrasp, 5);
+  gen::scramble_ids(tree, 6);
+
+  std::printf("# Figure 4: total time vs queries-to-nodes ratio "
+              "(shallow tree, n = %s)\n\n",
+              bench::human(static_cast<std::size_t>(n)).c_str());
+  util::Table table({"ratio", "queries", "naive_total_s", "inlabel_total_s",
+                     "winner"});
+  for (int k = -3; k <= 4; ++k) {
+    const double ratio = std::pow(2.0, k);
+    const auto q = static_cast<std::size_t>(ratio * n);
+    const auto queries = gen::random_queries(n, q, 100 + k);
+    std::vector<NodeId> answers;
+
+    const double naive_total = bench::time_avg(runs, [&] {
+      const auto lca = lca::NaiveLca::build(ctx.gpu, tree);
+      lca.query_batch(ctx.gpu, queries, answers);
+    });
+    const double inlabel_total = bench::time_avg(runs, [&] {
+      const auto lca = lca::InlabelLca::build_parallel(ctx.gpu, tree);
+      lca.query_batch(ctx.gpu, queries, answers);
+    });
+    table.add_row({util::Table::num(ratio), bench::human(q),
+                   util::Table::num(naive_total),
+                   util::Table::num(inlabel_total),
+                   naive_total <= inlabel_total ? "gpu-naive" : "gpu-inlabel"});
+  }
+  table.print();
+  return 0;
+}

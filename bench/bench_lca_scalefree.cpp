@@ -1,0 +1,76 @@
+// Figures 7 and 8 — LCA on scale-free Barabási-Albert trees.
+//
+// Same setup as Figure 3 (q = n, sizes swept) but on preferential-
+// attachment trees. Paper expectation: results mirror the shallow-tree
+// panels, with the naive algorithm answering queries slightly faster still
+// (BA trees are even shallower); performance depends on size only, not on
+// the degree distribution.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gen/trees.hpp"
+#include "lca/inlabel.hpp"
+#include "lca/naive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto min_n = flags.get_int("min-nodes", 1 << 16, "smallest tree");
+  const auto max_n = flags.get_int("max-nodes", 1 << 19, "largest tree");
+  const auto runs = static_cast<int>(flags.get_int("runs", 1, "runs per point"));
+  flags.finish();
+
+  const bench::Contexts ctx = bench::make_contexts();
+  std::printf("# Figures 7/8: LCA algorithms on scale-free "
+              "(Barabasi-Albert) trees\n\n");
+  util::Table table({"nodes", "algo", "prep_nodes_per_s", "query_per_s"});
+
+  for (std::int64_t n = min_n; n <= max_n; n *= 2) {
+    core::ParentTree tree = gen::barabasi_albert_tree(static_cast<NodeId>(n),
+                                                      31 * n);
+    gen::scramble_ids(tree, 32 * n);
+    const auto queries = gen::random_queries(
+        static_cast<NodeId>(n), static_cast<std::size_t>(n), 33 * n);
+    std::vector<NodeId> answers;
+
+    auto add = [&](const char* name, double prep, double query) {
+      table.add_row({bench::human(n), name, util::Table::sci(n / prep),
+                     util::Table::sci(queries.size() / query)});
+    };
+    {
+      lca::InlabelLca lca = lca::InlabelLca::build_sequential(tree);
+      add("cpu1-inlabel",
+          bench::time_avg(runs,
+                          [&] { lca = lca::InlabelLca::build_sequential(tree); }),
+          bench::time_avg(runs,
+                          [&] { lca.query_batch(ctx.cpu1, queries, answers); }));
+    }
+    {
+      lca::InlabelLca lca = lca::InlabelLca::build_parallel(ctx.multicore, tree);
+      add("multicore-inlabel",
+          bench::time_avg(
+              runs,
+              [&] { lca = lca::InlabelLca::build_parallel(ctx.multicore, tree); }),
+          bench::time_avg(runs, [&] {
+            lca.query_batch(ctx.multicore, queries, answers);
+          }));
+    }
+    {
+      lca::NaiveLca lca = lca::NaiveLca::build(ctx.gpu, tree);
+      add("gpu-naive",
+          bench::time_avg(runs, [&] { lca = lca::NaiveLca::build(ctx.gpu, tree); }),
+          bench::time_avg(runs,
+                          [&] { lca.query_batch(ctx.gpu, queries, answers); }));
+    }
+    {
+      lca::InlabelLca lca = lca::InlabelLca::build_parallel(ctx.gpu, tree);
+      add("gpu-inlabel",
+          bench::time_avg(
+              runs, [&] { lca = lca::InlabelLca::build_parallel(ctx.gpu, tree); }),
+          bench::time_avg(runs,
+                          [&] { lca.query_batch(ctx.gpu, queries, answers); }));
+    }
+  }
+  table.print();
+  return 0;
+}

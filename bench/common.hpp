@@ -1,0 +1,61 @@
+// Shared helpers for the figure/table benchmark harnesses.
+//
+// Naming follows the paper: "gpu" = full-width device context (the GPU
+// simulation), "multicore" = a CPU-width context, "cpu1" = sequential.
+// On this container all contexts may resolve to few workers; what the
+// benchmarks compare is the *algorithms* (work/depth), which is what gives
+// the figures their shape.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "device/context.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace emc::bench {
+
+struct Contexts {
+  device::Context gpu = device::Context::device();
+  device::Context multicore{0};
+  device::Context cpu1 = device::Context::sequential();
+};
+
+inline Contexts make_contexts() {
+  Contexts ctx;
+  // The paper's multi-core baseline ran on 6 cores / 12 threads; use half
+  // the device width (at least 2) as the analogous mid-tier.
+  const unsigned workers = std::max(2u, ctx.gpu.workers() / 2);
+  ctx.multicore = device::Context(workers);
+  return ctx;
+}
+
+/// Runs fn() `runs` times and returns the average seconds (the paper
+/// reports averages over repeated runs).
+template <typename Fn>
+double time_avg(int runs, Fn&& fn) {
+  double total = 0;
+  for (int r = 0; r < runs; ++r) {
+    util::Timer timer;
+    fn();
+    total += timer.seconds();
+  }
+  return total / runs;
+}
+
+inline std::string human(std::size_t n) {
+  char buf[32];
+  if (n % 1'000'000 == 0 && n >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%zuM", n / 1'000'000);
+  } else if (n % 1000 == 0 && n >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%zuK", n / 1000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", n);
+  }
+  return buf;
+}
+
+}  // namespace emc::bench

@@ -1,0 +1,82 @@
+// Critical road segments — bridge finding on a road network (paper §4).
+//
+// Road networks are the adversarial case for BFS-based heuristics: huge
+// diameter, m ~ n. This example builds a synthetic road network, finds its
+// bridges (road segments whose closure disconnects the map) with all three
+// parallel algorithms plus the DFS baseline, reports agreement and per-phase
+// timings, and then decomposes the map into 2-edge-connected "resilient
+// districts".
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bridges/chaitanya_kothapalli.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "bridges/hybrid.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "bridges/two_ecc.hpp"
+#include "device/context.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  const NodeId side = argc > 1 ? std::atoi(argv[1]) : 150;
+  const device::Context ctx = device::Context::device();
+
+  const graph::EdgeList map = graph::largest_component(
+      graph::simplified(gen::road_graph(side, side, 0.72, 0.04, 7)));
+  const graph::Csr csr = build_csr(ctx, map);
+  std::printf("road network: %d intersections, %zu road segments, "
+              "diameter >= %d\n\n",
+              map.num_nodes, map.num_edges(), graph::estimate_diameter(csr));
+
+  util::PhaseTimer tv_phases, ck_phases, hy_phases;
+  const auto tv = bridges::find_bridges_tarjan_vishkin(ctx, map, &tv_phases);
+  const auto ck = bridges::find_bridges_ck(ctx, map, csr, &ck_phases);
+  const auto hy = bridges::find_bridges_hybrid(ctx, map, &hy_phases);
+  util::Timer dfs_timer;
+  const auto dfs = bridges::find_bridges_dfs(csr);
+  const double dfs_time = dfs_timer.seconds();
+
+  if (tv != dfs || ck != dfs || hy != dfs) {
+    std::fprintf(stderr, "ALGORITHM MISMATCH\n");
+    return 1;
+  }
+  const std::size_t critical = bridges::count_bridges(tv);
+  std::printf("critical segments (bridges): %zu of %zu (%.1f%%)\n\n", critical,
+              map.num_edges(), 100.0 * critical / map.num_edges());
+
+  auto show = [](const char* name, const util::PhaseTimer& phases) {
+    std::printf("  %-11s %.1f ms  (", name, phases.total() * 1e3);
+    bool first = true;
+    for (const auto& [phase, secs] : phases.phases()) {
+      std::printf("%s%s %.1f", first ? "" : ", ", phase.c_str(), secs * 1e3);
+      first = false;
+    }
+    std::printf(")\n");
+  };
+  std::printf("timings:\n");
+  show("gpu-tv", tv_phases);
+  show("gpu-ck", ck_phases);
+  show("gpu-hybrid", hy_phases);
+  std::printf("  %-11s %.1f ms\n\n", "cpu1-dfs", dfs_time * 1e3);
+
+  // Resilient districts: 2-edge-connected components.
+  const auto districts = bridges::two_edge_components(ctx, map, tv);
+  std::map<NodeId, std::size_t> sizes;
+  for (const NodeId label : districts) ++sizes[label];
+  std::vector<std::size_t> ordered;
+  ordered.reserve(sizes.size());
+  for (const auto& [label, size] : sizes) ordered.push_back(size);
+  std::sort(ordered.rbegin(), ordered.rend());
+  std::printf("resilient districts (2-edge-connected components): %zu\n",
+              ordered.size());
+  std::printf("largest districts: ");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ordered.size()); ++i) {
+    std::printf("%zu ", ordered[i]);
+  }
+  std::printf("intersections\n");
+  return 0;
+}

@@ -1,0 +1,268 @@
+#include "bridges/biconnectivity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "bridges/cc_spanning.hpp"
+#include "bridges/tv_detail.hpp"
+#include "core/euler_tour.hpp"
+#include "device/primitives.hpp"
+#include "rmq/segment_tree.hpp"
+#include "rmq/sparse_table.hpp"
+
+namespace emc::bridges {
+
+BiconnectivityResult biconnectivity_tv(const device::Context& ctx,
+                                       const graph::EdgeList& graph,
+                                       util::PhaseTimer* phases) {
+  const auto n = static_cast<std::size_t>(graph.num_nodes);
+  const std::size_t m = graph.edges.size();
+  BiconnectivityResult result;
+  result.edge_block.assign(m, kNoNode);
+  result.is_articulation.assign(n, 0);
+  if (m == 0) return result;
+
+  // --- Spanning tree + Euler tour statistics (the paper's TV pipeline).
+  const SpanningForest forest = cc_spanning_forest(ctx, graph, phases);
+  assert(forest.num_components == 1 && "requires a connected input");
+
+  std::vector<std::uint8_t> is_tree_edge(m, 0);
+  graph::EdgeList tree;
+  tree.num_nodes = graph.num_nodes;
+  tree.edges.resize(forest.tree_edges.size());
+  device::launch(ctx, forest.tree_edges.size(), [&](std::size_t k) {
+    const EdgeId e = forest.tree_edges[k];
+    tree.edges[k] = graph.edges[e];
+    is_tree_edge[e] = 1;
+  });
+  core::TreeStats stats;
+  {
+    util::ScopedPhase phase(phases, "euler_tour");
+    const core::EulerTour tour = core::build_euler_tour(ctx, tree, 0);
+    stats = core::compute_tree_stats(ctx, tour);
+  }
+  const std::vector<NodeId>& pre = stats.preorder;
+  const std::vector<NodeId>& size = stats.subtree_size;
+  const std::vector<NodeId>& parent = stats.parent;
+
+  util::ScopedPhase phase(phases, "blocks");
+
+  // --- Per-node min/max non-tree neighbor preorders, then subtree low/high
+  // (same machinery as the bridge finder).
+  std::vector<NodeId> node_min(n), node_max(n);
+  device::launch(ctx, n, [&](std::size_t v) {
+    node_min[v] = pre[v];
+    node_max[v] = pre[v];
+  });
+  tv_detail::aggregate_non_tree_min_max(ctx, graph, is_tree_edge, pre,
+                                        node_min, node_max);
+  std::vector<NodeId> by_pre_min(n), by_pre_max(n);
+  device::launch(ctx, n, [&](std::size_t v) {
+    by_pre_min[pre[v] - 1] = node_min[v];
+    by_pre_max[pre[v] - 1] = node_max[v];
+  });
+  const rmq::SparseTable<NodeId, rmq::MinOp> low_tree(ctx, by_pre_min);
+  const rmq::SparseTable<NodeId, rmq::MaxOp> high_tree(ctx, by_pre_max);
+  std::vector<NodeId> low(n), high(n);
+  device::launch(ctx, n, [&](std::size_t v) {
+    const auto lo = static_cast<std::size_t>(pre[v]) - 1;
+    const auto hi = lo + static_cast<std::size_t>(size[v]) - 1;
+    low[v] = low_tree.query(lo, hi);
+    high[v] = high_tree.query(lo, hi);
+  });
+
+  // --- Auxiliary graph G''. Vertices: non-root nodes (standing for their
+  // parent edges); we reuse the full node id space (the root is isolated).
+  graph::EdgeList aux;
+  aux.num_nodes = graph.num_nodes;
+  // Rule (a): non-tree edges with unrelated endpoints. Sized with a count +
+  // scan so construction stays a bulk pipeline.
+  {
+    std::vector<EdgeId> flag(m), pos(m);
+    device::transform(ctx, m, flag.data(), [&](std::size_t e) -> EdgeId {
+      if (is_tree_edge[e]) return 0;
+      auto [u, v] = graph.edges[e];
+      if (pre[v] < pre[u]) std::swap(u, v);
+      return pre[u] + size[u] <= pre[v] ? 1 : 0;
+    });
+    const EdgeId rule_a =
+        device::exclusive_scan(ctx, flag.data(), m, pos.data());
+    // Rule (b): per non-root, non-root-parent node w.
+    std::vector<EdgeId> flag_b(n), pos_b(n);
+    device::transform(ctx, n, flag_b.data(), [&](std::size_t w) -> EdgeId {
+      const NodeId v = parent[w];
+      if (v == kNoNode || parent[v] == kNoNode) return 0;
+      return (low[w] < pre[v] || high[w] >= pre[v] + size[v]) ? 1 : 0;
+    });
+    const EdgeId rule_b =
+        device::exclusive_scan(ctx, flag_b.data(), n, pos_b.data());
+    aux.edges.resize(static_cast<std::size_t>(rule_a + rule_b));
+    device::launch(ctx, m, [&](std::size_t e) {
+      if (!flag[e]) return;
+      aux.edges[pos[e]] = graph.edges[e];
+    });
+    device::launch(ctx, n, [&](std::size_t w) {
+      if (!flag_b[w]) return;
+      aux.edges[rule_a + pos_b[w]] = {static_cast<NodeId>(w), parent[w]};
+    });
+  }
+
+  // --- Blocks = connected components of G'' (device CC again).
+  const SpanningForest blocks = cc_spanning_forest(ctx, aux);
+
+  // Edge labels: tree edge -> its child endpoint's component; non-tree
+  // edge -> the deeper endpoint (larger preorder; for unrelated endpoints
+  // rule (a) makes either choice equivalent).
+  device::transform(ctx, m, result.edge_block.data(),
+                    [&](std::size_t e) -> NodeId {
+                      const auto [u, v] = graph.edges[e];
+                      if (is_tree_edge[e]) {
+                        const NodeId child = parent[u] == v ? u : v;
+                        return blocks.component[child];
+                      }
+                      return blocks.component[pre[u] > pre[v] ? u : v];
+                    });
+
+  // Count distinct blocks among tree-edge representatives (every block
+  // contains at least one tree edge of T).
+  {
+    std::vector<std::uint8_t> seen(n, 0);
+    for (std::size_t w = 0; w < n; ++w) {
+      if (parent[w] != kNoNode) seen[blocks.component[w]] = 1;
+    }
+    result.num_blocks = 0;
+    for (const auto s : seen) result.num_blocks += s;
+  }
+
+  // --- Articulation points: incident edges span >= 2 blocks. One pass over
+  // half-edges via a counting-sorted incidence structure.
+  {
+    std::vector<EdgeId> counts(n, 0);
+    device::launch(ctx, m, [&](std::size_t e) {
+      std::atomic_ref<EdgeId>(counts[graph.edges[e].u])
+          .fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref<EdgeId>(counts[graph.edges[e].v])
+          .fetch_add(1, std::memory_order_relaxed);
+    });
+    std::vector<EdgeId> offsets(n + 1);
+    const EdgeId total =
+        device::exclusive_scan(ctx, counts.data(), n, offsets.data());
+    offsets[n] = total;
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<NodeId> labels(static_cast<std::size_t>(total));
+    device::launch(ctx, m, [&](std::size_t e) {
+      const auto [u, v] = graph.edges[e];
+      labels[std::atomic_ref<EdgeId>(cursor[u]).fetch_add(
+          1, std::memory_order_relaxed)] = result.edge_block[e];
+      labels[std::atomic_ref<EdgeId>(cursor[v]).fetch_add(
+          1, std::memory_order_relaxed)] = result.edge_block[e];
+    });
+    device::launch(ctx, n, [&](std::size_t v) {
+      const EdgeId begin = offsets[v];
+      const EdgeId end = offsets[v + 1];
+      if (begin == end) return;
+      const NodeId first = labels[begin];
+      for (EdgeId i = begin + 1; i < end; ++i) {
+        if (labels[i] != first) {
+          result.is_articulation[v] = 1;
+          return;
+        }
+      }
+    });
+  }
+  return result;
+}
+
+BiconnectivityResult biconnectivity_dfs(const graph::EdgeList& graph,
+                                        const graph::Csr& csr) {
+  const NodeId n = csr.num_nodes;
+  const std::size_t m = graph.edges.size();
+  BiconnectivityResult result;
+  result.edge_block.assign(m, kNoNode);
+  result.is_articulation.assign(static_cast<std::size_t>(n), 0);
+  if (m == 0) return result;
+
+  std::vector<NodeId> disc(static_cast<std::size_t>(n), kNoNode);
+  std::vector<NodeId> low(static_cast<std::size_t>(n));
+  std::vector<EdgeId> edge_stack;
+  NodeId timer = 0;
+  NodeId next_label = 0;
+
+  struct Frame {
+    NodeId v;
+    EdgeId via_edge;
+    EdgeId cursor;
+    int tree_children = 0;
+  };
+  std::vector<Frame> stack;
+
+  auto close_block = [&](EdgeId until_edge) {
+    const NodeId label = next_label++;
+    ++result.num_blocks;
+    while (true) {
+      const EdgeId e = edge_stack.back();
+      edge_stack.pop_back();
+      result.edge_block[e] = label;
+      if (e == until_edge) break;
+    }
+  };
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (disc[start] != kNoNode) continue;
+    disc[start] = low[start] = timer++;
+    stack.push_back({start, kNoEdge, csr.row_offsets[start], 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const NodeId v = frame.v;
+      if (frame.cursor < csr.row_offsets[v + 1]) {
+        const EdgeId i = frame.cursor++;
+        const NodeId w = csr.neighbors[i];
+        const EdgeId e = csr.edge_ids[i];
+        if (e == frame.via_edge) continue;
+        if (disc[w] == kNoNode) {
+          edge_stack.push_back(e);
+          disc[w] = low[w] = timer++;
+          stack.back().tree_children++;
+          stack.push_back({w, e, csr.row_offsets[w], 0});
+        } else if (disc[w] < disc[v]) {
+          // Back edge (including parallel copies), pushed once.
+          edge_stack.push_back(e);
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        const EdgeId via = frame.via_edge;
+        const int children = frame.tree_children;
+        stack.pop_back();
+        if (!stack.empty()) {
+          const NodeId p = stack.back().v;
+          low[p] = std::min(low[p], low[v]);
+          if (low[v] >= disc[p]) {
+            // p separates v's subtree: close the block.
+            close_block(via);
+            const bool p_is_root = stack.size() == 1;
+            if (!p_is_root) result.is_articulation[p] = 1;
+          }
+        } else if (children >= 2) {
+          result.is_articulation[v] = 1;  // root with >= 2 tree children
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool same_block_partition(const std::vector<NodeId>& a,
+                          const std::vector<NodeId>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<NodeId, NodeId> a_to_b, b_to_a;
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    const auto [ita, inserted_a] = a_to_b.try_emplace(a[e], b[e]);
+    if (!inserted_a && ita->second != b[e]) return false;
+    const auto [itb, inserted_b] = b_to_a.try_emplace(b[e], a[e]);
+    if (!inserted_b && itb->second != a[e]) return false;
+  }
+  return true;
+}
+
+}  // namespace emc::bridges

@@ -1,0 +1,62 @@
+// Full Tarjan-Vishkin biconnectivity (extension beyond the paper's §4 scope).
+//
+// The paper evaluates the bridge slice of the Tarjan-Vishkin framework
+// ("This basic problem already captures most of the combinatorial structure
+// related to biconnectivity"); this module completes the framework as TV [58]
+// published it: 2-*vertex*-connected components (blocks) and articulation
+// points, on any spanning tree.
+//
+// Construction (Tarjan & Vishkin 1985): identify nodes with preorder numbers
+// and build an auxiliary graph G'' whose vertices are the tree edges of a
+// spanning tree T (each non-root node w stands for its parent edge). Add to
+// G'':
+//   (a) for every non-tree edge {v, w} with the endpoints unrelated in T
+//       (pre(v) + size(v) <= pre(w) for pre(v) < pre(w)): the aux edge
+//       {edge(v), edge(w)};
+//   (b) for every tree edge (v, w), v = parent(w), v not the root: the aux
+//       edge {edge(v), edge(w)} iff low(w) < pre(v) or
+//       high(w) >= pre(v) + size(v) (a non-tree edge escapes w's subtree
+//       past v).
+// Connected components of G'' are exactly the blocks of G. A non-tree edge
+// belongs to the block of its deeper endpoint's parent edge, and a vertex is
+// an articulation point iff its incident edges span >= 2 distinct blocks.
+//
+// Everything reuses the paper's pipeline: CC spanning tree, Euler tour
+// statistics, segment-tree low/high, then one more device CC run on G''.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/context.hpp"
+#include "graph/graph.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace emc::bridges {
+
+struct BiconnectivityResult {
+  /// Per undirected edge: a label; two edges share a label iff they lie in
+  /// the same biconnected component (block). Labels are representatives,
+  /// not compacted to 0..k-1.
+  std::vector<NodeId> edge_block;
+  /// Per node: 1 iff removing the node disconnects the graph.
+  std::vector<std::uint8_t> is_articulation;
+  std::size_t num_blocks = 0;
+};
+
+/// Device-parallel Tarjan-Vishkin biconnectivity. Requires a connected
+/// graph with at least one edge.
+BiconnectivityResult biconnectivity_tv(const device::Context& ctx,
+                                       const graph::EdgeList& graph,
+                                       util::PhaseTimer* phases = nullptr);
+
+/// Sequential Hopcroft-Tarjan baseline (DFS with an edge stack).
+BiconnectivityResult biconnectivity_dfs(const graph::EdgeList& graph,
+                                        const graph::Csr& csr);
+
+/// True iff two labelings induce the same partition of the edge set.
+bool same_block_partition(const std::vector<NodeId>& a,
+                          const std::vector<NodeId>& b);
+
+}  // namespace emc::bridges

@@ -1,0 +1,89 @@
+#include "bridges/cc_spanning.hpp"
+
+#include <atomic>
+#include <limits>
+
+#include "device/primitives.hpp"
+
+namespace emc::bridges {
+
+SpanningForest cc_spanning_forest(const device::Context& ctx,
+                                  const graph::EdgeList& graph,
+                                  util::PhaseTimer* phases) {
+  util::ScopedPhase phase(phases, "spanning_tree");
+  const auto n = static_cast<std::size_t>(graph.num_nodes);
+  const std::size_t m = graph.edges.size();
+
+  SpanningForest forest;
+  forest.component.resize(n);
+  device::iota(ctx, n, forest.component.data());
+  std::vector<NodeId>& label = forest.component;
+
+  // Proposal slot per node; only roots receive proposals. Packed as
+  // (target label << 32 | edge id) so atomic min prefers the smallest
+  // target and then the smallest edge — fully deterministic output.
+  constexpr std::uint64_t kNoProposal = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> proposal(n);
+  std::vector<std::uint8_t> edge_used(m, 0);
+
+  const auto flatten = [&] {
+    bool changed = true;
+    while (changed) {
+      std::atomic<int> any{0};
+      device::launch(ctx, n, [&](std::size_t v) {
+        const NodeId l = label[v];
+        const NodeId ll = label[l];
+        if (ll != l) {
+          label[v] = ll;
+          any.store(1, std::memory_order_relaxed);
+        }
+      });
+      changed = any.load(std::memory_order_relaxed) != 0;
+    }
+  };
+
+  bool hooked = true;
+  while (hooked) {
+    flatten();
+    device::fill(ctx, n, proposal.data(), kNoProposal);
+    std::atomic<int> any_proposal{0};
+    device::launch(ctx, m, [&](std::size_t e) {
+      const NodeId lu = label[graph.edges[e].u];
+      const NodeId lv = label[graph.edges[e].v];
+      if (lu == lv) return;
+      const NodeId target = lu < lv ? lu : lv;   // hook towards smaller label
+      const NodeId hooker = lu < lv ? lv : lu;
+      const std::uint64_t packed =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(target))
+           << 32) |
+          static_cast<std::uint32_t>(e);
+      device::atomic_min(&proposal[hooker], packed);
+      any_proposal.store(1, std::memory_order_relaxed);
+    });
+    hooked = any_proposal.load(std::memory_order_relaxed) != 0;
+    if (!hooked) break;
+    device::launch(ctx, n, [&](std::size_t r) {
+      const std::uint64_t p = proposal[r];
+      if (p == kNoProposal) return;
+      label[r] = static_cast<NodeId>(p >> 32);
+      edge_used[static_cast<std::uint32_t>(p)] = 1;
+    });
+  }
+  flatten();
+
+  forest.tree_edges.resize(m);
+  const std::size_t k = device::copy_if_index(
+      ctx, m, [&](std::size_t e) { return edge_used[e] != 0; },
+      forest.tree_edges.data());
+  forest.tree_edges.resize(k);
+
+  forest.num_components = static_cast<std::size_t>(device::reduce(
+      ctx, n, NodeId{0},
+      [&](std::size_t v) {
+        return static_cast<NodeId>(label[v] == static_cast<NodeId>(v) ? 1 : 0);
+      },
+      [](NodeId a, NodeId b) { return a + b; }));
+  return forest;
+}
+
+}  // namespace emc::bridges

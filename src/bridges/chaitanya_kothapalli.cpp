@@ -1,0 +1,68 @@
+#include "bridges/chaitanya_kothapalli.hpp"
+
+#include <atomic>
+#include <cassert>
+
+#include "device/primitives.hpp"
+
+namespace emc::bridges {
+
+BridgeMask ck_marking_phase(const device::Context& ctx,
+                            const graph::EdgeList& graph,
+                            const std::vector<NodeId>& parent,
+                            const std::vector<EdgeId>& parent_edge,
+                            const std::vector<NodeId>& level,
+                            const std::vector<std::uint8_t>& is_tree_edge,
+                            util::PhaseTimer* phases) {
+  util::ScopedPhase phase(phases, "mark_non_bridges");
+  const std::size_t m = graph.edges.size();
+  // marked[v] == 1 means tree edge (v, parent(v)) was visited by some walk.
+  std::vector<std::uint8_t> marked(parent.size(), 0);
+
+  device::launch(ctx, m, [&](std::size_t e) {
+    if (is_tree_edge[e]) return;
+    NodeId u = graph.edges[e].u;
+    NodeId v = graph.edges[e].v;
+    // Walk both endpoints to the same level, then in lockstep to the LCA,
+    // marking every traversed tree edge. Plain byte stores race benignly
+    // (all writers store 1), as in the GPU original.
+    while (u != v) {
+      if (level[u] < level[v]) {
+        const NodeId t = u;
+        u = v;
+        v = t;
+      }
+      std::atomic_ref<std::uint8_t>(marked[u]).store(
+          1, std::memory_order_relaxed);
+      u = parent[u];
+    }
+  });
+
+  BridgeMask is_bridge(m, 0);
+  device::launch(ctx, parent.size(), [&](std::size_t v) {
+    if (parent[v] != kNoNode && !marked[v]) {
+      is_bridge[parent_edge[v]] = 1;
+    }
+  });
+  return is_bridge;
+}
+
+BridgeMask find_bridges_ck(const device::Context& ctx,
+                           const graph::EdgeList& graph, const graph::Csr& csr,
+                           util::PhaseTimer* phases) {
+  const auto n = static_cast<std::size_t>(graph.num_nodes);
+  if (n <= 1 || graph.edges.empty()) {
+    return BridgeMask(graph.edges.size(), 0);
+  }
+  // Phase 1: BFS spanning tree.
+  const BfsTree tree = bfs(ctx, csr, /*source=*/0, phases);
+  std::vector<std::uint8_t> is_tree_edge(graph.edges.size(), 0);
+  device::launch(ctx, n, [&](std::size_t v) {
+    if (tree.parent_edge[v] != kNoEdge) is_tree_edge[tree.parent_edge[v]] = 1;
+  });
+  // Phase 2: marking walks.
+  return ck_marking_phase(ctx, graph, tree.parent, tree.parent_edge,
+                          tree.level, is_tree_edge, phases);
+}
+
+}  // namespace emc::bridges

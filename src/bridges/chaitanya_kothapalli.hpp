@@ -1,0 +1,44 @@
+// The Chaitanya-Kothapalli bridge finder (paper §4.1, "CK").
+//
+// The state-of-the-art heuristic the paper compares against: simple,
+// worst-case quadratic work, and excellent on small-diameter graphs.
+//
+//   Phase 1: a rooted spanning tree — parallel BFS (which bounds the tree
+//            depth by twice the graph diameter, hence the O(m·d) marking
+//            bound).
+//   Phase 2: for every non-tree edge in parallel, walk both endpoints up
+//            the tree to their meeting point (their LCA), marking every
+//            tree edge on the way. A tree edge is a bridge iff it is never
+//            marked; non-tree edges are never bridges.
+//
+// The multi-core CPU variant of the paper runs the identical algorithm on a
+// CPU-width context.
+#pragma once
+
+#include "bridges/bfs.hpp"
+#include "bridges/bridges.hpp"
+#include "device/context.hpp"
+#include "graph/graph.hpp"
+#include "util/timer.hpp"
+
+namespace emc::bridges {
+
+/// Requires a connected graph. `csr` must be the adjacency of `graph`.
+BridgeMask find_bridges_ck(const device::Context& ctx,
+                           const graph::EdgeList& graph,
+                           const graph::Csr& csr,
+                           util::PhaseTimer* phases = nullptr);
+
+/// The marking phase alone, reusable with any rooted spanning tree (this is
+/// what the hybrid algorithm of §4.3 calls after rooting a CC tree with the
+/// Euler tour technique). `parent_edge[v]` maps v to the undirected edge id
+/// of (v, parent[v]); `is_tree_edge` flags edges of the spanning tree.
+BridgeMask ck_marking_phase(const device::Context& ctx,
+                            const graph::EdgeList& graph,
+                            const std::vector<NodeId>& parent,
+                            const std::vector<EdgeId>& parent_edge,
+                            const std::vector<NodeId>& level,
+                            const std::vector<std::uint8_t>& is_tree_edge,
+                            util::PhaseTimer* phases = nullptr);
+
+}  // namespace emc::bridges

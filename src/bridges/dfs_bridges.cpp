@@ -1,0 +1,54 @@
+#include "bridges/dfs_bridges.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace emc::bridges {
+
+BridgeMask find_bridges_dfs(const graph::Csr& graph) {
+  const NodeId n = graph.num_nodes;
+  BridgeMask is_bridge(graph.num_edges(), 0);
+  std::vector<NodeId> disc(static_cast<std::size_t>(n), kNoNode);
+  std::vector<NodeId> low(static_cast<std::size_t>(n));
+  NodeId timer = 0;
+
+  struct Frame {
+    NodeId v;
+    EdgeId via_edge;  // undirected edge id used to enter v (kNoEdge at root)
+    EdgeId cursor;    // next half-edge position to inspect
+  };
+  std::vector<Frame> stack;
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (disc[start] != kNoNode) continue;
+    disc[start] = low[start] = timer++;
+    stack.push_back({start, kNoEdge, graph.row_offsets[start]});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const NodeId v = frame.v;
+      if (frame.cursor < graph.row_offsets[v + 1]) {
+        const EdgeId i = frame.cursor++;
+        const NodeId w = graph.neighbors[i];
+        const EdgeId e = graph.edge_ids[i];
+        if (e == frame.via_edge) continue;  // skip only the entering copy
+        if (disc[w] == kNoNode) {
+          disc[w] = low[w] = timer++;
+          stack.push_back({w, e, graph.row_offsets[w]});
+        } else {
+          low[v] = std::min(low[v], disc[w]);  // back edge (or parallel edge)
+        }
+      } else {
+        const EdgeId via = frame.via_edge;  // copy before pop invalidates frame
+        stack.pop_back();
+        if (!stack.empty()) {
+          const NodeId p = stack.back().v;
+          low[p] = std::min(low[p], low[v]);
+          if (low[v] > disc[p]) is_bridge[via] = 1;
+        }
+      }
+    }
+  }
+  return is_bridge;
+}
+
+}  // namespace emc::bridges

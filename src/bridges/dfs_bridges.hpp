@@ -1,0 +1,19 @@
+// Sequential DFS bridge finding — Hopcroft-Tarjan / Paton (paper §4.1).
+//
+// The classical linear-time algorithm and the paper's "Single-core CPU DFS"
+// baseline: a depth-first search computes discovery times and the low
+// function; a tree edge to child c is a bridge iff low(c) > disc(parent).
+// Iterative (explicit stack) so million-node road networks don't overflow
+// the call stack; parallel edges are handled by skipping only the one
+// half-edge the child was entered through (by edge id, not by endpoint).
+#pragma once
+
+#include "bridges/bridges.hpp"
+#include "graph/graph.hpp"
+
+namespace emc::bridges {
+
+/// Works on any graph (need not be connected). O(n + m).
+BridgeMask find_bridges_dfs(const graph::Csr& graph);
+
+}  // namespace emc::bridges

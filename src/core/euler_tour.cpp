@@ -1,0 +1,205 @@
+#include "core/euler_tour.hpp"
+
+#include <cassert>
+
+#include "device/primitives.hpp"
+#include "device/sort.hpp"
+#include "listrank/listrank.hpp"
+#include "util/bits.hpp"
+
+namespace emc::core {
+
+namespace {
+
+/// Packs (src, dst) into a key whose numeric order is the lexicographic
+/// order of the pair, using only 2*ceil(log2(n)) bits so the adaptive radix
+/// sort runs the minimum number of passes (the sort is the most expensive
+/// step of the construction, §2.1).
+std::uint64_t lex_key(NodeId src, NodeId dst, int shift) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+          << shift) |
+         static_cast<std::uint32_t>(dst);
+}
+
+}  // namespace
+
+EulerTour build_euler_tour(const device::Context& ctx,
+                           const graph::EdgeList& edges, NodeId root,
+                           RankAlgo rank_algo, util::PhaseTimer* phases) {
+  const NodeId n = edges.num_nodes;
+  assert(n >= 1);
+  assert(edges.edges.size() + 1 == static_cast<std::size_t>(n));
+  assert(root >= 0 && root < n);
+
+  EulerTour tour;
+  tour.num_nodes = n;
+  tour.root = root;
+  const std::size_t h = 2 * edges.edges.size();  // number of half-edges
+  tour.edge_src.resize(h);
+  tour.edge_dst.resize(h);
+  tour.succ.resize(h);
+  tour.rank.resize(h);
+  tour.tour.resize(h);
+  if (h == 0) return tour;  // single-node tree: empty tour
+
+  // --- DCEL construction (§2.1). Array A: both directions of edge k stored
+  // at 2k and 2k+1, so twin is the implicit e ^ 1.
+  {
+    util::ScopedPhase phase(phases, "dcel_expand");
+    device::launch(ctx, edges.edges.size(), [&](std::size_t k) {
+      const graph::Edge e = edges.edges[k];
+      tour.edge_src[2 * k] = e.u;
+      tour.edge_dst[2 * k] = e.v;
+      tour.edge_src[2 * k + 1] = e.v;
+      tour.edge_dst[2 * k + 1] = e.u;
+    });
+  }
+
+  // Array B: half-edge ids sorted lexicographically by (src, dst). `order`
+  // plays the role of B; the sort is "the costly sorting" the paper notes
+  // cannot generally be avoided.
+  std::vector<std::uint64_t> keys(h);
+  std::vector<EdgeId> order(h);
+  {
+    util::ScopedPhase phase(phases, "dcel_sort");
+    const int shift = util::ceil_log2(static_cast<std::uint64_t>(n));
+    device::transform(ctx, h, keys.data(), [&](std::size_t e) {
+      return lex_key(tour.edge_src[e], tour.edge_dst[e], shift);
+    });
+    device::iota(ctx, h, order.data());
+    device::sort_pairs(ctx, keys, order);
+  }
+
+  // next[e]: successor of e among half-edges leaving src(e), cyclic.
+  // first_pos[x]: position in B of the first half-edge leaving x.
+  std::vector<EdgeId> next(h);
+  {
+    util::ScopedPhase phase(phases, "dcel_next");
+    std::vector<EdgeId> first_pos(static_cast<std::size_t>(n), kNoEdge);
+    device::launch(ctx, h, [&](std::size_t i) {
+      const NodeId src = tour.edge_src[order[i]];
+      if (i == 0 || tour.edge_src[order[i - 1]] != src) {
+        first_pos[src] = static_cast<EdgeId>(i);
+      }
+    });
+    device::launch(ctx, h, [&](std::size_t i) {
+      const EdgeId e = order[i];
+      const NodeId src = tour.edge_src[e];
+      if (i + 1 < h && tour.edge_src[order[i + 1]] == src) {
+        next[e] = order[i + 1];
+      } else {
+        next[e] = order[first_pos[src]];  // wrap to the first edge at src
+      }
+    });
+  }
+
+  // --- Tour as a linked list: succ(e) = next(twin(e)) (§2.1), split at the
+  // first edge leaving the root (choosing the list head roots the tree).
+  {
+    util::ScopedPhase phase(phases, "tour_link");
+    device::launch(ctx, h,
+                   [&](std::size_t e) { tour.succ[e] = next[e ^ 1]; });
+    // head = first half-edge leaving root in B order. Its cyclic
+    // predecessor becomes the tail.
+    EdgeId head = kNoEdge;
+    for (std::size_t i = 0; i < h; ++i) {  // cheap: root's run is contiguous
+      if (tour.edge_src[order[i]] == root) {
+        head = order[i];
+        break;
+      }
+    }
+    assert(head != kNoEdge);
+    tour.head = head;
+    // tail: unique e with succ[e] == head.
+    std::atomic<EdgeId> tail{kNoEdge};
+    device::launch(ctx, h, [&](std::size_t e) {
+      if (tour.succ[e] == tour.head) {
+        tail.store(static_cast<EdgeId>(e), std::memory_order_relaxed);
+      }
+    });
+    assert(tail.load() != kNoEdge);
+    tour.succ[tail.load()] = kNoEdge;
+  }
+
+  // --- The single list ranking (§2.2), then the array form.
+  {
+    util::ScopedPhase phase(phases, "list_ranking");
+    switch (rank_algo) {
+      case RankAlgo::kWeiJaja:
+        listrank::rank_wei_jaja(ctx, tour.succ, tour.head, tour.rank);
+        break;
+      case RankAlgo::kWyllie:
+        listrank::rank_wyllie(ctx, tour.succ, tour.head, tour.rank);
+        break;
+      case RankAlgo::kSequential:
+        listrank::rank_sequential(tour.succ, tour.head, tour.rank);
+        break;
+    }
+  }
+  {
+    util::ScopedPhase phase(phases, "tour_array");
+    device::launch(ctx, h, [&](std::size_t e) {
+      tour.tour[tour.rank[e]] = static_cast<EdgeId>(e);
+    });
+  }
+  return tour;
+}
+
+TreeStats compute_tree_stats(const device::Context& ctx, const EulerTour& tour,
+                             util::PhaseTimer* phases) {
+  const NodeId n = tour.num_nodes;
+  const std::size_t h = tour.num_half_edges();
+  TreeStats stats;
+  stats.preorder.assign(static_cast<std::size_t>(n), 0);
+  stats.subtree_size.assign(static_cast<std::size_t>(n), 0);
+  stats.level.assign(static_cast<std::size_t>(n), 0);
+  stats.parent.assign(static_cast<std::size_t>(n), kNoNode);
+  stats.preorder[tour.root] = 1;
+  stats.subtree_size[tour.root] = n;
+  stats.level[tour.root] = 0;
+  if (h == 0) return stats;
+
+  util::ScopedPhase phase(phases, "tree_stats");
+
+  // Weight +1 for down edges. Preorder = prefix count of down edges;
+  // level = prefix sum with up edges weighted -1. Both in one pass each,
+  // over the *array* form — this is exactly the §2.2 optimization.
+  std::vector<NodeId> down_flag(h), down_prefix(h), level_weight(h),
+      level_prefix(h);
+  device::transform(ctx, h, down_flag.data(), [&](std::size_t r) {
+    return static_cast<NodeId>(tour.goes_down(tour.tour[r]) ? 1 : 0);
+  });
+  device::transform(ctx, h, level_weight.data(), [&](std::size_t r) {
+    return static_cast<NodeId>(tour.goes_down(tour.tour[r]) ? 1 : -1);
+  });
+  device::inclusive_scan(ctx, down_flag.data(), h, down_prefix.data());
+  device::inclusive_scan(ctx, level_weight.data(), h, level_prefix.data());
+
+  device::launch(ctx, h, [&](std::size_t r) {
+    const EdgeId e = tour.tour[r];
+    if (!tour.goes_down(e)) return;
+    const NodeId child = tour.edge_dst[e];
+    stats.preorder[child] = down_prefix[r] + 1;  // 1-based; root is 1
+    stats.level[child] = level_prefix[r];
+    stats.parent[child] = tour.edge_src[e];
+    // Subtree spans [rank(e), rank(twin(e))]: that interval holds both
+    // directions of every edge internal to the subtree plus this enter/exit
+    // pair, so its length is 2*size - 1 + 1, hence size = (len + 1) / 2.
+    const EdgeId up_rank = tour.rank[tour.twin(e)];
+    stats.subtree_size[child] =
+        (up_rank - static_cast<EdgeId>(r) + 1) / 2;
+  });
+  return stats;
+}
+
+void root_tree(const device::Context& ctx, const graph::EdgeList& edges,
+               NodeId root, std::vector<NodeId>& parent,
+               std::vector<NodeId>& level, util::PhaseTimer* phases) {
+  const EulerTour tour = build_euler_tour(ctx, edges, root,
+                                          RankAlgo::kWeiJaja, phases);
+  TreeStats stats = compute_tree_stats(ctx, tour, phases);
+  parent = std::move(stats.parent);
+  level = std::move(stats.level);
+}
+
+}  // namespace emc::core

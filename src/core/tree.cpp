@@ -1,0 +1,63 @@
+#include "core/tree.hpp"
+
+#include <vector>
+
+namespace emc::core {
+
+bool valid_parent_tree(const ParentTree& tree) {
+  const NodeId n = tree.num_nodes();
+  if (n == 0) return false;
+  if (tree.root < 0 || tree.root >= n) return false;
+  if (tree.parent[tree.root] != kNoNode) return false;
+  // depth[v] != 0 marks "resolved"; iterative path-following with marking
+  // keeps this O(n) even on path-shaped trees.
+  std::vector<std::int8_t> state(static_cast<std::size_t>(n), 0);  // 0=unseen 1=onpath 2=ok
+  state[tree.root] = 2;
+  std::vector<NodeId> path;
+  for (NodeId v = 0; v < n; ++v) {
+    if (state[v] != 0) continue;
+    path.clear();
+    NodeId u = v;
+    while (state[u] == 0) {
+      state[u] = 1;
+      path.push_back(u);
+      const NodeId p = tree.parent[u];
+      if (p < 0 || p >= n) return false;
+      u = p;
+    }
+    if (state[u] == 1) return false;  // cycle
+    for (const NodeId w : path) state[w] = 2;
+  }
+  return true;
+}
+
+graph::EdgeList tree_edges(const ParentTree& tree) {
+  graph::EdgeList out;
+  out.num_nodes = tree.num_nodes();
+  out.edges.reserve(static_cast<std::size_t>(out.num_nodes) - 1);
+  for (NodeId v = 0; v < out.num_nodes; ++v) {
+    if (v != tree.root) out.edges.push_back({v, tree.parent[v]});
+  }
+  return out;
+}
+
+std::vector<NodeId> depths_reference(const ParentTree& tree) {
+  const NodeId n = tree.num_nodes();
+  std::vector<NodeId> depth(static_cast<std::size_t>(n), kNoNode);
+  depth[tree.root] = 0;
+  std::vector<NodeId> path;
+  for (NodeId v = 0; v < n; ++v) {
+    if (depth[v] != kNoNode) continue;
+    path.clear();
+    NodeId u = v;
+    while (depth[u] == kNoNode) {
+      path.push_back(u);
+      u = tree.parent[u];
+    }
+    NodeId d = depth[u];
+    for (auto it = path.rbegin(); it != path.rend(); ++it) depth[*it] = ++d;
+  }
+  return depth;
+}
+
+}  // namespace emc::core

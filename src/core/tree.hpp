@@ -1,0 +1,34 @@
+// Rooted-tree input representation and conversions.
+//
+// The LCA experiments feed trees to the algorithms as a parent array — "node
+// P[i] is the parent of node i, for every i except for the root" (§3.2) —
+// while the Euler tour construction consumes an unordered undirected edge
+// list. This header holds both directions of the conversion plus validation.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace emc::core {
+
+/// Rooted tree given by a parent array. parent[root] == kNoNode.
+struct ParentTree {
+  NodeId root = kNoNode;
+  std::vector<NodeId> parent;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(parent.size()); }
+};
+
+/// Checks that `tree` encodes a single rooted tree on all its nodes:
+/// exactly one root, every node reaches the root, no cycles.
+bool valid_parent_tree(const ParentTree& tree);
+
+/// The n-1 undirected edges {v, parent[v]}.
+graph::EdgeList tree_edges(const ParentTree& tree);
+
+/// Depth of every node by sequential traversal (test/reference helper).
+std::vector<NodeId> depths_reference(const ParentTree& tree);
+
+}  // namespace emc::core

@@ -1,0 +1,104 @@
+#include "core/tree_ops.hpp"
+
+#include "device/primitives.hpp"
+
+namespace emc::core {
+
+std::vector<NodeId> postorder_numbers(const device::Context& ctx,
+                                      const EulerTour& tour) {
+  const auto n = static_cast<std::size_t>(tour.num_nodes);
+  const std::size_t h = tour.num_half_edges();
+  std::vector<NodeId> post(n, 0);
+  post[tour.root] = static_cast<NodeId>(n);
+  if (h == 0) {
+    post[tour.root] = 1;
+    return post;
+  }
+  // A node's subtree finishes when its up edge is traversed; postorder =
+  // prefix count of up edges at that position.
+  std::vector<NodeId> up_flag(h), up_prefix(h);
+  device::transform(ctx, h, up_flag.data(), [&](std::size_t r) {
+    return static_cast<NodeId>(tour.goes_down(tour.tour[r]) ? 0 : 1);
+  });
+  device::inclusive_scan(ctx, up_flag.data(), h, up_prefix.data());
+  device::launch(ctx, h, [&](std::size_t r) {
+    const EdgeId e = tour.tour[r];
+    if (tour.goes_down(e)) return;
+    post[tour.edge_src[e]] = up_prefix[r];  // up edge leaves the finished node
+  });
+  return post;
+}
+
+std::vector<std::int64_t> subtree_sums(const device::Context& ctx,
+                                       const EulerTour& tour,
+                                       const TreeStats& stats,
+                                       const std::vector<std::int64_t>& value) {
+  const auto n = static_cast<std::size_t>(tour.num_nodes);
+  const std::size_t h = tour.num_half_edges();
+  std::vector<std::int64_t> sums(n);
+  if (h == 0) {
+    sums[tour.root] = value[tour.root];
+    return sums;
+  }
+  (void)stats;
+  // Weight each down edge with the entered node's value; the subtree sum of
+  // v is the scan over [enter(v), exit(v)] plus v's own value at enter(v).
+  std::vector<std::int64_t> weight(h), prefix(h);
+  device::transform(ctx, h, weight.data(), [&](std::size_t r) {
+    const EdgeId e = tour.tour[r];
+    return tour.goes_down(e) ? value[tour.edge_dst[e]] : std::int64_t{0};
+  });
+  const std::int64_t total =
+      device::inclusive_scan(ctx, weight.data(), h, prefix.data());
+  sums[tour.root] = total + value[tour.root];
+  device::launch(ctx, h, [&](std::size_t r) {
+    const EdgeId e = tour.tour[r];
+    if (!tour.goes_down(e)) return;
+    const NodeId v = tour.edge_dst[e];
+    const EdgeId exit = tour.rank[tour.twin(e)];
+    sums[v] = prefix[exit] - prefix[r] + value[v];
+  });
+  return sums;
+}
+
+std::vector<NodeId> subtree_leaf_counts(const device::Context& ctx,
+                                        const EulerTour& tour,
+                                        const TreeStats& stats) {
+  const auto n = static_cast<std::size_t>(tour.num_nodes);
+  std::vector<std::int64_t> is_leaf(n);
+  device::transform(ctx, n, is_leaf.data(), [&](std::size_t v) {
+    return static_cast<std::int64_t>(stats.subtree_size[v] == 1 ? 1 : 0);
+  });
+  const auto sums = subtree_sums(ctx, tour, stats, is_leaf);
+  std::vector<NodeId> counts(n);
+  device::transform(ctx, n, counts.data(),
+                    [&](std::size_t v) { return static_cast<NodeId>(sums[v]); });
+  return counts;
+}
+
+std::vector<NodeId> heavy_children(const device::Context& ctx,
+                                   const EulerTour& tour,
+                                   const TreeStats& stats) {
+  const auto n = static_cast<std::size_t>(tour.num_nodes);
+  const std::size_t h = tour.num_half_edges();
+  // Pack (subtree size, child id) so an atomic max picks the largest
+  // subtree and breaks ties towards the larger id, deterministically.
+  std::vector<std::int64_t> best(n, -1);
+  device::launch(ctx, h, [&](std::size_t r) {
+    const EdgeId e = tour.tour[r];
+    if (!tour.goes_down(e)) return;
+    const NodeId child = tour.edge_dst[e];
+    const std::int64_t packed =
+        (static_cast<std::int64_t>(stats.subtree_size[child]) << 32) |
+        static_cast<std::uint32_t>(child);
+    device::atomic_max(&best[tour.edge_src[e]], packed);
+  });
+  std::vector<NodeId> heavy(n);
+  device::transform(ctx, n, heavy.data(), [&](std::size_t v) {
+    return best[v] < 0 ? kNoNode
+                       : static_cast<NodeId>(best[v] & 0xffffffffLL);
+  });
+  return heavy;
+}
+
+}  // namespace emc::core

@@ -1,0 +1,61 @@
+// Further Euler tour applications (paper §2: "many node statistics can be
+// easily calculated as prefix sums or range queries").
+//
+// Everything here is one gather + one scan (or one bulk kernel) over the
+// tour array — the §2.2 pattern. These are the operations downstream users
+// of the technique actually reach for beyond LCA/bridges: orderings,
+// subtree aggregates, ancestry tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/euler_tour.hpp"
+#include "device/context.hpp"
+#include "util/types.hpp"
+
+namespace emc::core {
+
+/// Postorder numbers (1-based): the rank of each node among "subtree
+/// finished" events. The root gets n. One scan over up edges.
+std::vector<NodeId> postorder_numbers(const device::Context& ctx,
+                                      const EulerTour& tour);
+
+/// For each node, the sum of `value` over its subtree (inclusive).
+/// One weighted scan over the tour + one bulk kernel.
+std::vector<std::int64_t> subtree_sums(const device::Context& ctx,
+                                       const EulerTour& tour,
+                                       const TreeStats& stats,
+                                       const std::vector<std::int64_t>& value);
+
+/// For each node, the number of leaves in its subtree.
+std::vector<NodeId> subtree_leaf_counts(const device::Context& ctx,
+                                        const EulerTour& tour,
+                                        const TreeStats& stats);
+
+/// Ancestry test from preorder intervals: ancestor(a, b) iff b's preorder
+/// lies in [pre(a), pre(a) + size(a)). O(1) per query; a node is its own
+/// ancestor.
+class AncestorOracle {
+ public:
+  AncestorOracle(const TreeStats& stats)
+      : preorder_(stats.preorder), subtree_size_(stats.subtree_size) {}
+
+  bool is_ancestor(NodeId a, NodeId b) const {
+    return preorder_[a] <= preorder_[b] &&
+           preorder_[b] < preorder_[a] + subtree_size_[a];
+  }
+
+ private:
+  const std::vector<NodeId>& preorder_;
+  const std::vector<NodeId>& subtree_size_;
+};
+
+/// Heavy child of every node (child with the largest subtree; kNoNode for
+/// leaves). The building block for heavy-path decompositions on top of the
+/// tour. One bulk kernel over down edges with an atomic max per parent.
+std::vector<NodeId> heavy_children(const device::Context& ctx,
+                                   const EulerTour& tour,
+                                   const TreeStats& stats);
+
+}  // namespace emc::core

@@ -1,0 +1,48 @@
+#include "device/context.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace emc::device {
+
+namespace {
+
+unsigned default_workers() {
+  if (const char* env = std::getenv("EMC_WORKERS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(parsed);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+Context::Context(unsigned workers, double launch_overhead_seconds)
+    : pool_(std::make_shared<ThreadPool>(
+          workers == 0 ? default_workers() : workers,
+          launch_overhead_seconds)) {}
+
+Context Context::device() {
+  // Default 50us: the GTX 980's ~5us launch+sync latency scaled by the
+  // roughly 10-100x throughput gap between that GPU and one CPU core, so
+  // the latency-to-work ratio — which decides the diameter-bound behaviors
+  // in Figures 6 and 9-11 — is preserved rather than the absolute number.
+  // Override with EMC_KERNEL_LATENCY_US (0 disables the model).
+  double overhead_us = 50.0;
+  if (const char* env = std::getenv("EMC_KERNEL_LATENCY_US")) {
+    overhead_us = std::strtod(env, nullptr);
+  }
+  return Context(0, overhead_us * 1e-6);
+}
+
+std::size_t Context::grain_for(std::size_t n) const {
+  // Aim for ~4 chunks per worker so dynamic scheduling can balance load,
+  // but never chunks smaller than 1024 elements.
+  const std::size_t target_chunks = std::size_t{4} * workers();
+  const std::size_t grain = (n + target_chunks - 1) / std::max<std::size_t>(
+                                                          1, target_chunks);
+  return std::max<std::size_t>(1024, grain);
+}
+
+}  // namespace emc::device

@@ -1,0 +1,56 @@
+// Execution context handed to every parallel algorithm in the library.
+//
+// In the paper, algorithms run either on the GPU (CUDA + moderngpu), on
+// multi-core CPU (OpenMP), or on a single core. In this reproduction all
+// three are instances of the same Context with different worker counts:
+//
+//   Context::sequential()  — single-core CPU baseline (1 worker, inline)
+//   Context(k)             — multi-core CPU baseline (k workers)
+//   Context::device()      — the "GPU": as many workers as the machine has,
+//                            executing bulk kernels with a global barrier
+//                            between them (see thread_pool.hpp)
+//
+// The distinction that matters for reproducing the paper's results is not
+// the worker count but the *algorithm structure*: device algorithms are
+// sequences of bulk data-parallel kernels with the paper's work/depth.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "device/thread_pool.hpp"
+
+namespace emc::device {
+
+class Context {
+ public:
+  /// Creates a context with the given number of workers (0 means "use the
+  /// EMC_WORKERS environment variable, else hardware concurrency") and a
+  /// fixed per-kernel launch + barrier latency in seconds (CPU contexts use
+  /// the default 0; see thread_pool.hpp for why the device charges one).
+  explicit Context(unsigned workers = 0, double launch_overhead_seconds = 0.0);
+
+  /// Single-worker context; all launches run inline on the caller.
+  static Context sequential() { return Context(1); }
+
+  /// Full-width context simulating the GPU: charges a per-kernel launch
+  /// latency (EMC_KERNEL_LATENCY_US, default 50us — the GTX 980's ~5us
+  /// launch+sync cost scaled to this simulator's throughput), the cost that
+  /// makes level-synchronous BFS diameter-bound in the paper's Figures 9-11
+  /// and small query batches wasteful in Figure 6.
+  static Context device();
+
+  double launch_overhead() const { return pool_->launch_overhead(); }
+
+  unsigned workers() const { return pool_->workers(); }
+  ThreadPool& pool() const { return *pool_; }
+
+  /// Default chunk grain for bulk launches: large enough to amortize
+  /// scheduling, small enough to balance load.
+  std::size_t grain_for(std::size_t n) const;
+
+ private:
+  std::shared_ptr<ThreadPool> pool_;  // shared so Context is cheaply copyable
+};
+
+}  // namespace emc::device

@@ -1,0 +1,196 @@
+// Bulk data-parallel primitives — the moderngpu stand-in.
+//
+// The paper leans on the moderngpu library for sort, scan and segreduce
+// ("Using the library throughout the implementation saves us the burden of
+// low-level fine tuning", §2.2). This header provides the same primitive set
+// over the thread-pool device simulation:
+//
+//   launch        — bulk kernel over [0, n)          (cta/thread grid)
+//   transform     — map                              (mgpu::transform)
+//   reduce        — reduction                        (mgpu::reduce)
+//   *_scan        — array prefix sums                (mgpu::scan)
+//   gather/scatter
+//   copy_if_index — stream compaction
+//
+// Every primitive is a sequence of bulk kernels separated by barriers, so
+// work/depth match the GPU originals; scans use the classic two-pass
+// (per-chunk partials, scan of partials, local rescan) structure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "device/context.hpp"
+
+namespace emc::device {
+
+/// Bulk kernel: runs f(i) for every i in [0, n).
+template <typename F>
+void launch(const Context& ctx, std::size_t n, F&& f) {
+  ctx.pool().parallel_for(n, ctx.grain_for(n),
+                          [&f](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) f(i);
+                          });
+}
+
+/// out[i] = f(i). `out` may alias inputs of f only elementwise.
+template <typename T, typename F>
+void transform(const Context& ctx, std::size_t n, T* out, F&& f) {
+  launch(ctx, n, [&](std::size_t i) { out[i] = f(i); });
+}
+
+template <typename T>
+void fill(const Context& ctx, std::size_t n, T* out, T value) {
+  launch(ctx, n, [&](std::size_t i) { out[i] = value; });
+}
+
+template <typename T>
+void iota(const Context& ctx, std::size_t n, T* out) {
+  launch(ctx, n, [&](std::size_t i) { out[i] = static_cast<T>(i); });
+}
+
+/// Reduction of f(i) over [0, n) with operator `op` and identity `init`.
+template <typename T, typename F, typename Op>
+T reduce(const Context& ctx, std::size_t n, T init, F&& f, Op&& op) {
+  if (n == 0) return init;
+  const std::size_t grain = ctx.grain_for(n);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<T> partial(num_chunks, init);
+  ctx.pool().parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+    T acc = init;
+    for (std::size_t i = begin; i < end; ++i) acc = op(acc, f(i));
+    partial[begin / grain] = acc;
+  });
+  T total = init;
+  for (const T& p : partial) total = op(total, p);
+  return total;
+}
+
+/// Sum of values[0, n).
+template <typename T>
+T reduce_sum(const Context& ctx, const T* values, std::size_t n) {
+  return reduce(
+      ctx, n, T{0}, [&](std::size_t i) { return values[i]; },
+      [](T a, T b) { return a + b; });
+}
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i). Returns the grand total.
+/// in == out aliasing is allowed.
+template <typename T>
+T exclusive_scan(const Context& ctx, const T* in, std::size_t n, T* out) {
+  if (n == 0) return T{0};
+  const std::size_t grain = ctx.grain_for(n);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<T> partial(num_chunks);
+  ctx.pool().parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+    T acc{0};
+    for (std::size_t i = begin; i < end; ++i) acc += in[i];
+    partial[begin / grain] = acc;
+  });
+  T total{0};
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const T chunk_sum = partial[c];
+    partial[c] = total;
+    total += chunk_sum;
+  }
+  ctx.pool().parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+    T acc = partial[begin / grain];
+    for (std::size_t i = begin; i < end; ++i) {
+      const T value = in[i];  // read before write: supports in == out
+      out[i] = acc;
+      acc += value;
+    }
+  });
+  return total;
+}
+
+/// Inclusive prefix sum: out[i] = sum of in[0..i]. Returns the grand total.
+template <typename T>
+T inclusive_scan(const Context& ctx, const T* in, std::size_t n, T* out) {
+  if (n == 0) return T{0};
+  const std::size_t grain = ctx.grain_for(n);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<T> partial(num_chunks);
+  ctx.pool().parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+    T acc{0};
+    for (std::size_t i = begin; i < end; ++i) acc += in[i];
+    partial[begin / grain] = acc;
+  });
+  T total{0};
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const T chunk_sum = partial[c];
+    partial[c] = total;
+    total += chunk_sum;
+  }
+  ctx.pool().parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+    T acc = partial[begin / grain];
+    for (std::size_t i = begin; i < end; ++i) {
+      acc += in[i];
+      out[i] = acc;
+    }
+  });
+  return total;
+}
+
+/// out[i] = in[index[i]].
+template <typename T, typename I>
+void gather(const Context& ctx, const T* in, const I* index, std::size_t n,
+            T* out) {
+  launch(ctx, n, [&](std::size_t i) { out[i] = in[index[i]]; });
+}
+
+/// out[index[i]] = in[i]. Indices must be distinct.
+template <typename T, typename I>
+void scatter(const Context& ctx, const T* in, const I* index, std::size_t n,
+             T* out) {
+  launch(ctx, n, [&](std::size_t i) { out[index[i]] = in[i]; });
+}
+
+/// Stream compaction: writes the indices i in [0, n) with pred(i) true, in
+/// increasing order, to `out_indices` (must have room for n entries).
+/// Returns the number written.
+template <typename I, typename Pred>
+std::size_t copy_if_index(const Context& ctx, std::size_t n, Pred&& pred,
+                          I* out_indices) {
+  if (n == 0) return 0;
+  std::vector<I> flags(n);
+  transform(ctx, n, flags.data(),
+            [&](std::size_t i) { return static_cast<I>(pred(i) ? 1 : 0); });
+  std::vector<I> offsets(n);
+  const I total = exclusive_scan(ctx, flags.data(), n, offsets.data());
+  launch(ctx, n, [&](std::size_t i) {
+    if (flags[i]) out_indices[offsets[i]] = static_cast<I>(i);
+  });
+  return static_cast<std::size_t>(total);
+}
+
+/// Device-style atomic min on a plain integer location.
+template <typename T>
+void atomic_min(T* location, T value) {
+  std::atomic_ref<T> ref(*location);
+  T current = ref.load(std::memory_order_relaxed);
+  while (value < current &&
+         !ref.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Device-style atomic max on a plain integer location.
+template <typename T>
+void atomic_max(T* location, T value) {
+  std::atomic_ref<T> ref(*location);
+  T current = ref.load(std::memory_order_relaxed);
+  while (value > current &&
+         !ref.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Device-style atomic compare-and-swap; returns the previous value.
+template <typename T>
+T atomic_cas(T* location, T expected, T desired) {
+  std::atomic_ref<T> ref(*location);
+  ref.compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+  return expected;
+}
+
+}  // namespace emc::device

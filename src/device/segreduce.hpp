@@ -1,0 +1,53 @@
+// Segmented reduction — the mgpu::segreduce stand-in.
+//
+// The Tarjan-Vishkin implementation uses segreduce to compute, per node, the
+// minimum and maximum preorder number among its non-tree neighbors (§4.1).
+// Segments are described by an offsets array of s+1 entries
+// (offsets[0] = 0, offsets[s] = n); segment i covers
+// values[offsets[i] .. offsets[i+1]). Empty segments get the identity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/context.hpp"
+#include "device/primitives.hpp"
+
+namespace emc::device {
+
+/// out[i] = op-fold of values over segment i, starting from `identity`.
+/// `out` must have room for `num_segments` entries.
+template <typename T, typename Offset, typename Op>
+void segreduce(const Context& ctx, const T* values, const Offset* offsets,
+               std::size_t num_segments, T identity, Op&& op, T* out) {
+  // One launch over segments: each segment is reduced by a single virtual
+  // thread. Work is proportional to n overall; load imbalance across very
+  // skewed segments is handled by the dynamic chunk scheduler.
+  launch(ctx, num_segments, [&](std::size_t s) {
+    T acc = identity;
+    for (Offset i = offsets[s]; i < offsets[s + 1]; ++i) {
+      acc = op(acc, values[i]);
+    }
+    out[s] = acc;
+  });
+}
+
+/// Convenience min/max segreduce pair used by the bridges code.
+template <typename T, typename Offset>
+void segreduce_min_max(const Context& ctx, const T* values,
+                       const Offset* offsets, std::size_t num_segments,
+                       T min_identity, T max_identity, T* out_min, T* out_max) {
+  launch(ctx, num_segments, [&](std::size_t s) {
+    T lo = min_identity;
+    T hi = max_identity;
+    for (Offset i = offsets[s]; i < offsets[s + 1]; ++i) {
+      const T v = values[i];
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    out_min[s] = lo;
+    out_max[s] = hi;
+  });
+}
+
+}  // namespace emc::device

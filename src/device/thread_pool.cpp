@@ -1,0 +1,127 @@
+#include "device/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace emc::device {
+
+ThreadPool::ThreadPool(unsigned workers, double launch_overhead_seconds)
+    : workers_(std::max(1u, workers)),
+      launch_overhead_seconds_(std::max(0.0, launch_overhead_seconds)) {
+  threads_.reserve(workers_ - 1);
+  for (unsigned i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::charge_launch_overhead() const {
+  if (launch_overhead_seconds_ <= 0.0) return;
+  // Busy-wait: the latency is serial on a real device (the host cannot see
+  // results before launch + barrier complete), so sleeping would understate
+  // contention and spinning matches the modeled cost precisely.
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(launch_overhead_seconds_));
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& f) {
+  charge_launch_overhead();
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  // Inline fast path: one worker, or work too small to amortize a barrier.
+  if (workers_ == 1 || num_chunks == 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * grain;
+      f(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_.chunk_fn = f;
+    job_.worker_fn = nullptr;
+    job_.n = n;
+    job_.grain = grain;
+    job_.num_chunks = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_workers_.store(workers_, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  wake_.notify_all();
+  work_on_current_job(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock,
+             [this] { return pending_workers_.load(std::memory_order_acquire) ==
+                             0; });
+}
+
+void ThreadPool::run_on_workers(const std::function<void(unsigned)>& f) {
+  charge_launch_overhead();
+  if (workers_ == 1) {
+    f(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_.chunk_fn = nullptr;
+    job_.worker_fn = f;
+    job_.num_chunks = 0;
+    pending_workers_.store(workers_, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  wake_.notify_all();
+  work_on_current_job(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock,
+             [this] { return pending_workers_.load(std::memory_order_acquire) ==
+                             0; });
+}
+
+void ThreadPool::work_on_current_job(unsigned worker_index) {
+  if (job_.worker_fn) {
+    job_.worker_fn(worker_index);
+  } else {
+    while (true) {
+      const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job_.num_chunks) break;
+      const std::size_t begin = c * job_.grain;
+      job_.chunk_fn(begin, std::min(job_.n, begin + job_.grain));
+    }
+  }
+  if (pending_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock,
+                 [this, seen_epoch] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    work_on_current_job(index);
+  }
+}
+
+}  // namespace emc::device

@@ -1,0 +1,80 @@
+// Persistent worker pool used to execute "device kernels".
+//
+// The pool plays the role of the CUDA runtime in this reproduction: a kernel
+// launch maps to a bulk parallel-for over a virtual grid, executed by a fixed
+// set of worker threads, and returning from the launch is the global barrier
+// that separates kernels (exactly the synchronization structure GPU
+// algorithms are written against). Chunks are handed out dynamically via an
+// atomic counter, which mirrors how thread blocks are scheduled onto SMs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emc::device {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` total workers (including the caller, who
+  /// participates in every launch). workers == 1 means fully inline
+  /// execution with no extra threads.
+  ///
+  /// `launch_overhead_seconds` models the fixed kernel-launch + global-
+  /// barrier cost a real GPU pays per kernel (~5-10us on the paper's
+  /// GTX 980). It is charged once per parallel_for/run_on_workers call; it
+  /// is what makes level-synchronous BFS diameter-bound and tiny query
+  /// batches wasteful on the device, exactly as in the paper's Figures 6
+  /// and 9-11. CPU contexts use 0.
+  explicit ThreadPool(unsigned workers, double launch_overhead_seconds = 0.0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return workers_; }
+
+  /// Runs f(chunk_begin, chunk_end) over [0, n) split into chunks of at most
+  /// `grain` elements. Returns once every chunk has completed (barrier).
+  /// f must be safe to call concurrently on disjoint ranges.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& f);
+
+  /// Runs f(worker_index) once on each of the pool's workers in parallel.
+  /// Used by primitives that keep per-worker scratch (e.g. sort histograms).
+  void run_on_workers(const std::function<void(unsigned)>& f);
+
+  double launch_overhead() const { return launch_overhead_seconds_; }
+
+ private:
+  void worker_loop(unsigned index);
+  void work_on_current_job(unsigned worker_index);
+  void charge_launch_overhead() const;
+
+  struct Job {
+    std::function<void(std::size_t, std::size_t)> chunk_fn;
+    std::function<void(unsigned)> worker_fn;
+    std::size_t n = 0;
+    std::size_t grain = 0;
+    std::size_t num_chunks = 0;
+  };
+
+  const unsigned workers_;
+  const double launch_overhead_seconds_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Job job_;
+  std::uint64_t epoch_ = 0;     // incremented per launch; wakes workers
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<std::size_t> pending_workers_{0};
+  bool shutdown_ = false;
+};
+
+}  // namespace emc::device

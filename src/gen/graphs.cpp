@@ -1,0 +1,126 @@
+#include "gen/graphs.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace emc::gen {
+
+graph::EdgeList rmat_graph(int scale, double edge_factor, double a, double b,
+                           double c, std::uint64_t seed) {
+  assert(scale >= 1 && scale < 31);
+  const NodeId n = NodeId{1} << scale;
+  const auto target =
+      static_cast<std::size_t>(edge_factor * static_cast<double>(n));
+  util::Rng rng(seed);
+  graph::EdgeList out;
+  out.num_nodes = n;
+  out.edges.reserve(target);
+  // Per-level probability noise (+-10%) as in the Graph500 reference
+  // generator, which prevents exact-degree artifacts.
+  while (out.edges.size() < target) {
+    NodeId u = 0;
+    NodeId v = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double noise = 0.9 + 0.2 * rng.uniform();
+      const double aa = a * noise;
+      const double bb = b * noise;
+      const double cc = c * noise;
+      const double norm = aa + bb + cc + (1.0 - a - b - c) * noise;
+      const double r = rng.uniform() * norm;
+      if (r < aa) {
+        // top-left: no bits set
+      } else if (r < aa + bb) {
+        v |= NodeId{1} << bit;
+      } else if (r < aa + bb + cc) {
+        u |= NodeId{1} << bit;
+      } else {
+        u |= NodeId{1} << bit;
+        v |= NodeId{1} << bit;
+      }
+    }
+    if (u == v) continue;  // drop self-loops
+    out.edges.push_back({u, v});
+  }
+  return out;
+}
+
+graph::EdgeList kron_graph(int scale, double edge_factor, std::uint64_t seed) {
+  return rmat_graph(scale, edge_factor, 0.57, 0.19, 0.19, seed);
+}
+
+graph::EdgeList social_graph(int scale, double edge_factor,
+                             std::uint64_t seed) {
+  return rmat_graph(scale, edge_factor, 0.45, 0.22, 0.22, seed);
+}
+
+graph::EdgeList road_graph(NodeId width, NodeId height, double keep_prob,
+                           double shortcut_fraction, std::uint64_t seed) {
+  assert(width >= 1 && height >= 1);
+  util::Rng rng(seed);
+  graph::EdgeList out;
+  const std::size_t n = static_cast<std::size_t>(width) * height;
+  out.num_nodes = static_cast<NodeId>(n);
+  out.edges.reserve(static_cast<std::size_t>(2.0 * keep_prob * n) +
+                    static_cast<std::size_t>(shortcut_fraction * n));
+  auto id = [width](NodeId x, NodeId y) { return y * width + x; };
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      if (x + 1 < width && rng.uniform() < keep_prob) {
+        out.edges.push_back({id(x, y), id(x + 1, y)});
+      }
+      if (y + 1 < height && rng.uniform() < keep_prob) {
+        out.edges.push_back({id(x, y), id(x, y + 1)});
+      }
+    }
+  }
+  // Local shortcuts: connect each sampled node to a node a couple of grid
+  // steps away, like a road cutting a corner. Keeps diameter Theta(W + H).
+  const auto shortcuts =
+      static_cast<std::size_t>(shortcut_fraction * static_cast<double>(n));
+  for (std::size_t s = 0; s < shortcuts; ++s) {
+    const NodeId x = static_cast<NodeId>(rng.below(width));
+    const NodeId y = static_cast<NodeId>(rng.below(height));
+    const NodeId dx = static_cast<NodeId>(rng.range(-2, 2));
+    const NodeId dy = static_cast<NodeId>(rng.range(-2, 2));
+    const NodeId nx = std::min(std::max(NodeId{0}, x + dx), width - 1);
+    const NodeId ny = std::min(std::max(NodeId{0}, y + dy), height - 1);
+    if (id(x, y) != id(nx, ny)) out.edges.push_back({id(x, y), id(nx, ny)});
+  }
+  return out;
+}
+
+graph::EdgeList er_graph(NodeId n, std::size_t m, std::uint64_t seed) {
+  assert(n >= 2);
+  util::Rng rng(seed);
+  graph::EdgeList out;
+  out.num_nodes = n;
+  out.edges.reserve(m);
+  while (out.edges.size() < m) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u != v) out.edges.push_back({u, v});
+  }
+  return out;
+}
+
+graph::EdgeList cycle_graph(NodeId n) {
+  assert(n >= 3);
+  graph::EdgeList out;
+  out.num_nodes = n;
+  out.edges.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) out.edges.push_back({v, (v + 1) % n});
+  return out;
+}
+
+graph::EdgeList path_graph(NodeId n) {
+  assert(n >= 1);
+  graph::EdgeList out;
+  out.num_nodes = n;
+  out.edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (NodeId v = 0; v + 1 < n; ++v) out.edges.push_back({v, v + 1});
+  return out;
+}
+
+}  // namespace emc::gen

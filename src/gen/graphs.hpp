@@ -1,0 +1,57 @@
+// Synthetic graph generators standing in for the §4.2 dataset suite.
+//
+// The paper's bridge-finding experiments use three graph classes; none of
+// the original files can be downloaded here, so each class is replaced by a
+// generator matched on the statistics that drive the experiments (density
+// m/n, diameter, bridge count). The Table 1 benchmark prints the same
+// statistics columns so the match is auditable.
+//
+//   Kronecker kron_g500-lognN  -> rmat_graph: R-MAT with Graph500 parameters
+//       (a,b,c,d) = (0.57, 0.19, 0.19, 0.05), edge factor ~16-128; small
+//       diameter, skewed degrees.
+//   web/social (wikipedia, cit-Patents, socfb, LiveJournal, hollywood)
+//       -> rmat_graph with milder skew and lower edge factors.
+//   road networks (USA-road-d.*, great-britain-osm) -> road_graph: W x H
+//       grid with every edge kept independently with probability p and a
+//       sprinkling of local shortcut edges; extremely sparse (m ~ n),
+//       diameter ~ W + H, many bridges (degree-1/2 fringes), like real road
+//       graphs.
+//
+// All generators return the raw multigraph; callers follow the paper's
+// pipeline: simplified() + largest_component().
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace emc::gen {
+
+/// R-MAT / Kronecker generator: 2^scale nodes, edge_factor * 2^scale edge
+/// samples with recursive quadrant probabilities (a, b, c, d), a+b+c+d = 1.
+/// Self-loops are dropped; duplicates kept (callers simplify).
+graph::EdgeList rmat_graph(int scale, double edge_factor, double a, double b,
+                           double c, std::uint64_t seed);
+
+/// Graph500 Kronecker parameters, the kron_g500 stand-in.
+graph::EdgeList kron_graph(int scale, double edge_factor, std::uint64_t seed);
+
+/// Social-network-like R-MAT (milder skew than Graph500).
+graph::EdgeList social_graph(int scale, double edge_factor, std::uint64_t seed);
+
+/// Road-network-like graph: width x height grid, each grid edge kept with
+/// probability keep_prob, plus shortcut_fraction * n random short "diagonal"
+/// edges. Large diameter, m close to n, many bridges.
+graph::EdgeList road_graph(NodeId width, NodeId height, double keep_prob,
+                           double shortcut_fraction, std::uint64_t seed);
+
+/// Uniform Erdos-Renyi G(n, m) multigraph sample (testing utility).
+graph::EdgeList er_graph(NodeId n, std::size_t m, std::uint64_t seed);
+
+/// Cycle graph on n nodes (every edge on a cycle; zero bridges).
+graph::EdgeList cycle_graph(NodeId n);
+
+/// Path graph on n nodes (every edge a bridge; diameter n-1).
+graph::EdgeList path_graph(NodeId n);
+
+}  // namespace emc::gen

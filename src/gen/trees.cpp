@@ -1,0 +1,83 @@
+#include "gen/trees.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace emc::gen {
+
+core::ParentTree random_tree(NodeId n, NodeId grasp, std::uint64_t seed) {
+  assert(n >= 1);
+  assert(grasp == kInfiniteGrasp || grasp >= 1);
+  util::Rng rng(seed);
+  core::ParentTree tree;
+  tree.root = 0;
+  tree.parent.assign(static_cast<std::size_t>(n), kNoNode);
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId lo =
+        grasp == kInfiniteGrasp ? NodeId{0} : std::max(NodeId{0}, i - grasp);
+    tree.parent[i] = static_cast<NodeId>(rng.range(lo, i - 1));
+  }
+  return tree;
+}
+
+core::ParentTree barabasi_albert_tree(NodeId n, std::uint64_t seed) {
+  assert(n >= 1);
+  util::Rng rng(seed);
+  core::ParentTree tree;
+  tree.root = 0;
+  tree.parent.assign(static_cast<std::size_t>(n), kNoNode);
+  if (n == 1) return tree;
+  // Standard endpoint-array trick: each attachment appends both endpoints,
+  // so sampling a uniform array element is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n));
+  tree.parent[1] = 0;
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (NodeId i = 2; i < n; ++i) {
+    const NodeId p = endpoints[rng.below(endpoints.size())];
+    tree.parent[i] = p;
+    endpoints.push_back(p);
+    endpoints.push_back(i);
+  }
+  return tree;
+}
+
+void scramble_ids(core::ParentTree& tree, std::uint64_t seed) {
+  const std::size_t n = tree.parent.size();
+  util::Rng rng(seed);
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (std::size_t i = n; i > 1; --i) {  // Fisher-Yates
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  std::vector<NodeId> new_parent(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId p = tree.parent[v];
+    new_parent[perm[v]] = p == kNoNode ? kNoNode : perm[p];
+  }
+  tree.parent = std::move(new_parent);
+  tree.root = perm[tree.root];
+}
+
+double expected_average_depth(NodeId n, NodeId grasp) {
+  if (grasp == kInfiniteGrasp) return std::log(static_cast<double>(n));
+  return static_cast<double>(n) / (static_cast<double>(grasp) + 1.0);
+}
+
+std::vector<std::pair<NodeId, NodeId>> random_queries(NodeId n, std::size_t q,
+                                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> queries(q);
+  for (auto& [x, y] : queries) {
+    x = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    y = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  }
+  return queries;
+}
+
+}  // namespace emc::gen

@@ -1,0 +1,44 @@
+// Synthetic tree generators — exactly the §3.2 models.
+//
+//   random_tree(n, grasp γ):   parent(i) ~ Uniform{max(i-γ, 0), ..., i-1};
+//                              γ = kInfiniteGrasp recovers the shallow model
+//                              (expected average depth ln n); γ = 1 yields a
+//                              path; otherwise average depth ≈ n/(γ+1).
+//   barabasi_albert_tree(n):   preferential attachment — parent chosen with
+//                              probability proportional to current degree;
+//                              power-law degrees, very shallow.
+//
+// After generation, node identifiers are mapped through a random permutation
+// ("so that the tree structure is maintained but the identifiers do not leak
+// any information"); the root therefore is *not* node 0 in the output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "util/types.hpp"
+
+namespace emc::gen {
+
+/// Sentinel grasp value for the unbounded (shallow) model.
+inline constexpr NodeId kInfiniteGrasp = -1;
+
+/// Uniform-attachment tree with the given grasp. n >= 1.
+core::ParentTree random_tree(NodeId n, NodeId grasp, std::uint64_t seed);
+
+/// Scale-free preferential-attachment tree. n >= 1.
+core::ParentTree barabasi_albert_tree(NodeId n, std::uint64_t seed);
+
+/// Applies a random relabeling permutation to the tree in place.
+void scramble_ids(core::ParentTree& tree, std::uint64_t seed);
+
+/// Expected average node depth of the grasp model (the formula from §3.2);
+/// used by the depth-sweep benchmark to label its x axis.
+double expected_average_depth(NodeId n, NodeId grasp);
+
+/// q LCA queries sampled uniformly from [n] x [n].
+std::vector<std::pair<NodeId, NodeId>> random_queries(NodeId n, std::size_t q,
+                                                      std::uint64_t seed);
+
+}  // namespace emc::gen

@@ -1,0 +1,197 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "device/primitives.hpp"
+#include "util/rng.hpp"
+
+namespace emc::graph {
+
+bool EdgeList::valid() const {
+  for (const Edge& e : edges) {
+    if (e.u < 0 || e.u >= num_nodes || e.v < 0 || e.v >= num_nodes) return false;
+    if (e.u == e.v) return false;
+  }
+  return true;
+}
+
+Csr build_csr(const device::Context& ctx, const EdgeList& graph) {
+  const NodeId n = graph.num_nodes;
+  const std::size_t m = graph.edges.size();
+  Csr csr;
+  csr.num_nodes = n;
+  csr.row_offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  csr.neighbors.resize(2 * m);
+  csr.edge_ids.resize(2 * m);
+
+  // Degree counting with device-style atomics, then a scan, then scatter.
+  std::vector<EdgeId> degree(static_cast<std::size_t>(n), 0);
+  device::launch(ctx, m, [&](std::size_t e) {
+    std::atomic_ref<EdgeId>(degree[graph.edges[e].u])
+        .fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<EdgeId>(degree[graph.edges[e].v])
+        .fetch_add(1, std::memory_order_relaxed);
+  });
+  device::exclusive_scan(ctx, degree.data(), static_cast<std::size_t>(n),
+                         csr.row_offsets.data());
+  csr.row_offsets[static_cast<std::size_t>(n)] = static_cast<EdgeId>(2 * m);
+
+  std::vector<EdgeId> cursor(csr.row_offsets.begin(),
+                             csr.row_offsets.end() - 1);
+  device::launch(ctx, m, [&](std::size_t e) {
+    const Edge edge = graph.edges[e];
+    const EdgeId slot_u = std::atomic_ref<EdgeId>(cursor[edge.u])
+                              .fetch_add(1, std::memory_order_relaxed);
+    csr.neighbors[slot_u] = edge.v;
+    csr.edge_ids[slot_u] = static_cast<EdgeId>(e);
+    const EdgeId slot_v = std::atomic_ref<EdgeId>(cursor[edge.v])
+                              .fetch_add(1, std::memory_order_relaxed);
+    csr.neighbors[slot_v] = edge.u;
+    csr.edge_ids[slot_v] = static_cast<EdgeId>(e);
+  });
+  return csr;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId find(NodeId x) {
+    NodeId root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) x = std::exchange(parent_[x], root);
+    return root;
+  }
+
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (a > b) std::swap(a, b);  // smaller id becomes the root
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+std::vector<NodeId> connected_component_labels(const EdgeList& graph) {
+  UnionFind uf(static_cast<std::size_t>(graph.num_nodes));
+  for (const Edge& e : graph.edges) uf.unite(e.u, e.v);
+  std::vector<NodeId> labels(static_cast<std::size_t>(graph.num_nodes));
+  for (NodeId v = 0; v < graph.num_nodes; ++v) labels[v] = uf.find(v);
+  return labels;
+}
+
+std::size_t count_components(const std::vector<NodeId>& labels) {
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == static_cast<NodeId>(v)) ++count;
+  }
+  return count;
+}
+
+EdgeList largest_component(const EdgeList& graph) {
+  const auto labels = connected_component_labels(graph);
+  std::vector<std::size_t> size(static_cast<std::size_t>(graph.num_nodes), 0);
+  for (NodeId v = 0; v < graph.num_nodes; ++v) ++size[labels[v]];
+  NodeId best = 0;
+  for (NodeId v = 0; v < graph.num_nodes; ++v) {
+    if (size[labels[v]] > size[labels[best]]) best = v;
+  }
+  const NodeId keep = labels[best];
+
+  std::vector<NodeId> remap(static_cast<std::size_t>(graph.num_nodes), kNoNode);
+  NodeId next_id = 0;
+  for (NodeId v = 0; v < graph.num_nodes; ++v) {
+    if (labels[v] == keep) remap[v] = next_id++;
+  }
+  EdgeList out;
+  out.num_nodes = next_id;
+  out.edges.reserve(graph.edges.size());
+  for (const Edge& e : graph.edges) {
+    if (labels[e.u] == keep) out.edges.push_back({remap[e.u], remap[e.v]});
+  }
+  return out;
+}
+
+EdgeList simplified(const EdgeList& graph) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(graph.edges.size());
+  for (const Edge& e : graph.edges) {
+    if (e.u == e.v) continue;
+    const auto lo = static_cast<std::uint32_t>(std::min(e.u, e.v));
+    const auto hi = static_cast<std::uint32_t>(std::max(e.u, e.v));
+    keys.push_back((static_cast<std::uint64_t>(lo) << 32) | hi);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  EdgeList out;
+  out.num_nodes = graph.num_nodes;
+  out.edges.reserve(keys.size());
+  for (const std::uint64_t k : keys) {
+    out.edges.push_back({static_cast<NodeId>(k >> 32),
+                         static_cast<NodeId>(k & 0xffffffffULL)});
+  }
+  return out;
+}
+
+namespace {
+
+/// Sequential BFS returning (farthest node, its distance). Used only for
+/// diameter estimation during dataset preparation.
+std::pair<NodeId, NodeId> bfs_farthest(const Csr& graph, NodeId source,
+                                       std::vector<NodeId>& dist) {
+  std::fill(dist.begin(), dist.end(), kNoNode);
+  std::vector<NodeId> frontier{source};
+  dist[source] = 0;
+  NodeId far_node = source;
+  NodeId far_dist = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (EdgeId i = graph.row_offsets[u]; i < graph.row_offsets[u + 1]; ++i) {
+        const NodeId v = graph.neighbors[i];
+        if (dist[v] == kNoNode) {
+          dist[v] = dist[u] + 1;
+          if (dist[v] > far_dist) {
+            far_dist = dist[v];
+            far_node = v;
+          }
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return {far_node, far_dist};
+}
+
+}  // namespace
+
+NodeId estimate_diameter(const Csr& graph, int sweeps, std::uint64_t seed) {
+  if (graph.num_nodes == 0) return 0;
+  util::Rng rng(seed);
+  std::vector<NodeId> dist(static_cast<std::size_t>(graph.num_nodes));
+  NodeId best = 0;
+  NodeId start = static_cast<NodeId>(
+      rng.below(static_cast<std::uint64_t>(graph.num_nodes)));
+  for (int s = 0; s < sweeps; ++s) {
+    const auto [far_node, far_dist] = bfs_farthest(graph, start, dist);
+    best = std::max(best, far_dist);
+    start = far_node;  // double-sweep: restart from the farthest node found
+  }
+  return best;
+}
+
+}  // namespace emc::graph

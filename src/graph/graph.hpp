@@ -1,0 +1,89 @@
+// Graph representations.
+//
+// EdgeList — the "very unstructured input" of §2.1: an unordered collection
+// of undirected edges as pairs of node identifiers. All paper algorithms
+// accept this (or a parent array, for trees).
+//
+// Csr — compressed sparse row adjacency built from an EdgeList; used by BFS,
+// DFS, and the CK marking phase.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/context.hpp"
+#include "util/types.hpp"
+
+namespace emc::graph {
+
+/// Undirected edge {u, v}. Orientation of storage is not meaningful.
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Unordered collection of undirected edges over nodes [0, num_nodes).
+struct EdgeList {
+  NodeId num_nodes = 0;
+  std::vector<Edge> edges;
+
+  std::size_t num_edges() const { return edges.size(); }
+
+  /// Checks ids are in range and there are no self-loops. Parallel edges are
+  /// allowed (they occur in raw generated graphs and are handled by every
+  /// algorithm in this library).
+  bool valid() const;
+};
+
+/// Compressed sparse row: for node v the incident half-edges are
+/// neighbors[row_offsets[v] .. row_offsets[v+1]); edge_ids gives the
+/// undirected edge id each half-edge came from, so algorithms can
+/// distinguish parallel edges and map results back to EdgeList order.
+struct Csr {
+  NodeId num_nodes = 0;
+  std::vector<EdgeId> row_offsets;  // size num_nodes + 1
+  std::vector<NodeId> neighbors;    // size 2 * num_edges
+  std::vector<EdgeId> edge_ids;     // size 2 * num_edges
+
+  std::size_t num_edges() const { return neighbors.size() / 2; }
+  EdgeId degree(NodeId v) const { return row_offsets[v + 1] - row_offsets[v]; }
+};
+
+/// Builds CSR adjacency from an edge list. Counting-sort based: O(n + m),
+/// bulk-parallel over the device context.
+Csr build_csr(const device::Context& ctx, const EdgeList& graph);
+
+/// Connected component labels via sequential union-find. This is the
+/// *preprocessing* tool (e.g. extracting the largest component of a
+/// generated graph, mirroring the paper's dataset preparation); the
+/// device-parallel CC used inside Tarjan-Vishkin lives in
+/// bridges/cc_spanning.hpp.
+std::vector<NodeId> connected_component_labels(const EdgeList& graph);
+
+/// Number of distinct values in a label array.
+std::size_t count_components(const std::vector<NodeId>& labels);
+
+/// Returns the subgraph induced by the largest connected component, with
+/// nodes renumbered to [0, k). Mirrors "we preprocessed each graph to keep
+/// only its largest connected component" (§4.2).
+EdgeList largest_component(const EdgeList& graph);
+
+/// Removes self-loops and duplicate (parallel) edges.
+EdgeList simplified(const EdgeList& graph);
+
+/// Basic statistics used by the Table 1 benchmark.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_bridges = 0;  // filled by callers that ran a bridge finder
+  NodeId diameter_lower_bound = 0;
+};
+
+/// Diameter lower bound by iterated double-BFS sweeps (the standard
+/// technique experimental papers use to report "Diameter" for large graphs).
+NodeId estimate_diameter(const Csr& graph, int sweeps = 4,
+                         std::uint64_t seed = 1);
+
+}  // namespace emc::graph

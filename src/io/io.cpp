@@ -1,0 +1,214 @@
+#include "io/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace emc::io {
+
+namespace {
+
+bool is_blank_or_comment(const std::string& line, char comment) {
+  for (const char c : line) {
+    if (c == comment) return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+template <typename T>
+Result<T> fail(std::size_t line, std::string message) {
+  Result<T> result;
+  result.error = {line, std::move(message)};
+  return result;
+}
+
+}  // namespace
+
+Result<graph::EdgeList> read_edge_list(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  graph::EdgeList g;
+  bool header_seen = false;
+  std::size_t expected_edges = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_blank_or_comment(line, '#')) continue;
+    std::istringstream fields(line);
+    if (!header_seen) {
+      long long n = 0, m = 0;
+      if (!(fields >> n >> m) || n < 1 || m < 0) {
+        return fail<graph::EdgeList>(line_no, "expected header 'n m'");
+      }
+      g.num_nodes = static_cast<NodeId>(n);
+      expected_edges = static_cast<std::size_t>(m);
+      g.edges.reserve(expected_edges);
+      header_seen = true;
+      continue;
+    }
+    long long u = 0, v = 0;
+    if (!(fields >> u >> v)) {
+      return fail<graph::EdgeList>(line_no, "expected edge 'u v'");
+    }
+    if (u < 0 || v < 0 || u >= g.num_nodes || v >= g.num_nodes) {
+      return fail<graph::EdgeList>(line_no, "node id out of range");
+    }
+    g.edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  if (!header_seen) return fail<graph::EdgeList>(line_no, "empty input");
+  if (g.edges.size() != expected_edges) {
+    return fail<graph::EdgeList>(line_no, "edge count mismatch with header");
+  }
+  Result<graph::EdgeList> result;
+  result.value = std::move(g);
+  return result;
+}
+
+void write_edge_list(std::ostream& out, const graph::EdgeList& graph) {
+  out << graph.num_nodes << ' ' << graph.edges.size() << '\n';
+  for (const auto& e : graph.edges) out << e.u << ' ' << e.v << '\n';
+}
+
+Result<graph::EdgeList> read_dimacs(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  graph::EdgeList g;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    switch (line[0]) {
+      case 'c':
+        continue;
+      case 'p': {
+        std::istringstream fields(line);
+        std::string p, kind;
+        long long n = 0, m = 0;
+        if (!(fields >> p >> kind >> n >> m) || n < 1) {
+          return fail<graph::EdgeList>(line_no, "bad 'p' header");
+        }
+        g.num_nodes = static_cast<NodeId>(n);
+        g.edges.reserve(static_cast<std::size_t>(m));
+        header_seen = true;
+        break;
+      }
+      case 'a': {
+        if (!header_seen) {
+          return fail<graph::EdgeList>(line_no, "'a' line before 'p' header");
+        }
+        std::istringstream fields(line);
+        char a = 0;
+        long long u = 0, v = 0;
+        if (!(fields >> a >> u >> v)) {  // weight, if present, is ignored
+          return fail<graph::EdgeList>(line_no, "bad 'a' line");
+        }
+        if (u < 1 || v < 1 || u > g.num_nodes || v > g.num_nodes) {
+          return fail<graph::EdgeList>(line_no, "node id out of range");
+        }
+        if (u != v) {
+          g.edges.push_back({static_cast<NodeId>(u - 1),
+                             static_cast<NodeId>(v - 1)});
+        }
+        break;
+      }
+      default:
+        return fail<graph::EdgeList>(line_no, "unknown line type");
+    }
+  }
+  if (!header_seen) return fail<graph::EdgeList>(line_no, "missing 'p' header");
+  Result<graph::EdgeList> result;
+  result.value = std::move(g);
+  return result;
+}
+
+void write_dimacs(std::ostream& out, const graph::EdgeList& graph) {
+  out << "c written by euler-meets-gpu\n";
+  out << "p sp " << graph.num_nodes << ' ' << 2 * graph.edges.size() << '\n';
+  for (const auto& e : graph.edges) {
+    out << "a " << e.u + 1 << ' ' << e.v + 1 << " 1\n";
+    out << "a " << e.v + 1 << ' ' << e.u + 1 << " 1\n";
+  }
+}
+
+Result<graph::EdgeList> read_snap(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  graph::EdgeList g;
+  std::unordered_map<long long, NodeId> remap;
+  auto intern = [&](long long raw) {
+    const auto [it, inserted] = remap.try_emplace(raw, g.num_nodes);
+    if (inserted) ++g.num_nodes;
+    return it->second;
+  };
+  bool any = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_blank_or_comment(line, '#')) continue;
+    std::istringstream fields(line);
+    long long u = 0, v = 0;
+    if (!(fields >> u >> v)) {
+      return fail<graph::EdgeList>(line_no, "expected edge 'u v'");
+    }
+    if (u < 0 || v < 0) {
+      return fail<graph::EdgeList>(line_no, "negative node id");
+    }
+    any = true;
+    if (u == v) continue;
+    g.edges.push_back({intern(u), intern(v)});
+  }
+  if (!any) return fail<graph::EdgeList>(line_no, "no edges in input");
+  Result<graph::EdgeList> result;
+  result.value = std::move(g);
+  return result;
+}
+
+Result<core::ParentTree> read_parent_tree(std::istream& in) {
+  long long n = 0, root = 0;
+  if (!(in >> n >> root) || n < 1 || root < 0 || root >= n) {
+    return fail<core::ParentTree>(1, "expected header 'n root'");
+  }
+  core::ParentTree tree;
+  tree.root = static_cast<NodeId>(root);
+  tree.parent.resize(static_cast<std::size_t>(n));
+  for (long long v = 0; v < n; ++v) {
+    long long p = 0;
+    if (!(in >> p)) {
+      return fail<core::ParentTree>(2, "missing parent entries");
+    }
+    if (p < -1 || p >= n) {
+      return fail<core::ParentTree>(2, "parent id out of range");
+    }
+    tree.parent[v] = static_cast<NodeId>(p);
+  }
+  if (tree.parent[tree.root] != kNoNode) {
+    return fail<core::ParentTree>(2, "root must have parent -1");
+  }
+  if (!core::valid_parent_tree(tree)) {
+    return fail<core::ParentTree>(2, "parent array is not a tree");
+  }
+  Result<core::ParentTree> result;
+  result.value = std::move(tree);
+  return result;
+}
+
+void write_parent_tree(std::ostream& out, const core::ParentTree& tree) {
+  out << tree.parent.size() << ' ' << tree.root << '\n';
+  for (std::size_t v = 0; v < tree.parent.size(); ++v) {
+    out << tree.parent[v] << (v + 1 == tree.parent.size() ? '\n' : ' ');
+  }
+}
+
+Result<graph::EdgeList> load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return fail<graph::EdgeList>(0, "cannot open " + path);
+  // Sniff the format: DIMACS starts with 'c'/'p', SNAP with '#', native
+  // with a bare "n m" header.
+  const int first = in.peek();
+  if (first == 'c' || first == 'p') return read_dimacs(in);
+  if (first == '#') return read_snap(in);
+  return read_edge_list(in);
+}
+
+}  // namespace emc::io

@@ -1,0 +1,62 @@
+// Graph and tree serialization.
+//
+// The paper's datasets ship in two ecosystems' formats: DIMACS .gr (the
+// USA-road files) and SNAP/network-repository edge lists (the social and web
+// graphs). This module reads both, plus a minimal native format for trees
+// and edge lists, so the bench harnesses and examples can run on real files
+// when they are available and on generated stand-ins when they are not.
+//
+// All readers are tolerant of comments and blank lines, validate ids, and
+// report failures with a line number instead of asserting.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/tree.hpp"
+#include "graph/graph.hpp"
+
+namespace emc::io {
+
+/// Parse failure description.
+struct Error {
+  std::size_t line = 0;
+  std::string message;
+};
+
+template <typename T>
+struct Result {
+  std::optional<T> value;
+  Error error;  // meaningful only when !value
+
+  explicit operator bool() const { return value.has_value(); }
+};
+
+/// Native edge-list format:
+///   # comment
+///   n m
+///   u v        (m lines, 0-based)
+Result<graph::EdgeList> read_edge_list(std::istream& in);
+void write_edge_list(std::ostream& out, const graph::EdgeList& graph);
+
+/// DIMACS shortest-path format (.gr): "c" comments, one "p sp n m" header,
+/// "a u v w" arcs with 1-based endpoints. Arcs usually appear in both
+/// directions; duplicates are kept (use graph::simplified()).
+Result<graph::EdgeList> read_dimacs(std::istream& in);
+void write_dimacs(std::ostream& out, const graph::EdgeList& graph);
+
+/// SNAP-style edge list: "#" comments, "u v" per line with arbitrary
+/// non-negative ids, which are densely renumbered in first-seen order.
+Result<graph::EdgeList> read_snap(std::istream& in);
+
+/// Native parent-array tree format:
+///   n root
+///   parent(0) parent(1) ... parent(n-1)   (-1 for the root; whitespace-split)
+Result<core::ParentTree> read_parent_tree(std::istream& in);
+void write_parent_tree(std::ostream& out, const core::ParentTree& tree);
+
+/// Convenience file wrappers (nullopt + message on open failure too).
+Result<graph::EdgeList> load_graph_file(const std::string& path);
+
+}  // namespace emc::io

@@ -1,0 +1,80 @@
+// The Inlabel LCA algorithm of Schieber & Vishkin [50] (paper §3.1).
+//
+// Preprocessing assigns each node:
+//   inlabel  — maps the node into the smallest full binary tree B with at
+//              least |T| nodes (identified by inorder numbers), such that
+//              the *path partition* and *inorder* properties hold: nodes
+//              sharing an inlabel form a top-down path, and descendants map
+//              to descendants in B.
+//   ascendant — bitmask recording, for every inlabel path segment on the
+//              node's root path, the height (= lowest set bit position) of
+//              that segment's inlabel in B.
+//   head     — for each inlabel value, the node of that path closest to the
+//              root.
+// together with levels. Queries then take O(1) bitwise operations.
+//
+// The preprocessing inputs (preorder, subtree size, level, parent) come from
+// the Euler tour technique in the parallel variants, and from an iterative
+// DFS in the single-core reference variant; everything after that is O(1)
+// work per node ("the remaining part of the preprocessing runs in O(1) time
+// and O(n) total work").
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/euler_tour.hpp"
+#include "core/tree.hpp"
+#include "device/context.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace emc::lca {
+
+class InlabelLca {
+ public:
+  /// Parallel preprocessing (Euler tour + bulk kernels) over `ctx`.
+  /// Context::device() reproduces "GPU Inlabel"; a k-worker context
+  /// reproduces "multi-core CPU Inlabel"; Context::sequential() runs the
+  /// same kernels inline.
+  static InlabelLca build_parallel(const device::Context& ctx,
+                                   const core::ParentTree& tree,
+                                   util::PhaseTimer* phases = nullptr);
+
+  /// Single-core reference preprocessing (iterative DFS), the paper's
+  /// "single-core CPU Inlabel" baseline.
+  static InlabelLca build_sequential(const core::ParentTree& tree,
+                                     util::PhaseTimer* phases = nullptr);
+
+  /// Lowest common ancestor of x and y. O(1).
+  NodeId query(NodeId x, NodeId y) const;
+
+  /// Answers a batch of queries with one bulk kernel (one virtual thread
+  /// per query, as on the GPU).
+  void query_batch(const device::Context& ctx,
+                   const std::vector<std::pair<NodeId, NodeId>>& queries,
+                   std::vector<NodeId>& answers) const;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(level_.size()); }
+  const std::vector<NodeId>& levels() const { return level_; }
+
+ private:
+  InlabelLca() = default;
+
+  /// Shared tail of preprocessing: from (preorder, size, level, parent)
+  /// arrays to (inlabel, ascendant, head). Bulk-parallel over ctx.
+  void finish_preprocessing(const device::Context& ctx,
+                            const std::vector<NodeId>& preorder,
+                            const std::vector<NodeId>& subtree_size,
+                            util::PhaseTimer* phases);
+
+  NodeId root_ = kNoNode;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> level_;
+  std::vector<std::uint32_t> inlabel_;
+  std::vector<std::uint32_t> ascendant_;
+  std::vector<NodeId> head_;  // indexed by inlabel value, size n + 1
+};
+
+}  // namespace emc::lca

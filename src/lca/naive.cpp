@@ -1,0 +1,81 @@
+#include "lca/naive.hpp"
+
+#include <atomic>
+#include <cassert>
+
+#include "device/primitives.hpp"
+
+namespace emc::lca {
+
+NaiveLca NaiveLca::build(const device::Context& ctx,
+                         const core::ParentTree& tree, int jumps_per_round,
+                         util::PhaseTimer* phases) {
+  assert(jumps_per_round >= 2 && "one dereference per round cannot advance");
+  if (jumps_per_round < 2) jumps_per_round = 2;  // release-build safety
+  NaiveLca lca;
+  lca.parent_ = tree.parent;
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+
+  util::ScopedPhase phase(phases, "levels_pointer_jumping");
+
+  // jump[v] points `len` real steps up (saturating at the root, which
+  // points to itself with distance 0); dist[v] counts those steps. When all
+  // pointers saturate, dist is the level.
+  std::vector<NodeId> jump(n), dist(n), jump_next(n), dist_next(n);
+  device::launch(ctx, n, [&](std::size_t v) {
+    if (tree.parent[v] == kNoNode) {
+      jump[v] = static_cast<NodeId>(v);
+      dist[v] = 0;
+    } else {
+      jump[v] = tree.parent[v];
+      dist[v] = 1;
+    }
+  });
+
+  bool live = true;
+  while (live) {
+    std::atomic<int> any_live{0};
+    // One kernel: chain `jumps_per_round` applications of the *old* jump
+    // table (double-buffered, so this models the GPU's relaxed reads
+    // between global synchronizations without data races).
+    device::launch(ctx, n, [&](std::size_t v) {
+      NodeId j = static_cast<NodeId>(v);
+      NodeId d = 0;
+      for (int step = 0; step < jumps_per_round; ++step) {
+        d += dist[j];
+        j = jump[j];
+      }
+      jump_next[v] = j;
+      dist_next[v] = d;
+      if (jump[j] != j) any_live.store(1, std::memory_order_relaxed);
+    });
+    jump.swap(jump_next);
+    dist.swap(dist_next);
+    live = any_live.load(std::memory_order_relaxed) != 0;
+  }
+  lca.level_ = std::move(dist);
+  return lca;
+}
+
+NodeId NaiveLca::query(NodeId x, NodeId y) const {
+  // Equalize levels, then march both pointers until they meet (§3.1).
+  while (level_[x] > level_[y]) x = parent_[x];
+  while (level_[y] > level_[x]) y = parent_[y];
+  while (x != y) {
+    x = parent_[x];
+    y = parent_[y];
+  }
+  return x;
+}
+
+void NaiveLca::query_batch(
+    const device::Context& ctx,
+    const std::vector<std::pair<NodeId, NodeId>>& queries,
+    std::vector<NodeId>& answers) const {
+  answers.resize(queries.size());
+  device::transform(ctx, queries.size(), answers.data(), [&](std::size_t q) {
+    return query(queries[q].first, queries[q].second);
+  });
+}
+
+}  // namespace emc::lca

@@ -1,0 +1,52 @@
+// The naïve GPU LCA algorithm of Martins et al. [38] (paper §3.1).
+//
+// Preprocessing: node levels by pointer jumping — each node's ancestor
+// pointer doubles in length per global synchronization, with the paper's
+// practical twist of performing several jumps per synchronization ("We
+// perform five jumps for each pointer in parallel, before synchronizing the
+// threads globally"). O(log n) rounds, O(n log n) work: not theoretically
+// optimal, but never the bottleneck.
+//
+// Query: one virtual thread per query walks the two pointers up, first
+// equalizing levels, then stepping both until they meet. O(distance(x, y))
+// per query — constant memory, extremely simple, and fast exactly when
+// trees are shallow.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "device/context.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace emc::lca {
+
+class NaiveLca {
+ public:
+  /// `jumps_per_round` chains that many ancestor-pointer dereferences inside
+  /// one kernel before the global barrier; pointer lengths multiply by that
+  /// factor per round. The paper uses 5; 2 recovers textbook pointer
+  /// jumping (jump[v] = jump[jump[v]]) — compared in the ablation bench.
+  /// Must be >= 2 (a single dereference makes no progress).
+  static NaiveLca build(const device::Context& ctx,
+                        const core::ParentTree& tree, int jumps_per_round = 5,
+                        util::PhaseTimer* phases = nullptr);
+
+  NodeId query(NodeId x, NodeId y) const;
+
+  void query_batch(const device::Context& ctx,
+                   const std::vector<std::pair<NodeId, NodeId>>& queries,
+                   std::vector<NodeId>& answers) const;
+
+  const std::vector<NodeId>& levels() const { return level_; }
+
+ private:
+  NaiveLca() = default;
+
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> level_;
+};
+
+}  // namespace emc::lca

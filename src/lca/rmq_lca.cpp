@@ -1,0 +1,84 @@
+#include "lca/rmq_lca.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "device/primitives.hpp"
+
+namespace emc::lca {
+
+RmqLca RmqLca::build(const core::ParentTree& tree, util::PhaseTimer* phases) {
+  RmqLca lca;
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+
+  util::ScopedPhase phase(phases, "rmq_build");
+
+  // Children lists by counting sort, then an iterative DFS emitting the
+  // Euler visit sequence (node repeated on re-entry after each child).
+  std::vector<EdgeId> child_offset(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tree.parent[v] != kNoNode) ++child_offset[tree.parent[v] + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) child_offset[v + 1] += child_offset[v];
+  std::vector<NodeId> children(n > 0 ? n - 1 : 0);
+  {
+    std::vector<EdgeId> cursor(child_offset.begin(), child_offset.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (tree.parent[v] != kNoNode) {
+        children[cursor[tree.parent[v]]++] = static_cast<NodeId>(v);
+      }
+    }
+  }
+
+  std::vector<Packed> visits;
+  visits.reserve(2 * n - 1);
+  lca.first_occurrence_.assign(n, kNoEdge);
+  std::vector<NodeId> depth(n, 0);
+  std::vector<NodeId> stack{tree.root};
+  std::vector<EdgeId> cursor(child_offset.begin(), child_offset.end() - 1);
+  auto visit = [&](NodeId v) {
+    if (lca.first_occurrence_[v] == kNoEdge) {
+      lca.first_occurrence_[v] = static_cast<EdgeId>(visits.size());
+    }
+    visits.push_back((static_cast<Packed>(static_cast<std::uint32_t>(depth[v]))
+                      << 32) |
+                     static_cast<std::uint32_t>(v));
+  };
+  visit(tree.root);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    if (cursor[v] < child_offset[v + 1]) {
+      const NodeId c = children[cursor[v]++];
+      depth[c] = depth[v] + 1;
+      stack.push_back(c);
+      visit(c);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) visit(stack.back());
+    }
+  }
+
+  const device::Context seq = device::Context::sequential();
+  lca.tree_ = std::make_unique<rmq::MinSegmentTree<Packed>>(
+      seq, visits, std::numeric_limits<Packed>::max());
+  return lca;
+}
+
+NodeId RmqLca::query(NodeId x, NodeId y) const {
+  auto lo = static_cast<std::size_t>(first_occurrence_[x]);
+  auto hi = static_cast<std::size_t>(first_occurrence_[y]);
+  if (lo > hi) std::swap(lo, hi);
+  return static_cast<NodeId>(tree_->query(lo, hi) & 0xffffffffULL);
+}
+
+void RmqLca::query_batch(
+    const device::Context& ctx,
+    const std::vector<std::pair<NodeId, NodeId>>& queries,
+    std::vector<NodeId>& answers) const {
+  answers.resize(queries.size());
+  device::transform(ctx, queries.size(), answers.data(), [&](std::size_t q) {
+    return query(queries[q].first, queries[q].second);
+  });
+}
+
+}  // namespace emc::lca

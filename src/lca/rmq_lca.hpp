@@ -1,0 +1,48 @@
+// RMQ-based LCA — the preliminary-experiment baseline (paper §3.1).
+//
+// "a variant of [Bender & Farach-Colton], using a segment tree and without
+// the preprocessed lookup tables for all short sequences": write down the
+// Euler visit sequence of nodes (2n-1 entries), record each node's first
+// occurrence, and answer LCA(x, y) as the minimum-depth node on the visit
+// interval between the first occurrences — an RMQ answered by the segment
+// tree in O(log n).
+//
+// The paper uses it only to pick the sequential CPU baseline (its
+// preprocessing is ~2x faster than Inlabel's, its queries ~3x slower);
+// bench_lca_baseline reproduces that comparison.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "device/context.hpp"
+#include "rmq/segment_tree.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace emc::lca {
+
+class RmqLca {
+ public:
+  static RmqLca build(const core::ParentTree& tree,
+                      util::PhaseTimer* phases = nullptr);
+
+  NodeId query(NodeId x, NodeId y) const;
+
+  void query_batch(const device::Context& ctx,
+                   const std::vector<std::pair<NodeId, NodeId>>& queries,
+                   std::vector<NodeId>& answers) const;
+
+ private:
+  RmqLca() = default;
+
+  // (depth << 32 | node) packed so min-by-depth carries the node along.
+  using Packed = std::uint64_t;
+  std::vector<EdgeId> first_occurrence_;
+  std::unique_ptr<rmq::MinSegmentTree<Packed>> tree_;
+};
+
+}  // namespace emc::lca

@@ -1,0 +1,119 @@
+#include "lca/tarjan_offline.hpp"
+
+#include <numeric>
+
+namespace emc::lca {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId find(NodeId x) {
+    NodeId root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const NodeId next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merges child's set into parent's, keeping `anchor` as the answer node.
+  void absorb(NodeId child_root, NodeId parent_root) {
+    parent_[child_root] = parent_root;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+std::vector<NodeId> tarjan_offline_lca(
+    const core::ParentTree& tree,
+    const std::vector<std::pair<NodeId, NodeId>>& queries) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  const std::size_t q = queries.size();
+
+  // Children lists and per-node query lists by counting sort.
+  std::vector<EdgeId> child_offset(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tree.parent[v] != kNoNode) ++child_offset[tree.parent[v] + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) child_offset[v + 1] += child_offset[v];
+  std::vector<NodeId> children(n > 0 ? n - 1 : 0);
+  {
+    std::vector<EdgeId> cursor(child_offset.begin(), child_offset.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (tree.parent[v] != kNoNode) {
+        children[cursor[tree.parent[v]]++] = static_cast<NodeId>(v);
+      }
+    }
+  }
+  std::vector<EdgeId> query_offset(n + 1, 0);
+  for (const auto& [x, y] : queries) {
+    ++query_offset[x + 1];
+    ++query_offset[y + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) query_offset[v + 1] += query_offset[v];
+  std::vector<EdgeId> query_at(2 * q);
+  {
+    std::vector<EdgeId> cursor(query_offset.begin(), query_offset.end() - 1);
+    for (std::size_t i = 0; i < q; ++i) {
+      query_at[cursor[queries[i].first]++] = static_cast<EdgeId>(i);
+      query_at[cursor[queries[i].second]++] = static_cast<EdgeId>(i);
+    }
+  }
+
+  // Iterative DFS. ancestor[r] = current answer node for the set rooted r;
+  // a query (x, y) resolves when the second endpoint is visited: its LCA is
+  // ancestor(find(first endpoint)).
+  std::vector<NodeId> answers(q, kNoNode);
+  UnionFind sets(n);
+  std::vector<NodeId> ancestor(n);
+  std::iota(ancestor.begin(), ancestor.end(), NodeId{0});
+  std::vector<std::uint8_t> visited(n, 0);
+
+  struct Frame {
+    NodeId v;
+    EdgeId next_child;
+  };
+  std::vector<Frame> stack{{tree.root, child_offset[tree.root]}};
+  visited[tree.root] = 1;
+  auto resolve_queries_at = [&](NodeId v) {
+    for (EdgeId i = query_offset[v]; i < query_offset[v + 1]; ++i) {
+      const EdgeId qi = query_at[i];
+      const NodeId other =
+          queries[qi].first == v ? queries[qi].second : queries[qi].first;
+      if (visited[other]) answers[qi] = ancestor[sets.find(other)];
+    }
+  };
+  resolve_queries_at(tree.root);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const NodeId v = frame.v;
+    if (frame.next_child < child_offset[v + 1]) {
+      const NodeId c = children[frame.next_child++];
+      visited[c] = 1;
+      resolve_queries_at(c);
+      stack.push_back({c, child_offset[c]});
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        // Child subtree finished: fold it into the parent's set; the
+        // parent is the answer node for everything in the merged set.
+        const NodeId p = stack.back().v;
+        sets.absorb(sets.find(v), sets.find(p));
+        ancestor[sets.find(p)] = p;
+      }
+    }
+  }
+  return answers;
+}
+
+}  // namespace emc::lca

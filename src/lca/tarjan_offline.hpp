@@ -1,0 +1,28 @@
+// Tarjan's offline LCA algorithm (union-find over a DFS).
+//
+// The third classical point in the design space the paper's §3 surveys:
+// where Inlabel preprocesses then answers online in O(1), and the naive
+// walker skips preprocessing, Tarjan's algorithm needs *all* queries up
+// front and answers the whole batch in one DFS with near-O(1) amortized
+// union-find operations. It is the strongest sequential baseline for the
+// paper's q = n batch setting and appears as an extra row in
+// bench_lca_baseline.
+//
+// Inherently sequential (it is a DFS, §4.1's parallelization obstacle), so
+// there is deliberately no device variant.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "util/types.hpp"
+
+namespace emc::lca {
+
+/// Answers all queries over the tree in O((n + q) α(n)) total time.
+std::vector<NodeId> tarjan_offline_lca(
+    const core::ParentTree& tree,
+    const std::vector<std::pair<NodeId, NodeId>>& queries);
+
+}  // namespace emc::lca

@@ -1,0 +1,187 @@
+#include "listrank/listrank.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "device/primitives.hpp"
+#include "util/rng.hpp"
+
+namespace emc::listrank {
+
+void rank_sequential(const std::vector<EdgeId>& next, EdgeId head,
+                     std::vector<EdgeId>& rank) {
+  rank.resize(next.size());
+  EdgeId r = 0;
+  for (EdgeId i = head; i != kNoEdge; i = next[i]) rank[i] = r++;
+}
+
+void rank_wyllie(const device::Context& ctx, const std::vector<EdgeId>& next,
+                 EdgeId head, std::vector<EdgeId>& rank) {
+  const std::size_t n = next.size();
+  rank.resize(n);
+  if (n == 0) return;
+  // dist[i] = number of hops from i to the tail, computed by doubling;
+  // rank-from-head then follows as dist[head] - dist[i].
+  std::vector<EdgeId> dist(n), dist_next(n);
+  std::vector<EdgeId> jump(next), jump_next(n);
+  device::transform(ctx, n, dist.data(), [&](std::size_t i) {
+    return next[i] == kNoEdge ? EdgeId{0} : EdgeId{1};
+  });
+  bool live = true;
+  while (live) {
+    // One doubling round. Double-buffered so reads see a consistent epoch —
+    // this is the global barrier a GPU kernel boundary provides.
+    std::atomic<int> any_live{0};
+    device::launch(ctx, n, [&](std::size_t i) {
+      const EdgeId j = jump[i];
+      if (j == kNoEdge) {
+        dist_next[i] = dist[i];
+        jump_next[i] = kNoEdge;
+      } else {
+        dist_next[i] = dist[i] + dist[j];
+        jump_next[i] = jump[j];
+        if (jump[j] != kNoEdge) any_live.store(1, std::memory_order_relaxed);
+      }
+    });
+    dist.swap(dist_next);
+    jump.swap(jump_next);
+    live = any_live.load(std::memory_order_relaxed) != 0;
+  }
+  const EdgeId head_dist = dist[head];
+  device::transform(ctx, n, rank.data(),
+                    [&](std::size_t i) { return head_dist - dist[i]; });
+}
+
+namespace {
+
+/// Shared skeleton of the Wei-JáJá algorithm. `WeightFn(i)` gives the weight
+/// contributed by element i; ranks are weights-of-predecessors sums plus the
+/// element's own weight minus... — concretely we compute the *inclusive*
+/// prefix in `out` when inclusive=true, and the 0-based hop rank when the
+/// weight is identically 1 and inclusive=false (head rank 0).
+template <typename Value, typename WeightFn>
+void wei_jaja_generic(const device::Context& ctx,
+                      const std::vector<EdgeId>& next, EdgeId head,
+                      WeightFn&& weight, bool inclusive,
+                      std::vector<Value>& out, std::size_t num_sublists,
+                      std::uint64_t seed) {
+  const std::size_t n = next.size();
+  out.resize(n);
+  if (n == 0) return;
+
+  if (num_sublists == 0) num_sublists = std::max<std::size_t>(1, n / 64);
+  num_sublists = std::min(num_sublists, n);
+
+  // --- Splitter selection. The head must be a splitter; the rest are random
+  // (duplicates collapse, which only reduces the sublist count).
+  std::vector<std::uint8_t> is_splitter(n, 0);
+  is_splitter[head] = 1;
+  util::Rng rng(seed);
+  for (std::size_t s = 1; s < num_sublists; ++s) {
+    is_splitter[rng.below(n)] = 1;
+  }
+  std::vector<EdgeId> splitters;
+  splitters.reserve(num_sublists + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_splitter[i]) splitters.push_back(static_cast<EdgeId>(i));
+  }
+  const std::size_t s = splitters.size();
+  std::vector<EdgeId> sublist_index(n);
+  device::launch(ctx, s, [&](std::size_t k) {
+    sublist_index[splitters[k]] = static_cast<EdgeId>(k);
+  });
+
+  // --- Phase 1: walk each sublist sequentially, in parallel over sublists.
+  // Records each element's inclusive within-sublist prefix, the sublist's
+  // total, and which sublist follows it on the global list.
+  std::vector<Value> local(n);
+  std::vector<Value> sublist_total(s);
+  std::vector<EdgeId> next_sublist(s, kNoEdge);
+  device::launch(ctx, s, [&](std::size_t k) {
+    EdgeId i = splitters[k];
+    Value acc{0};
+    while (true) {
+      acc += weight(static_cast<std::size_t>(i));
+      local[i] = acc;
+      const EdgeId succ = next[i];
+      if (succ == kNoEdge) {
+        next_sublist[k] = kNoEdge;
+        break;
+      }
+      if (is_splitter[succ]) {
+        next_sublist[k] = sublist_index[succ];
+        break;
+      }
+      i = succ;
+    }
+    sublist_total[k] = acc;
+  });
+
+  // --- Phase 2: sequential scan over the (short) chain of sublists, in
+  // global list order starting from the head's sublist.
+  std::vector<Value> sublist_offset(s, Value{0});
+  {
+    Value acc{0};
+    EdgeId k = sublist_index[head];
+    std::size_t visited = 0;
+    while (k != kNoEdge) {
+      sublist_offset[k] = acc;
+      acc += sublist_total[k];
+      k = next_sublist[k];
+      assert(++visited <= s && "cycle in list");
+      (void)visited;
+    }
+  }
+
+  // --- Phase 3: every sublist re-walks adding its offset. (Walking again is
+  // cheaper than storing per-element sublist ids in phase 1 on a real GPU;
+  // we mirror the original algorithm's structure.)
+  device::launch(ctx, s, [&](std::size_t k) {
+    const Value offset = sublist_offset[k];
+    EdgeId i = splitters[k];
+    while (true) {
+      out[i] = local[i] + offset;
+      const EdgeId succ = next[i];
+      if (succ == kNoEdge || is_splitter[succ]) break;
+      i = succ;
+    }
+  });
+
+  if (!inclusive) {
+    // Convert inclusive unit-weight prefix (1-based position) to 0-based rank.
+    device::launch(ctx, n, [&](std::size_t i) { out[i] -= Value{1}; });
+  }
+}
+
+}  // namespace
+
+void rank_wei_jaja(const device::Context& ctx, const std::vector<EdgeId>& next,
+                   EdgeId head, std::vector<EdgeId>& rank,
+                   std::size_t num_sublists, std::uint64_t seed) {
+  wei_jaja_generic<EdgeId>(
+      ctx, next, head, [](std::size_t) { return EdgeId{1}; },
+      /*inclusive=*/false, rank, num_sublists, seed);
+}
+
+void prefix_sequential(const std::vector<EdgeId>& next, EdgeId head,
+                       const std::vector<std::int64_t>& values,
+                       std::vector<std::int64_t>& out) {
+  out.resize(next.size());
+  std::int64_t acc = 0;
+  for (EdgeId i = head; i != kNoEdge; i = next[i]) {
+    acc += values[i];
+    out[i] = acc;
+  }
+}
+
+void prefix_wei_jaja(const device::Context& ctx,
+                     const std::vector<EdgeId>& next, EdgeId head,
+                     const std::vector<std::int64_t>& values,
+                     std::vector<std::int64_t>& out, std::size_t num_sublists,
+                     std::uint64_t seed) {
+  wei_jaja_generic<std::int64_t>(
+      ctx, next, head, [&](std::size_t i) { return values[i]; },
+      /*inclusive=*/true, out, num_sublists, seed);
+}
+
+}  // namespace emc::listrank

@@ -1,0 +1,92 @@
+// Iterative segment tree for idempotent range queries (min / max).
+//
+// Used in two places, matching the paper:
+//  - the RMQ-based sequential LCA baseline of §3.1 ("a variant of [9], using
+//    a segment tree and without the preprocessed lookup tables"),
+//  - aggregating per-node min/max non-tree neighbors over subtree intervals
+//    in the Tarjan-Vishkin bridge finder (§4.1).
+//
+// The build is a sequence of per-level bulk kernels (bottom-up), so the
+// device-parallel TV pipeline can construct it with the same barrier
+// structure a GPU implementation would use.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/context.hpp"
+#include "device/primitives.hpp"
+#include "util/bits.hpp"
+
+namespace emc::rmq {
+
+template <typename T, typename Op>
+class SegmentTree {
+ public:
+  /// Builds over `values` (possibly empty). `identity` must satisfy
+  /// op(identity, x) == x.
+  SegmentTree(const device::Context& ctx, const std::vector<T>& values,
+              T identity, Op op = Op{})
+      : identity_(identity), op_(op), n_(values.size()) {
+    leaves_ = n_ == 0 ? 1 : util::ceil_pow2(n_);
+    tree_.assign(2 * leaves_, identity_);
+    device::launch(ctx, n_,
+                   [&](std::size_t i) { tree_[leaves_ + i] = values[i]; });
+    // Bottom-up level-parallel combine.
+    for (std::size_t width = leaves_ / 2; width >= 1; width /= 2) {
+      device::launch(ctx, width, [&](std::size_t k) {
+        const std::size_t node = width + k;
+        tree_[node] = op_(tree_[2 * node], tree_[2 * node + 1]);
+      });
+      if (width == 1) break;
+    }
+  }
+
+  std::size_t size() const { return n_; }
+
+  /// Fold over the inclusive index range [lo, hi]. Requires lo <= hi < size.
+  T query(std::size_t lo, std::size_t hi) const {
+    T left = identity_;
+    T right = identity_;
+    std::size_t l = lo + leaves_;
+    std::size_t r = hi + leaves_ + 1;
+    while (l < r) {
+      if (l & 1) left = op_(left, tree_[l++]);
+      if (r & 1) right = op_(tree_[--r], right);
+      l /= 2;
+      r /= 2;
+    }
+    return op_(left, right);
+  }
+
+  /// Point read of the original value.
+  T value_at(std::size_t i) const { return tree_[leaves_ + i]; }
+
+ private:
+  T identity_;
+  Op op_;
+  std::size_t n_;
+  std::size_t leaves_;
+  std::vector<T> tree_;
+};
+
+struct MinOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return b < a ? b : a;
+  }
+};
+
+struct MaxOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? b : a;
+  }
+};
+
+template <typename T>
+using MinSegmentTree = SegmentTree<T, MinOp>;
+template <typename T>
+using MaxSegmentTree = SegmentTree<T, MaxOp>;
+
+}  // namespace emc::rmq

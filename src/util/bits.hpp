@@ -1,0 +1,30 @@
+// Bit-manipulation helpers used by the Inlabel LCA algorithm and the RMQ
+// structures. Thin wrappers over <bit> with the conventions the
+// Schieber-Vishkin formulas expect (positions, not counts).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace emc::util {
+
+/// Position of the most significant set bit (0-based). Requires x != 0.
+inline int msb_index(std::uint32_t x) { return 31 - std::countl_zero(x); }
+inline int msb_index(std::uint64_t x) { return 63 - std::countl_zero(x); }
+
+/// Position of the least significant set bit (0-based). Requires x != 0.
+inline int lsb_index(std::uint32_t x) { return std::countr_zero(x); }
+inline int lsb_index(std::uint64_t x) { return std::countr_zero(x); }
+
+/// Smallest power of two >= x (x >= 1).
+inline std::uint64_t ceil_pow2(std::uint64_t x) { return std::bit_ceil(x); }
+
+/// floor(log2(x)) for x >= 1.
+inline int floor_log2(std::uint64_t x) { return msb_index(x); }
+
+/// ceil(log2(x)) for x >= 1.
+inline int ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0 : msb_index(x - 1) + 1;
+}
+
+}  // namespace emc::util

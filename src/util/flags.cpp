@@ -1,0 +1,105 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace emc::util {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!starts_with(arg, "--")) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& def,
+                              const std::string& help) {
+  decls_.push_back({name, def, help});
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def,
+                            const std::string& help) {
+  const std::string raw = get_string(name, std::to_string(def), help);
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(raw.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "flag --%s expects an integer, got '%s'\n",
+                 name.c_str(), raw.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+double Flags::get_double(const std::string& name, double def,
+                         const std::string& help) {
+  const std::string raw = get_string(name, std::to_string(def), help);
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "flag --%s expects a number, got '%s'\n", name.c_str(),
+                 raw.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+bool Flags::get_bool(const std::string& name, bool def,
+                     const std::string& help) {
+  const std::string raw = get_string(name, def ? "true" : "false", help);
+  if (raw == "true" || raw == "1" || raw == "yes") return true;
+  if (raw == "false" || raw == "0" || raw == "no") return false;
+  std::fprintf(stderr, "flag --%s expects a boolean, got '%s'\n", name.c_str(),
+               raw.c_str());
+  std::exit(2);
+}
+
+void Flags::finish() {
+  if (help_requested_) {
+    std::fprintf(stderr, "usage: %s [flags]\n", program_.c_str());
+    for (const auto& decl : decls_) {
+      std::fprintf(stderr, "  --%-24s %s (default: %s)\n", decl.name.c_str(),
+                   decl.help.c_str(), decl.def.c_str());
+    }
+    std::exit(0);
+  }
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    bool known = false;
+    for (const auto& decl : decls_) known = known || decl.name == name;
+    if (!known) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n", name.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace emc::util

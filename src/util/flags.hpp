@@ -1,0 +1,49 @@
+// Minimal command-line flag parsing for benchmark and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace emc::util {
+
+class Flags {
+ public:
+  /// Parses argv. On error prints a message to stderr and exits(2).
+  Flags(int argc, char** argv);
+
+  /// Declares a flag (for --help output) and returns its value.
+  std::string get_string(const std::string& name, const std::string& def,
+                         const std::string& help = "");
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help = "");
+  double get_double(const std::string& name, double def,
+                    const std::string& help = "");
+  bool get_bool(const std::string& name, bool def,
+                const std::string& help = "");
+
+  /// Call after all get_* declarations: handles --help and rejects unknown
+  /// flags. Returns normally if execution should continue.
+  void finish();
+
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Decl {
+    std::string name;
+    std::string def;
+    std::string help;
+  };
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> used_;
+  std::vector<Decl> decls_;
+  bool help_requested_ = false;
+};
+
+}  // namespace emc::util

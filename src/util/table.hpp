@@ -1,0 +1,34 @@
+// Plain-text table printer used by the figure/table benchmark harnesses.
+// Produces aligned, machine-grep-friendly output:
+//
+//   nodes      algo                 prep_ms    queries_per_s
+//   1048576    gpu-inlabel          42.1       3.1e+08
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace emc::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats helpers for numeric cells.
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v);
+
+  /// Prints the table to `out` (stdout by default).
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emc::util

@@ -1,0 +1,80 @@
+// Wall-clock timers and the per-phase breakdown record used by the Figure 11
+// style benchmarks.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emc::util {
+
+/// Simple monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations, in order of first appearance.
+/// Algorithms that report a runtime breakdown (Figure 11) take an optional
+/// PhaseTimer pointer; passing nullptr disables collection.
+class PhaseTimer {
+ public:
+  /// Records `seconds` against `name`, accumulating over repeated calls.
+  void add(const std::string& name, double seconds) {
+    for (auto& entry : phases_) {
+      if (entry.first == name) {
+        entry.second += seconds;
+        return;
+      }
+    }
+    phases_.emplace_back(name, seconds);
+  }
+
+  const std::vector<std::pair<std::string, double>>& phases() const {
+    return phases_;
+  }
+
+  double total() const {
+    double sum = 0;
+    for (const auto& entry : phases_) sum += entry.second;
+    return sum;
+  }
+
+  void clear() { phases_.clear(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// RAII helper: times a scope and records it into a PhaseTimer (if non-null).
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer* sink, std::string name)
+      : sink_(sink), name_(std::move(name)) {}
+  ~ScopedPhase() {
+    if (sink_ != nullptr) sink_->add(name_, timer_.seconds());
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* sink_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace emc::util

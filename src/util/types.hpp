@@ -1,0 +1,29 @@
+// Fundamental integer types shared across the library.
+//
+// Node and (directed half-)edge identifiers are 32-bit: every instance the
+// paper evaluates (up to 32M nodes / 182M edges) fits comfortably, and the
+// original CUDA implementation makes the same choice to halve memory traffic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace emc {
+
+/// Vertex identifier. Valid ids are [0, n). Negative values are sentinels.
+using NodeId = std::int32_t;
+
+/// Identifier of a directed half-edge or of an undirected edge, depending on
+/// context. Valid ids are [0, m). Negative values are sentinels.
+using EdgeId = std::int32_t;
+
+/// Sentinel used for "no node" (e.g. the parent of a root).
+inline constexpr NodeId kNoNode = -1;
+
+/// Sentinel used for "no edge" (e.g. the successor of a list tail).
+inline constexpr EdgeId kNoEdge = -1;
+
+/// Largest representable node id, used as +infinity in min-aggregations.
+inline constexpr NodeId kNodeInf = std::numeric_limits<NodeId>::max();
+
+}  // namespace emc

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bridges/biconnectivity.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "device/context.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+
+namespace emc::bridges {
+namespace {
+
+graph::EdgeList prepared(graph::EdgeList raw) {
+  return graph::largest_component(graph::simplified(raw));
+}
+
+void expect_tv_matches_dfs(const device::Context& ctx,
+                           const graph::EdgeList& g, const char* label) {
+  const graph::Csr csr = build_csr(ctx, g);
+  const BiconnectivityResult tv = biconnectivity_tv(ctx, g);
+  const BiconnectivityResult dfs = biconnectivity_dfs(g, csr);
+  ASSERT_TRUE(same_block_partition(tv.edge_block, dfs.edge_block))
+      << label << ": block partitions differ";
+  ASSERT_EQ(tv.num_blocks, dfs.num_blocks) << label;
+  ASSERT_EQ(tv.is_articulation, dfs.is_articulation) << label;
+}
+
+class BiconnParam : public ::testing::TestWithParam<unsigned> {
+ protected:
+  device::Context ctx_{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Workers, BiconnParam, ::testing::Values(1u, 4u));
+
+TEST_P(BiconnParam, SingleEdge) {
+  graph::EdgeList g;
+  g.num_nodes = 2;
+  g.edges = {{0, 1}};
+  const auto result = biconnectivity_tv(ctx_, g);
+  EXPECT_EQ(result.num_blocks, 1u);
+  EXPECT_EQ(result.is_articulation,
+            (std::vector<std::uint8_t>{0, 0}));
+  expect_tv_matches_dfs(ctx_, g, "single-edge");
+}
+
+TEST_P(BiconnParam, PathEveryInternalNodeIsArticulation) {
+  const auto g = gen::path_graph(50);
+  const auto result = biconnectivity_tv(ctx_, g);
+  EXPECT_EQ(result.num_blocks, 49u);  // every edge its own block
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(result.is_articulation[v], v != 0 && v != 49) << v;
+  }
+  expect_tv_matches_dfs(ctx_, g, "path");
+}
+
+TEST_P(BiconnParam, CycleIsOneBlock) {
+  const auto g = gen::cycle_graph(60);
+  const auto result = biconnectivity_tv(ctx_, g);
+  EXPECT_EQ(result.num_blocks, 1u);
+  for (NodeId v = 0; v < 60; ++v) EXPECT_EQ(result.is_articulation[v], 0);
+  expect_tv_matches_dfs(ctx_, g, "cycle");
+}
+
+TEST_P(BiconnParam, TwoTrianglesSharingAVertex) {
+  // Classic articulation example: blocks {0,1,2} and {2,3,4} share node 2.
+  graph::EdgeList g;
+  g.num_nodes = 5;
+  g.edges = {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}};
+  const auto result = biconnectivity_tv(ctx_, g);
+  EXPECT_EQ(result.num_blocks, 2u);
+  EXPECT_EQ(result.is_articulation,
+            (std::vector<std::uint8_t>{0, 0, 1, 0, 0}));
+  EXPECT_EQ(result.edge_block[0], result.edge_block[1]);
+  EXPECT_EQ(result.edge_block[1], result.edge_block[2]);
+  EXPECT_EQ(result.edge_block[3], result.edge_block[4]);
+  EXPECT_NE(result.edge_block[0], result.edge_block[3]);
+  expect_tv_matches_dfs(ctx_, g, "bowtie");
+}
+
+TEST_P(BiconnParam, BridgeEndpointsAreArticulationsWhenInternal) {
+  // Two triangles joined by a path of two bridges through node 6.
+  graph::EdgeList g;
+  g.num_nodes = 7;
+  g.edges = {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 6}, {6, 3}};
+  const auto result = biconnectivity_tv(ctx_, g);
+  EXPECT_EQ(result.num_blocks, 4u);  // 2 triangles + 2 bridge blocks
+  EXPECT_EQ(result.is_articulation,
+            (std::vector<std::uint8_t>{0, 0, 1, 1, 0, 0, 1}));
+  expect_tv_matches_dfs(ctx_, g, "dumbbell");
+}
+
+TEST_P(BiconnParam, ParallelEdgesFormTheirOwnBlock) {
+  graph::EdgeList g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}, {0, 1}, {1, 2}};
+  const auto result = biconnectivity_tv(ctx_, g);
+  EXPECT_EQ(result.num_blocks, 2u);
+  EXPECT_EQ(result.edge_block[0], result.edge_block[1]);
+  EXPECT_NE(result.edge_block[0], result.edge_block[2]);
+  EXPECT_EQ(result.is_articulation,
+            (std::vector<std::uint8_t>{0, 1, 0}));
+  expect_tv_matches_dfs(ctx_, g, "parallel");
+}
+
+TEST_P(BiconnParam, StarBlocksArePendantEdges) {
+  graph::EdgeList g;
+  g.num_nodes = 30;
+  for (NodeId v = 1; v < 30; ++v) g.edges.push_back({0, v});
+  const auto result = biconnectivity_tv(ctx_, g);
+  EXPECT_EQ(result.num_blocks, 29u);
+  EXPECT_EQ(result.is_articulation[0], 1);
+  for (NodeId v = 1; v < 30; ++v) EXPECT_EQ(result.is_articulation[v], 0);
+  expect_tv_matches_dfs(ctx_, g, "star");
+}
+
+TEST_P(BiconnParam, RandomGraphSweepMatchesDfs) {
+  for (const double density : {1.05, 1.5, 3.0}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto g = prepared(gen::er_graph(
+          300, static_cast<std::size_t>(300 * density), seed * 13));
+      if (g.num_nodes < 3) continue;
+      expect_tv_matches_dfs(ctx_, g, "er-sweep");
+    }
+  }
+}
+
+TEST_P(BiconnParam, RoadAndKronClasses) {
+  expect_tv_matches_dfs(
+      ctx_, prepared(gen::road_graph(20, 20, 0.7, 0.05, 2)), "road");
+  expect_tv_matches_dfs(ctx_, prepared(gen::kron_graph(8, 3, 3)), "kron");
+}
+
+TEST_P(BiconnParam, BlocksRefineBridges) {
+  // A bridge is exactly an edge that forms a singleton block that is also
+  // a cut: cross-check edge_block against the bridge finder.
+  const auto g = prepared(gen::er_graph(400, 450, 21));
+  const graph::Csr csr = build_csr(ctx_, g);
+  const auto mask = find_bridges_dfs(csr);
+  const auto bic = biconnectivity_tv(ctx_, g);
+  // Count members of each block.
+  std::vector<std::size_t> block_size;
+  std::vector<NodeId> labels = bic.edge_block;
+  std::set<NodeId> distinct(labels.begin(), labels.end());
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    std::size_t members = 0;
+    for (std::size_t f = 0; f < g.edges.size(); ++f) {
+      members += labels[f] == labels[e];
+    }
+    // bridge <=> singleton block
+    ASSERT_EQ(mask[e] == 1, members == 1) << "edge " << e;
+    if (g.edges.size() > 2000) break;  // quadratic guard
+  }
+  EXPECT_EQ(distinct.size(), bic.num_blocks);
+}
+
+TEST(Biconnectivity, DfsBaselineOnDisconnectedInput) {
+  // The DFS baseline tolerates multiple components (TV requires connected).
+  graph::EdgeList g;
+  g.num_nodes = 6;
+  g.edges = {{0, 1}, {1, 2}, {2, 0}, {3, 4}};
+  const device::Context ctx(1);
+  const auto result = biconnectivity_dfs(g, build_csr(ctx, g));
+  EXPECT_EQ(result.num_blocks, 2u);
+  EXPECT_EQ(result.is_articulation,
+            (std::vector<std::uint8_t>{0, 0, 0, 0, 0, 0}));
+}
+
+TEST(Biconnectivity, SameBlockPartitionUtility) {
+  EXPECT_TRUE(same_block_partition({1, 1, 2}, {7, 7, 9}));
+  EXPECT_FALSE(same_block_partition({1, 1, 2}, {7, 8, 9}));
+  EXPECT_FALSE(same_block_partition({1, 2, 2}, {7, 7, 9}));
+  EXPECT_FALSE(same_block_partition({1}, {1, 2}));
+  EXPECT_TRUE(same_block_partition({}, {}));
+}
+
+}  // namespace
+}  // namespace emc::bridges

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "bridges/bfs.hpp"
+#include "bridges/cc_spanning.hpp"
+#include "bridges/chaitanya_kothapalli.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "bridges/hybrid.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "bridges/two_ecc.hpp"
+#include "device/context.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace emc::bridges {
+namespace {
+
+graph::EdgeList prepared(graph::EdgeList raw) {
+  return graph::largest_component(graph::simplified(raw));
+}
+
+/// Asserts that all three parallel algorithms agree with the DFS baseline.
+void expect_all_agree(const device::Context& ctx, const graph::EdgeList& g,
+                      const char* label) {
+  ASSERT_GE(g.num_nodes, 1) << label;
+  const graph::Csr csr = build_csr(ctx, g);
+  const BridgeMask dfs = find_bridges_dfs(csr);
+  const BridgeMask tv = find_bridges_tarjan_vishkin(ctx, g);
+  const BridgeMask ck = find_bridges_ck(ctx, g, csr);
+  const BridgeMask hy = find_bridges_hybrid(ctx, g);
+  ASSERT_EQ(tv, dfs) << label << ": TV disagrees with DFS";
+  ASSERT_EQ(ck, dfs) << label << ": CK disagrees with DFS";
+  ASSERT_EQ(hy, dfs) << label << ": hybrid disagrees with DFS";
+}
+
+class BridgesParam : public ::testing::TestWithParam<unsigned> {
+ protected:
+  device::Context ctx_{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Workers, BridgesParam, ::testing::Values(1u, 4u));
+
+TEST_P(BridgesParam, PathAllBridges) {
+  const auto g = gen::path_graph(500);
+  const graph::Csr csr = build_csr(ctx_, g);
+  EXPECT_EQ(count_bridges(find_bridges_dfs(csr)), 499u);
+  expect_all_agree(ctx_, g, "path");
+}
+
+TEST_P(BridgesParam, CycleNoBridges) {
+  const auto g = gen::cycle_graph(500);
+  EXPECT_EQ(count_bridges(find_bridges_tarjan_vishkin(ctx_, g)), 0u);
+  expect_all_agree(ctx_, g, "cycle");
+}
+
+TEST_P(BridgesParam, StarAllBridges) {
+  graph::EdgeList g;
+  g.num_nodes = 200;
+  for (NodeId v = 1; v < 200; ++v) g.edges.push_back({0, v});
+  EXPECT_EQ(count_bridges(find_bridges_tarjan_vishkin(ctx_, g)), 199u);
+  expect_all_agree(ctx_, g, "star");
+}
+
+TEST_P(BridgesParam, ParallelEdgeIsNeverABridge) {
+  graph::EdgeList g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}, {0, 1}, {1, 2}};  // duplicated edge 0-1, bridge 1-2
+  const graph::Csr csr = build_csr(ctx_, g);
+  const BridgeMask dfs = find_bridges_dfs(csr);
+  EXPECT_EQ(dfs[0], 0);
+  EXPECT_EQ(dfs[1], 0);
+  EXPECT_EQ(dfs[2], 1);
+  expect_all_agree(ctx_, g, "parallel-edge");
+}
+
+TEST_P(BridgesParam, TwoTrianglesJoinedByBridge) {
+  graph::EdgeList g;
+  g.num_nodes = 6;
+  g.edges = {{0, 1}, {1, 2}, {2, 0},   // triangle A
+             {3, 4}, {4, 5}, {5, 3},   // triangle B
+             {2, 3}};                  // the bridge
+  const BridgeMask tv = find_bridges_tarjan_vishkin(ctx_, g);
+  EXPECT_EQ(count_bridges(tv), 1u);
+  EXPECT_EQ(tv[6], 1);
+  expect_all_agree(ctx_, g, "two-triangles");
+}
+
+TEST_P(BridgesParam, BarbellOfCliques) {
+  // Two K5 cliques connected by a path of length 3: 2 path edges + the
+  // connecting edges are bridges (3 total).
+  graph::EdgeList g;
+  g.num_nodes = 12;
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) {
+      g.edges.push_back({i, j});
+      g.edges.push_back({static_cast<NodeId>(i + 5),
+                         static_cast<NodeId>(j + 5)});
+    }
+  }
+  g.edges.push_back({4, 10});
+  g.edges.push_back({10, 11});
+  g.edges.push_back({11, 5});
+  const BridgeMask tv = find_bridges_tarjan_vishkin(ctx_, g);
+  EXPECT_EQ(count_bridges(tv), 3u);
+  expect_all_agree(ctx_, g, "barbell");
+}
+
+TEST_P(BridgesParam, RandomErSweep) {
+  // Density sweep: m/n from 1.02 (many bridges) to 4 (few bridges).
+  for (const double density : {1.02, 1.2, 2.0, 4.0}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto g = prepared(gen::er_graph(
+          400, static_cast<std::size_t>(400 * density), seed * 31));
+      if (g.num_nodes < 2) continue;
+      expect_all_agree(ctx_, g, "er");
+    }
+  }
+}
+
+TEST_P(BridgesParam, RoadGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto g = prepared(gen::road_graph(25, 25, 0.65, 0.05, seed));
+    if (g.num_nodes < 2) continue;
+    expect_all_agree(ctx_, g, "road");
+  }
+}
+
+TEST_P(BridgesParam, KroneckerGraphs) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    const auto g = prepared(gen::kron_graph(9, 4, seed));
+    if (g.num_nodes < 2) continue;
+    expect_all_agree(ctx_, g, "kron");
+  }
+}
+
+TEST_P(BridgesParam, TreeInputAllEdgesAreBridges) {
+  // A tree given as a graph: every edge is a bridge.
+  const auto g = prepared(gen::road_graph(30, 1, 1.0, 0.0, 5));
+  const BridgeMask tv = find_bridges_tarjan_vishkin(ctx_, g);
+  EXPECT_EQ(count_bridges(tv), g.edges.size());
+  expect_all_agree(ctx_, g, "tree");
+}
+
+// ---------------------------------------------------------------- cc
+
+TEST_P(BridgesParam, SpanningForestProperties) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto g = gen::er_graph(300, 500, seed * 7);
+    const SpanningForest forest = cc_spanning_forest(ctx_, g);
+    const auto ref_labels = graph::connected_component_labels(g);
+    const std::size_t ref_components = graph::count_components(ref_labels);
+    ASSERT_EQ(forest.num_components, ref_components);
+    // Forest size: n - #components.
+    ASSERT_EQ(forest.tree_edges.size(),
+              static_cast<std::size_t>(g.num_nodes) - ref_components);
+    // Labels agree with reference components (same partition).
+    for (const auto& e : g.edges) {
+      ASSERT_EQ(forest.component[e.u], forest.component[e.v]);
+    }
+    // Forest edges are acyclic: union-find over them never sees a cycle.
+    std::vector<NodeId> uf(g.num_nodes);
+    for (NodeId v = 0; v < g.num_nodes; ++v) uf[v] = v;
+    auto find = [&](NodeId x) {
+      while (uf[x] != x) x = uf[x] = uf[uf[x]];
+      return x;
+    };
+    for (const EdgeId e : forest.tree_edges) {
+      const NodeId a = find(g.edges[e].u);
+      const NodeId b = find(g.edges[e].v);
+      ASSERT_NE(a, b) << "cycle in spanning forest";
+      uf[a] = b;
+    }
+  }
+}
+
+TEST_P(BridgesParam, SpanningForestDeterministic) {
+  const auto g = gen::er_graph(500, 1200, 99);
+  const SpanningForest a = cc_spanning_forest(ctx_, g);
+  const SpanningForest b = cc_spanning_forest(ctx_, g);
+  EXPECT_EQ(a.component, b.component);
+  EXPECT_EQ(a.tree_edges, b.tree_edges);
+}
+
+// ---------------------------------------------------------------- bfs
+
+TEST_P(BridgesParam, BfsLevelsMatchSequential) {
+  const auto g = prepared(gen::er_graph(400, 900, 3));
+  const graph::Csr csr = build_csr(ctx_, g);
+  const BfsTree tree = bfs(ctx_, csr, 0);
+  // Sequential reference BFS.
+  std::vector<NodeId> dist(g.num_nodes, kNoNode);
+  std::vector<NodeId> frontier{0};
+  dist[0] = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (const NodeId u : frontier) {
+      for (EdgeId i = csr.row_offsets[u]; i < csr.row_offsets[u + 1]; ++i) {
+        const NodeId v = csr.neighbors[i];
+        if (dist[v] == kNoNode) {
+          dist[v] = dist[u] + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  EXPECT_EQ(tree.level, dist);
+  // Parent edges are consistent: level[parent] == level[v] - 1.
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    if (v == 0) continue;
+    ASSERT_EQ(tree.level[tree.parent[v]], tree.level[v] - 1);
+    const graph::Edge e = g.edges[tree.parent_edge[v]];
+    ASSERT_TRUE((e.u == v && e.v == tree.parent[v]) ||
+                (e.v == v && e.u == tree.parent[v]));
+  }
+}
+
+TEST_P(BridgesParam, BfsOnPathHasFullDepth) {
+  const auto g = gen::path_graph(300);
+  const graph::Csr csr = build_csr(ctx_, g);
+  const BfsTree tree = bfs(ctx_, csr, 0);
+  EXPECT_EQ(tree.num_levels, 300);
+  EXPECT_EQ(tree.level[299], 299);
+}
+
+// ---------------------------------------------------------------- 2ecc
+
+TEST_P(BridgesParam, TwoEccPartitionsByBridges) {
+  graph::EdgeList g;
+  g.num_nodes = 6;
+  g.edges = {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}};
+  const BridgeMask mask = find_bridges_tarjan_vishkin(ctx_, g);
+  const auto labels = two_edge_components(ctx_, g, mask);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST_P(BridgesParam, TwoEccOfCycleIsOneComponent) {
+  const auto g = gen::cycle_graph(100);
+  const auto labels = two_edge_components(
+      ctx_, g, find_bridges_tarjan_vishkin(ctx_, g));
+  const std::set<NodeId> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 1u);
+}
+
+TEST_P(BridgesParam, TwoEccOfTreeIsAllSingletons) {
+  const auto g = gen::path_graph(50);
+  const auto labels =
+      two_edge_components(ctx_, g, find_bridges_tarjan_vishkin(ctx_, g));
+  const std::set<NodeId> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 50u);
+}
+
+TEST_P(BridgesParam, TwoEccSizesSumToN) {
+  const auto g = prepared(gen::er_graph(300, 450, 17));
+  const auto labels =
+      two_edge_components(ctx_, g, find_bridges_tarjan_vishkin(ctx_, g));
+  EXPECT_EQ(labels.size(), static_cast<std::size_t>(g.num_nodes));
+}
+
+// ------------------------------------------------------- phase breakdowns
+
+TEST(BridgesPhases, TvReportsThreePhases) {
+  const device::Context ctx(1);
+  const auto g = prepared(gen::er_graph(200, 400, 1));
+  util::PhaseTimer phases;
+  find_bridges_tarjan_vishkin(ctx, g, &phases);
+  std::vector<std::string> names;
+  for (const auto& [name, secs] : phases.phases()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"spanning_tree", "euler_tour",
+                                             "detect_bridges"}));
+}
+
+TEST(BridgesPhases, CkReportsBfsAndMark) {
+  const device::Context ctx(1);
+  const auto g = prepared(gen::er_graph(200, 400, 2));
+  const graph::Csr csr = build_csr(ctx, g);
+  util::PhaseTimer phases;
+  find_bridges_ck(ctx, g, csr, &phases);
+  std::vector<std::string> names;
+  for (const auto& [name, secs] : phases.phases()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"bfs", "mark_non_bridges"}));
+}
+
+TEST(BridgesPhases, HybridReportsFourPhases) {
+  const device::Context ctx(1);
+  const auto g = prepared(gen::er_graph(200, 400, 3));
+  util::PhaseTimer phases;
+  find_bridges_hybrid(ctx, g, &phases);
+  std::vector<std::string> names;
+  for (const auto& [name, secs] : phases.phases()) names.push_back(name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"spanning_tree", "euler_tour",
+                                      "levels_and_parents",
+                                      "mark_non_bridges"}));
+}
+
+TEST(Bridges, LargeRandomStress) {
+  const device::Context ctx(4);
+  const auto g = prepared(gen::er_graph(20'000, 30'000, 11));
+  expect_all_agree(ctx, g, "large-er");
+}
+
+TEST(Bridges, LargeRoadStress) {
+  const device::Context ctx(4);
+  const auto g = prepared(gen::road_graph(120, 120, 0.6, 0.03, 13));
+  expect_all_agree(ctx, g, "large-road");
+}
+
+}  // namespace
+}  // namespace emc::bridges

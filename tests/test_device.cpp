@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "device/context.hpp"
+#include "device/primitives.hpp"
+#include "device/segreduce.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace emc::device {
+namespace {
+
+// Most primitive tests run under several worker counts: even on a 1-core
+// machine the multi-worker pool exercises the chunking/barrier logic.
+class DeviceParam
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {
+ protected:
+  Context ctx_{std::get<0>(GetParam())};
+  std::size_t n_ = std::get<1>(GetParam());
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndSizes, DeviceParam,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{17},
+                                         std::size_t{1000},
+                                         std::size_t{100'000})));
+
+TEST_P(DeviceParam, LaunchCoversEveryIndexOnce) {
+  std::vector<int> hits(n_, 0);
+  launch(ctx_, n_, [&](std::size_t i) {
+    std::atomic_ref<int>(hits[i]).fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n_; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST_P(DeviceParam, TransformMapsIndices) {
+  std::vector<std::int64_t> out(n_);
+  transform(ctx_, n_, out.data(),
+            [](std::size_t i) { return static_cast<std::int64_t>(i * i); });
+  for (std::size_t i = 0; i < n_; ++i) {
+    ASSERT_EQ(out[i], static_cast<std::int64_t>(i * i));
+  }
+}
+
+TEST_P(DeviceParam, FillAndIota) {
+  std::vector<int> a(n_, -1), b(n_, -1);
+  fill(ctx_, n_, a.data(), 7);
+  iota(ctx_, n_, b.data());
+  for (std::size_t i = 0; i < n_; ++i) {
+    ASSERT_EQ(a[i], 7);
+    ASSERT_EQ(b[i], static_cast<int>(i));
+  }
+}
+
+TEST_P(DeviceParam, ReduceMatchesAccumulate) {
+  util::Rng rng(n_ + 1);
+  std::vector<std::int64_t> values(n_);
+  for (auto& v : values) v = static_cast<std::int64_t>(rng.below(1000)) - 500;
+  const auto expected =
+      std::accumulate(values.begin(), values.end(), std::int64_t{0});
+  EXPECT_EQ(reduce_sum(ctx_, values.data(), n_), expected);
+}
+
+TEST_P(DeviceParam, ReduceMax) {
+  util::Rng rng(n_ + 2);
+  std::vector<std::int64_t> values(n_);
+  for (auto& v : values) v = static_cast<std::int64_t>(rng.below(1 << 20));
+  const auto expected =
+      n_ == 0 ? std::int64_t{-1}
+              : *std::max_element(values.begin(), values.end());
+  const auto got = reduce(
+      ctx_, n_, std::int64_t{-1}, [&](std::size_t i) { return values[i]; },
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(DeviceParam, ExclusiveScanMatchesReference) {
+  util::Rng rng(n_ + 3);
+  std::vector<std::int64_t> in(n_), out(n_), expected(n_);
+  for (auto& v : in) v = static_cast<std::int64_t>(rng.below(100));
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    expected[i] = acc;
+    acc += in[i];
+  }
+  const auto total = exclusive_scan(ctx_, in.data(), n_, out.data());
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(DeviceParam, InclusiveScanMatchesReference) {
+  util::Rng rng(n_ + 4);
+  std::vector<std::int64_t> in(n_), out(n_), expected(n_);
+  for (auto& v : in) v = static_cast<std::int64_t>(rng.below(100)) - 50;
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    acc += in[i];
+    expected[i] = acc;
+  }
+  const auto total = inclusive_scan(ctx_, in.data(), n_, out.data());
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(DeviceParam, ExclusiveScanInPlace) {
+  util::Rng rng(n_ + 5);
+  std::vector<std::int64_t> data(n_), expected(n_);
+  for (auto& v : data) v = static_cast<std::int64_t>(rng.below(10));
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    expected[i] = acc;
+    acc += data[i];
+  }
+  exclusive_scan(ctx_, data.data(), n_, data.data());
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(DeviceParam, GatherScatterRoundTrip) {
+  if (n_ == 0) return;
+  util::Rng rng(n_ + 6);
+  std::vector<std::int64_t> values(n_);
+  for (std::size_t i = 0; i < n_; ++i) values[i] = static_cast<std::int64_t>(i);
+  // Random permutation.
+  std::vector<std::uint32_t> perm(n_);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::size_t i = n_; i > 1; --i) std::swap(perm[i - 1], perm[rng.below(i)]);
+
+  std::vector<std::int64_t> scattered(n_), gathered(n_);
+  scatter(ctx_, values.data(), perm.data(), n_, scattered.data());
+  gather(ctx_, scattered.data(), perm.data(), n_, gathered.data());
+  EXPECT_EQ(gathered, values);
+}
+
+TEST_P(DeviceParam, CopyIfIndexSelectsInOrder) {
+  std::vector<std::uint32_t> out(n_);
+  const std::size_t k = copy_if_index(
+      ctx_, n_, [](std::size_t i) { return i % 3 == 0; }, out.data());
+  std::size_t expected_count = (n_ + 2) / 3;
+  EXPECT_EQ(k, expected_count);
+  for (std::size_t j = 0; j < k; ++j) ASSERT_EQ(out[j], 3 * j);
+}
+
+TEST(DevicePrimitives, AtomicMinMax) {
+  Context ctx(4);
+  NodeId lo = kNodeInf;
+  NodeId hi = -1;
+  launch(ctx, 100'000, [&](std::size_t i) {
+    atomic_min(&lo, static_cast<NodeId>(i ^ 0x5a5a));
+    atomic_max(&hi, static_cast<NodeId>(i ^ 0x5a5a));
+  });
+  NodeId expected_lo = kNodeInf, expected_hi = -1;
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    expected_lo = std::min(expected_lo, static_cast<NodeId>(i ^ 0x5a5a));
+    expected_hi = std::max(expected_hi, static_cast<NodeId>(i ^ 0x5a5a));
+  }
+  EXPECT_EQ(lo, expected_lo);
+  EXPECT_EQ(hi, expected_hi);
+}
+
+TEST(DevicePrimitives, AtomicCasClaimsOnce) {
+  Context ctx(4);
+  NodeId slot = kNoNode;
+  std::atomic<int> winners{0};
+  launch(ctx, 10'000, [&](std::size_t i) {
+    if (atomic_cas(&slot, kNoNode, static_cast<NodeId>(i)) == kNoNode) {
+      winners.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_NE(slot, kNoNode);
+}
+
+TEST(Context, SequentialHasOneWorker) {
+  EXPECT_EQ(Context::sequential().workers(), 1u);
+}
+
+TEST(Context, ExplicitWorkerCount) {
+  EXPECT_EQ(Context(3).workers(), 3u);
+}
+
+TEST(Context, CopyShares) {
+  Context a(2);
+  Context b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(&a.pool(), &b.pool());
+}
+
+TEST(ThreadPool, NestedSequentialLaunchInsideParallel) {
+  // Per-segment work inside a kernel must not deadlock the pool.
+  Context ctx(2);
+  std::vector<int> out(100, 0);
+  launch(ctx, 100, [&](std::size_t i) {
+    int acc = 0;
+    for (int k = 0; k <= static_cast<int>(i); ++k) acc += k;
+    out[i] = acc;
+  });
+  EXPECT_EQ(out[9], 45);
+}
+
+TEST(ThreadPool, ManySmallLaunches) {
+  Context ctx(4);
+  std::int64_t total = 0;
+  for (int round = 0; round < 1000; ++round) {
+    total += reduce(
+        ctx, 10, std::int64_t{0},
+        [](std::size_t i) { return static_cast<std::int64_t>(i); },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+  }
+  EXPECT_EQ(total, 45'000);
+}
+
+// ---------------------------------------------------------------- segreduce
+
+TEST(Segreduce, MatchesReferenceOnRandomSegments) {
+  Context ctx(3);
+  util::Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t segments = 1 + rng.below(50);
+    std::vector<EdgeId> offsets(segments + 1, 0);
+    for (std::size_t s = 1; s <= segments; ++s) {
+      offsets[s] = offsets[s - 1] + static_cast<EdgeId>(rng.below(10));
+    }
+    const std::size_t n = offsets[segments];
+    std::vector<NodeId> values(n);
+    for (auto& v : values) v = static_cast<NodeId>(rng.below(1000));
+
+    std::vector<NodeId> got(segments);
+    segreduce(ctx, values.data(), offsets.data(), segments, kNodeInf,
+              [](NodeId a, NodeId b) { return std::min(a, b); }, got.data());
+    for (std::size_t s = 0; s < segments; ++s) {
+      NodeId expected = kNodeInf;
+      for (EdgeId i = offsets[s]; i < offsets[s + 1]; ++i) {
+        expected = std::min(expected, values[i]);
+      }
+      ASSERT_EQ(got[s], expected) << "segment " << s;
+    }
+  }
+}
+
+TEST(Segreduce, EmptySegmentsGetIdentity) {
+  Context ctx(1);
+  std::vector<NodeId> values{5, 3};
+  std::vector<EdgeId> offsets{0, 0, 2, 2};  // segments: empty, {5,3}, empty
+  std::vector<NodeId> lo(3), hi(3);
+  segreduce_min_max(ctx, values.data(), offsets.data(), 3, kNodeInf,
+                    NodeId{-1}, lo.data(), hi.data());
+  EXPECT_EQ(lo[0], kNodeInf);
+  EXPECT_EQ(hi[0], -1);
+  EXPECT_EQ(lo[1], 3);
+  EXPECT_EQ(hi[1], 5);
+  EXPECT_EQ(lo[2], kNodeInf);
+  EXPECT_EQ(hi[2], -1);
+}
+
+TEST(Segreduce, MinMaxAgreeWithSeparateReductions) {
+  Context ctx(2);
+  util::Rng rng(7);
+  const std::size_t segments = 100;
+  std::vector<EdgeId> offsets(segments + 1, 0);
+  for (std::size_t s = 1; s <= segments; ++s) {
+    offsets[s] = offsets[s - 1] + static_cast<EdgeId>(rng.below(20));
+  }
+  std::vector<NodeId> values(offsets[segments]);
+  for (auto& v : values) v = static_cast<NodeId>(rng.below(10'000));
+  std::vector<NodeId> lo(segments), hi(segments), lo2(segments), hi2(segments);
+  segreduce_min_max(ctx, values.data(), offsets.data(), segments, kNodeInf,
+                    NodeId{-1}, lo.data(), hi.data());
+  segreduce(ctx, values.data(), offsets.data(), segments, kNodeInf,
+            [](NodeId a, NodeId b) { return std::min(a, b); }, lo2.data());
+  segreduce(ctx, values.data(), offsets.data(), segments, NodeId{-1},
+            [](NodeId a, NodeId b) { return std::max(a, b); }, hi2.data());
+  EXPECT_EQ(lo, lo2);
+  EXPECT_EQ(hi, hi2);
+}
+
+}  // namespace
+}  // namespace emc::device

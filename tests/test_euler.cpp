@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/euler_tour.hpp"
+#include "core/tree.hpp"
+#include "device/context.hpp"
+#include "gen/trees.hpp"
+#include "util/rng.hpp"
+
+namespace emc::core {
+namespace {
+
+/// Reference statistics by sequential DFS over child lists, with children
+/// visited in ascending (dst id) order of... — order does not matter for
+/// preorder *validity* checks below; for exact comparison we instead verify
+/// structural invariants that hold for every DFS order.
+struct Reference {
+  std::vector<NodeId> depth;
+  std::vector<NodeId> subtree_size;
+};
+
+Reference reference_stats(const ParentTree& tree) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  Reference ref;
+  ref.depth = depths_reference(tree);
+  ref.subtree_size.assign(n, 1);
+  // Accumulate sizes bottom-up: process nodes in decreasing depth.
+  std::vector<NodeId> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<NodeId>(v);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return ref.depth[a] > ref.depth[b];
+  });
+  for (const NodeId v : order) {
+    if (v != tree.root) ref.subtree_size[tree.parent[v]] += ref.subtree_size[v];
+  }
+  return ref;
+}
+
+void check_tour_invariants(const device::Context& ctx, const ParentTree& tree,
+                           RankAlgo algo) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  const graph::EdgeList edges = tree_edges(tree);
+  const EulerTour tour = build_euler_tour(ctx, edges, tree.root, algo);
+  const std::size_t h = 2 * (n - 1);
+  ASSERT_EQ(tour.num_half_edges(), h);
+
+  // rank is a bijection onto [0, h) and tour is its inverse.
+  std::vector<bool> seen(h, false);
+  for (std::size_t e = 0; e < h; ++e) {
+    ASSERT_GE(tour.rank[e], 0);
+    ASSERT_LT(tour.rank[e], static_cast<EdgeId>(h));
+    ASSERT_FALSE(seen[tour.rank[e]]);
+    seen[tour.rank[e]] = true;
+    ASSERT_EQ(tour.tour[tour.rank[e]], static_cast<EdgeId>(e));
+  }
+
+  // The tour is a closed walk: consecutive edges share endpoints; it starts
+  // at the root and ends back at the root.
+  ASSERT_EQ(tour.edge_src[tour.tour[0]], tree.root);
+  ASSERT_EQ(tour.edge_dst[tour.tour[h - 1]], tree.root);
+  for (std::size_t r = 0; r + 1 < h; ++r) {
+    ASSERT_EQ(tour.edge_dst[tour.tour[r]], tour.edge_src[tour.tour[r + 1]]);
+  }
+
+  // Each half-edge and its twin are traversed in opposite directions.
+  for (std::size_t e = 0; e < h; e += 2) {
+    ASSERT_EQ(tour.edge_src[e], tour.edge_dst[e + 1]);
+    ASSERT_EQ(tour.edge_dst[e], tour.edge_src[e + 1]);
+    ASSERT_NE(tour.goes_down(static_cast<EdgeId>(e)),
+              tour.goes_down(static_cast<EdgeId>(e + 1)));
+  }
+
+  // Statistics match the reference DFS.
+  const TreeStats stats = compute_tree_stats(ctx, tour);
+  const Reference ref = reference_stats(tree);
+  ASSERT_EQ(stats.parent[tree.root], kNoNode);
+  ASSERT_EQ(stats.preorder[tree.root], 1);
+  ASSERT_EQ(stats.subtree_size[tree.root], static_cast<NodeId>(n));
+  std::vector<bool> pre_seen(n + 1, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    ASSERT_EQ(stats.level[v], ref.depth[v]) << "node " << v;
+    ASSERT_EQ(stats.subtree_size[v], ref.subtree_size[v]) << "node " << v;
+    if (static_cast<NodeId>(v) != tree.root) {
+      ASSERT_EQ(stats.parent[v], tree.parent[v]) << "node " << v;
+      // Preorder of a child lies inside the parent's interval.
+      const NodeId p = tree.parent[v];
+      ASSERT_GT(stats.preorder[v], stats.preorder[p]);
+      ASSERT_LT(stats.preorder[v],
+                stats.preorder[p] + stats.subtree_size[p]);
+    }
+    ASSERT_GE(stats.preorder[v], 1);
+    ASSERT_LE(stats.preorder[v], static_cast<NodeId>(n));
+    ASSERT_FALSE(pre_seen[stats.preorder[v]]);  // preorder is a permutation
+    pre_seen[stats.preorder[v]] = true;
+  }
+}
+
+class EulerTourParam
+    : public ::testing::TestWithParam<std::tuple<unsigned, NodeId, NodeId>> {
+ protected:
+  device::Context ctx_{std::get<0>(GetParam())};
+  NodeId n_ = std::get<1>(GetParam());
+  NodeId grasp_ = std::get<2>(GetParam());
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EulerTourParam,
+    ::testing::Combine(::testing::Values(1u, 3u),
+                       ::testing::Values(NodeId{2}, NodeId{3}, NodeId{10},
+                                         NodeId{100}, NodeId{2000}),
+                       ::testing::Values(gen::kInfiniteGrasp, NodeId{1},
+                                         NodeId{5})));
+
+TEST_P(EulerTourParam, InvariantsAndStats) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ParentTree tree = gen::random_tree(n_, grasp_, seed);
+    gen::scramble_ids(tree, seed + 100);
+    ASSERT_TRUE(valid_parent_tree(tree));
+    check_tour_invariants(ctx_, tree, RankAlgo::kWeiJaja);
+  }
+}
+
+TEST(EulerTour, AllRankAlgosAgree) {
+  const device::Context ctx(2);
+  ParentTree tree = gen::random_tree(500, gen::kInfiniteGrasp, 9);
+  const graph::EdgeList edges = tree_edges(tree);
+  const EulerTour a = build_euler_tour(ctx, edges, tree.root, RankAlgo::kWeiJaja);
+  const EulerTour b = build_euler_tour(ctx, edges, tree.root, RankAlgo::kWyllie);
+  const EulerTour c =
+      build_euler_tour(ctx, edges, tree.root, RankAlgo::kSequential);
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.rank, c.rank);
+  EXPECT_EQ(a.tour, b.tour);
+}
+
+TEST(EulerTour, PaperFigure1) {
+  // Figure 1: root 0, children 2,3,4; node 2 has children 1,5. Preorders are
+  // determined by sorted adjacency: 0,2,1,5,3,4 -> pre 1,3,2,4,5,6.
+  const device::Context ctx = device::Context::sequential();
+  graph::EdgeList tree;
+  tree.num_nodes = 6;
+  tree.edges = {{0, 2}, {2, 1}, {0, 3}, {0, 4}, {2, 5}};
+  const EulerTour tour = build_euler_tour(ctx, tree, 0);
+  const TreeStats stats = compute_tree_stats(ctx, tour);
+  EXPECT_EQ(stats.preorder, (std::vector<NodeId>{1, 3, 2, 5, 6, 4}));
+  EXPECT_EQ(stats.subtree_size, (std::vector<NodeId>{6, 1, 3, 1, 1, 1}));
+  EXPECT_EQ(stats.level, (std::vector<NodeId>{0, 2, 1, 1, 1, 2}));
+  EXPECT_EQ(stats.parent,
+            (std::vector<NodeId>{kNoNode, 2, 0, 0, 0, 2}));
+}
+
+TEST(EulerTour, SingleNodeTree) {
+  const device::Context ctx(2);
+  graph::EdgeList tree;
+  tree.num_nodes = 1;
+  const EulerTour tour = build_euler_tour(ctx, tree, 0);
+  EXPECT_EQ(tour.num_half_edges(), 0u);
+  const TreeStats stats = compute_tree_stats(ctx, tour);
+  EXPECT_EQ(stats.preorder[0], 1);
+  EXPECT_EQ(stats.subtree_size[0], 1);
+  EXPECT_EQ(stats.level[0], 0);
+  EXPECT_EQ(stats.parent[0], kNoNode);
+}
+
+TEST(EulerTour, TwoNodeTree) {
+  const device::Context ctx(2);
+  graph::EdgeList tree;
+  tree.num_nodes = 2;
+  tree.edges = {{1, 0}};
+  const EulerTour tour = build_euler_tour(ctx, tree, 0);
+  const TreeStats stats = compute_tree_stats(ctx, tour);
+  EXPECT_EQ(stats.preorder, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(stats.level, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(stats.parent, (std::vector<NodeId>{kNoNode, 0}));
+}
+
+TEST(EulerTour, PathRootedAtEnd) {
+  const device::Context ctx(3);
+  const NodeId n = 1000;
+  graph::EdgeList tree;
+  tree.num_nodes = n;
+  for (NodeId v = 0; v + 1 < n; ++v) tree.edges.push_back({v, v + 1});
+  const EulerTour tour = build_euler_tour(ctx, tree, 0);
+  const TreeStats stats = compute_tree_stats(ctx, tour);
+  for (NodeId v = 0; v < n; ++v) {
+    ASSERT_EQ(stats.level[v], v);
+    ASSERT_EQ(stats.preorder[v], v + 1);
+    ASSERT_EQ(stats.subtree_size[v], n - v);
+  }
+}
+
+TEST(EulerTour, PathRootedInMiddle) {
+  const device::Context ctx(2);
+  const NodeId n = 101;
+  graph::EdgeList tree;
+  tree.num_nodes = n;
+  for (NodeId v = 0; v + 1 < n; ++v) tree.edges.push_back({v, v + 1});
+  const NodeId root = 50;
+  const EulerTour tour = build_euler_tour(ctx, tree, root);
+  const TreeStats stats = compute_tree_stats(ctx, tour);
+  for (NodeId v = 0; v < n; ++v) {
+    ASSERT_EQ(stats.level[v], std::abs(v - root));
+  }
+  EXPECT_EQ(stats.subtree_size[root], n);
+}
+
+TEST(EulerTour, StarTree) {
+  const device::Context ctx(2);
+  const NodeId n = 500;
+  graph::EdgeList tree;
+  tree.num_nodes = n;
+  for (NodeId v = 1; v < n; ++v) tree.edges.push_back({0, v});
+  const EulerTour tour = build_euler_tour(ctx, tree, 0);
+  const TreeStats stats = compute_tree_stats(ctx, tour);
+  for (NodeId v = 1; v < n; ++v) {
+    ASSERT_EQ(stats.level[v], 1);
+    ASSERT_EQ(stats.subtree_size[v], 1);
+    ASSERT_EQ(stats.parent[v], 0);
+  }
+}
+
+TEST(EulerTour, RootTreeMatchesStats) {
+  const device::Context ctx(2);
+  ParentTree tree = gen::random_tree(3000, NodeId{20}, 31);
+  gen::scramble_ids(tree, 32);
+  const graph::EdgeList edges = tree_edges(tree);
+  std::vector<NodeId> parent, level;
+  root_tree(ctx, edges, tree.root, parent, level);
+  EXPECT_EQ(parent, tree.parent);
+  EXPECT_EQ(level, depths_reference(tree));
+}
+
+TEST(EulerTour, SuccForsmLinkedListVisitsAllEdges) {
+  const device::Context ctx(1);
+  ParentTree tree = gen::random_tree(200, gen::kInfiniteGrasp, 77);
+  const graph::EdgeList edges = tree_edges(tree);
+  const EulerTour tour = build_euler_tour(ctx, edges, tree.root);
+  std::size_t count = 0;
+  for (EdgeId e = tour.head; e != kNoEdge; e = tour.succ[e]) ++count;
+  EXPECT_EQ(count, tour.num_half_edges());
+}
+
+TEST(ParentTreeValidation, DetectsCycle) {
+  ParentTree bad;
+  bad.root = 0;
+  bad.parent = {kNoNode, 2, 1};  // 1 <-> 2 cycle
+  EXPECT_FALSE(valid_parent_tree(bad));
+}
+
+TEST(ParentTreeValidation, DetectsOutOfRangeParent) {
+  ParentTree bad;
+  bad.root = 0;
+  bad.parent = {kNoNode, 5};
+  EXPECT_FALSE(valid_parent_tree(bad));
+}
+
+TEST(ParentTreeValidation, AcceptsValid) {
+  ParentTree good;
+  good.root = 2;
+  good.parent = {2, 0, kNoNode};
+  EXPECT_TRUE(valid_parent_tree(good));
+}
+
+}  // namespace
+}  // namespace emc::core

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "device/context.hpp"
+#include "device/primitives.hpp"
+#include "util/flags.hpp"
+
+namespace emc::util {
+namespace {
+
+Flags make_flags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags flags = make_flags({"--nodes=42"});
+  EXPECT_EQ(flags.get_int("nodes", 0), 42);
+  flags.finish();
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags flags = make_flags({"--name", "hello"});
+  EXPECT_EQ(flags.get_string("name", ""), "hello");
+  flags.finish();
+}
+
+TEST(Flags, DefaultsApplyWhenAbsent) {
+  Flags flags = make_flags({});
+  EXPECT_EQ(flags.get_int("nodes", 7), 7);
+  EXPECT_EQ(flags.get_string("algo", "tv"), "tv");
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 1.5), 1.5);
+  EXPECT_TRUE(flags.get_bool("verify", true));
+  flags.finish();
+}
+
+TEST(Flags, BareBooleanIsTrue) {
+  Flags flags = make_flags({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  flags.finish();
+}
+
+TEST(Flags, BooleanSpellings) {
+  Flags on = make_flags({"--a=true", "--b=1", "--c=yes"});
+  EXPECT_TRUE(on.get_bool("a", false));
+  EXPECT_TRUE(on.get_bool("b", false));
+  EXPECT_TRUE(on.get_bool("c", false));
+  on.finish();
+  Flags off = make_flags({"--a=false", "--b=0", "--c=no"});
+  EXPECT_FALSE(off.get_bool("a", true));
+  EXPECT_FALSE(off.get_bool("b", true));
+  EXPECT_FALSE(off.get_bool("c", true));
+  off.finish();
+}
+
+TEST(Flags, NegativeAndLargeIntegers) {
+  Flags flags = make_flags({"--delta=-3", "--big=8589934592"});
+  EXPECT_EQ(flags.get_int("delta", 0), -3);
+  EXPECT_EQ(flags.get_int("big", 0), 8'589'934'592LL);
+  flags.finish();
+}
+
+TEST(Flags, MixedStyles) {
+  Flags flags = make_flags({"--a=1", "--b", "2", "--c"});
+  EXPECT_EQ(flags.get_int("a", 0), 1);
+  EXPECT_EQ(flags.get_int("b", 0), 2);
+  EXPECT_TRUE(flags.get_bool("c", false));
+  flags.finish();
+}
+
+TEST(DeviceLatencyModel, SequentialAndExplicitContextsAreFree) {
+  EXPECT_DOUBLE_EQ(device::Context::sequential().launch_overhead(), 0.0);
+  EXPECT_DOUBLE_EQ(device::Context(3).launch_overhead(), 0.0);
+}
+
+TEST(DeviceLatencyModel, DeviceChargesConfiguredLatency) {
+  // Explicit override via constructor.
+  const device::Context ctx(1, 100e-6);
+  EXPECT_DOUBLE_EQ(ctx.launch_overhead(), 100e-6);
+}
+
+TEST(DeviceLatencyModel, LatencyDoesNotChangeResults) {
+  const device::Context fast(2, 0.0);
+  const device::Context slow(2, 20e-6);
+  std::vector<std::int64_t> in(10'000, 3), a(10'000), b(10'000);
+  device::inclusive_scan(fast, in.data(), in.size(), a.data());
+  device::inclusive_scan(slow, in.data(), in.size(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace emc::util

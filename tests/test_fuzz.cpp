@@ -1,0 +1,183 @@
+// Randomized small-instance sweeps: hundreds of tiny trees/graphs, checked
+// exhaustively against brute force. Small instances hit boundary conditions
+// (roots with one child, parallel edges, stars, near-paths) far more densely
+// per CPU-second than large ones.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bridges/biconnectivity.hpp"
+#include "bridges/chaitanya_kothapalli.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "bridges/hybrid.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "bridges/two_ecc.hpp"
+#include "core/euler_tour.hpp"
+#include "listrank/listrank.hpp"
+#include "core/tree.hpp"
+#include "device/context.hpp"
+#include "gen/trees.hpp"
+#include "graph/graph.hpp"
+#include "lca/inlabel.hpp"
+#include "lca/naive.hpp"
+#include "lca/rmq_lca.hpp"
+#include "util/rng.hpp"
+
+namespace emc {
+namespace {
+
+/// Random connected multigraph on n nodes with extra random (possibly
+/// parallel) edges: a random spanning tree plus `extra` uniform pairs.
+graph::EdgeList random_connected_multigraph(NodeId n, std::size_t extra,
+                                            util::Rng& rng) {
+  graph::EdgeList g;
+  g.num_nodes = n;
+  for (NodeId v = 1; v < n; ++v) {
+    g.edges.push_back({v, static_cast<NodeId>(rng.below(v))});
+  }
+  while (g.edges.size() < static_cast<std::size_t>(n - 1) + extra) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u != v) g.edges.push_back({u, v});
+  }
+  return g;
+}
+
+TEST(FuzzLca, ExhaustiveOnTinyTrees) {
+  const device::Context ctx(2);
+  util::Rng rng(42);
+  for (int round = 0; round < 150; ++round) {
+    const NodeId n = 1 + static_cast<NodeId>(rng.below(12));
+    const NodeId grasp = rng.below(2) == 0
+                             ? gen::kInfiniteGrasp
+                             : static_cast<NodeId>(1 + rng.below(4));
+    core::ParentTree tree = gen::random_tree(n, grasp, rng());
+    gen::scramble_ids(tree, rng());
+    ASSERT_TRUE(core::valid_parent_tree(tree));
+
+    const auto depth = core::depths_reference(tree);
+    const auto inlabel = lca::InlabelLca::build_parallel(ctx, tree);
+    const auto inlabel_seq = lca::InlabelLca::build_sequential(tree);
+    const auto naive = lca::NaiveLca::build(ctx, tree);
+    const auto rmq = lca::RmqLca::build(tree);
+
+    // Exhaustive n^2 queries vs brute force.
+    for (NodeId x = 0; x < n; ++x) {
+      for (NodeId y = 0; y < n; ++y) {
+        NodeId a = x, b = y;
+        while (depth[a] > depth[b]) a = tree.parent[a];
+        while (depth[b] > depth[a]) b = tree.parent[b];
+        while (a != b) {
+          a = tree.parent[a];
+          b = tree.parent[b];
+        }
+        ASSERT_EQ(inlabel.query(x, y), a)
+            << "round " << round << " n=" << n << " (" << x << "," << y << ")";
+        ASSERT_EQ(inlabel_seq.query(x, y), a);
+        ASSERT_EQ(naive.query(x, y), a);
+        ASSERT_EQ(rmq.query(x, y), a);
+      }
+    }
+  }
+}
+
+TEST(FuzzEuler, StatsOnTinyTrees) {
+  const device::Context ctx(3);
+  util::Rng rng(43);
+  for (int round = 0; round < 200; ++round) {
+    const NodeId n = 1 + static_cast<NodeId>(rng.below(10));
+    core::ParentTree tree = gen::random_tree(n, gen::kInfiniteGrasp, rng());
+    gen::scramble_ids(tree, rng());
+    const core::EulerTour tour =
+        core::build_euler_tour(ctx, core::tree_edges(tree), tree.root);
+    const core::TreeStats stats = core::compute_tree_stats(ctx, tour);
+    const auto depth = core::depths_reference(tree);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(stats.level[v], depth[v]);
+      if (v != tree.root) {
+        ASSERT_EQ(stats.parent[v], tree.parent[v]);
+      }
+    }
+  }
+}
+
+TEST(FuzzBridges, AllAlgorithmsOnTinyMultigraphs) {
+  const device::Context ctx(2);
+  util::Rng rng(44);
+  for (int round = 0; round < 250; ++round) {
+    const NodeId n = 2 + static_cast<NodeId>(rng.below(10));
+    const std::size_t extra = rng.below(12);
+    const graph::EdgeList g = random_connected_multigraph(n, extra, rng);
+    const graph::Csr csr = build_csr(ctx, g);
+    const auto dfs = bridges::find_bridges_dfs(csr);
+    ASSERT_EQ(bridges::find_bridges_tarjan_vishkin(ctx, g), dfs)
+        << "TV, round " << round;
+    ASSERT_EQ(bridges::find_bridges_ck(ctx, g, csr), dfs)
+        << "CK, round " << round;
+    ASSERT_EQ(bridges::find_bridges_hybrid(ctx, g), dfs)
+        << "hybrid, round " << round;
+  }
+}
+
+TEST(FuzzBiconnectivity, BlocksOnTinyMultigraphs) {
+  const device::Context ctx(2);
+  util::Rng rng(45);
+  for (int round = 0; round < 250; ++round) {
+    const NodeId n = 2 + static_cast<NodeId>(rng.below(9));
+    const std::size_t extra = rng.below(10);
+    const graph::EdgeList g = random_connected_multigraph(n, extra, rng);
+    const graph::Csr csr = build_csr(ctx, g);
+    const auto tv = bridges::biconnectivity_tv(ctx, g);
+    const auto dfs = bridges::biconnectivity_dfs(g, csr);
+    ASSERT_TRUE(bridges::same_block_partition(tv.edge_block, dfs.edge_block))
+        << "round " << round << " n=" << n << " m=" << g.edges.size();
+    ASSERT_EQ(tv.num_blocks, dfs.num_blocks) << "round " << round;
+    ASSERT_EQ(tv.is_articulation, dfs.is_articulation) << "round " << round;
+  }
+}
+
+TEST(FuzzListRank, TinyListsAllAlgorithms) {
+  const device::Context ctx(3);
+  util::Rng rng(46);
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t n = 1 + rng.below(20);
+    std::vector<EdgeId> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<EdgeId>(i);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    std::vector<EdgeId> next(n, kNoEdge);
+    for (std::size_t i = 0; i + 1 < n; ++i) next[order[i]] = order[i + 1];
+
+    std::vector<EdgeId> expected, wyllie, wei;
+    listrank::rank_sequential(next, order[0], expected);
+    listrank::rank_wyllie(ctx, next, order[0], wyllie);
+    listrank::rank_wei_jaja(ctx, next, order[0], wei, 1 + rng.below(n));
+    ASSERT_EQ(wyllie, expected) << "round " << round;
+    ASSERT_EQ(wei, expected) << "round " << round;
+  }
+}
+
+TEST(FuzzTwoEcc, AgreesWithBridgeStructure) {
+  const device::Context ctx(2);
+  util::Rng rng(47);
+  for (int round = 0; round < 100; ++round) {
+    const NodeId n = 2 + static_cast<NodeId>(rng.below(10));
+    const graph::EdgeList g = random_connected_multigraph(n, rng.below(8), rng);
+    const auto mask = bridges::find_bridges_tarjan_vishkin(ctx, g);
+    const auto labels = bridges::two_edge_components(ctx, g, mask);
+    // Two endpoints of a non-bridge share a component; endpoints of a
+    // bridge do not.
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      const auto [u, v] = g.edges[e];
+      if (mask[e]) {
+        ASSERT_NE(labels[u], labels[v]) << "round " << round;
+      } else {
+        ASSERT_EQ(labels[u], labels[v]) << "round " << round;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emc

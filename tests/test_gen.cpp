@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/tree.hpp"
+#include "device/context.hpp"
+#include "gen/graphs.hpp"
+#include "gen/trees.hpp"
+#include "graph/graph.hpp"
+
+namespace emc::gen {
+namespace {
+
+double average_depth(const core::ParentTree& tree) {
+  const auto depth = core::depths_reference(tree);
+  return std::accumulate(depth.begin(), depth.end(), 0.0) /
+         static_cast<double>(depth.size());
+}
+
+// ---------------------------------------------------------------- trees
+
+TEST(RandomTree, IsValidTree) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto tree = random_tree(1000, kInfiniteGrasp, seed);
+    EXPECT_TRUE(core::valid_parent_tree(tree));
+  }
+}
+
+TEST(RandomTree, GraspOneIsPath) {
+  const auto tree = random_tree(100, 1, 1);
+  for (NodeId v = 1; v < 100; ++v) EXPECT_EQ(tree.parent[v], v - 1);
+}
+
+TEST(RandomTree, GraspBoundsParentChoice) {
+  for (const NodeId grasp : {NodeId{2}, NodeId{10}, NodeId{100}}) {
+    const auto tree = random_tree(2000, grasp, grasp);
+    for (NodeId v = 1; v < 2000; ++v) {
+      EXPECT_GE(tree.parent[v], std::max(NodeId{0}, v - grasp));
+      EXPECT_LT(tree.parent[v], v);
+    }
+  }
+}
+
+TEST(RandomTree, ShallowDepthIsLogarithmic) {
+  const auto tree = random_tree(100'000, kInfiniteGrasp, 3);
+  const double avg = average_depth(tree);
+  // Expected ln(100000) ~ 11.5; allow generous slack.
+  EXPECT_GT(avg, 6.0);
+  EXPECT_LT(avg, 20.0);
+}
+
+TEST(RandomTree, GraspDepthMatchesFormula) {
+  const NodeId n = 50'000;
+  const NodeId grasp = 100;
+  const auto tree = random_tree(n, grasp, 4);
+  const double avg = average_depth(tree);
+  const double expected = expected_average_depth(n, grasp);  // n/(grasp+1)
+  EXPECT_GT(avg, 0.5 * expected);
+  EXPECT_LT(avg, 2.0 * expected);
+}
+
+TEST(RandomTree, SingleNode) {
+  const auto tree = random_tree(1, kInfiniteGrasp, 1);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_TRUE(core::valid_parent_tree(tree));
+}
+
+TEST(RandomTree, DeterministicPerSeed) {
+  const auto a = random_tree(1000, 50, 42);
+  const auto b = random_tree(1000, 50, 42);
+  const auto c = random_tree(1000, 50, 43);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_NE(a.parent, c.parent);
+}
+
+TEST(BarabasiAlbert, IsValidTree) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto tree = barabasi_albert_tree(2000, seed);
+    EXPECT_TRUE(core::valid_parent_tree(tree));
+  }
+}
+
+TEST(BarabasiAlbert, IsShallow) {
+  const auto tree = barabasi_albert_tree(100'000, 5);
+  EXPECT_LT(average_depth(tree), 15.0);
+}
+
+TEST(BarabasiAlbert, HasHighDegreeHub) {
+  const auto tree = barabasi_albert_tree(50'000, 6);
+  std::vector<int> degree(50'000, 0);
+  for (NodeId v = 0; v < 50'000; ++v) {
+    if (tree.parent[v] != kNoNode) {
+      ++degree[v];
+      ++degree[tree.parent[v]];
+    }
+  }
+  const int max_degree = *std::max_element(degree.begin(), degree.end());
+  // Preferential attachment yields hubs of degree ~sqrt(n); uniform
+  // attachment would cap out around log n.
+  EXPECT_GT(max_degree, 50);
+}
+
+TEST(ScrambleIds, PreservesTreeStructure) {
+  auto tree = random_tree(5000, NodeId{20}, 7);
+  const double depth_before = average_depth(tree);
+  scramble_ids(tree, 8);
+  EXPECT_TRUE(core::valid_parent_tree(tree));
+  EXPECT_DOUBLE_EQ(average_depth(tree), depth_before);
+}
+
+TEST(ScrambleIds, ActuallyPermutes) {
+  auto tree = random_tree(1000, kInfiniteGrasp, 9);
+  const auto before = tree.parent;
+  scramble_ids(tree, 10);
+  EXPECT_NE(tree.parent, before);
+  EXPECT_NE(tree.root, 0);  // root was 0; overwhelmingly likely to move
+}
+
+TEST(RandomQueries, InRangeAndDeterministic) {
+  const auto a = random_queries(100, 1000, 11);
+  const auto b = random_queries(100, 1000, 11);
+  EXPECT_EQ(a, b);
+  for (const auto& [x, y] : a) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 100);
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 100);
+  }
+}
+
+TEST(ExpectedAverageDepth, MatchesPaperFormula) {
+  EXPECT_NEAR(expected_average_depth(1 << 20, kInfiniteGrasp), 13.86, 0.01);
+  EXPECT_NEAR(expected_average_depth(8'000'000, 999), 8000.0, 10.0);
+  EXPECT_NEAR(expected_average_depth(100, 1), 50.0, 0.1);
+}
+
+// ---------------------------------------------------------------- graphs
+
+TEST(Rmat, RespectsTargetSize) {
+  const auto g = rmat_graph(10, 8, 0.57, 0.19, 0.19, 1);
+  EXPECT_EQ(g.num_nodes, 1024);
+  EXPECT_EQ(g.edges.size(), static_cast<std::size_t>(8 * 1024));
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Rmat, SkewedDegreesVsUniform) {
+  const device::Context ctx(1);
+  const auto kron = graph::simplified(kron_graph(12, 8, 2));
+  const auto er = graph::simplified(
+      er_graph(1 << 12, kron.edges.size(), 2));
+  auto max_degree = [&](const graph::EdgeList& g) {
+    const auto csr = graph::build_csr(ctx, g);
+    EdgeId best = 0;
+    for (NodeId v = 0; v < g.num_nodes; ++v) best = std::max(best, csr.degree(v));
+    return best;
+  };
+  EXPECT_GT(max_degree(kron), 2 * max_degree(er));
+}
+
+TEST(Rmat, KroneckerHasSmallDiameter) {
+  const device::Context ctx(1);
+  const auto g = graph::largest_component(
+      graph::simplified(kron_graph(12, 16, 3)));
+  const auto csr = graph::build_csr(ctx, g);
+  EXPECT_LE(graph::estimate_diameter(csr), 10);
+}
+
+TEST(RoadGraph, SparseWithLargeDiameterAndManyBridges) {
+  const device::Context ctx(1);
+  const auto g = graph::largest_component(
+      graph::simplified(road_graph(60, 60, 0.7, 0.05, 4)));
+  const auto csr = graph::build_csr(ctx, g);
+  // m/n close to 1 (extremely sparse), like road networks.
+  const double density =
+      static_cast<double>(g.edges.size()) / static_cast<double>(g.num_nodes);
+  EXPECT_LT(density, 2.0);
+  // Diameter scales with grid side.
+  EXPECT_GT(graph::estimate_diameter(csr), 30);
+}
+
+TEST(RoadGraph, FullGridIsConnected) {
+  const auto g = road_graph(20, 20, 1.0, 0.0, 5);
+  EXPECT_EQ(graph::count_components(graph::connected_component_labels(g)), 1u);
+  EXPECT_EQ(g.edges.size(), static_cast<std::size_t>(2 * 20 * 19));
+}
+
+TEST(ErGraph, SizeAndValidity) {
+  const auto g = er_graph(100, 500, 6);
+  EXPECT_EQ(g.edges.size(), 500u);
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(CycleAndPath, Shapes) {
+  const auto c = cycle_graph(10);
+  EXPECT_EQ(c.edges.size(), 10u);
+  const auto p = path_graph(10);
+  EXPECT_EQ(p.edges.size(), 9u);
+  EXPECT_TRUE(c.valid());
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  EXPECT_EQ(kron_graph(8, 4, 7).edges, kron_graph(8, 4, 7).edges);
+  EXPECT_EQ(road_graph(10, 10, 0.5, 0.1, 7).edges,
+            road_graph(10, 10, 0.5, 0.1, 7).edges);
+  EXPECT_NE(kron_graph(8, 4, 7).edges, kron_graph(8, 4, 8).edges);
+}
+
+}  // namespace
+}  // namespace emc::gen

@@ -1,0 +1,168 @@
+// End-to-end pipelines mirroring the paper's experiments at test scale:
+// generate → preprocess → answer → cross-check every implementation against
+// every other, across worker counts. These are the tests that would catch a
+// barrier/ordering bug that unit tests on a single module might miss.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bridges/chaitanya_kothapalli.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "bridges/hybrid.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "core/euler_tour.hpp"
+#include "core/tree.hpp"
+#include "device/context.hpp"
+#include "gen/graphs.hpp"
+#include "gen/trees.hpp"
+#include "lca/inlabel.hpp"
+#include "lca/naive.hpp"
+#include "lca/rmq_lca.hpp"
+
+namespace emc {
+namespace {
+
+TEST(Integration, LcaExperimentPipeline) {
+  // The Figure 3 pipeline at test scale: shallow + deep trees, q = n,
+  // all four algorithm configurations agreeing query by query.
+  const device::Context gpu = device::Context(4);
+  const device::Context multicore = device::Context(2);
+  for (const NodeId grasp : {gen::kInfiniteGrasp, NodeId{50}}) {
+    const NodeId n = 10'000;
+    core::ParentTree tree = gen::random_tree(n, grasp, 1);
+    gen::scramble_ids(tree, 2);
+    const auto queries = gen::random_queries(n, n, 3);
+
+    const auto cpu1 = lca::InlabelLca::build_sequential(tree);
+    const auto cpuk = lca::InlabelLca::build_parallel(multicore, tree);
+    const auto gpu_inlabel = lca::InlabelLca::build_parallel(gpu, tree);
+    const auto gpu_naive = lca::NaiveLca::build(gpu, tree);
+
+    std::vector<NodeId> a1, ak, ag, an;
+    cpu1.query_batch(device::Context::sequential(), queries, a1);
+    cpuk.query_batch(multicore, queries, ak);
+    gpu_inlabel.query_batch(gpu, queries, ag);
+    gpu_naive.query_batch(gpu, queries, an);
+    ASSERT_EQ(a1, ak);
+    ASSERT_EQ(a1, ag);
+    ASSERT_EQ(a1, an);
+  }
+}
+
+TEST(Integration, LcaBatchedOnlinePipeline) {
+  // Figure 6 setting: answers must not depend on the batch split.
+  const device::Context ctx(3);
+  core::ParentTree tree = gen::random_tree(5000, gen::kInfiniteGrasp, 4);
+  gen::scramble_ids(tree, 5);
+  const auto lca = lca::InlabelLca::build_parallel(ctx, tree);
+  const auto queries = gen::random_queries(5000, 4096, 6);
+
+  std::vector<NodeId> whole;
+  lca.query_batch(ctx, queries, whole);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{17},
+                                  std::size_t{512}}) {
+    std::vector<NodeId> pieces;
+    for (std::size_t start = 0; start < queries.size(); start += batch) {
+      const std::size_t end = std::min(queries.size(), start + batch);
+      std::vector<std::pair<NodeId, NodeId>> chunk(queries.begin() + start,
+                                                   queries.begin() + end);
+      std::vector<NodeId> part;
+      lca.query_batch(ctx, chunk, part);
+      pieces.insert(pieces.end(), part.begin(), part.end());
+    }
+    ASSERT_EQ(pieces, whole) << "batch=" << batch;
+  }
+}
+
+TEST(Integration, BridgesExperimentPipeline) {
+  // The Figure 9/10 pipeline at test scale, over all three graph classes.
+  const device::Context gpu(4);
+  const device::Context multicore(2);
+  const std::vector<std::pair<const char*, graph::EdgeList>> suite = {
+      {"kron", gen::kron_graph(10, 6, 1)},
+      {"social", gen::social_graph(10, 4, 2)},
+      {"road", gen::road_graph(40, 40, 0.68, 0.04, 3)},
+  };
+  for (const auto& [name, raw] : suite) {
+    const graph::EdgeList g =
+        graph::largest_component(graph::simplified(raw));
+    ASSERT_GE(g.num_nodes, 100) << name;
+    const graph::Csr csr = build_csr(gpu, g);
+    const auto dfs = bridges::find_bridges_dfs(csr);
+    const auto ck_mc = bridges::find_bridges_ck(multicore, g, csr);
+    const auto ck_gpu = bridges::find_bridges_ck(gpu, g, csr);
+    const auto tv = bridges::find_bridges_tarjan_vishkin(gpu, g);
+    const auto hy = bridges::find_bridges_hybrid(gpu, g);
+    ASSERT_EQ(ck_mc, dfs) << name;
+    ASSERT_EQ(ck_gpu, dfs) << name;
+    ASSERT_EQ(tv, dfs) << name;
+    ASSERT_EQ(hy, dfs) << name;
+  }
+}
+
+TEST(Integration, WorkerCountNeverChangesResults) {
+  // The same computation across 1..5 workers must be bit-identical — the
+  // device simulation is deterministic by construction (atomic-min keyed
+  // proposals, double-buffered jumps).
+  core::ParentTree tree = gen::random_tree(3000, NodeId{25}, 7);
+  gen::scramble_ids(tree, 8);
+  const auto queries = gen::random_queries(3000, 2000, 9);
+  const graph::EdgeList g = graph::largest_component(
+      graph::simplified(gen::er_graph(2000, 3200, 10)));
+
+  std::vector<NodeId> first_lca;
+  bridges::BridgeMask first_mask;
+  for (unsigned workers = 1; workers <= 5; ++workers) {
+    const device::Context ctx(workers);
+    const auto lca = lca::InlabelLca::build_parallel(ctx, tree);
+    std::vector<NodeId> answers;
+    lca.query_batch(ctx, queries, answers);
+    const auto mask = bridges::find_bridges_tarjan_vishkin(ctx, g);
+    if (workers == 1) {
+      first_lca = answers;
+      first_mask = mask;
+    } else {
+      ASSERT_EQ(answers, first_lca) << "workers=" << workers;
+      ASSERT_EQ(mask, first_mask) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Integration, EulerTourFeedsBothApplications) {
+  // One tour reused by an LCA structure and a bridge run on the same tree
+  // viewed as a graph: the tree's edges must all be bridges, and LCA of any
+  // adjacent pair must be the parent.
+  const device::Context ctx(2);
+  core::ParentTree tree = gen::random_tree(2000, NodeId{15}, 11);
+  gen::scramble_ids(tree, 12);
+  const graph::EdgeList edges = core::tree_edges(tree);
+
+  const auto lca = lca::InlabelLca::build_parallel(ctx, tree);
+  const auto mask = bridges::find_bridges_tarjan_vishkin(ctx, edges);
+  EXPECT_EQ(bridges::count_bridges(mask), edges.edges.size());
+  for (std::size_t e = 0; e < 200; ++e) {
+    const auto [u, v] = edges.edges[e];
+    const NodeId expected = tree.parent[u] == v ? v : u;
+    ASSERT_EQ(lca.query(u, v), expected);
+  }
+}
+
+TEST(Integration, ScaleFreePipeline) {
+  // Figures 7/8 setting: BA trees through the full LCA pipeline.
+  const device::Context ctx(3);
+  core::ParentTree tree = gen::barabasi_albert_tree(20'000, 13);
+  gen::scramble_ids(tree, 14);
+  const auto inlabel = lca::InlabelLca::build_parallel(ctx, tree);
+  const auto naive = lca::NaiveLca::build(ctx, tree);
+  const auto rmq = lca::RmqLca::build(tree);
+  const auto queries = gen::random_queries(20'000, 20'000, 15);
+  std::vector<NodeId> a, b, c;
+  inlabel.query_batch(ctx, queries, a);
+  naive.query_batch(ctx, queries, b);
+  rmq.query_batch(ctx, queries, c);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+}  // namespace
+}  // namespace emc

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gen/graphs.hpp"
+#include "gen/trees.hpp"
+#include "io/io.hpp"
+
+namespace emc::io {
+namespace {
+
+TEST(EdgeListIo, RoundTrip) {
+  const graph::EdgeList g = gen::er_graph(50, 120, 1);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const auto back = read_edge_list(buffer);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back.value->num_nodes, g.num_nodes);
+  EXPECT_EQ(back.value->edges, g.edges);
+}
+
+TEST(EdgeListIo, SkipsCommentsAndBlankLines) {
+  std::stringstream in("# a comment\n\n3 2\n0 1\n# inline\n1 2\n");
+  const auto g = read_edge_list(in);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g.value->num_nodes, 3);
+  EXPECT_EQ(g.value->edges.size(), 2u);
+}
+
+TEST(EdgeListIo, RejectsMissingHeader) {
+  std::stringstream in("0 1\n");
+  const auto g = read_edge_list(in);
+  // "0 1" parses as the header n=0 m=1 -> invalid n.
+  EXPECT_FALSE(g);
+}
+
+TEST(EdgeListIo, RejectsOutOfRangeIds) {
+  std::stringstream in("2 1\n0 5\n");
+  const auto g = read_edge_list(in);
+  ASSERT_FALSE(g);
+  EXPECT_EQ(g.error.line, 2u);
+}
+
+TEST(EdgeListIo, RejectsEdgeCountMismatch) {
+  std::stringstream in("3 5\n0 1\n");
+  EXPECT_FALSE(read_edge_list(in));
+}
+
+TEST(EdgeListIo, RejectsEmptyInput) {
+  std::stringstream in("");
+  EXPECT_FALSE(read_edge_list(in));
+}
+
+TEST(DimacsIo, ParsesRoadFormat) {
+  std::stringstream in(
+      "c USA-road style file\n"
+      "p sp 4 6\n"
+      "a 1 2 100\n"
+      "a 2 1 100\n"
+      "a 2 3 50\n"
+      "a 3 2 50\n"
+      "a 3 4 10\n"
+      "a 4 3 10\n");
+  const auto g = read_dimacs(in);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g.value->num_nodes, 4);
+  EXPECT_EQ(g.value->edges.size(), 6u);  // both directions kept; simplify later
+  const auto simple = graph::simplified(*g.value);
+  EXPECT_EQ(simple.edges.size(), 3u);
+}
+
+TEST(DimacsIo, RoundTrip) {
+  const graph::EdgeList g = gen::cycle_graph(10);
+  std::stringstream buffer;
+  write_dimacs(buffer, g);
+  const auto back = read_dimacs(buffer);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back.value->num_nodes, 10);
+  EXPECT_EQ(graph::simplified(*back.value).edges.size(), 10u);
+}
+
+TEST(DimacsIo, RejectsArcBeforeHeader) {
+  std::stringstream in("a 1 2 3\n");
+  ASSERT_FALSE(read_dimacs(in));
+}
+
+TEST(DimacsIo, RejectsUnknownLineType) {
+  std::stringstream in("p sp 2 1\nx 1 2\n");
+  ASSERT_FALSE(read_dimacs(in));
+}
+
+TEST(DimacsIo, IgnoresSelfLoops) {
+  std::stringstream in("p sp 2 2\na 1 1 5\na 1 2 5\n");
+  const auto g = read_dimacs(in);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g.value->edges.size(), 1u);
+}
+
+TEST(SnapIo, RenumbersArbitraryIds) {
+  std::stringstream in(
+      "# SNAP-style\n"
+      "1000000 42\n"
+      "42 7\n"
+      "7 1000000\n");
+  const auto g = read_snap(in);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g.value->num_nodes, 3);
+  EXPECT_EQ(g.value->edges.size(), 3u);
+  EXPECT_TRUE(g.value->valid());
+}
+
+TEST(SnapIo, SkipsSelfLoops) {
+  std::stringstream in("5 5\n5 6\n");
+  const auto g = read_snap(in);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g.value->edges.size(), 1u);
+}
+
+TEST(SnapIo, RejectsGarbage) {
+  std::stringstream in("hello world\n");
+  EXPECT_FALSE(read_snap(in));
+}
+
+TEST(ParentTreeIo, RoundTrip) {
+  core::ParentTree tree = gen::random_tree(100, NodeId{5}, 3);
+  gen::scramble_ids(tree, 4);
+  std::stringstream buffer;
+  write_parent_tree(buffer, tree);
+  const auto back = read_parent_tree(buffer);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back.value->root, tree.root);
+  EXPECT_EQ(back.value->parent, tree.parent);
+}
+
+TEST(ParentTreeIo, RejectsCycle) {
+  std::stringstream in("3 0\n-1 2 1\n");
+  EXPECT_FALSE(read_parent_tree(in));
+}
+
+TEST(ParentTreeIo, RejectsRootWithParent) {
+  std::stringstream in("2 0\n1 0\n");
+  EXPECT_FALSE(read_parent_tree(in));
+}
+
+TEST(ParentTreeIo, RejectsShortInput) {
+  std::stringstream in("5 0\n-1 0 0\n");
+  EXPECT_FALSE(read_parent_tree(in));
+}
+
+TEST(LoadGraphFile, SniffsFormats) {
+  // Write three temp files and load each through the sniffing loader.
+  const graph::EdgeList g = gen::cycle_graph(6);
+  {
+    std::ofstream out("/tmp/emc_test_native.txt");
+    write_edge_list(out, g);
+  }
+  {
+    std::ofstream out("/tmp/emc_test_dimacs.gr");
+    write_dimacs(out, g);
+  }
+  {
+    std::ofstream out("/tmp/emc_test_snap.txt");
+    out << "# snap\n";
+    for (const auto& e : g.edges) out << e.u << ' ' << e.v << '\n';
+  }
+  const auto native = load_graph_file("/tmp/emc_test_native.txt");
+  const auto dimacs = load_graph_file("/tmp/emc_test_dimacs.gr");
+  const auto snap = load_graph_file("/tmp/emc_test_snap.txt");
+  ASSERT_TRUE(native);
+  ASSERT_TRUE(dimacs);
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(native.value->edges.size(), 6u);
+  EXPECT_EQ(graph::simplified(*dimacs.value).edges.size(), 6u);
+  EXPECT_EQ(snap.value->edges.size(), 6u);
+}
+
+TEST(LoadGraphFile, MissingFileFails) {
+  const auto result = load_graph_file("/tmp/does-not-exist-emc");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error.message.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emc::io

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "device/context.hpp"
+#include "listrank/listrank.hpp"
+#include "util/rng.hpp"
+
+namespace emc::listrank {
+namespace {
+
+/// Builds a random list over n elements: returns (next, head) where the
+/// list visits all n elements in a random order.
+std::pair<std::vector<EdgeId>, EdgeId> random_list(std::size_t n,
+                                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<EdgeId> order(n);
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  for (std::size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+  std::vector<EdgeId> next(n, kNoEdge);
+  for (std::size_t i = 0; i + 1 < n; ++i) next[order[i]] = order[i + 1];
+  return {next, order[0]};
+}
+
+class ListRankParam
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {
+ protected:
+  device::Context ctx() const {
+    return device::Context(std::get<0>(GetParam()));
+  }
+  std::size_t n() const { return std::get<1>(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndSizes, ListRankParam,
+    ::testing::Combine(::testing::Values(1u, 3u),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{64},
+                                         std::size_t{1000},
+                                         std::size_t{50'000})));
+
+TEST_P(ListRankParam, SequentialIsIdentityOnOrder) {
+  const auto [next, head] = random_list(n(), 1);
+  std::vector<EdgeId> rank;
+  rank_sequential(next, head, rank);
+  // rank values are a permutation of 0..n-1 and consistent with next.
+  EXPECT_EQ(rank[head], 0);
+  for (std::size_t i = 0; i < n(); ++i) {
+    if (next[i] != kNoEdge) {
+      ASSERT_EQ(rank[next[i]], rank[i] + 1);
+    }
+  }
+}
+
+TEST_P(ListRankParam, WyllieMatchesSequential) {
+  const auto [next, head] = random_list(n(), 2);
+  std::vector<EdgeId> expected, got;
+  rank_sequential(next, head, expected);
+  rank_wyllie(ctx(), next, head, got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(ListRankParam, WeiJajaMatchesSequential) {
+  const auto [next, head] = random_list(n(), 3);
+  std::vector<EdgeId> expected, got;
+  rank_sequential(next, head, expected);
+  rank_wei_jaja(ctx(), next, head, got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(ListRankParam, WeiJajaSublistCountSweep) {
+  const auto [next, head] = random_list(n(), 4);
+  std::vector<EdgeId> expected, got;
+  rank_sequential(next, head, expected);
+  for (const std::size_t sublists : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{16}, n()}) {
+    rank_wei_jaja(ctx(), next, head, got, sublists);
+    ASSERT_EQ(got, expected) << "sublists=" << sublists;
+  }
+}
+
+TEST_P(ListRankParam, PrefixMatchesSequential) {
+  const auto [next, head] = random_list(n(), 5);
+  util::Rng rng(6);
+  std::vector<std::int64_t> values(n());
+  for (auto& v : values) v = static_cast<std::int64_t>(rng.below(100)) - 50;
+  std::vector<std::int64_t> expected, got;
+  prefix_sequential(next, head, values, expected);
+  prefix_wei_jaja(ctx(), next, head, values, got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ListRank, SingleElement) {
+  std::vector<EdgeId> next{kNoEdge};
+  std::vector<EdgeId> rank;
+  const device::Context ctx(2);
+  rank_wei_jaja(ctx, next, 0, rank);
+  EXPECT_EQ(rank[0], 0);
+  rank_wyllie(ctx, next, 0, rank);
+  EXPECT_EQ(rank[0], 0);
+}
+
+TEST(ListRank, InOrderList) {
+  // next[i] = i+1: ranks must equal indices.
+  const std::size_t n = 10'000;
+  std::vector<EdgeId> next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = i + 1 < n ? static_cast<EdgeId>(i + 1) : kNoEdge;
+  }
+  const device::Context ctx(3);
+  std::vector<EdgeId> rank;
+  rank_wei_jaja(ctx, next, 0, rank);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(rank[i], static_cast<EdgeId>(i));
+}
+
+TEST(ListRank, ReversedList) {
+  // next[i] = i-1, head = n-1: rank[i] = n-1-i.
+  const std::size_t n = 10'000;
+  std::vector<EdgeId> next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = i == 0 ? kNoEdge : static_cast<EdgeId>(i - 1);
+  }
+  const device::Context ctx(3);
+  std::vector<EdgeId> rank;
+  rank_wyllie(ctx, next, static_cast<EdgeId>(n - 1), rank);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(rank[i], static_cast<EdgeId>(n - 1 - i));
+  }
+}
+
+TEST(ListRank, PrefixWithUnitWeightsIsRankPlusOne) {
+  const auto [next, head] = random_list(5000, 77);
+  const device::Context ctx(2);
+  std::vector<std::int64_t> ones(5000, 1), prefix;
+  prefix_wei_jaja(ctx, next, head, ones, prefix);
+  std::vector<EdgeId> rank;
+  rank_sequential(next, head, rank);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(prefix[i], static_cast<std::int64_t>(rank[i]) + 1);
+  }
+}
+
+TEST(ListRank, DeterministicAcrossRuns) {
+  const auto [next, head] = random_list(20'000, 123);
+  const device::Context ctx(4);
+  std::vector<EdgeId> a, b;
+  rank_wei_jaja(ctx, next, head, a, 0, 999);
+  rank_wei_jaja(ctx, next, head, b, 0, 999);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace emc::listrank

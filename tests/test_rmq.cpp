@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "device/context.hpp"
+#include "rmq/segment_tree.hpp"
+#include "rmq/sparse_table.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace emc::rmq {
+namespace {
+
+std::vector<NodeId> random_values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<NodeId> values(n);
+  for (auto& v : values) v = static_cast<NodeId>(rng.below(1'000'000));
+  return values;
+}
+
+class RmqParam
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {
+ protected:
+  device::Context ctx_{std::get<0>(GetParam())};
+  std::size_t n_ = std::get<1>(GetParam());
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndSizes, RmqParam,
+    ::testing::Combine(::testing::Values(1u, 3u),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{7},
+                                         std::size_t{64}, std::size_t{1000},
+                                         std::size_t{4097})));
+
+TEST_P(RmqParam, SegmentTreeMinMatchesBruteForce) {
+  const auto values = random_values(n_, n_);
+  const MinSegmentTree<NodeId> tree(ctx_, values, kNodeInf);
+  util::Rng rng(n_ + 1);
+  for (int q = 0; q < 200; ++q) {
+    std::size_t lo = rng.below(n_);
+    std::size_t hi = rng.below(n_);
+    if (lo > hi) std::swap(lo, hi);
+    const NodeId expected =
+        *std::min_element(values.begin() + lo, values.begin() + hi + 1);
+    ASSERT_EQ(tree.query(lo, hi), expected) << lo << ".." << hi;
+  }
+}
+
+TEST_P(RmqParam, SegmentTreeMaxMatchesBruteForce) {
+  const auto values = random_values(n_, n_ + 7);
+  const MaxSegmentTree<NodeId> tree(ctx_, values, NodeId{-1});
+  util::Rng rng(n_ + 2);
+  for (int q = 0; q < 200; ++q) {
+    std::size_t lo = rng.below(n_);
+    std::size_t hi = rng.below(n_);
+    if (lo > hi) std::swap(lo, hi);
+    const NodeId expected =
+        *std::max_element(values.begin() + lo, values.begin() + hi + 1);
+    ASSERT_EQ(tree.query(lo, hi), expected);
+  }
+}
+
+TEST_P(RmqParam, SparseTableAgreesWithSegmentTree) {
+  const auto values = random_values(n_, n_ + 13);
+  const MinSegmentTree<NodeId> seg(ctx_, values, kNodeInf);
+  const SparseTable<NodeId, MinOp> table(ctx_, values);
+  util::Rng rng(n_ + 3);
+  for (int q = 0; q < 200; ++q) {
+    std::size_t lo = rng.below(n_);
+    std::size_t hi = rng.below(n_);
+    if (lo > hi) std::swap(lo, hi);
+    ASSERT_EQ(table.query(lo, hi), seg.query(lo, hi));
+  }
+}
+
+TEST_P(RmqParam, FullRangeAndPointQueries) {
+  const auto values = random_values(n_, n_ + 17);
+  const MinSegmentTree<NodeId> tree(ctx_, values, kNodeInf);
+  EXPECT_EQ(tree.query(0, n_ - 1),
+            *std::min_element(values.begin(), values.end()));
+  for (std::size_t i = 0; i < std::min<std::size_t>(n_, 64); ++i) {
+    ASSERT_EQ(tree.query(i, i), values[i]);
+  }
+}
+
+TEST(SegmentTree, EmptyInput) {
+  const device::Context ctx(1);
+  const MinSegmentTree<NodeId> tree(ctx, {}, kNodeInf);
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(SegmentTree, ValueAtReadsLeaves) {
+  const device::Context ctx(1);
+  const std::vector<NodeId> values{5, 2, 9};
+  const MinSegmentTree<NodeId> tree(ctx, values, kNodeInf);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(tree.value_at(i), values[i]);
+  }
+}
+
+TEST(SegmentTree, AdjacentRangesCompose) {
+  const device::Context ctx(2);
+  const auto values = random_values(257, 21);
+  const MinSegmentTree<NodeId> tree(ctx, values, kNodeInf);
+  for (std::size_t mid = 1; mid < 257; mid += 13) {
+    const NodeId whole = tree.query(0, 256);
+    const NodeId left = tree.query(0, mid - 1);
+    const NodeId right = tree.query(mid, 256);
+    ASSERT_EQ(whole, std::min(left, right));
+  }
+}
+
+TEST(SparseTable, SingleElement) {
+  const device::Context ctx(1);
+  const SparseTable<NodeId, MaxOp> table(ctx, std::vector<NodeId>{42});
+  EXPECT_EQ(table.query(0, 0), 42);
+}
+
+TEST(SparseTable, PowersOfTwoBoundaries) {
+  const device::Context ctx(1);
+  std::vector<NodeId> values(1024);
+  for (std::size_t i = 0; i < 1024; ++i) values[i] = static_cast<NodeId>(i);
+  const SparseTable<NodeId, MinOp> table(ctx, values);
+  EXPECT_EQ(table.query(0, 1023), 0);
+  EXPECT_EQ(table.query(512, 1023), 512);
+  EXPECT_EQ(table.query(511, 512), 511);
+  EXPECT_EQ(table.query(1023, 1023), 1023);
+}
+
+}  // namespace
+}  // namespace emc::rmq

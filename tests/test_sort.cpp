@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "device/context.hpp"
+#include "device/sort.hpp"
+#include "util/rng.hpp"
+
+namespace emc::device {
+namespace {
+
+class SortParam
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {
+ protected:
+  Context ctx_{std::get<0>(GetParam())};
+  std::size_t n_ = std::get<1>(GetParam());
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndSizes, SortParam,
+    ::testing::Combine(::testing::Values(1u, 3u),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{100},
+                                         std::size_t{4096},
+                                         std::size_t{50'000})));
+
+TEST_P(SortParam, KeysRandom64) {
+  util::Rng rng(n_ + 10);
+  std::vector<std::uint64_t> keys(n_);
+  for (auto& k : keys) k = rng();
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  sort_keys(ctx_, keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_P(SortParam, KeysSmallRange) {
+  util::Rng rng(n_ + 11);
+  std::vector<std::uint32_t> keys(n_);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(4));
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  sort_keys(ctx_, keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_P(SortParam, KeysAlreadySorted) {
+  std::vector<std::uint32_t> keys(n_);
+  std::iota(keys.begin(), keys.end(), 0u);
+  auto expected = keys;
+  sort_keys(ctx_, keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_P(SortParam, KeysReverseSorted) {
+  std::vector<std::uint32_t> keys(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    keys[i] = static_cast<std::uint32_t>(n_ - i);
+  }
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  sort_keys(ctx_, keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_P(SortParam, PairsPermuteValuesWithKeys) {
+  util::Rng rng(n_ + 12);
+  std::vector<std::uint64_t> keys(n_);
+  std::vector<std::int32_t> values(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    keys[i] = rng.below(1'000'000);
+    values[i] = static_cast<std::int32_t>(i);
+  }
+  auto ref = keys;
+  sort_pairs(ctx_, keys, values);
+  ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // Every value index appears once and carries its original key.
+  std::vector<bool> seen(n_, false);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto original = static_cast<std::size_t>(values[i]);
+    ASSERT_FALSE(seen[original]);
+    seen[original] = true;
+    ASSERT_EQ(keys[i], ref[original]);
+  }
+}
+
+TEST_P(SortParam, PairsStable) {
+  util::Rng rng(n_ + 13);
+  std::vector<std::uint32_t> keys(n_);
+  std::vector<std::int32_t> values(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    keys[i] = static_cast<std::uint32_t>(rng.below(8));  // many duplicates
+    values[i] = static_cast<std::int32_t>(i);
+  }
+  sort_pairs(ctx_, keys, values);
+  // Stability: equal keys keep ascending original indices.
+  for (std::size_t i = 1; i < n_; ++i) {
+    if (keys[i] == keys[i - 1]) ASSERT_LT(values[i - 1], values[i]);
+  }
+}
+
+TEST(Sort, HandlesFullWidthKeys) {
+  Context ctx(2);
+  util::Rng rng(1);
+  std::vector<std::uint64_t> keys(10'000);
+  for (auto& k : keys) k = rng();  // exercises all 8 radix passes
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  sort_keys(ctx, keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(Sort, AllEqualKeys) {
+  Context ctx(2);
+  std::vector<std::uint64_t> keys(1000, 42);
+  std::vector<std::int32_t> values(1000);
+  std::iota(values.begin(), values.end(), 0);
+  sort_pairs(ctx, keys, values);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(keys[i], 42u);
+    ASSERT_EQ(values[i], static_cast<std::int32_t>(i));  // stability
+  }
+}
+
+TEST(Sort, LexicographicPackedPairsOrderAsPairs) {
+  // The Euler tour packs (src, dst) into one key; check the order matches
+  // lexicographic pair comparison.
+  Context ctx(1);
+  util::Rng rng(5);
+  const std::size_t n = 5000;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs(n);
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::int32_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs[i] = {static_cast<std::uint32_t>(rng.below(100)),
+                static_cast<std::uint32_t>(rng.below(100))};
+    keys[i] = (static_cast<std::uint64_t>(pairs[i].first) << 32) |
+              pairs[i].second;
+    ids[i] = static_cast<std::int32_t>(i);
+  }
+  sort_pairs(ctx, keys, ids);
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_LE(pairs[ids[i - 1]], pairs[ids[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace emc::device

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tree.hpp"
+#include "device/context.hpp"
+#include "gen/trees.hpp"
+#include "lca/inlabel.hpp"
+#include "lca/tarjan_offline.hpp"
+#include "util/rng.hpp"
+
+namespace emc::lca {
+namespace {
+
+struct OfflineCase {
+  NodeId n;
+  NodeId grasp;
+  std::uint64_t seed;
+};
+
+class TarjanOffline : public ::testing::TestWithParam<OfflineCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeShapes, TarjanOffline,
+    ::testing::Values(OfflineCase{1, gen::kInfiniteGrasp, 1},
+                      OfflineCase{2, gen::kInfiniteGrasp, 2},
+                      OfflineCase{5, 1, 3},
+                      OfflineCase{100, gen::kInfiniteGrasp, 4},
+                      OfflineCase{100, 2, 5},
+                      OfflineCase{2000, gen::kInfiniteGrasp, 6},
+                      OfflineCase{2000, 1, 7},
+                      OfflineCase{2000, 25, 8},
+                      OfflineCase{20000, gen::kInfiniteGrasp, 9},
+                      OfflineCase{20000, 100, 10}));
+
+TEST_P(TarjanOffline, MatchesInlabelOnRandomBatch) {
+  const auto [n, grasp, seed] = GetParam();
+  core::ParentTree tree = gen::random_tree(n, grasp, seed);
+  gen::scramble_ids(tree, seed + 11);
+  const auto queries =
+      gen::random_queries(n, static_cast<std::size_t>(2 * n), seed + 12);
+  const auto offline = tarjan_offline_lca(tree, queries);
+  ASSERT_EQ(offline.size(), queries.size());
+
+  const InlabelLca inlabel = InlabelLca::build_sequential(tree);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(offline[i], inlabel.query(queries[i].first, queries[i].second))
+        << "query " << i << " (" << queries[i].first << ","
+        << queries[i].second << ")";
+  }
+}
+
+TEST(TarjanOfflineEdgeCases, EmptyBatch) {
+  core::ParentTree tree = gen::random_tree(10, gen::kInfiniteGrasp, 1);
+  EXPECT_TRUE(tarjan_offline_lca(tree, {}).empty());
+}
+
+TEST(TarjanOfflineEdgeCases, SelfQueries) {
+  core::ParentTree tree = gen::random_tree(50, NodeId{3}, 2);
+  gen::scramble_ids(tree, 3);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (NodeId v = 0; v < 50; ++v) queries.emplace_back(v, v);
+  const auto answers = tarjan_offline_lca(tree, queries);
+  for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(answers[v], v);
+}
+
+TEST(TarjanOfflineEdgeCases, RepeatedQueriesGetSameAnswer) {
+  core::ParentTree tree = gen::random_tree(500, gen::kInfiniteGrasp, 4);
+  gen::scramble_ids(tree, 5);
+  std::vector<std::pair<NodeId, NodeId>> queries(100, {7, 13});
+  queries.emplace_back(13, 7);  // reversed, too
+  const auto answers = tarjan_offline_lca(tree, queries);
+  for (std::size_t i = 1; i < answers.size(); ++i) {
+    EXPECT_EQ(answers[i], answers[0]);
+  }
+}
+
+TEST(TarjanOfflineEdgeCases, RootQueries) {
+  core::ParentTree tree = gen::random_tree(200, NodeId{5}, 6);
+  gen::scramble_ids(tree, 7);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (NodeId v = 0; v < 200; v += 13) queries.emplace_back(tree.root, v);
+  const auto answers = tarjan_offline_lca(tree, queries);
+  for (const NodeId a : answers) EXPECT_EQ(a, tree.root);
+}
+
+}  // namespace
+}  // namespace emc::lca

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/euler_tour.hpp"
+#include "core/tree.hpp"
+#include "core/tree_ops.hpp"
+#include "device/context.hpp"
+#include "gen/trees.hpp"
+#include "util/rng.hpp"
+
+namespace emc::core {
+namespace {
+
+struct Fixture {
+  ParentTree tree;
+  EulerTour tour;
+  TreeStats stats;
+  device::Context ctx;
+
+  Fixture(NodeId n, NodeId grasp, std::uint64_t seed, unsigned workers)
+      : ctx(workers) {
+    tree = gen::random_tree(n, grasp, seed);
+    gen::scramble_ids(tree, seed + 1);
+    tour = build_euler_tour(ctx, tree_edges(tree), tree.root);
+    stats = compute_tree_stats(ctx, tour);
+  }
+};
+
+class TreeOpsParam
+    : public ::testing::TestWithParam<std::tuple<unsigned, NodeId, NodeId>> {
+ protected:
+  Fixture fx_{std::get<1>(GetParam()), std::get<2>(GetParam()),
+              std::get<1>(GetParam()) * 7ull, std::get<0>(GetParam())};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeOpsParam,
+    ::testing::Combine(::testing::Values(1u, 3u),
+                       ::testing::Values(NodeId{2}, NodeId{50}, NodeId{1000},
+                                         NodeId{5000}),
+                       ::testing::Values(gen::kInfiniteGrasp, NodeId{1},
+                                         NodeId{8})));
+
+TEST_P(TreeOpsParam, PostorderIsValidAndConsistent) {
+  const auto post = postorder_numbers(fx_.ctx, fx_.tour);
+  const NodeId n = fx_.tree.num_nodes();
+  // Permutation of 1..n; root is last; every node after all its children;
+  // postorder(v) = preorder(v) + size(v) - depth-corrected... we check the
+  // defining property instead: post(v) >= post(c) + 1 for children c, and
+  // the interval [post(v) - size(v) + 1, post(v)] is exactly v's subtree.
+  std::vector<bool> seen(n + 1, false);
+  for (NodeId v = 0; v < n; ++v) {
+    ASSERT_GE(post[v], 1);
+    ASSERT_LE(post[v], n);
+    ASSERT_FALSE(seen[post[v]]);
+    seen[post[v]] = true;
+  }
+  EXPECT_EQ(post[fx_.tree.root], n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == fx_.tree.root) continue;
+    const NodeId p = fx_.tree.parent[v];
+    EXPECT_LT(post[v], post[p]);
+    // Subtree of v occupies a contiguous postorder interval ending at v.
+    EXPECT_GE(post[v], fx_.stats.subtree_size[v]);
+  }
+}
+
+TEST_P(TreeOpsParam, SubtreeSumsMatchReference) {
+  const NodeId n = fx_.tree.num_nodes();
+  util::Rng rng(99);
+  std::vector<std::int64_t> value(n);
+  for (auto& v : value) v = static_cast<std::int64_t>(rng.below(1000)) - 500;
+  const auto sums = subtree_sums(fx_.ctx, fx_.tour, fx_.stats, value);
+
+  // Reference: accumulate children into parents by decreasing depth.
+  std::vector<std::int64_t> expected(value.begin(), value.end());
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return fx_.stats.level[a] > fx_.stats.level[b];
+  });
+  for (const NodeId v : order) {
+    if (v != fx_.tree.root) expected[fx_.tree.parent[v]] += expected[v];
+  }
+  for (NodeId v = 0; v < n; ++v) ASSERT_EQ(sums[v], expected[v]) << v;
+}
+
+TEST_P(TreeOpsParam, LeafCountsMatchReference) {
+  const NodeId n = fx_.tree.num_nodes();
+  const auto counts = subtree_leaf_counts(fx_.ctx, fx_.tour, fx_.stats);
+  std::vector<NodeId> expected(n, 0);
+  std::vector<bool> has_child(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != fx_.tree.root) has_child[fx_.tree.parent[v]] = true;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (has_child[v]) continue;
+    for (NodeId u = v; ; u = fx_.tree.parent[u]) {
+      ++expected[u];
+      if (u == fx_.tree.root) break;
+    }
+  }
+  EXPECT_EQ(counts, expected);
+  // The root counts every leaf.
+  NodeId leaves = 0;
+  for (NodeId v = 0; v < n; ++v) leaves += has_child[v] ? 0 : 1;
+  EXPECT_EQ(counts[fx_.tree.root], leaves);
+}
+
+TEST_P(TreeOpsParam, AncestorOracleMatchesClimbing) {
+  const NodeId n = fx_.tree.num_nodes();
+  const AncestorOracle oracle(fx_.stats);
+  util::Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.below(n));
+    const NodeId b = static_cast<NodeId>(rng.below(n));
+    bool expected = false;
+    for (NodeId u = b; ; u = fx_.tree.parent[u]) {
+      if (u == a) {
+        expected = true;
+        break;
+      }
+      if (u == fx_.tree.root) break;
+    }
+    ASSERT_EQ(oracle.is_ancestor(a, b), expected) << a << " " << b;
+  }
+  // Everyone is their own ancestor; the root is everyone's.
+  const NodeId v = static_cast<NodeId>(rng.below(n));
+  EXPECT_TRUE(oracle.is_ancestor(v, v));
+  EXPECT_TRUE(oracle.is_ancestor(fx_.tree.root, v));
+}
+
+TEST_P(TreeOpsParam, HeavyChildrenAreHeaviest) {
+  const NodeId n = fx_.tree.num_nodes();
+  const auto heavy = heavy_children(fx_.ctx, fx_.tour, fx_.stats);
+  // Reference max per parent.
+  std::vector<NodeId> best_size(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == fx_.tree.root) continue;
+    const NodeId p = fx_.tree.parent[v];
+    best_size[p] = std::max(best_size[p], fx_.stats.subtree_size[v]);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (best_size[v] == 0) {
+      ASSERT_EQ(heavy[v], kNoNode) << "leaf " << v;
+    } else {
+      ASSERT_NE(heavy[v], kNoNode);
+      ASSERT_EQ(fx_.tree.parent[heavy[v]], v);
+      ASSERT_EQ(fx_.stats.subtree_size[heavy[v]], best_size[v]);
+    }
+  }
+}
+
+TEST(TreeOps, SingleNode) {
+  const device::Context ctx(1);
+  graph::EdgeList edges;
+  edges.num_nodes = 1;
+  const EulerTour tour = build_euler_tour(ctx, edges, 0);
+  const TreeStats stats = compute_tree_stats(ctx, tour);
+  EXPECT_EQ(postorder_numbers(ctx, tour), std::vector<NodeId>{1});
+  EXPECT_EQ(subtree_sums(ctx, tour, stats, {42}), std::vector<std::int64_t>{42});
+  EXPECT_EQ(subtree_leaf_counts(ctx, tour, stats), std::vector<NodeId>{1});
+  EXPECT_EQ(heavy_children(ctx, tour, stats), std::vector<NodeId>{kNoNode});
+}
+
+TEST(TreeOps, PathPostorderReversesPreorder) {
+  const device::Context ctx(2);
+  const NodeId n = 500;
+  graph::EdgeList edges;
+  edges.num_nodes = n;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.edges.push_back({v, v + 1});
+  const EulerTour tour = build_euler_tour(ctx, edges, 0);
+  const auto post = postorder_numbers(ctx, tour);
+  for (NodeId v = 0; v < n; ++v) ASSERT_EQ(post[v], n - v);
+}
+
+}  // namespace
+}  // namespace emc::core
