@@ -10,7 +10,9 @@
 // Expectations: BFS dominates CK as the diameter grows; hybrid beats CK on
 // most instances but never beats TV (its marking phase is not cheaper than
 // TV's detect phase once both have paid for spanning tree + Euler tour).
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "bridge_suite.hpp"
 #include "bridges/chaitanya_kothapalli.hpp"
@@ -27,8 +29,11 @@ int main(int argc, char** argv) {
   flags.finish();
 
   const bench::Contexts ctx = bench::make_contexts();
-  std::printf("# Figure 11: runtime breakdown of GPU bridge algorithms\n\n");
-  util::Table table({"graph", "algo", "phases_ms", "total_ms"});
+  std::printf("# Figure 11: runtime breakdown of GPU bridge algorithms\n");
+  std::printf("# `launches` counts kernel launches (ThreadPool::launch_count "
+              "deltas): each one pays the modeled launch+barrier latency, so "
+              "fused pipelines show up directly in this column.\n\n");
+  util::Table table({"graph", "algo", "phases_ms", "total_ms", "launches"});
 
   auto suite = bench::kron_suite(kron_min, kron_max, 89.0);
   auto real = bench::real_suite(scale);
@@ -49,19 +54,25 @@ int main(int argc, char** argv) {
     };
 
     util::PhaseTimer ck_phases;
+    std::uint64_t launches = ctx.gpu.launch_count();
     bridges::find_bridges_ck(ctx.gpu, g, csr, &ck_phases);
     table.add_row({inst.name, "gpu-ck", render(ck_phases),
-                   util::Table::num(ck_phases.total() * 1e3, 1)});
+                   util::Table::num(ck_phases.total() * 1e3, 1),
+                   std::to_string(ctx.gpu.launch_count() - launches)});
 
     util::PhaseTimer tv_phases;
+    launches = ctx.gpu.launch_count();
     bridges::find_bridges_tarjan_vishkin(ctx.gpu, g, &tv_phases);
     table.add_row({inst.name, "gpu-tv", render(tv_phases),
-                   util::Table::num(tv_phases.total() * 1e3, 1)});
+                   util::Table::num(tv_phases.total() * 1e3, 1),
+                   std::to_string(ctx.gpu.launch_count() - launches)});
 
     util::PhaseTimer hy_phases;
+    launches = ctx.gpu.launch_count();
     bridges::find_bridges_hybrid(ctx.gpu, g, &hy_phases);
     table.add_row({inst.name, "gpu-hybrid", render(hy_phases),
-                   util::Table::num(hy_phases.total() * 1e3, 1)});
+                   util::Table::num(hy_phases.total() * 1e3, 1),
+                   std::to_string(ctx.gpu.launch_count() - launches)});
   }
   table.print();
   std::printf("\n# Section 4.3 check: hybrid total should usually sit between "

@@ -4,9 +4,17 @@
 // array scan is far faster than a list ranking of the same length (the
 // paper cites a 7-8x gap on GPU), so an Euler tour should be converted to
 // an array once and scanned thereafter.
+//
+// Besides the console table, every run appends machine-readable rows to
+// BENCH_primitives.json — [{"op", "n", "context", "ns_per_elem"}, ...] — so
+// the primitive-throughput trajectory is tracked across PRs. Benchmark
+// names follow "op/context/n" to make the rows self-describing.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "device/context.hpp"
@@ -19,8 +27,13 @@ namespace {
 
 using namespace emc;
 
-const device::Context& ctx() {
+const device::Context& device_ctx() {
   static device::Context context = device::Context::device();
+  return context;
+}
+
+const device::Context& cpu1_ctx() {
+  static device::Context context = device::Context::sequential();
   return context;
 }
 
@@ -34,16 +47,46 @@ std::pair<std::vector<EdgeId>, EdgeId> random_list(std::size_t n) {
   return {next, order[0]};
 }
 
+template <const device::Context& (*Ctx)()>
 void BM_ArrayScan(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const device::Context& ctx = Ctx();
   std::vector<std::int64_t> in(n, 1), out(n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        device::inclusive_scan(ctx(), in.data(), n, out.data()));
+        device::inclusive_scan(ctx, in.data(), n, out.data()));
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_ArrayScan)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ArrayScan<device_ctx>)
+    ->Name("scan_i64/device")
+    ->Arg(1 << 16)
+    ->Arg(1 << 20);
+BENCHMARK(BM_ArrayScan<cpu1_ctx>)->Name("scan_i64/cpu1")->Arg(1 << 20);
+
+void BM_ArrayScanNode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const device::Context& ctx = device_ctx();
+  std::vector<NodeId> in(n, 1), out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        device::inclusive_scan(ctx, in.data(), n, out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ArrayScanNode)->Name("scan_i32/device")->Arg(1 << 20);
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const device::Context& ctx = device_ctx();
+  std::vector<std::int64_t> in(n, 1), out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        device::exclusive_scan(ctx, in.data(), n, out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExclusiveScan)->Name("exscan_i64/device")->Arg(1 << 20);
 
 void BM_ListRankSequential(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -52,25 +95,34 @@ void BM_ListRankSequential(benchmark::State& state) {
   for (auto _ : state) listrank::rank_sequential(next, head, rank);
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_ListRankSequential)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ListRankSequential)
+    ->Name("listrank_seq/cpu1")
+    ->Arg(1 << 16)
+    ->Arg(1 << 20);
 
 void BM_ListRankWyllie(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto [next, head] = random_list(n);
   std::vector<EdgeId> rank;
-  for (auto _ : state) listrank::rank_wyllie(ctx(), next, head, rank);
+  for (auto _ : state) listrank::rank_wyllie(device_ctx(), next, head, rank);
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_ListRankWyllie)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ListRankWyllie)
+    ->Name("listrank_wyllie/device")
+    ->Arg(1 << 16)
+    ->Arg(1 << 20);
 
 void BM_ListRankWeiJaja(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto [next, head] = random_list(n);
   std::vector<EdgeId> rank;
-  for (auto _ : state) listrank::rank_wei_jaja(ctx(), next, head, rank);
+  for (auto _ : state) listrank::rank_wei_jaja(device_ctx(), next, head, rank);
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_ListRankWeiJaja)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ListRankWeiJaja)
+    ->Name("listrank_weijaja/device")
+    ->Arg(1 << 16)
+    ->Arg(1 << 20);
 
 void BM_RadixSortPairs(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -84,22 +136,40 @@ void BM_RadixSortPairs(benchmark::State& state) {
   for (auto _ : state) {
     auto k = keys;
     auto v = values;
-    device::sort_pairs(ctx(), k, v);
+    device::sort_pairs(device_ctx(), k, v);
     benchmark::DoNotOptimize(k.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_RadixSortPairs)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_RadixSortPairs)
+    ->Name("sort_pairs/device")
+    ->Arg(1 << 16)
+    ->Arg(1 << 20);
 
+template <const device::Context& (*Ctx)()>
 void BM_Reduce(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const device::Context& ctx = Ctx();
   std::vector<std::int64_t> in(n, 3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(device::reduce_sum(ctx(), in.data(), n));
+    benchmark::DoNotOptimize(device::reduce_sum(ctx, in.data(), n));
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_Reduce)->Arg(1 << 20);
+BENCHMARK(BM_Reduce<device_ctx>)->Name("reduce_i64/device")->Arg(1 << 20);
+BENCHMARK(BM_Reduce<cpu1_ctx>)->Name("reduce_i64/cpu1")->Arg(1 << 20);
+
+void BM_CopyIf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device::copy_if_index(
+        device_ctx(), n, [](std::size_t i) { return i % 3 == 0; },
+        out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CopyIf)->Name("copy_if/device")->Arg(1 << 20);
 
 void BM_Gather(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -108,13 +178,76 @@ void BM_Gather(benchmark::State& state) {
   std::vector<std::uint32_t> index(n);
   for (auto& i : index) i = static_cast<std::uint32_t>(rng.below(n));
   for (auto _ : state) {
-    device::gather(ctx(), in.data(), index.data(), n, out.data());
+    device::gather(device_ctx(), in.data(), index.data(), n, out.data());
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_Gather)->Arg(1 << 20);
+BENCHMARK(BM_Gather)->Name("gather_i64/device")->Arg(1 << 20);
+
+/// Console output plus a row per run for BENCH_primitives.json.
+class JsonRowsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      // Names are "op/context/n".
+      const std::string name = run.benchmark_name();
+      const std::size_t first = name.find('/');
+      const std::size_t second = name.find('/', first + 1);
+      if (first == std::string::npos || second == std::string::npos) continue;
+      Row row;
+      row.op = name.substr(0, first);
+      row.context = name.substr(first + 1, second - first - 1);
+      row.n = std::strtoull(name.c_str() + second + 1, nullptr, 10);
+      const auto items = run.counters.find("items_per_second");
+      row.ns_per_elem = items != run.counters.end() && items->second.value > 0
+                            ? 1e9 / items->second.value
+                            : 0.0;
+      rows_.push_back(row);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  bool WriteJson(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) return false;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(f,
+                   "  {\"op\": \"%s\", \"n\": %llu, \"context\": \"%s\", "
+                   "\"ns_per_elem\": %.4f}%s\n",
+                   row.op.c_str(), static_cast<unsigned long long>(row.n),
+                   row.context.c_str(), row.ns_per_elem,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string op;
+    std::string context;
+    unsigned long long n = 0;
+    double ns_per_elem = 0.0;
+  };
+  std::vector<Row> rows_;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonRowsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!reporter.WriteJson("BENCH_primitives.json")) {
+    std::fprintf(stderr, "failed to write BENCH_primitives.json\n");
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <limits>
 
+#include "device/arena.hpp"
 #include "device/primitives.hpp"
 
 namespace emc::bridges {
@@ -21,10 +22,13 @@ SpanningForest cc_spanning_forest(const device::Context& ctx,
 
   // Proposal slot per node; only roots receive proposals. Packed as
   // (target label << 32 | edge id) so atomic min prefers the smallest
-  // target and then the smallest edge — fully deterministic output.
+  // target and then the smallest edge — fully deterministic output. Both
+  // rounds-scoped arrays are arena scratch.
   constexpr std::uint64_t kNoProposal = std::numeric_limits<std::uint64_t>::max();
-  std::vector<std::uint64_t> proposal(n);
-  std::vector<std::uint8_t> edge_used(m, 0);
+  device::Arena::Scope scope(ctx.arena());
+  std::uint64_t* proposal = scope.get<std::uint64_t>(n);
+  std::uint8_t* edge_used = scope.get<std::uint8_t>(m);
+  device::fill(ctx, m, edge_used, std::uint8_t{0});
 
   const auto flatten = [&] {
     bool changed = true;
@@ -45,7 +49,7 @@ SpanningForest cc_spanning_forest(const device::Context& ctx,
   bool hooked = true;
   while (hooked) {
     flatten();
-    device::fill(ctx, n, proposal.data(), kNoProposal);
+    device::fill(ctx, n, proposal, kNoProposal);
     std::atomic<int> any_proposal{0};
     device::launch(ctx, m, [&](std::size_t e) {
       const NodeId lu = label[graph.edges[e].u];

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cassert>
 
+#include "device/arena.hpp"
 #include "device/primitives.hpp"
 
 namespace emc::bridges {
@@ -17,7 +18,9 @@ BridgeMask ck_marking_phase(const device::Context& ctx,
   util::ScopedPhase phase(phases, "mark_non_bridges");
   const std::size_t m = graph.edges.size();
   // marked[v] == 1 means tree edge (v, parent(v)) was visited by some walk.
-  std::vector<std::uint8_t> marked(parent.size(), 0);
+  device::Arena::Scope scope(ctx.arena());
+  std::uint8_t* marked = scope.get<std::uint8_t>(parent.size());
+  device::fill(ctx, parent.size(), marked, std::uint8_t{0});
 
   device::launch(ctx, m, [&](std::size_t e) {
     if (is_tree_edge[e]) return;

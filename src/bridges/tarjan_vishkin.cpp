@@ -51,7 +51,9 @@ BridgeMask find_bridges_tarjan_vishkin(const device::Context& ctx,
   // Per-node min/max preorder among non-tree neighbors — the paper's
   // sort + mgpu::segreduce step: emit (node, pre[other endpoint]) for both
   // directions of every non-tree edge, radix-sort by node (streaming
-  // passes, exactly how mgpu consumes it), then reduce each run.
+  // passes, exactly how mgpu consumes it), then reduce each run. The
+  // preorder-indexed staging arrays are arena scratch.
+  device::Arena::Scope scope(ctx.arena());
   std::vector<NodeId> node_min(n), node_max(n);
   device::launch(ctx, n, [&](std::size_t v) {
     node_min[v] = pre[v];  // the node itself can never provide an escape
@@ -64,13 +66,14 @@ BridgeMask find_bridges_tarjan_vishkin(const device::Context& ctx,
   // A sparse table answers the n subtree-interval queries in O(1) each with
   // two streaming lookups; the paper's segment tree is kept as an ablation
   // (bench_ablation --detect-rmq=segtree compares the two).
-  std::vector<NodeId> by_pre_min(n), by_pre_max(n);
+  NodeId* by_pre_min = scope.get<NodeId>(n);
+  NodeId* by_pre_max = scope.get<NodeId>(n);
   device::launch(ctx, n, [&](std::size_t v) {
     by_pre_min[pre[v] - 1] = node_min[v];
     by_pre_max[pre[v] - 1] = node_max[v];
   });
-  const rmq::SparseTable<NodeId, rmq::MinOp> low_tree(ctx, by_pre_min);
-  const rmq::SparseTable<NodeId, rmq::MaxOp> high_tree(ctx, by_pre_max);
+  const rmq::SparseTable<NodeId, rmq::MinOp> low_tree(ctx, by_pre_min, n);
+  const rmq::SparseTable<NodeId, rmq::MaxOp> high_tree(ctx, by_pre_max, n);
 
   // Criterion, one virtual thread per tree edge: let c be the child
   // endpoint; bridge iff low(c) >= pre(c) and high(c) < pre(c) + size(c).

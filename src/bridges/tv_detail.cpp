@@ -1,5 +1,6 @@
 #include "bridges/tv_detail.hpp"
 
+#include "device/arena.hpp"
 #include "device/primitives.hpp"
 #include "device/sort.hpp"
 
@@ -12,17 +13,18 @@ void aggregate_non_tree_min_max(const device::Context& ctx,
                                 std::vector<NodeId>& node_min,
                                 std::vector<NodeId>& node_max) {
   const std::size_t m = graph.edges.size();
+  device::Arena::Scope scope(ctx.arena());
 
   // Compact the non-tree edges (their count is m - n + 1 but we compute it
   // with a scan to stay a bulk pipeline), then emit both directions.
-  std::vector<EdgeId> non_tree(m);
+  EdgeId* non_tree = scope.get<EdgeId>(m);
   const std::size_t k = device::copy_if_index(
       ctx, m, [&](std::size_t e) { return !is_tree_edge[e]; },
-      non_tree.data());
+      non_tree);
   if (k == 0) return;
 
-  std::vector<std::uint32_t> keys(2 * k);
-  std::vector<NodeId> values(2 * k);
+  std::uint32_t* keys = scope.get<std::uint32_t>(2 * k);
+  NodeId* values = scope.get<NodeId>(2 * k);
   device::launch(ctx, k, [&](std::size_t i) {
     const graph::Edge edge = graph.edges[non_tree[i]];
     keys[2 * i] = static_cast<std::uint32_t>(edge.u);
@@ -30,7 +32,7 @@ void aggregate_non_tree_min_max(const device::Context& ctx,
     keys[2 * i + 1] = static_cast<std::uint32_t>(edge.v);
     values[2 * i + 1] = pre[edge.u];
   });
-  device::sort_pairs(ctx, keys, values);
+  device::sort_pairs(ctx, keys, values, 2 * k);
 
   // One virtual thread per run of equal keys (runs are contiguous after the
   // sort; this is what mgpu::segreduce does with its sorted-segment input).

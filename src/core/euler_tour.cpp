@@ -42,83 +42,72 @@ EulerTour build_euler_tour(const device::Context& ctx,
   tour.tour.resize(h);
   if (h == 0) return tour;  // single-node tree: empty tour
 
+  device::Arena::Scope scope(ctx.arena());
+
   // --- DCEL construction (§2.1). Array A: both directions of edge k stored
-  // at 2k and 2k+1, so twin is the implicit e ^ 1.
+  // at 2k and 2k+1, so twin is the implicit e ^ 1. One fused kernel also
+  // emits the lexicographic sort keys and seeds the id payload, so each
+  // input edge is read exactly once before the sort.
+  std::uint64_t* keys = scope.get<std::uint64_t>(h);
+  EdgeId* order = scope.get<EdgeId>(h);
   {
     util::ScopedPhase phase(phases, "dcel_expand");
+    const int shift = util::ceil_log2(static_cast<std::uint64_t>(n));
     device::launch(ctx, edges.edges.size(), [&](std::size_t k) {
       const graph::Edge e = edges.edges[k];
       tour.edge_src[2 * k] = e.u;
       tour.edge_dst[2 * k] = e.v;
       tour.edge_src[2 * k + 1] = e.v;
       tour.edge_dst[2 * k + 1] = e.u;
+      keys[2 * k] = lex_key(e.u, e.v, shift);
+      keys[2 * k + 1] = lex_key(e.v, e.u, shift);
+      order[2 * k] = static_cast<EdgeId>(2 * k);
+      order[2 * k + 1] = static_cast<EdgeId>(2 * k + 1);
     });
   }
 
   // Array B: half-edge ids sorted lexicographically by (src, dst). `order`
   // plays the role of B; the sort is "the costly sorting" the paper notes
   // cannot generally be avoided.
-  std::vector<std::uint64_t> keys(h);
-  std::vector<EdgeId> order(h);
   {
     util::ScopedPhase phase(phases, "dcel_sort");
-    const int shift = util::ceil_log2(static_cast<std::uint64_t>(n));
-    device::transform(ctx, h, keys.data(), [&](std::size_t e) {
-      return lex_key(tour.edge_src[e], tour.edge_dst[e], shift);
-    });
-    device::iota(ctx, h, order.data());
-    device::sort_pairs(ctx, keys, order);
+    device::sort_pairs(ctx, keys, order, h);
   }
 
-  // next[e]: successor of e among half-edges leaving src(e), cyclic.
   // first_pos[x]: position in B of the first half-edge leaving x.
-  std::vector<EdgeId> next(h);
+  EdgeId* first_pos = scope.get<EdgeId>(static_cast<std::size_t>(n));
   {
     util::ScopedPhase phase(phases, "dcel_next");
-    std::vector<EdgeId> first_pos(static_cast<std::size_t>(n), kNoEdge);
     device::launch(ctx, h, [&](std::size_t i) {
       const NodeId src = tour.edge_src[order[i]];
       if (i == 0 || tour.edge_src[order[i - 1]] != src) {
         first_pos[src] = static_cast<EdgeId>(i);
       }
     });
+  }
+
+  // --- Tour linking, one fused kernel. For position i with e = order[i],
+  // next(e) = the successor of e among half-edges leaving src(e) (cyclic,
+  // wrapping to first_pos[src]), and the tour list is succ(e) = next(twin(e))
+  // (§2.1) — so write next(e) directly into succ[twin(e)]. The list head is
+  // the first half-edge leaving the root in B order, available as
+  // order[first_pos[root]] without any scan; the unique predecessor of the
+  // head is the tail, cut in the same kernel instead of a separate pass.
+  {
+    util::ScopedPhase phase(phases, "tour_link");
+    const EdgeId head = order[first_pos[root]];
+    tour.head = head;
     device::launch(ctx, h, [&](std::size_t i) {
       const EdgeId e = order[i];
       const NodeId src = tour.edge_src[e];
+      EdgeId next_e;
       if (i + 1 < h && tour.edge_src[order[i + 1]] == src) {
-        next[e] = order[i + 1];
+        next_e = order[i + 1];
       } else {
-        next[e] = order[first_pos[src]];  // wrap to the first edge at src
+        next_e = order[first_pos[src]];  // wrap to the first edge at src
       }
+      tour.succ[e ^ 1] = next_e == head ? kNoEdge : next_e;
     });
-  }
-
-  // --- Tour as a linked list: succ(e) = next(twin(e)) (§2.1), split at the
-  // first edge leaving the root (choosing the list head roots the tree).
-  {
-    util::ScopedPhase phase(phases, "tour_link");
-    device::launch(ctx, h,
-                   [&](std::size_t e) { tour.succ[e] = next[e ^ 1]; });
-    // head = first half-edge leaving root in B order. Its cyclic
-    // predecessor becomes the tail.
-    EdgeId head = kNoEdge;
-    for (std::size_t i = 0; i < h; ++i) {  // cheap: root's run is contiguous
-      if (tour.edge_src[order[i]] == root) {
-        head = order[i];
-        break;
-      }
-    }
-    assert(head != kNoEdge);
-    tour.head = head;
-    // tail: unique e with succ[e] == head.
-    std::atomic<EdgeId> tail{kNoEdge};
-    device::launch(ctx, h, [&](std::size_t e) {
-      if (tour.succ[e] == tour.head) {
-        tail.store(static_cast<EdgeId>(e), std::memory_order_relaxed);
-      }
-    });
-    assert(tail.load() != kNoEdge);
-    tour.succ[tail.load()] = kNoEdge;
   }
 
   // --- The single list ranking (§2.2), then the array form.
@@ -163,17 +152,18 @@ TreeStats compute_tree_stats(const device::Context& ctx, const EulerTour& tour,
 
   // Weight +1 for down edges. Preorder = prefix count of down edges;
   // level = prefix sum with up edges weighted -1. Both in one pass each,
-  // over the *array* form — this is exactly the §2.2 optimization.
-  std::vector<NodeId> down_flag(h), down_prefix(h), level_weight(h),
-      level_prefix(h);
-  device::transform(ctx, h, down_flag.data(), [&](std::size_t r) {
-    return static_cast<NodeId>(tour.goes_down(tour.tour[r]) ? 1 : 0);
+  // over the *array* form — this is exactly the §2.2 optimization. The two
+  // weight arrays come out of one fused kernel (one read of the tour).
+  device::Arena::Scope scope(ctx.arena());
+  NodeId* down_prefix = scope.get<NodeId>(h);
+  NodeId* level_prefix = scope.get<NodeId>(h);
+  device::launch(ctx, h, [&](std::size_t r) {
+    const bool down = tour.goes_down(tour.tour[r]);
+    down_prefix[r] = down ? 1 : 0;
+    level_prefix[r] = down ? 1 : -1;
   });
-  device::transform(ctx, h, level_weight.data(), [&](std::size_t r) {
-    return static_cast<NodeId>(tour.goes_down(tour.tour[r]) ? 1 : -1);
-  });
-  device::inclusive_scan(ctx, down_flag.data(), h, down_prefix.data());
-  device::inclusive_scan(ctx, level_weight.data(), h, level_prefix.data());
+  device::inclusive_scan(ctx, down_prefix, h, down_prefix);
+  device::inclusive_scan(ctx, level_prefix, h, level_prefix);
 
   device::launch(ctx, h, [&](std::size_t r) {
     const EdgeId e = tour.tour[r];

@@ -9,9 +9,18 @@ namespace emc::device {
 namespace {
 
 unsigned default_workers() {
+  // EMC_WORKERS is taken only when it parses completely as a positive,
+  // sane worker count; anything else (empty, non-numeric, trailing junk,
+  // zero, negative, absurd) falls back to hardware concurrency so a typo in
+  // a job script degrades gracefully instead of silently serializing or
+  // spawning thousands of threads.
+  constexpr long kMaxWorkers = 4096;
   if (const char* env = std::getenv("EMC_WORKERS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<unsigned>(parsed);
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1 && parsed <= kMaxWorkers) {
+      return static_cast<unsigned>(parsed);
+    }
   }
   return std::max(1u, std::thread::hardware_concurrency());
 }
@@ -21,7 +30,8 @@ unsigned default_workers() {
 Context::Context(unsigned workers, double launch_overhead_seconds)
     : pool_(std::make_shared<ThreadPool>(
           workers == 0 ? default_workers() : workers,
-          launch_overhead_seconds)) {}
+          launch_overhead_seconds)),
+      arena_(std::make_shared<Arena>()) {}
 
 Context Context::device() {
   // Default 50us: the GTX 980's ~5us launch+sync latency scaled by the

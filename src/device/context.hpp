@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
+#include "device/arena.hpp"
 #include "device/thread_pool.hpp"
 
 namespace emc::device {
@@ -25,9 +27,10 @@ namespace emc::device {
 class Context {
  public:
   /// Creates a context with the given number of workers (0 means "use the
-  /// EMC_WORKERS environment variable, else hardware concurrency") and a
-  /// fixed per-kernel launch + barrier latency in seconds (CPU contexts use
-  /// the default 0; see thread_pool.hpp for why the device charges one).
+  /// EMC_WORKERS environment variable when it holds a valid positive count,
+  /// else hardware concurrency") and a fixed per-kernel launch + barrier
+  /// latency in seconds (CPU contexts use the default 0; see
+  /// thread_pool.hpp for why the device charges one).
   explicit Context(unsigned workers = 0, double launch_overhead_seconds = 0.0);
 
   /// Single-worker context; all launches run inline on the caller.
@@ -45,12 +48,21 @@ class Context {
   unsigned workers() const { return pool_->workers(); }
   ThreadPool& pool() const { return *pool_; }
 
+  /// Scratch arena shared by every primitive running on this context (the
+  /// device-memory pool of the simulation; see arena.hpp). Like the pool, it
+  /// assumes one host thread drives the context at a time.
+  Arena& arena() const { return *arena_; }
+
+  /// Kernel launches issued on this context's pool so far.
+  std::uint64_t launch_count() const { return pool_->launch_count(); }
+
   /// Default chunk grain for bulk launches: large enough to amortize
   /// scheduling, small enough to balance load.
   std::size_t grain_for(std::size_t n) const;
 
  private:
   std::shared_ptr<ThreadPool> pool_;  // shared so Context is cheaply copyable
+  std::shared_ptr<Arena> arena_;
 };
 
 }  // namespace emc::device

@@ -1,0 +1,49 @@
+// Non-owning callable reference — the allocation-free kernel handle.
+//
+// A kernel launch hands the pool a callable whose lifetime spans the launch
+// (the launch returns only after the barrier), so owning type erasure is
+// pure overhead: std::function may heap-allocate captures on every launch
+// and defeats the "a launch is two pointer writes" property real GPU
+// runtimes have. FunctionRef stores one object pointer and one invoke
+// thunk, is trivially copyable, and never allocates.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace emc::device {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  /// Binds to any callable. The callable must outlive every invocation —
+  /// true for kernel launches, which block until the last chunk finishes.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void* object_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace emc::device

@@ -24,7 +24,8 @@ ThreadPool::~ThreadPool() {
   for (auto& thread : threads_) thread.join();
 }
 
-void ThreadPool::charge_launch_overhead() const {
+void ThreadPool::charge_launch_overhead() {
+  launch_count_.fetch_add(1, std::memory_order_relaxed);
   if (launch_overhead_seconds_ <= 0.0) return;
   // Busy-wait: the latency is serial on a real device (the host cannot see
   // results before launch + barrier complete), so sleeping would understate
@@ -37,9 +38,16 @@ void ThreadPool::charge_launch_overhead() const {
   }
 }
 
-void ThreadPool::parallel_for(
-    std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& f) {
+void ThreadPool::dispatch_and_wait() {
+  wake_.notify_all();
+  work_on_current_job(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock,
+             [this] { return pending_workers_.load(std::memory_order_acquire) ==
+                             0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain, ChunkFn f) {
   charge_launch_overhead();
   if (n == 0) return;
   grain = std::max<std::size_t>(1, grain);
@@ -55,7 +63,8 @@ void ThreadPool::parallel_for(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_.chunk_fn = f;
-    job_.worker_fn = nullptr;
+    job_.worker_chunk_fn = WorkerChunkFn();
+    job_.worker_fn = WorkerFn();
     job_.n = n;
     job_.grain = grain;
     job_.num_chunks = num_chunks;
@@ -63,15 +72,38 @@ void ThreadPool::parallel_for(
     pending_workers_.store(workers_, std::memory_order_relaxed);
     ++epoch_;
   }
-  wake_.notify_all();
-  work_on_current_job(0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock,
-             [this] { return pending_workers_.load(std::memory_order_acquire) ==
-                             0; });
+  dispatch_and_wait();
 }
 
-void ThreadPool::run_on_workers(const std::function<void(unsigned)>& f) {
+void ThreadPool::parallel_for_worker(std::size_t n, std::size_t grain,
+                                     WorkerChunkFn f) {
+  charge_launch_overhead();
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  if (workers_ == 1 || num_chunks == 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * grain;
+      f(0, begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_.chunk_fn = ChunkFn();
+    job_.worker_chunk_fn = f;
+    job_.worker_fn = WorkerFn();
+    job_.n = n;
+    job_.grain = grain;
+    job_.num_chunks = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_workers_.store(workers_, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  dispatch_and_wait();
+}
+
+void ThreadPool::run_on_workers(WorkerFn f) {
   charge_launch_overhead();
   if (workers_ == 1) {
     f(0);
@@ -79,23 +111,27 @@ void ThreadPool::run_on_workers(const std::function<void(unsigned)>& f) {
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_.chunk_fn = nullptr;
+    job_.chunk_fn = ChunkFn();
+    job_.worker_chunk_fn = WorkerChunkFn();
     job_.worker_fn = f;
     job_.num_chunks = 0;
     pending_workers_.store(workers_, std::memory_order_relaxed);
     ++epoch_;
   }
-  wake_.notify_all();
-  work_on_current_job(0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock,
-             [this] { return pending_workers_.load(std::memory_order_acquire) ==
-                             0; });
+  dispatch_and_wait();
 }
 
 void ThreadPool::work_on_current_job(unsigned worker_index) {
   if (job_.worker_fn) {
     job_.worker_fn(worker_index);
+  } else if (job_.worker_chunk_fn) {
+    while (true) {
+      const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job_.num_chunks) break;
+      const std::size_t begin = c * job_.grain;
+      job_.worker_chunk_fn(worker_index, begin,
+                           std::min(job_.n, begin + job_.grain));
+    }
   } else {
     while (true) {
       const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);

@@ -6,20 +6,36 @@
 // that separates kernels (exactly the synchronization structure GPU
 // algorithms are written against). Chunks are handed out dynamically via an
 // atomic counter, which mirrors how thread blocks are scheduled onto SMs.
+//
+// Launches are allocation-free: kernels arrive as non-owning FunctionRef
+// handles (the caller blocks until the barrier, so the callable outlives the
+// launch by construction), and dispatch writes two pointers into the job
+// slot. No std::function — and therefore no heap — sits on the launch path.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "device/function_ref.hpp"
 
 namespace emc::device {
 
 class ThreadPool {
  public:
+  /// Kernel body: processes the half-open chunk [begin, end).
+  using ChunkFn = FunctionRef<void(std::size_t, std::size_t)>;
+  /// Kernel body that also receives the executing worker's index, for
+  /// kernels that keep per-worker scratch (e.g. sort digit histograms).
+  using WorkerChunkFn =
+      FunctionRef<void(unsigned, std::size_t, std::size_t)>;
+  /// Per-worker body for run_on_workers.
+  using WorkerFn = FunctionRef<void(unsigned)>;
+
   /// Creates a pool with `workers` total workers (including the caller, who
   /// participates in every launch). workers == 1 means fully inline
   /// execution with no extra threads.
@@ -41,23 +57,36 @@ class ThreadPool {
   /// Runs f(chunk_begin, chunk_end) over [0, n) split into chunks of at most
   /// `grain` elements. Returns once every chunk has completed (barrier).
   /// f must be safe to call concurrently on disjoint ranges.
-  void parallel_for(std::size_t n, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& f);
+  void parallel_for(std::size_t n, std::size_t grain, ChunkFn f);
+
+  /// As parallel_for, but f also receives the executing worker's index in
+  /// [0, workers()). A worker may process many chunks; the index lets
+  /// kernels accumulate into contention-free per-worker scratch.
+  void parallel_for_worker(std::size_t n, std::size_t grain, WorkerChunkFn f);
 
   /// Runs f(worker_index) once on each of the pool's workers in parallel.
-  /// Used by primitives that keep per-worker scratch (e.g. sort histograms).
-  void run_on_workers(const std::function<void(unsigned)>& f);
+  void run_on_workers(WorkerFn f);
 
   double launch_overhead() const { return launch_overhead_seconds_; }
+
+  /// Total kernel launches issued so far (every parallel_for /
+  /// parallel_for_worker / run_on_workers counts as one). Snapshot before
+  /// and after a pipeline to measure how many launch-overhead charges it
+  /// pays — the figure the breakdown benchmark reports.
+  std::uint64_t launch_count() const {
+    return launch_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop(unsigned index);
   void work_on_current_job(unsigned worker_index);
-  void charge_launch_overhead() const;
+  void charge_launch_overhead();
+  void dispatch_and_wait();
 
   struct Job {
-    std::function<void(std::size_t, std::size_t)> chunk_fn;
-    std::function<void(unsigned)> worker_fn;
+    ChunkFn chunk_fn;
+    WorkerChunkFn worker_chunk_fn;
+    WorkerFn worker_fn;
     std::size_t n = 0;
     std::size_t grain = 0;
     std::size_t num_chunks = 0;
@@ -74,6 +103,7 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;     // incremented per launch; wakes workers
   std::atomic<std::size_t> next_chunk_{0};
   std::atomic<std::size_t> pending_workers_{0};
+  std::atomic<std::uint64_t> launch_count_{0};
   bool shutdown_ = false;
 };
 

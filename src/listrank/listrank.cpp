@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "device/arena.hpp"
 #include "device/primitives.hpp"
 #include "util/rng.hpp"
 
@@ -21,11 +22,16 @@ void rank_wyllie(const device::Context& ctx, const std::vector<EdgeId>& next,
   rank.resize(n);
   if (n == 0) return;
   // dist[i] = number of hops from i to the tail, computed by doubling;
-  // rank-from-head then follows as dist[head] - dist[i].
-  std::vector<EdgeId> dist(n), dist_next(n);
-  std::vector<EdgeId> jump(next), jump_next(n);
-  device::transform(ctx, n, dist.data(), [&](std::size_t i) {
-    return next[i] == kNoEdge ? EdgeId{0} : EdgeId{1};
+  // rank-from-head then follows as dist[head] - dist[i]. All four doubling
+  // buffers are arena scratch.
+  device::Arena::Scope scope(ctx.arena());
+  EdgeId* dist = scope.get<EdgeId>(n);
+  EdgeId* dist_next = scope.get<EdgeId>(n);
+  EdgeId* jump = scope.get<EdgeId>(n);
+  EdgeId* jump_next = scope.get<EdgeId>(n);
+  device::launch(ctx, n, [&](std::size_t i) {
+    jump[i] = next[i];
+    dist[i] = next[i] == kNoEdge ? EdgeId{0} : EdgeId{1};
   });
   bool live = true;
   while (live) {
@@ -43,8 +49,8 @@ void rank_wyllie(const device::Context& ctx, const std::vector<EdgeId>& next,
         if (jump[j] != kNoEdge) any_live.store(1, std::memory_order_relaxed);
       }
     });
-    dist.swap(dist_next);
-    jump.swap(jump_next);
+    std::swap(dist, dist_next);
+    std::swap(jump, jump_next);
     live = any_live.load(std::memory_order_relaxed) != 0;
   }
   const EdgeId head_dist = dist[head];
@@ -55,10 +61,9 @@ void rank_wyllie(const device::Context& ctx, const std::vector<EdgeId>& next,
 namespace {
 
 /// Shared skeleton of the Wei-JáJá algorithm. `WeightFn(i)` gives the weight
-/// contributed by element i; ranks are weights-of-predecessors sums plus the
-/// element's own weight minus... — concretely we compute the *inclusive*
-/// prefix in `out` when inclusive=true, and the 0-based hop rank when the
-/// weight is identically 1 and inclusive=false (head rank 0).
+/// contributed by element i; we compute the *inclusive* prefix in `out` when
+/// inclusive=true, and the 0-based hop rank when the weight is identically 1
+/// and inclusive=false (head rank 0).
 template <typename Value, typename WeightFn>
 void wei_jaja_generic(const device::Context& ctx,
                       const std::vector<EdgeId>& next, EdgeId head,
@@ -72,31 +77,35 @@ void wei_jaja_generic(const device::Context& ctx,
   if (num_sublists == 0) num_sublists = std::max<std::size_t>(1, n / 64);
   num_sublists = std::min(num_sublists, n);
 
+  device::Arena::Scope scope(ctx.arena());
+
   // --- Splitter selection. The head must be a splitter; the rest are random
-  // (duplicates collapse, which only reduces the sublist count).
-  std::vector<std::uint8_t> is_splitter(n, 0);
+  // (duplicates collapse, which only reduces the sublist count). The single
+  // host pass that compacts the marked elements also records each splitter's
+  // sublist index, replacing the scatter kernel the old code launched.
+  std::uint8_t* is_splitter = scope.get<std::uint8_t>(n);
+  std::fill(is_splitter, is_splitter + n, 0);
   is_splitter[head] = 1;
   util::Rng rng(seed);
   for (std::size_t s = 1; s < num_sublists; ++s) {
     is_splitter[rng.below(n)] = 1;
   }
-  std::vector<EdgeId> splitters;
-  splitters.reserve(num_sublists + 1);
+  EdgeId* splitters = scope.get<EdgeId>(num_sublists);
+  EdgeId* sublist_index = scope.get<EdgeId>(n);
+  std::size_t s = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (is_splitter[i]) splitters.push_back(static_cast<EdgeId>(i));
+    if (is_splitter[i]) {
+      sublist_index[i] = static_cast<EdgeId>(s);
+      splitters[s++] = static_cast<EdgeId>(i);
+    }
   }
-  const std::size_t s = splitters.size();
-  std::vector<EdgeId> sublist_index(n);
-  device::launch(ctx, s, [&](std::size_t k) {
-    sublist_index[splitters[k]] = static_cast<EdgeId>(k);
-  });
 
   // --- Phase 1: walk each sublist sequentially, in parallel over sublists.
   // Records each element's inclusive within-sublist prefix, the sublist's
   // total, and which sublist follows it on the global list.
-  std::vector<Value> local(n);
-  std::vector<Value> sublist_total(s);
-  std::vector<EdgeId> next_sublist(s, kNoEdge);
+  Value* local = scope.get<Value>(n);
+  Value* sublist_total = scope.get<Value>(s);
+  EdgeId* next_sublist = scope.get<EdgeId>(s);
   device::launch(ctx, s, [&](std::size_t k) {
     EdgeId i = splitters[k];
     Value acc{0};
@@ -119,7 +128,7 @@ void wei_jaja_generic(const device::Context& ctx,
 
   // --- Phase 2: sequential scan over the (short) chain of sublists, in
   // global list order starting from the head's sublist.
-  std::vector<Value> sublist_offset(s, Value{0});
+  Value* sublist_offset = scope.get<Value>(s);
   {
     Value acc{0};
     EdgeId k = sublist_index[head];
@@ -135,9 +144,11 @@ void wei_jaja_generic(const device::Context& ctx,
 
   // --- Phase 3: every sublist re-walks adding its offset. (Walking again is
   // cheaper than storing per-element sublist ids in phase 1 on a real GPU;
-  // we mirror the original algorithm's structure.)
+  // we mirror the original algorithm's structure.) The inclusive-to-0-based
+  // conversion folds into the same walk instead of a final n-sized kernel.
+  const Value bias = inclusive ? Value{0} : Value{1};
   device::launch(ctx, s, [&](std::size_t k) {
-    const Value offset = sublist_offset[k];
+    const Value offset = sublist_offset[k] - bias;
     EdgeId i = splitters[k];
     while (true) {
       out[i] = local[i] + offset;
@@ -146,11 +157,6 @@ void wei_jaja_generic(const device::Context& ctx,
       i = succ;
     }
   });
-
-  if (!inclusive) {
-    // Convert inclusive unit-weight prefix (1-based position) to 0-based rank.
-    device::launch(ctx, n, [&](std::size_t i) { out[i] -= Value{1}; });
-  }
 }
 
 }  // namespace

@@ -19,11 +19,16 @@ class SparseTable {
  public:
   SparseTable(const device::Context& ctx, const std::vector<T>& values,
               Op op = Op{})
-      : op_(op), n_(values.size()) {
+      : SparseTable(ctx, values.data(), values.size(), op) {}
+
+  /// Pointer form, so level 0 can be seeded straight from arena scratch.
+  SparseTable(const device::Context& ctx, const T* values, std::size_t n,
+              Op op = Op{})
+      : op_(op), n_(n) {
     if (n_ == 0) return;
     const int levels = util::floor_log2(n_) + 1;
     table_.resize(levels);
-    table_[0] = values;
+    table_[0].assign(values, values + n_);
     for (int k = 1; k < levels; ++k) {
       const std::size_t span = std::size_t{1} << k;
       const std::size_t count = n_ - span + 1;

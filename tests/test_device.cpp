@@ -213,6 +213,124 @@ TEST(ThreadPool, ManySmallLaunches) {
   EXPECT_EQ(total, 45'000);
 }
 
+// ------------------------------------------------- edge sizes & arena reuse
+
+// Chunking boundaries the arena/chained-scan rework could regress: below
+// one grain, exactly at grain multiples, and one element either side.
+TEST(DevicePrimitives, ScanAndReduceAtGrainBoundaries) {
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    Context ctx(workers);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{1023}, std::size_t{1024},
+          std::size_t{1025}, std::size_t{2048}, std::size_t{4096},
+          std::size_t{4 * 1024 * workers}, std::size_t{4 * 1024 * workers + 1},
+          std::size_t{200'000}}) {
+      util::Rng rng(n + workers);
+      std::vector<std::int64_t> in64(n);
+      std::vector<NodeId> in32(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        in64[i] = static_cast<std::int64_t>(rng.below(1000)) - 500;
+        in32[i] = static_cast<NodeId>(rng.below(1000)) - 500;
+      }
+      // int64 exclusive + int32 inclusive: covers both SIMD lane widths.
+      std::vector<std::int64_t> out64(n), ref64(n);
+      std::vector<NodeId> out32(n), ref32(n);
+      std::int64_t acc64 = 0;
+      NodeId acc32 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        ref64[i] = acc64;
+        acc64 += in64[i];
+        acc32 += in32[i];
+        ref32[i] = acc32;
+      }
+      ASSERT_EQ(exclusive_scan(ctx, in64.data(), n, out64.data()), acc64)
+          << "workers=" << workers << " n=" << n;
+      ASSERT_EQ(out64, ref64) << "workers=" << workers << " n=" << n;
+      ASSERT_EQ(inclusive_scan(ctx, in32.data(), n, out32.data()), acc32)
+          << "workers=" << workers << " n=" << n;
+      ASSERT_EQ(out32, ref32) << "workers=" << workers << " n=" << n;
+      ASSERT_EQ(reduce_sum(ctx, in64.data(), n), acc64);
+      // In-place exclusive over the int32 input as well.
+      std::vector<NodeId> ref32ex(n);
+      NodeId acc32ex = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        ref32ex[i] = acc32ex;
+        acc32ex += in32[i];
+      }
+      exclusive_scan(ctx, in32.data(), n, in32.data());
+      ASSERT_EQ(in32, ref32ex) << "workers=" << workers << " n=" << n;
+    }
+  }
+}
+
+// Back-to-back primitive calls with different scratch types and sizes must
+// reuse the arena: after a warm-up cycle, the block count stops growing —
+// steady state performs zero allocations.
+TEST(Arena, SteadyStateReusesBlocksAcrossMixedCalls) {
+  Context ctx(2);
+  util::Rng rng(42);
+  std::vector<std::int64_t> big(150'000);
+  std::vector<NodeId> small(10'000);
+  std::vector<std::int64_t> out64(big.size());
+  std::vector<NodeId> out32(small.size());
+  std::vector<std::uint32_t> picked(big.size());
+  const auto cycle = [&] {
+    inclusive_scan(ctx, big.data(), big.size(), out64.data());
+    exclusive_scan(ctx, small.data(), small.size(), out32.data());
+    reduce_sum(ctx, big.data(), big.size());
+    copy_if_index(
+        ctx, big.size(), [](std::size_t i) { return i % 7 == 0; },
+        picked.data());
+  };
+  for (auto& v : big) v = static_cast<std::int64_t>(rng.below(100));
+  for (auto& v : small) v = static_cast<NodeId>(rng.below(100));
+  cycle();
+  cycle();  // warm-up: high-water mark found, blocks consolidated
+  const std::size_t warmed = ctx.arena().block_allocations();
+  for (int round = 0; round < 5; ++round) cycle();
+  EXPECT_EQ(ctx.arena().block_allocations(), warmed);
+  EXPECT_GT(ctx.arena().capacity(), 0u);
+}
+
+TEST(Arena, ScopedSlotsAreDistinctAndNestable) {
+  Arena arena;
+  Arena::Scope outer(arena);
+  std::int64_t* a = outer.get<std::int64_t>(100);
+  std::uint8_t* b = outer.get<std::uint8_t>(33);
+  std::fill(a, a + 100, 7);
+  std::fill(b, b + 33, std::uint8_t{9});
+  {
+    Arena::Scope inner(arena);
+    NodeId* c = inner.get<NodeId>(1000);
+    std::fill(c, c + 1000, 3);
+  }
+  // Slots handed out before the nested scope survive it untouched.
+  std::int64_t* d = outer.get<std::int64_t>(50);
+  std::fill(d, d + 50, 8);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a[i], 7);
+  for (int i = 0; i < 33; ++i) ASSERT_EQ(b[i], 9);
+}
+
+TEST(ThreadPool, LaunchCounterCountsEveryKernel) {
+  Context ctx(2);
+  const std::uint64_t before = ctx.launch_count();
+  launch(ctx, 10'000, [](std::size_t) {});
+  std::vector<int> buf(10'000);
+  fill(ctx, buf.size(), buf.data(), 1);
+  EXPECT_EQ(ctx.launch_count() - before, 2u);
+  // Chained scans and compaction are single launches; the old
+  // two-kernel/four-kernel shapes would fail these.
+  std::vector<std::int64_t> in(50'000, 1), out(in.size());
+  const std::uint64_t scans = ctx.launch_count();
+  inclusive_scan(ctx, in.data(), in.size(), out.data());
+  EXPECT_EQ(ctx.launch_count() - scans, 1u);
+  std::vector<std::uint32_t> idx(in.size());
+  const std::uint64_t compact = ctx.launch_count();
+  copy_if_index(
+      ctx, in.size(), [](std::size_t i) { return i % 2 == 0; }, idx.data());
+  EXPECT_EQ(ctx.launch_count() - compact, 1u);
+}
+
 // ---------------------------------------------------------------- segreduce
 
 TEST(Segreduce, MatchesReferenceOnRandomSegments) {

@@ -242,6 +242,23 @@ TEST(EulerTour, SuccForsmLinkedListVisitsAllEdges) {
   EXPECT_EQ(count, tour.num_half_edges());
 }
 
+TEST(EulerTour, FusedConstructionStaysWithinLaunchBudget) {
+  // The construction is fused into: DCEL expand + key pack + id seed (1),
+  // sort (1 histogram/max kernel + one scatter per radix pass + possible
+  // copy-back), first_pos (1), the combined next/succ/tail link kernel (1),
+  // Wei-JáJá (2), tour array (1). For 20k nodes the packed keys use 30
+  // bits = 4 passes, so the whole pipeline fits in 11 launches; the unfused
+  // seed shape needed 19+. Guards against kernel-count regressions.
+  device::Context ctx(2);
+  ParentTree tree = gen::random_tree(20'000, gen::kInfiniteGrasp, 5);
+  const graph::EdgeList edges = tree_edges(tree);
+  const std::uint64_t before = ctx.launch_count();
+  const EulerTour tour = build_euler_tour(ctx, edges, tree.root);
+  const std::uint64_t used = ctx.launch_count() - before;
+  EXPECT_LE(used, 12u);
+  EXPECT_EQ(tour.num_half_edges(), 2 * edges.edges.size());
+}
+
 TEST(ParentTreeValidation, DetectsCycle) {
   ParentTree bad;
   bad.root = 0;

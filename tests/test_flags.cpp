@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "device/context.hpp"
@@ -68,6 +70,24 @@ TEST(Flags, MixedStyles) {
   EXPECT_EQ(flags.get_int("b", 0), 2);
   EXPECT_TRUE(flags.get_bool("c", false));
   flags.finish();
+}
+
+TEST(DeviceWorkers, ValidEmcWorkersIsHonored) {
+  ASSERT_EQ(setenv("EMC_WORKERS", "3", 1), 0);
+  EXPECT_EQ(device::Context(0).workers(), 3u);
+  unsetenv("EMC_WORKERS");
+}
+
+TEST(DeviceWorkers, InvalidEmcWorkersFallsBackToHardwareConcurrency) {
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  for (const char* bad :
+       {"0", "-3", "abc", "", "2x", "1e3", "999999999999"}) {
+    ASSERT_EQ(setenv("EMC_WORKERS", bad, 1), 0);
+    EXPECT_EQ(device::Context(0).workers(), hardware)
+        << "EMC_WORKERS=\"" << bad << "\"";
+  }
+  unsetenv("EMC_WORKERS");
+  EXPECT_EQ(device::Context(0).workers(), hardware);
 }
 
 TEST(DeviceLatencyModel, SequentialAndExplicitContextsAreFree) {

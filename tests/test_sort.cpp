@@ -97,7 +97,64 @@ TEST_P(SortParam, PairsStable) {
   sort_pairs(ctx_, keys, values);
   // Stability: equal keys keep ascending original indices.
   for (std::size_t i = 1; i < n_; ++i) {
-    if (keys[i] == keys[i - 1]) ASSERT_LT(values[i - 1], values[i]);
+    if (keys[i] == keys[i - 1]) {
+      ASSERT_LT(values[i - 1], values[i]);
+    }
+  }
+}
+
+// The arena-backed double buffers must reuse cleanly across back-to-back
+// sorts with different key widths, payload types and sizes.
+TEST(Sort, ArenaSteadyStateAcrossMixedSorts) {
+  Context ctx(2);
+  util::Rng rng(321);
+  const auto cycle = [&] {
+    std::vector<std::uint64_t> k64(20'000);
+    std::vector<std::int32_t> v32(k64.size());
+    for (std::size_t i = 0; i < k64.size(); ++i) {
+      k64[i] = rng();
+      v32[i] = static_cast<std::int32_t>(i);
+    }
+    auto ref = k64;
+    std::sort(ref.begin(), ref.end());
+    sort_pairs(ctx, k64, v32);
+    ASSERT_EQ(k64, ref);
+
+    std::vector<std::uint32_t> k32(5'000);
+    for (auto& k : k32) k = static_cast<std::uint32_t>(rng.below(1 << 16));
+    auto ref32 = k32;
+    std::sort(ref32.begin(), ref32.end());
+    sort_keys(ctx, k32);
+    ASSERT_EQ(k32, ref32);
+  };
+  cycle();
+  cycle();  // warm-up: arena high-water mark reached and consolidated
+  const std::size_t warmed = ctx.arena().block_allocations();
+  for (int round = 0; round < 4; ++round) cycle();
+  EXPECT_EQ(ctx.arena().block_allocations(), warmed);
+}
+
+// Pointer-based entry points sort arena-resident scratch directly.
+TEST(Sort, PointerApiSortsArenaScratch) {
+  Context ctx(3);
+  util::Rng rng(7);
+  const std::size_t n = 30'000;
+  Arena::Scope scope(ctx.arena());
+  auto* keys = scope.get<std::uint64_t>(n);
+  auto* values = scope.get<std::int32_t>(n);
+  std::vector<std::uint64_t> ref(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.below(1'000'000);
+    ref[i] = keys[i];
+    values[i] = static_cast<std::int32_t>(i);
+  }
+  std::sort(ref.begin(), ref.end());
+  sort_pairs(ctx, keys, values, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], ref[i]);
+    if (i > 0 && keys[i] == keys[i - 1]) {
+      ASSERT_LT(values[i - 1], values[i]);  // still stable
+    }
   }
 }
 
