@@ -1,9 +1,16 @@
 // Table 1 — statistics of the largest connected components of the graphs
-// used in the bridge-finding experiments: nodes, edges, bridges, diameter.
+// used in the bridge-finding experiments: nodes, edges, bridges, diameter —
+// plus the per-edge Tarjan-Vishkin cost on each instance.
 //
 // Bridges are counted with Tarjan-Vishkin (validated against DFS in the
 // test suite); the diameter column is the standard iterated double-BFS
 // lower bound, which is what experimental papers report at this scale.
+//
+// Besides the console table, every run writes machine-readable rows to
+// BENCH_bridges.json (same {"op", "n", "context", "ns_per_elem"} shape as
+// BENCH_primitives.json; n is the instance's edge count) so the
+// bridge-level perf trajectory is tracked across PRs, not just primitives.
+#include <algorithm>
 #include <cstdio>
 
 #include "bridge_suite.hpp"
@@ -17,11 +24,15 @@ int main(int argc, char** argv) {
   const auto kron_max = static_cast<int>(flags.get_int("kron-max", 16, ""));
   const auto kron_ef = flags.get_double("kron-edge-factor", 89.0, "");
   const auto scale = flags.get_double("scale", 1.0, "road grid scale");
+  const auto runs = std::max(
+      1, static_cast<int>(flags.get_int("runs", 3, "timing runs")));
   flags.finish();
 
   const bench::Contexts ctx = bench::make_contexts();
   std::printf("# Table 1: statistics of largest connected components\n\n");
-  util::Table table({"graph", "nodes", "edges", "bridges", "diameter"});
+  util::Table table(
+      {"graph", "nodes", "edges", "bridges", "diameter", "tv ns/edge"});
+  std::vector<bench::BenchRow> rows;
 
   auto suite = bench::kron_suite(kron_min, kron_max, kron_ef);
   auto real = bench::real_suite(scale);
@@ -30,14 +41,25 @@ int main(int argc, char** argv) {
 
   for (const auto& inst : suite) {
     const auto& g = inst.graph;
-    const auto mask = bridges::find_bridges_tarjan_vishkin(ctx.gpu, g);
+    bridges::BridgeMask mask;
+    const double seconds = bench::time_avg(runs, [&] {
+      mask = bridges::find_bridges_tarjan_vishkin(ctx.gpu, g);
+    });
+    const double ns_per_edge = seconds * 1e9 / g.num_edges();
     const auto csr = graph::build_csr(ctx.gpu, g);
     table.add_row({inst.name,
                    bench::human(static_cast<std::size_t>(g.num_nodes)),
                    bench::human(g.num_edges()),
                    bench::human(bridges::count_bridges(mask)),
-                   std::to_string(graph::estimate_diameter(csr))});
+                   std::to_string(graph::estimate_diameter(csr)),
+                   std::to_string(ns_per_edge)});
+    rows.push_back({"bridges_tv/" + inst.name, g.num_edges(), "gpu",
+                    ns_per_edge});
   }
   table.print();
+  if (!bench::write_bench_json("BENCH_bridges.json", rows)) {
+    std::fprintf(stderr, "failed to write BENCH_bridges.json\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,155 @@
+// Batch-dynamic subsystem throughput: update batches vs query batches.
+//
+// The workload the dynamic subsystem exists for: a long-lived graph absorbs
+// batches of edge insertions/deletions, the 2-edge-connectivity oracle
+// rebuilds its index once per changed batch, and between updates it serves
+// large batches of point queries — each query batch as ONE bulk kernel, so
+// throughput is bandwidth-bound rather than launch-bound (the Figure 6
+// regime). Reported per batch size:
+//
+//   update rows — seconds to apply the batch to the DCSR and refresh the
+//     oracle (the rebuild dominates; launches shows the fixed kernel count);
+//   query rows  — queries/s for same_2ecc and bridges_on_path batches;
+//   mix rows    — interleaved update/query rounds at a given ratio, the
+//     serving steady state.
+//
+// Rows also land in BENCH_dynamic.json (same shape as the other BENCH
+// files; n is the batch size, ns_per_elem the per-element batch cost).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "device/context.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/oracle.hpp"
+#include "gen/graphs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emc;
+
+std::vector<graph::Edge> random_batch(util::Rng& rng, NodeId n,
+                                      std::size_t size) {
+  std::vector<graph::Edge> batch(size);
+  for (auto& e : batch) {
+    e.u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    e.v = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  }
+  return batch;
+}
+
+std::vector<std::pair<NodeId, NodeId>> random_queries(util::Rng& rng, NodeId n,
+                                                      std::size_t size) {
+  std::vector<std::pair<NodeId, NodeId>> queries(size);
+  for (auto& [u, v] : queries) {
+    u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    v = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto side = static_cast<NodeId>(
+      flags.get_int("side", 1024, "base road grid is side x side nodes"));
+  const auto runs = std::max(
+      1, static_cast<int>(flags.get_int("runs", 3, "timing runs")));
+  flags.finish();
+
+  const device::Context ctx = device::Context::device();
+  const auto n = static_cast<NodeId>(side) * side;
+  std::printf("# dynamic graph: %d nodes (road-like base), %u workers\n\n",
+              n, ctx.workers());
+
+  util::Rng rng(42);
+  dynamic::DynamicGraph dg(
+      ctx, gen::road_graph(side, side, 0.95, 0.03, 7));
+  dynamic::ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  std::printf("base: %zu edges, %zu bridges, %zu blocks\n\n", dg.num_edges(),
+              oracle.num_bridges(), oracle.num_blocks());
+
+  util::Table table({"op", "batch", "seconds", "Melem/s", "launches"});
+  std::vector<bench::BenchRow> rows;
+  const auto record = [&](const std::string& op, std::size_t batch,
+                          double seconds, std::uint64_t launches) {
+    table.add_row({op, bench::human(batch), std::to_string(seconds),
+                   std::to_string(batch / seconds / 1e6),
+                   std::to_string(launches)});
+    rows.push_back({op, batch, "gpu", seconds * 1e9 / batch});
+  };
+
+  // ---- update batches: DCSR apply + oracle rebuild
+  for (const std::size_t batch_size : {1u << 10, 1u << 14, 1u << 18}) {
+    double total = 0;
+    const std::uint64_t before = ctx.launch_count();
+    for (int r = 0; r < runs; ++r) {
+      auto inserts = random_batch(rng, n, batch_size);
+      auto erases = random_batch(rng, n, batch_size / 4);
+      util::Timer timer;
+      dg.insert_edges(ctx, inserts);
+      dg.erase_edges(ctx, erases);
+      oracle.refresh(ctx, dg);
+      total += timer.seconds();
+    }
+    // Average launches per round (compaction and adaptive sort pass counts
+    // make individual rounds vary).
+    record("update_refresh", batch_size, total / runs,
+           (ctx.launch_count() - before) / runs);
+  }
+
+  // ---- query batches: one kernel per batch
+  for (const std::size_t batch_size : {1u << 10, 1u << 15, 1u << 20}) {
+    const auto queries = random_queries(rng, n, batch_size);
+    std::vector<std::uint8_t> same;
+    std::vector<NodeId> dist;
+    std::uint64_t before = ctx.launch_count();
+    const double same_secs = bench::time_avg(
+        runs, [&] { oracle.same_2ecc_batch(ctx, queries, same); });
+    record("query_same_2ecc", batch_size,
+           same_secs, (ctx.launch_count() - before) / runs);
+    before = ctx.launch_count();
+    const double path_secs = bench::time_avg(
+        runs, [&] { oracle.bridges_on_path_batch(ctx, queries, dist); });
+    record("query_bridges_on_path", batch_size, path_secs,
+           (ctx.launch_count() - before) / runs);
+  }
+
+  // ---- steady-state mixes: updates and queries interleaved
+  const std::vector<std::tuple<std::size_t, std::size_t, const char*>> mixes =
+      {{1u << 12, 1u << 16, "mix_1:16"}, {1u << 14, 1u << 14, "mix_1:1"}};
+  for (const auto& [updates_per_round, queries_per_round, label] : mixes) {
+    std::vector<std::uint8_t> same;
+    std::vector<NodeId> dist;
+    double total = 0;
+    std::size_t served = 0;
+    const std::uint64_t before = ctx.launch_count();
+    for (int r = 0; r < runs; ++r) {
+      auto inserts = random_batch(rng, n, updates_per_round);
+      const auto queries = random_queries(rng, n, queries_per_round);
+      util::Timer timer;
+      dg.insert_edges(ctx, inserts);
+      oracle.refresh(ctx, dg);
+      oracle.same_2ecc_batch(ctx, queries, same);
+      oracle.bridges_on_path_batch(ctx, queries, dist);
+      total += timer.seconds();
+      served += updates_per_round + 2 * queries_per_round;
+    }
+    record(label, served / runs, total / runs,
+           (ctx.launch_count() - before) / runs);
+  }
+
+  table.print();
+  if (!bench::write_bench_json("BENCH_dynamic.json", rows)) {
+    std::fprintf(stderr, "failed to write BENCH_dynamic.json\n");
+    return 1;
+  }
+  return 0;
+}

@@ -46,6 +46,36 @@ double time_avg(int runs, Fn&& fn) {
   return total / runs;
 }
 
+/// One machine-readable benchmark observation, the row shape shared by
+/// BENCH_primitives.json (written by the google-benchmark reporter in
+/// bench_primitives) and the BENCH_*.json files the plain harnesses emit.
+struct BenchRow {
+  std::string op;
+  std::size_t n = 0;
+  std::string context;
+  double ns_per_elem = 0.0;
+};
+
+/// Writes rows as the [{"op", "n", "context", "ns_per_elem"}, ...] array the
+/// perf-trajectory tooling tracks across PRs.
+inline bool write_bench_json(const char* path,
+                             const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"n\": %zu, \"context\": \"%s\", "
+                 "\"ns_per_elem\": %.4f}%s\n",
+                 row.op.c_str(), row.n, row.context.c_str(), row.ns_per_elem,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
 inline std::string human(std::size_t n) {
   char buf[32];
   if (n % 1'000'000 == 0 && n >= 1'000'000) {

@@ -1,0 +1,97 @@
+// An evolving road network served by the connectivity oracle.
+//
+// Scenario: a regional road network monitored for single points of failure.
+// Edges fail (washouts, closures) and get built in batches; after every
+// batch the oracle refreshes its bridge-block index — skipping the rebuild
+// when the batch turned out to change nothing — and answers dispatcher
+// queries: "are these two depots still on a redundant route?" and "how many
+// critical road segments does a trip between them cross?".
+//
+//   ./evolving_network [--side=64] [--rounds=8] [--batch=64]
+#include <cstdio>
+#include <vector>
+
+#include "device/context.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/oracle.hpp"
+#include "gen/graphs.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto side =
+      static_cast<NodeId>(flags.get_int("side", 64, "grid side length"));
+  const auto rounds =
+      static_cast<int>(flags.get_int("rounds", 8, "update rounds"));
+  const auto batch_size = static_cast<std::size_t>(
+      flags.get_int("batch", 64, "edges per update batch"));
+  flags.finish();
+
+  const device::Context ctx = device::Context::device();
+  const NodeId n = side * side;
+  dynamic::DynamicGraph roads(ctx,
+                              gen::road_graph(side, side, 0.92, 0.02, 11));
+  dynamic::ConnectivityOracle oracle;
+  oracle.refresh(ctx, roads);
+  std::printf("road network: %d junctions, %zu segments, %zu critical "
+              "(bridges), %zu redundant zones\n\n",
+              n, roads.num_edges(), oracle.num_bridges(),
+              oracle.num_blocks());
+
+  util::Rng rng(3);
+  const auto random_junction = [&] {
+    return static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+  };
+  const NodeId depot_a = random_junction();
+  const NodeId depot_b = random_junction();
+
+  for (int round = 0; round < rounds; ++round) {
+    // Mostly failures, some construction; duplicates model redundant
+    // reports of the same closure and cost nothing (epoch unchanged).
+    std::vector<graph::Edge> failures, constructions;
+    const graph::EdgeList& current = roads.snapshot(ctx);
+    for (std::size_t i = 0; i < batch_size && !current.edges.empty(); ++i) {
+      failures.push_back(current.edges[rng.below(current.edges.size())]);
+    }
+    for (std::size_t i = 0; i < batch_size / 4; ++i) {
+      constructions.push_back({random_junction(), random_junction()});
+    }
+    const std::size_t failed = roads.erase_edges(ctx, failures);
+    const std::size_t built = roads.insert_edges(ctx, constructions);
+    const bool rebuilt = oracle.refresh(ctx, roads);
+
+    std::printf("round %d: -%zu/+%zu segments (epoch %llu, %s)\n", round,
+                failed, built,
+                static_cast<unsigned long long>(roads.epoch()),
+                rebuilt ? "index rebuilt" : "rebuild skipped");
+
+    // Dispatcher query batch between random depot pairs.
+    std::vector<std::pair<NodeId, NodeId>> trips(8, {depot_a, depot_b});
+    for (std::size_t t = 1; t < trips.size(); ++t) {
+      trips[t] = {random_junction(), random_junction()};
+    }
+    std::vector<NodeId> critical;
+    oracle.bridges_on_path_batch(ctx, trips, critical);
+    if (critical[0] == kNoNode) {
+      std::printf("  depot %d -> %d: DISCONNECTED\n", depot_a, depot_b);
+    } else {
+      std::printf("  depot %d -> %d: %d critical segment(s)%s\n", depot_a,
+                  depot_b, critical[0],
+                  oracle.same_2ecc(depot_a, depot_b) ? " (redundant zone)"
+                                                     : "");
+    }
+  }
+
+  // A no-op batch: re-reporting a closure of a segment that is already gone
+  // skips the rebuild.
+  graph::Edge gone = {0, 1};
+  while (roads.has_edge(gone.u, gone.v)) gone = {random_junction(), gone.u};
+  const std::size_t noop = roads.erase_edges(ctx, {gone, gone});
+  const bool rebuilt = oracle.refresh(ctx, roads);
+  std::printf("\nno-op batch: %zu changes, %s (skipped so far: %zu)\n", noop,
+              rebuilt ? "rebuilt" : "rebuild skipped",
+              oracle.refreshes_skipped());
+  return 0;
+}

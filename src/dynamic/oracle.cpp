@@ -1,0 +1,180 @@
+#include "dynamic/oracle.hpp"
+
+#include <atomic>
+
+#include "bridges/cc_spanning.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "bridges/two_ecc.hpp"
+#include "core/euler_tour.hpp"
+#include "core/tree.hpp"
+#include "device/primitives.hpp"
+
+namespace emc::dynamic {
+
+bool ConnectivityOracle::refresh(const device::Context& ctx,
+                                 const DynamicGraph& graph,
+                                 util::PhaseTimer* phases) {
+  if (built_uid_ == graph.uid() && built_epoch_ == graph.epoch()) {
+    ++refreshes_skipped_;
+    return false;
+  }
+  rebuild(ctx, graph.snapshot(ctx), phases);
+  built_uid_ = graph.uid();
+  built_epoch_ = graph.epoch();
+  ++rebuilds_;
+  return true;
+}
+
+void ConnectivityOracle::rebuild(const device::Context& ctx,
+                                 const graph::EdgeList& snapshot,
+                                 util::PhaseTimer* phases) {
+  const auto n = static_cast<std::size_t>(snapshot.num_nodes);
+  const std::size_t m = snapshot.edges.size();
+  if (n == 0) {
+    cc_label_.clear();
+    block_of_.clear();
+    block_size_.clear();
+    block_lca_.reset();
+    num_bridges_ = 0;
+    num_blocks_ = 0;
+    return;
+  }
+
+  // Connected components; the representatives both stitch the augmented
+  // graph below and become the virtual-root children of the block tree.
+  bridges::SpanningForest forest;
+  {
+    util::ScopedPhase phase(phases, "components");
+    forest = bridges::cc_spanning_forest(ctx, snapshot);
+  }
+  const std::size_t k = forest.num_components;
+  std::vector<NodeId> comp_reps(n);
+  device::copy_if_index(
+      ctx, n,
+      [&](std::size_t v) {
+        return forest.component[v] == static_cast<NodeId>(v);
+      },
+      comp_reps.data());
+
+  bridges::BridgeMask mask;
+  {
+    util::ScopedPhase phase(phases, "bridge_mask");
+    if (m > 0 && k == 1) {
+      mask = bridges::find_bridges_tarjan_vishkin(ctx, snapshot);
+    } else if (m > 0) {
+      // Disconnected: stitch components with one virtual edge each from the
+      // first representative, run TV on the (connected) augmented graph,
+      // and slice the mask back to the real edges.
+      graph::EdgeList augmented;
+      augmented.num_nodes = snapshot.num_nodes;
+      augmented.edges.reserve(m + k - 1);
+      augmented.edges.insert(augmented.edges.end(), snapshot.edges.begin(),
+                             snapshot.edges.end());
+      for (std::size_t r = 1; r < k; ++r) {
+        augmented.edges.push_back({comp_reps[0], comp_reps[r]});
+      }
+      mask = bridges::find_bridges_tarjan_vishkin(ctx, augmented);
+      mask.resize(m);
+    }
+  }
+  num_bridges_ = bridges::count_bridges(mask);
+
+  std::vector<NodeId> label;
+  {
+    util::ScopedPhase phase(phases, "two_ecc");
+    label = bridges::two_edge_components(ctx, snapshot, mask);
+  }
+
+  util::ScopedPhase phase(phases, "block_tree");
+  // Compact the representative labels to block ids [0, B).
+  std::vector<NodeId> block_reps(n);
+  const std::size_t num_blocks = device::copy_if_index(
+      ctx, n,
+      [&](std::size_t v) { return label[v] == static_cast<NodeId>(v); },
+      block_reps.data());
+  std::vector<NodeId> block_index(n);
+  device::launch(ctx, num_blocks, [&](std::size_t b) {
+    block_index[block_reps[b]] = static_cast<NodeId>(b);
+  });
+  block_of_.resize(n);
+  device::transform(ctx, n, block_of_.data(),
+                    [&](std::size_t v) { return block_index[label[v]]; });
+  block_size_.assign(num_blocks, 0);
+  device::launch(ctx, n, [&](std::size_t v) {
+    std::atomic_ref<NodeId>(block_size_[block_of_[v]])
+        .fetch_add(1, std::memory_order_relaxed);
+  });
+  num_blocks_ = num_blocks;
+  cc_label_ = std::move(forest.component);
+
+  // Contract: blocks are the nodes, bridges the edges — a forest with one
+  // tree per connected component (num_bridges == num_blocks - k), rooted
+  // into a single tree through a virtual super-root adjacent to each
+  // component's representative block.
+  std::vector<EdgeId> bridge_ids(m);
+  device::copy_if_index(ctx, m, [&](std::size_t e) { return mask[e] != 0; },
+                        bridge_ids.data());
+  graph::EdgeList block_tree;
+  block_tree.num_nodes = static_cast<NodeId>(num_blocks + 1);
+  block_tree.edges.resize(num_bridges_ + k);
+  device::transform(ctx, num_bridges_, block_tree.edges.data(),
+                    [&](std::size_t i) {
+                      const graph::Edge e = snapshot.edges[bridge_ids[i]];
+                      return graph::Edge{block_of_[e.u], block_of_[e.v]};
+                    });
+  device::transform(ctx, k, block_tree.edges.data() + num_bridges_,
+                    [&](std::size_t r) {
+                      return graph::Edge{static_cast<NodeId>(num_blocks),
+                                         block_of_[comp_reps[r]]};
+                    });
+  std::vector<NodeId> parent, level;
+  core::root_tree(ctx, block_tree, static_cast<NodeId>(num_blocks), parent,
+                  level);
+  const core::ParentTree tree{static_cast<NodeId>(num_blocks),
+                              std::move(parent)};
+  block_lca_ = lca::InlabelLca::build_parallel(ctx, tree);
+}
+
+NodeId ConnectivityOracle::bridges_on_path(NodeId u, NodeId v) const {
+  assert(in_range(u) && in_range(v));
+  if (cc_label_[u] != cc_label_[v]) return kNoNode;
+  const NodeId bu = block_of_[u];
+  const NodeId bv = block_of_[v];
+  if (bu == bv) return 0;
+  // Both blocks hang below the same component root, so the LCA is a real
+  // block and tree distance counts exactly the bridges between them.
+  const NodeId z = block_lca_->query(bu, bv);
+  const auto& depth = block_lca_->levels();
+  return depth[bu] + depth[bv] - 2 * depth[z];
+}
+
+void ConnectivityOracle::same_2ecc_batch(
+    const device::Context& ctx,
+    const std::vector<std::pair<NodeId, NodeId>>& queries,
+    std::vector<std::uint8_t>& answers) const {
+  answers.resize(queries.size());
+  device::transform(ctx, queries.size(), answers.data(), [&](std::size_t q) {
+    return static_cast<std::uint8_t>(
+        same_2ecc(queries[q].first, queries[q].second));
+  });
+}
+
+void ConnectivityOracle::bridges_on_path_batch(
+    const device::Context& ctx,
+    const std::vector<std::pair<NodeId, NodeId>>& queries,
+    std::vector<NodeId>& answers) const {
+  answers.resize(queries.size());
+  device::transform(ctx, queries.size(), answers.data(), [&](std::size_t q) {
+    return bridges_on_path(queries[q].first, queries[q].second);
+  });
+}
+
+void ConnectivityOracle::component_size_batch(
+    const device::Context& ctx, const std::vector<NodeId>& nodes,
+    std::vector<NodeId>& answers) const {
+  answers.resize(nodes.size());
+  device::transform(ctx, nodes.size(), answers.data(),
+                    [&](std::size_t q) { return component_size(nodes[q]); });
+}
+
+}  // namespace emc::dynamic

@@ -1,0 +1,121 @@
+// 2-edge-connectivity oracle over a DynamicGraph — the queryable index the
+// paper's pipeline produces, kept alive between update batches.
+//
+// After each update batch the oracle rebuilds its index from the current
+// snapshot with the paper's own pipeline:
+//
+//   bridge mask          — Tarjan-Vishkin on the snapshot (a disconnected
+//                          snapshot is stitched with virtual edges between
+//                          component representatives first: a single extra
+//                          edge between two components can never change the
+//                          bridgeness of a real edge, so slicing the mask
+//                          back to the real edges is exact);
+//   2ecc labels          — two_edge_components (bridge removal + device CC);
+//   bridge-block tree    — contract each 2-edge-connected component to one
+//                          node; the bridges are exactly the tree edges of
+//                          the resulting forest, which is rooted through a
+//                          virtual super-root and preprocessed with the
+//                          Schieber-Vishkin inlabel LCA.
+//
+// Queries then arrive in *batches* and are answered by ONE bulk kernel per
+// batch (each answer is O(1) arithmetic on the index — the inlabel query on
+// the block tree), so there are no per-query kernel launches, exactly the
+// regime the paper's Figure 6 shows the device needs.
+//
+// Epoch versioning: refresh() compares its build epoch against the graph's
+// and skips the rebuild entirely when nothing changed — in particular after
+// update batches that turn out to be no-ops (all duplicates / already
+// absent), which never advance the graph epoch. Incremental (non-rebuild)
+// maintenance is the designated follow-on (see ROADMAP).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "device/context.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "lca/inlabel.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace emc::dynamic {
+
+class ConnectivityOracle {
+ public:
+  /// Brings the index up to date with `graph`. Returns true if a rebuild
+  /// ran, false if the (uid, epoch) check proved the index is already
+  /// current for this exact graph instance. Phases (when collected):
+  /// components, bridge_mask, two_ecc, block_tree.
+  bool refresh(const device::Context& ctx, const DynamicGraph& graph,
+               util::PhaseTimer* phases = nullptr);
+
+  /// Epoch of the snapshot the index was built from.
+  std::uint64_t built_epoch() const { return built_epoch_; }
+  std::size_t rebuilds() const { return rebuilds_; }
+  std::size_t refreshes_skipped() const { return refreshes_skipped_; }
+
+  std::size_t num_bridges() const { return num_bridges_; }
+  /// Number of 2-edge-connected components (blocks).
+  std::size_t num_blocks() const { return num_blocks_; }
+
+  // Query precondition (all forms below): refresh() must have run against
+  // the queried graph, and node ids must be < that snapshot's num_nodes —
+  // checked by assert in Debug builds, unchecked on the Release hot path.
+
+  /// True iff two edge-disjoint u-v paths exist.
+  bool same_2ecc(NodeId u, NodeId v) const {
+    assert(in_range(u) && in_range(v));
+    return block_of_[u] == block_of_[v];
+  }
+
+  /// Number of bridges on the (every) u-v path, or kNoNode if u and v lie
+  /// in different connected components. O(1) via the block-tree LCA.
+  NodeId bridges_on_path(NodeId u, NodeId v) const;
+
+  /// Size of u's 2-edge-connected component.
+  NodeId component_size(NodeId u) const {
+    assert(in_range(u));
+    return block_size_[block_of_[u]];
+  }
+
+  /// Batch forms: one bulk kernel per call, one virtual thread per query.
+  void same_2ecc_batch(const device::Context& ctx,
+                       const std::vector<std::pair<NodeId, NodeId>>& queries,
+                       std::vector<std::uint8_t>& answers) const;
+  void bridges_on_path_batch(
+      const device::Context& ctx,
+      const std::vector<std::pair<NodeId, NodeId>>& queries,
+      std::vector<NodeId>& answers) const;
+  void component_size_batch(const device::Context& ctx,
+                            const std::vector<NodeId>& nodes,
+                            std::vector<NodeId>& answers) const;
+
+ private:
+  void rebuild(const device::Context& ctx, const graph::EdgeList& snapshot,
+               util::PhaseTimer* phases);
+
+  bool in_range(NodeId v) const {
+    return v >= 0 && static_cast<std::size_t>(v) < block_of_.size();
+  }
+
+  static constexpr std::uint64_t kNeverBuilt = ~std::uint64_t{0};
+  std::uint64_t built_uid_ = 0;  // no DynamicGraph has uid 0
+  std::uint64_t built_epoch_ = kNeverBuilt;
+  std::size_t rebuilds_ = 0;
+  std::size_t refreshes_skipped_ = 0;
+
+  std::size_t num_bridges_ = 0;
+  std::size_t num_blocks_ = 0;
+  std::vector<NodeId> cc_label_;    // connected-component representative
+  std::vector<NodeId> block_of_;    // compact 2ecc block id, [0, num_blocks)
+  std::vector<NodeId> block_size_;  // nodes per block
+  // Inlabel LCA over the block forest rooted at a virtual super-root (node
+  // id num_blocks). Engaged whenever the indexed snapshot has >= 1 node.
+  std::optional<lca::InlabelLca> block_lca_;
+};
+
+}  // namespace emc::dynamic

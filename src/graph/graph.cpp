@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "device/primitives.hpp"
+#include "device/sort.hpp"
 #include "util/rng.hpp"
 
 namespace emc::graph {
@@ -124,25 +125,40 @@ EdgeList largest_component(const EdgeList& graph) {
   return out;
 }
 
-EdgeList simplified(const EdgeList& graph) {
-  std::vector<std::uint64_t> keys;
-  keys.reserve(graph.edges.size());
-  for (const Edge& e : graph.edges) {
-    if (e.u == e.v) continue;
-    const auto lo = static_cast<std::uint32_t>(std::min(e.u, e.v));
-    const auto hi = static_cast<std::uint32_t>(std::max(e.u, e.v));
-    keys.push_back((static_cast<std::uint64_t>(lo) << 32) | hi);
-  }
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+EdgeList canonicalize(const device::Context& ctx, const EdgeList& graph) {
+  const std::size_t m = graph.edges.size();
   EdgeList out;
   out.num_nodes = graph.num_nodes;
-  out.edges.reserve(keys.size());
-  for (const std::uint64_t k : keys) {
-    out.edges.push_back({static_cast<NodeId>(k >> 32),
-                         static_cast<NodeId>(k & 0xffffffffULL)});
-  }
+  if (m == 0) return out;
+  // Self-loops and out-of-range endpoints map to a sentinel that sorts past
+  // every real key, so one sort groups rejects at the back and duplicates
+  // (in either orientation) adjacently; compaction keeps each run's first.
+  constexpr std::uint64_t kDropped = ~std::uint64_t{0};
+  std::vector<std::uint64_t> keys(m);
+  device::transform(ctx, m, keys.data(), [&](std::size_t e) {
+    const Edge edge = graph.edges[e];
+    if (!edge_valid(edge.u, edge.v, graph.num_nodes)) return kDropped;
+    return edge_key(edge.u, edge.v);
+  });
+  device::sort_keys(ctx, keys.data(), m);
+  std::vector<EdgeId> first(m);
+  const std::size_t kept = device::copy_if_index(
+      ctx, m,
+      [&](std::size_t i) {
+        return keys[i] != kDropped && (i == 0 || keys[i] != keys[i - 1]);
+      },
+      first.data());
+  out.edges.resize(kept);
+  device::transform(ctx, kept, out.edges.data(), [&](std::size_t i) {
+    const std::uint64_t k = keys[first[i]];
+    return Edge{static_cast<NodeId>(k >> 32),
+                static_cast<NodeId>(k & 0xffffffffULL)};
+  });
   return out;
+}
+
+EdgeList simplified(const EdgeList& graph) {
+  return canonicalize(device::Context::sequential(), graph);
 }
 
 namespace {

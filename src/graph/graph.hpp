@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "device/context.hpp"
@@ -23,6 +24,22 @@ struct Edge {
 
   friend bool operator==(const Edge&, const Edge&) = default;
 };
+
+/// Canonical 64-bit sort key of an undirected edge: (min << 32 | max).
+/// The one packing shared by canonicalize() and the dynamic-graph batch
+/// pipeline (both encode the library-wide 32-bit NodeId assumption here).
+inline std::uint64_t edge_key(NodeId u, NodeId v) {
+  const auto lo = static_cast<std::uint32_t>(u < v ? u : v);
+  const auto hi = static_cast<std::uint32_t>(u < v ? v : u);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// The validity rule edge_key's callers filter by: in-range endpoints, no
+/// self-loop. Shared so canonicalize() and the dynamic-graph batch paths
+/// cannot drift.
+inline bool edge_valid(NodeId u, NodeId v, NodeId num_nodes) {
+  return u != v && u >= 0 && v >= 0 && u < num_nodes && v < num_nodes;
+}
 
 /// Unordered collection of undirected edges over nodes [0, num_nodes).
 struct EdgeList {
@@ -70,7 +87,16 @@ std::size_t count_components(const std::vector<NodeId>& labels);
 /// only its largest connected component" (§4.2).
 EdgeList largest_component(const EdgeList& graph);
 
-/// Removes self-loops and duplicate (parallel) edges.
+/// Canonical simple form via the device sort: drops self-loops,
+/// out-of-range endpoints, duplicate and reversed-duplicate edges, and
+/// returns the survivors oriented (min, max) in ascending order. This is
+/// the one shared normalization the dynamic-graph seeding and the dataset
+/// preparation both use; every EdgeList returned by it satisfies valid()
+/// and round-trips through canonicalize unchanged.
+EdgeList canonicalize(const device::Context& ctx, const EdgeList& graph);
+
+/// Removes self-loops and duplicate (parallel) edges. Sequential
+/// convenience wrapper over canonicalize().
 EdgeList simplified(const EdgeList& graph);
 
 /// Basic statistics used by the Table 1 benchmark.

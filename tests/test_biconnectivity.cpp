@@ -5,6 +5,7 @@
 
 #include "bridges/biconnectivity.hpp"
 #include "bridges/dfs_bridges.hpp"
+#include "bridges/two_ecc.hpp"
 #include "device/context.hpp"
 #include "gen/graphs.hpp"
 #include "graph/graph.hpp"
@@ -165,6 +166,84 @@ TEST(Biconnectivity, DfsBaselineOnDisconnectedInput) {
   EXPECT_EQ(result.num_blocks, 2u);
   EXPECT_EQ(result.is_articulation,
             (std::vector<std::uint8_t>{0, 0, 0, 0, 0, 0}));
+}
+
+// --------------------------------------------- dynamic-path adversarials
+//
+// The batch-dynamic subsystem (src/dynamic) feeds these shapes to the
+// static algorithms on every rebuild; pin them down standalone.
+
+TEST(BiconnectivityAdversarial, TwoEccOnEdgelessGraph) {
+  // An update batch that erases everything leaves an edgeless snapshot.
+  const device::Context ctx(1);
+  graph::EdgeList g;
+  g.num_nodes = 4;
+  const auto labels = two_edge_components(ctx, g, BridgeMask{});
+  ASSERT_EQ(labels.size(), 4u);
+  const std::set<NodeId> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 4u);  // all singletons
+}
+
+TEST(BiconnectivityAdversarial, TwoEccAcrossConnectingInsert) {
+  // Disconnected graph gaining a connecting edge: the new edge is a bridge,
+  // so the 2ecc partition must not merge across it.
+  const device::Context ctx(2);
+  graph::EdgeList g;
+  g.num_nodes = 6;
+  g.edges = {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}};
+  const graph::Csr before = build_csr(ctx, g);
+  const auto labels_before =
+      two_edge_components(ctx, g, find_bridges_dfs(before));
+  EXPECT_EQ(labels_before[0], labels_before[2]);
+  EXPECT_NE(labels_before[0], labels_before[3]);
+
+  g.edges.push_back({2, 3});  // the connecting insert
+  const auto mask = find_bridges_dfs(build_csr(ctx, g));
+  EXPECT_EQ(count_bridges(mask), 1u);
+  EXPECT_EQ(mask[6], 1);
+  const auto labels_after = two_edge_components(ctx, g, mask);
+  EXPECT_NE(labels_after[2], labels_after[3]);
+  EXPECT_EQ(labels_after[0], labels_after[2]);
+  EXPECT_EQ(labels_after[3], labels_after[5]);
+}
+
+TEST_P(BiconnParam, LosesAllBridgesAfterInsert) {
+  // A path (every edge a bridge, every internal node an articulation)
+  // closed into a cycle by one insert: no bridges, no articulations, one
+  // block. Both the blocks and the 2ecc partition must collapse.
+  graph::EdgeList g = gen::path_graph(64);
+  const auto mask_before = find_bridges_dfs(build_csr(ctx_, g));
+  EXPECT_EQ(count_bridges(mask_before), 63u);
+
+  g.edges.push_back({63, 0});
+  const auto mask_after = find_bridges_dfs(build_csr(ctx_, g));
+  EXPECT_EQ(count_bridges(mask_after), 0u);
+  const auto bic = biconnectivity_tv(ctx_, g);
+  EXPECT_EQ(bic.num_blocks, 1u);
+  for (const auto a : bic.is_articulation) EXPECT_EQ(a, 0);
+  const auto labels = two_edge_components(ctx_, g, mask_after);
+  const std::set<NodeId> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 1u);
+  expect_tv_matches_dfs(ctx_, g, "closed-path");
+}
+
+TEST_P(BiconnParam, AllDuplicateBatchShape) {
+  // An all-duplicate insert batch leaves the snapshot a simple graph, but
+  // the same edges may also arrive as a raw multigraph; the two forms must
+  // produce the same block partition sizes.
+  graph::EdgeList multi;
+  multi.num_nodes = 4;
+  multi.edges = {{0, 1}, {1, 0}, {1, 2}, {1, 2}, {2, 3}};
+  const auto simple = graph::canonicalize(ctx_, multi);
+  ASSERT_EQ(simple.edges.size(), 3u);
+  const auto bic_multi = biconnectivity_tv(ctx_, multi);
+  const auto bic_simple = biconnectivity_tv(ctx_, simple);
+  // Multigraph: each parallel pair is a 2-cycle block, plus the 2-3 pendant
+  // edge. Simple form: a path of 3 pendant blocks. Both have 3 blocks.
+  EXPECT_EQ(bic_multi.num_blocks, 3u);
+  EXPECT_EQ(bic_simple.num_blocks, 3u);
+  expect_tv_matches_dfs(ctx_, multi, "multi");
+  expect_tv_matches_dfs(ctx_, simple, "simple");
 }
 
 TEST(Biconnectivity, SameBlockPartitionUtility) {

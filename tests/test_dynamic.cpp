@@ -1,0 +1,463 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "bridges/biconnectivity.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "bridges/two_ecc.hpp"
+#include "device/context.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/oracle.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace emc::dynamic {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+
+std::set<std::pair<NodeId, NodeId>> edge_set(const EdgeList& g) {
+  std::set<std::pair<NodeId, NodeId>> s;
+  for (const Edge& e : g.edges) {
+    s.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  return s;
+}
+
+/// From-scratch recompute reference for every oracle query: DFS bridges,
+/// union-find 2ecc labels, and BFS distances over the contracted block
+/// graph. Shares no code with the oracle's device pipeline.
+struct Reference {
+  std::vector<NodeId> cc;         // connected component label
+  std::vector<NodeId> comp;       // 2ecc label
+  std::vector<NodeId> comp_size;  // per node: size of its 2ecc component
+  std::vector<std::vector<NodeId>> block_adj;  // bridge adjacency over comps
+  std::size_t num_bridges = 0;
+
+  explicit Reference(const device::Context& ctx, const EdgeList& g) {
+    const auto n = static_cast<std::size_t>(g.num_nodes);
+    const graph::Csr csr = graph::build_csr(ctx, g);
+    const bridges::BridgeMask mask = bridges::find_bridges_dfs(csr);
+    num_bridges = bridges::count_bridges(mask);
+
+    auto make_uf = [&]() {
+      std::vector<NodeId> uf(n);
+      for (std::size_t v = 0; v < n; ++v) uf[v] = static_cast<NodeId>(v);
+      return uf;
+    };
+    auto find = [](std::vector<NodeId>& uf, NodeId x) {
+      while (uf[x] != x) x = uf[x] = uf[uf[x]];
+      return x;
+    };
+    std::vector<NodeId> uf_cc = make_uf();
+    std::vector<NodeId> uf_2ecc = make_uf();
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      uf_cc[find(uf_cc, g.edges[e].u)] = find(uf_cc, g.edges[e].v);
+      if (!mask[e]) {
+        uf_2ecc[find(uf_2ecc, g.edges[e].u)] = find(uf_2ecc, g.edges[e].v);
+      }
+    }
+    cc.resize(n);
+    comp.resize(n);
+    comp_size.assign(n, 0);
+    std::vector<NodeId> count(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      cc[v] = find(uf_cc, static_cast<NodeId>(v));
+      comp[v] = find(uf_2ecc, static_cast<NodeId>(v));
+      ++count[comp[v]];
+    }
+    for (std::size_t v = 0; v < n; ++v) comp_size[v] = count[comp[v]];
+    block_adj.assign(n, {});
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      if (mask[e]) {
+        block_adj[comp[g.edges[e].u]].push_back(comp[g.edges[e].v]);
+        block_adj[comp[g.edges[e].v]].push_back(comp[g.edges[e].u]);
+      }
+    }
+  }
+
+  NodeId bridges_on_path(NodeId u, NodeId v) const {
+    if (cc[u] != cc[v]) return kNoNode;
+    if (comp[u] == comp[v]) return 0;
+    std::vector<NodeId> dist(block_adj.size(), kNoNode);
+    std::queue<NodeId> queue;
+    dist[comp[u]] = 0;
+    queue.push(comp[u]);
+    while (!queue.empty()) {
+      const NodeId b = queue.front();
+      queue.pop();
+      if (b == comp[v]) return dist[b];
+      for (const NodeId next : block_adj[b]) {
+        if (dist[next] == kNoNode) {
+          dist[next] = dist[b] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return kNoNode;  // unreachable: same cc implies a block path exists
+  }
+};
+
+void expect_oracle_matches_reference(const device::Context& ctx,
+                                     const DynamicGraph& dg,
+                                     const ConnectivityOracle& oracle,
+                                     util::Rng& rng, int num_queries,
+                                     const char* label) {
+  const EdgeList& snap = dg.snapshot(ctx);
+  const Reference ref(ctx, snap);
+  ASSERT_EQ(oracle.num_bridges(), ref.num_bridges) << label;
+  std::vector<std::pair<NodeId, NodeId>> queries(num_queries);
+  for (auto& [u, v] : queries) {
+    u = static_cast<NodeId>(rng.below(dg.num_nodes()));
+    v = static_cast<NodeId>(rng.below(dg.num_nodes()));
+  }
+  std::vector<std::uint8_t> same;
+  std::vector<NodeId> dist;
+  oracle.same_2ecc_batch(ctx, queries, same);
+  oracle.bridges_on_path_batch(ctx, queries, dist);
+  for (int q = 0; q < num_queries; ++q) {
+    const auto [u, v] = queries[q];
+    ASSERT_EQ(same[q] != 0, ref.comp[u] == ref.comp[v])
+        << label << ": same_2ecc(" << u << ", " << v << ")";
+    ASSERT_EQ(dist[q], ref.bridges_on_path(u, v))
+        << label << ": bridges_on_path(" << u << ", " << v << ")";
+    ASSERT_EQ(oracle.component_size(u), ref.comp_size[u])
+        << label << ": component_size(" << u << ")";
+  }
+}
+
+class DynamicParam : public ::testing::TestWithParam<unsigned> {
+ protected:
+  device::Context ctx_{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Workers, DynamicParam, ::testing::Values(1u, 4u));
+
+// ----------------------------------------------------------- DCSR storage
+
+TEST_P(DynamicParam, InsertEraseBasics) {
+  DynamicGraph dg(5);
+  EXPECT_EQ(dg.num_edges(), 0u);
+  EXPECT_EQ(dg.insert_edges(ctx_, {{0, 1}, {1, 2}, {2, 3}}), 3u);
+  EXPECT_EQ(dg.epoch(), 1u);
+  EXPECT_TRUE(dg.has_edge(0, 1));
+  EXPECT_TRUE(dg.has_edge(2, 1));  // undirected
+  EXPECT_FALSE(dg.has_edge(0, 3));
+  EXPECT_EQ(dg.degree(1), 2);
+  EXPECT_EQ(dg.erase_edges(ctx_, {{1, 2}}), 1u);
+  EXPECT_FALSE(dg.has_edge(1, 2));
+  EXPECT_EQ(dg.num_edges(), 2u);
+  EXPECT_EQ(dg.epoch(), 2u);
+}
+
+TEST_P(DynamicParam, NoOpBatchesDoNotAdvanceEpoch) {
+  DynamicGraph dg(4);
+  dg.insert_edges(ctx_, {{0, 1}, {1, 2}});
+  const std::uint64_t epoch = dg.epoch();
+  // Empty batch.
+  EXPECT_EQ(dg.insert_edges(ctx_, {}), 0u);
+  // All duplicates (including reversed orientation and in-batch repeats).
+  EXPECT_EQ(dg.insert_edges(ctx_, {{0, 1}, {1, 0}, {2, 1}, {0, 1}}), 0u);
+  // Self-loops and out-of-range endpoints are dropped.
+  EXPECT_EQ(dg.insert_edges(ctx_, {{2, 2}, {-1, 0}, {0, 9}}), 0u);
+  // Erasing absent edges.
+  EXPECT_EQ(dg.erase_edges(ctx_, {{0, 2}, {3, 1}}), 0u);
+  EXPECT_EQ(dg.epoch(), epoch);
+  EXPECT_EQ(dg.num_edges(), 2u);
+}
+
+TEST_P(DynamicParam, BatchDuplicatesCountOnce) {
+  DynamicGraph dg(4);
+  EXPECT_EQ(dg.insert_edges(ctx_, {{0, 1}, {1, 0}, {0, 1}, {2, 3}}), 2u);
+  EXPECT_EQ(dg.num_edges(), 2u);
+  EXPECT_EQ(dg.degree(0), 1);
+}
+
+TEST_P(DynamicParam, ConstructorCanonicalizesInitialEdges) {
+  EdgeList raw;
+  raw.num_nodes = 4;
+  raw.edges = {{0, 1}, {1, 0}, {0, 0}, {1, 2}, {1, 2}, {2, 3}};
+  const DynamicGraph dg(ctx_, raw);
+  EXPECT_EQ(dg.num_edges(), 3u);
+  EXPECT_TRUE(dg.has_edge(0, 1));
+  EXPECT_FALSE(dg.has_edge(0, 0));
+  const EdgeList& snap = dg.snapshot(ctx_);
+  EXPECT_TRUE(snap.valid());
+  EXPECT_EQ(edge_set(snap),
+            (std::set<std::pair<NodeId, NodeId>>{{0, 1}, {1, 2}, {2, 3}}));
+}
+
+TEST_P(DynamicParam, SnapshotIsCachedPerEpoch) {
+  DynamicGraph dg(6);
+  dg.insert_edges(ctx_, {{0, 1}, {1, 2}});
+  const EdgeList* first = &dg.snapshot(ctx_);
+  EXPECT_EQ(first, &dg.snapshot(ctx_));  // zero-copy within an epoch
+  dg.insert_edges(ctx_, {{0, 1}});       // no-op: cache stays warm
+  EXPECT_EQ(first, &dg.snapshot(ctx_));
+  dg.insert_edges(ctx_, {{2, 3}});
+  EXPECT_EQ(dg.snapshot(ctx_).edges.size(), 3u);
+}
+
+TEST_P(DynamicParam, SnapshotCsrAlignsWithSnapshotEdgeOrder) {
+  DynamicGraph dg(5);
+  dg.insert_edges(ctx_, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}});
+  const EdgeList& snap = dg.snapshot(ctx_);
+  const graph::Csr& csr = dg.snapshot_csr(ctx_);
+  ASSERT_EQ(csr.num_edges(), snap.edges.size());
+  for (NodeId v = 0; v < dg.num_nodes(); ++v) {
+    for (EdgeId i = csr.row_offsets[v]; i < csr.row_offsets[v + 1]; ++i) {
+      const Edge e = snap.edges[csr.edge_ids[i]];
+      EXPECT_TRUE((e.u == v && e.v == csr.neighbors[i]) ||
+                  (e.v == v && e.u == csr.neighbors[i]));
+    }
+  }
+}
+
+TEST_P(DynamicParam, CompactionPreservesEdgesAndAmortizes) {
+  DynamicGraph dg(50);
+  std::set<std::pair<NodeId, NodeId>> ref;
+  util::Rng rng(7);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Edge> batch;
+    for (int i = 0; i < 40; ++i) {
+      const auto u = static_cast<NodeId>(rng.below(50));
+      const auto v = static_cast<NodeId>(rng.below(50));
+      batch.push_back({u, v});
+      if (u != v) ref.insert({std::min(u, v), std::max(u, v)});
+    }
+    dg.insert_edges(ctx_, batch);
+  }
+  EXPECT_GT(dg.num_compactions(), 0u);  // slack was exhausted along the way
+  EXPECT_EQ(edge_set(dg.snapshot(ctx_)), ref);
+  EXPECT_EQ(dg.num_edges(), ref.size());
+  // Capacity tracks occupancy (slack is a constant factor, not unbounded).
+  EXPECT_LE(dg.slot_capacity(), 2 * 2 * ref.size() + 4 * 50);
+}
+
+// ------------------------------------------------------------- the oracle
+
+TEST_P(DynamicParam, OracleTracksBridgeAcrossUpdates) {
+  // Two triangles joined by a bridge.
+  DynamicGraph dg(6);
+  dg.insert_edges(ctx_,
+                  {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  ConnectivityOracle oracle;
+  EXPECT_TRUE(oracle.refresh(ctx_, dg));
+  EXPECT_EQ(oracle.num_bridges(), 1u);
+  EXPECT_TRUE(oracle.same_2ecc(0, 2));
+  EXPECT_FALSE(oracle.same_2ecc(0, 3));
+  EXPECT_EQ(oracle.bridges_on_path(0, 5), 1);
+  EXPECT_EQ(oracle.bridges_on_path(0, 1), 0);
+  EXPECT_EQ(oracle.component_size(0), 3);
+
+  // The graph loses all bridges after an insert closing a second path.
+  dg.insert_edges(ctx_, {{1, 4}});
+  EXPECT_TRUE(oracle.refresh(ctx_, dg));
+  EXPECT_EQ(oracle.num_bridges(), 0u);
+  EXPECT_TRUE(oracle.same_2ecc(0, 5));
+  EXPECT_EQ(oracle.bridges_on_path(0, 5), 0);
+  EXPECT_EQ(oracle.component_size(0), 6);
+  EXPECT_EQ(oracle.num_blocks(), 1u);
+}
+
+TEST_P(DynamicParam, OracleOnDisconnectedGraphGainingConnectingEdge) {
+  DynamicGraph dg(7);
+  dg.insert_edges(ctx_, {{0, 1}, {1, 2}, {2, 0},    // triangle
+                         {3, 4}, {4, 5}, {5, 3}});  // triangle, node 6 alone
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx_, dg);
+  EXPECT_EQ(oracle.num_bridges(), 0u);
+  EXPECT_EQ(oracle.bridges_on_path(0, 3), kNoNode);  // different components
+  EXPECT_EQ(oracle.bridges_on_path(0, 6), kNoNode);
+  EXPECT_EQ(oracle.component_size(6), 1);
+
+  dg.insert_edges(ctx_, {{2, 3}});  // the connecting edge
+  oracle.refresh(ctx_, dg);
+  EXPECT_EQ(oracle.num_bridges(), 1u);
+  EXPECT_EQ(oracle.bridges_on_path(0, 3), 1);
+  EXPECT_EQ(oracle.bridges_on_path(0, 6), kNoNode);  // 6 is still isolated
+}
+
+TEST_P(DynamicParam, RefreshDistinguishesGraphInstances) {
+  // Two fresh graphs share epoch numbers; the oracle must key its cache on
+  // the graph's identity too, not the epoch alone.
+  DynamicGraph a(ctx_, gen::cycle_graph(8));
+  DynamicGraph b(ctx_, gen::path_graph(8));
+  EXPECT_NE(a.uid(), b.uid());
+  EXPECT_EQ(a.epoch(), b.epoch());
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx_, a);
+  EXPECT_EQ(oracle.num_bridges(), 0u);
+  EXPECT_TRUE(oracle.refresh(ctx_, b));  // same epoch, different graph
+  EXPECT_EQ(oracle.num_bridges(), 7u);
+  EXPECT_FALSE(oracle.refresh(ctx_, b));
+  EXPECT_TRUE(oracle.refresh(ctx_, a));
+}
+
+TEST_P(DynamicParam, ConstructorIgnoresOutOfRangeEndpoints) {
+  graph::EdgeList raw;
+  raw.num_nodes = 3;
+  raw.edges = {{0, 1}, {0, 7}, {-2, 1}, {1, 2}};
+  const DynamicGraph dg(ctx_, raw);
+  EXPECT_EQ(dg.num_edges(), 2u);
+  EXPECT_TRUE(dg.has_edge(0, 1));
+  EXPECT_TRUE(dg.has_edge(1, 2));
+}
+
+TEST_P(DynamicParam, RefreshSkipsWhenEpochUnchanged) {
+  DynamicGraph dg(4);
+  dg.insert_edges(ctx_, {{0, 1}, {1, 2}});
+  ConnectivityOracle oracle;
+  EXPECT_TRUE(oracle.refresh(ctx_, dg));
+  EXPECT_FALSE(oracle.refresh(ctx_, dg));  // nothing changed
+  dg.insert_edges(ctx_, {{1, 0}});         // no-op update batch
+  dg.erase_edges(ctx_, {{0, 2}});          // absent: another no-op
+  EXPECT_FALSE(oracle.refresh(ctx_, dg));
+  EXPECT_EQ(oracle.rebuilds(), 1u);
+  EXPECT_EQ(oracle.refreshes_skipped(), 2u);
+  dg.insert_edges(ctx_, {{2, 3}});
+  EXPECT_TRUE(oracle.refresh(ctx_, dg));
+  EXPECT_EQ(oracle.rebuilds(), 2u);
+}
+
+// Adversarial inputs the dynamic path produces, cross-checked against the
+// standalone two_edge_components / biconnectivity entry points.
+TEST_P(DynamicParam, TwoEccOnDynamicSnapshots) {
+  DynamicGraph dg(6);
+  ConnectivityOracle oracle;
+
+  // Disconnected snapshot (two paths): every node is its own 2ecc.
+  dg.insert_edges(ctx_, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  oracle.refresh(ctx_, dg);
+  const EdgeList& snap = dg.snapshot(ctx_);
+  const auto mask = bridges::find_bridges_dfs(dg.snapshot_csr(ctx_));
+  const auto labels = bridges::two_edge_components(ctx_, snap, mask);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      EXPECT_EQ(labels[u] == labels[v], oracle.same_2ecc(u, v));
+    }
+  }
+  EXPECT_EQ(oracle.num_blocks(), 6u);
+
+  // Cycle-closing inserts kill every bridge; the snapshot (now connected)
+  // also satisfies the biconnectivity entry point's precondition.
+  dg.insert_edges(ctx_, {{2, 3}, {5, 0}});
+  oracle.refresh(ctx_, dg);
+  EXPECT_EQ(oracle.num_bridges(), 0u);
+  EXPECT_EQ(oracle.num_blocks(), 1u);
+  const auto bcc = bridges::biconnectivity_tv(ctx_, dg.snapshot(ctx_));
+  EXPECT_EQ(bcc.num_blocks, 1u);  // a cycle is one block
+  for (const auto a : bcc.is_articulation) EXPECT_EQ(a, 0);
+}
+
+// ------------------------------------------------ launch-count guarantees
+
+TEST(DynamicLaunches, QueryBatchesAreSingleKernels) {
+  const device::Context ctx = device::Context::device();
+  DynamicGraph dg(ctx, gen::road_graph(20, 20, 0.7, 0.05, 3));
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  util::Rng rng(11);
+  std::vector<std::pair<NodeId, NodeId>> queries(4096);
+  for (auto& [u, v] : queries) {
+    u = static_cast<NodeId>(rng.below(dg.num_nodes()));
+    v = static_cast<NodeId>(rng.below(dg.num_nodes()));
+  }
+  std::vector<NodeId> singles(4096);
+  for (auto& v : singles) v = static_cast<NodeId>(rng.below(dg.num_nodes()));
+
+  std::vector<std::uint8_t> same;
+  std::uint64_t before = ctx.launch_count();
+  oracle.same_2ecc_batch(ctx, queries, same);
+  EXPECT_EQ(ctx.launch_count() - before, 1u);  // no per-query launches
+
+  std::vector<NodeId> dist;
+  before = ctx.launch_count();
+  oracle.bridges_on_path_batch(ctx, queries, dist);
+  EXPECT_EQ(ctx.launch_count() - before, 1u);
+
+  std::vector<NodeId> sizes;
+  before = ctx.launch_count();
+  oracle.component_size_batch(ctx, singles, sizes);
+  EXPECT_EQ(ctx.launch_count() - before, 1u);
+}
+
+TEST(DynamicLaunches, UpdateBatchLaunchesIndependentOfBatchSize) {
+  const device::Context ctx = device::Context::device();
+  auto launches_for = [&](std::size_t batch_size) {
+    DynamicGraph dg(2000);
+    util::Rng rng(batch_size);
+    std::vector<Edge> batch(batch_size);
+    for (auto& e : batch) {
+      e.u = static_cast<NodeId>(rng.below(2000));
+      e.v = static_cast<NodeId>(rng.below(2000));
+    }
+    const std::uint64_t before = ctx.launch_count();
+    dg.insert_edges(ctx, batch);
+    return ctx.launch_count() - before;
+  };
+  // Sort pass counts adapt to key bits, not batch size; everything else is
+  // a fixed kernel sequence. A 64x larger batch must not launch more.
+  EXPECT_LE(launches_for(1 << 16), launches_for(1 << 10) + 2);
+}
+
+// ------------------------------------------------------------------- fuzz
+
+TEST(DynamicFuzz, OracleMatchesFromScratchRecompute) {
+  const device::Context ctx(2);
+  constexpr NodeId kNodes = 48;
+  constexpr int kRounds = 120;
+  util::Rng rng(2026);
+
+  DynamicGraph dg(kNodes);
+  ConnectivityOracle oracle;
+  std::set<std::pair<NodeId, NodeId>> ref_edges;
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<Edge> batch;
+    const std::size_t size = 1 + rng.below(24);
+    const bool erase = round % 3 == 2 && !ref_edges.empty();
+    if (erase) {
+      // Mix of existing edges and absent ones (which must be ignored).
+      std::vector<std::pair<NodeId, NodeId>> pool(ref_edges.begin(),
+                                                  ref_edges.end());
+      for (std::size_t i = 0; i < size; ++i) {
+        if (rng.below(2) == 0) {
+          const auto& [u, v] = pool[rng.below(pool.size())];
+          batch.push_back({u, v});
+        } else {
+          batch.push_back({static_cast<NodeId>(rng.below(kNodes)),
+                           static_cast<NodeId>(rng.below(kNodes))});
+        }
+      }
+      for (const Edge& e : batch) {
+        ref_edges.erase({std::min(e.u, e.v), std::max(e.u, e.v)});
+      }
+      dg.erase_edges(ctx, batch);
+    } else {
+      for (std::size_t i = 0; i < size; ++i) {
+        const auto u = static_cast<NodeId>(rng.below(kNodes));
+        const auto v = static_cast<NodeId>(rng.below(kNodes));
+        batch.push_back({u, v});
+        if (u != v) ref_edges.insert({std::min(u, v), std::max(u, v)});
+      }
+      dg.insert_edges(ctx, batch);
+    }
+    ASSERT_EQ(dg.num_edges(), ref_edges.size()) << "round " << round;
+    ASSERT_EQ(edge_set(dg.snapshot(ctx)), ref_edges) << "round " << round;
+
+    oracle.refresh(ctx, dg);
+    ASSERT_EQ(oracle.built_epoch(), dg.epoch());
+    expect_oracle_matches_reference(ctx, dg, oracle, rng, 24,
+                                    ("round " + std::to_string(round)).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace emc::dynamic

@@ -138,6 +138,58 @@ TEST(Simplified, PreservesSimpleGraph) {
   EXPECT_EQ(simplified(g).edges.size(), 10u);
 }
 
+TEST(Canonicalize, DropsLoopsAndDuplicatesInBothOrientations) {
+  const device::Context ctx(2);
+  EdgeList g;
+  g.num_nodes = 5;
+  g.edges = {{1, 0}, {0, 1}, {2, 2}, {3, 4}, {4, 3}, {3, 4}, {0, 1}};
+  const EdgeList canon = canonicalize(ctx, g);
+  EXPECT_TRUE(canon.valid());
+  EXPECT_EQ(canon.num_nodes, 5);
+  ASSERT_EQ(canon.edges.size(), 2u);
+  // Survivors are oriented (min, max) and sorted.
+  EXPECT_EQ(canon.edges[0], (Edge{0, 1}));
+  EXPECT_EQ(canon.edges[1], (Edge{3, 4}));
+}
+
+TEST(Canonicalize, GeneratorRoundTrip) {
+  // Raw generator output is a multigraph that fails no invariant check but
+  // carries duplicates; its canonical form satisfies valid() and is a fixed
+  // point of canonicalize.
+  const device::Context ctx(2);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const EdgeList raw = gen::kron_graph(8, 6, seed);
+    const EdgeList canon = canonicalize(ctx, raw);
+    EXPECT_TRUE(canon.valid());
+    EXPECT_LE(canon.edges.size(), raw.edges.size());
+    const EdgeList again = canonicalize(ctx, canon);
+    EXPECT_EQ(again.edges, canon.edges);
+    // Matches the sequential simplification exactly.
+    EXPECT_EQ(simplified(raw).edges, canon.edges);
+  }
+}
+
+TEST(Canonicalize, EmptyAndAllLoops) {
+  const device::Context ctx(1);
+  EdgeList g;
+  g.num_nodes = 3;
+  EXPECT_TRUE(canonicalize(ctx, g).edges.empty());
+  g.edges = {{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_TRUE(canonicalize(ctx, g).edges.empty());
+}
+
+TEST(Canonicalize, DropsOutOfRangeEndpoints) {
+  const device::Context ctx(1);
+  EdgeList g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}, {0, 5}, {-1, 2}, {1, 2}};
+  const EdgeList canon = canonicalize(ctx, g);
+  EXPECT_TRUE(canon.valid());
+  ASSERT_EQ(canon.edges.size(), 2u);
+  EXPECT_EQ(canon.edges[0], (Edge{0, 1}));
+  EXPECT_EQ(canon.edges[1], (Edge{1, 2}));
+}
+
 TEST(Diameter, ExactOnPath) {
   const device::Context ctx(1);
   const EdgeList g = gen::path_graph(100);
