@@ -9,9 +9,15 @@
 //
 //   update rows — seconds to apply the batch to the DCSR and refresh the
 //     oracle (the rebuild dominates; launches shows the fixed kernel count);
+//   incremental rows — refresh cost alone for small INSERT-ONLY
+//     intra-component batches, where refresh() takes the delta-replay path
+//     (LCA kernel + union-find contraction + block-tree rebuild) instead of
+//     the full pipeline, next to the full rebuild of the same snapshot;
 //   query rows  — queries/s for same_2ecc and bridges_on_path batches;
 //   mix rows    — interleaved update/query rounds at a given ratio, the
-//     serving steady state.
+//     serving steady state (insert-only rounds, so refresh() takes the
+//     incremental path whenever the random batch happens to stay
+//     intra-component — exactly what a server would see).
 //
 // Rows also land in BENCH_dynamic.json (same shape as the other BENCH
 // files; n is the batch size, ns_per_elem the per-element batch cost).
@@ -86,13 +92,18 @@ int main(int argc, char** argv) {
     rows.push_back({op, batch, "gpu", seconds * 1e9 / batch});
   };
 
-  // ---- update batches: DCSR apply + oracle rebuild
+  // ---- update batches: DCSR apply + oracle rebuild. The erase batch
+  // samples EXISTING edges so it is always effective: the round's final
+  // delta then contains erases and refresh() deterministically takes the
+  // full-rebuild path (the incremental path is measured separately below).
   for (const std::size_t batch_size : {1u << 10, 1u << 14, 1u << 18}) {
     double total = 0;
     const std::uint64_t before = ctx.launch_count();
     for (int r = 0; r < runs; ++r) {
       auto inserts = random_batch(rng, n, batch_size);
-      auto erases = random_batch(rng, n, batch_size / 4);
+      std::vector<graph::Edge> erases(batch_size / 4);
+      const auto& current = dg.snapshot(ctx).edges;
+      for (auto& e : erases) e = current[rng.below(current.size())];
       util::Timer timer;
       dg.insert_edges(ctx, inserts);
       dg.erase_edges(ctx, erases);
@@ -103,6 +114,50 @@ int main(int argc, char** argv) {
     // make individual rounds vary).
     record("update_refresh", batch_size, total / runs,
            (ctx.launch_count() - before) / runs);
+  }
+
+  // ---- incremental refresh vs full rebuild: small insert-only batches of
+  // intra-component edges (the delta shape the incremental path serves).
+  // Timed per phase: refresh() only — the DCSR apply is identical for both.
+  {
+    const auto cc = graph::connected_component_labels(dg.snapshot(ctx));
+    auto intra_batch = [&](std::size_t size) {
+      std::vector<graph::Edge> batch;
+      while (batch.size() < size) {
+        const auto u = static_cast<NodeId>(rng.below(n));
+        const auto v = static_cast<NodeId>(rng.below(n));
+        if (u != v && cc[u] == cc[v]) batch.push_back({u, v});
+      }
+      return batch;
+    };
+    for (const std::size_t batch_size : {1u << 8, 1u << 10, 1u << 12, 1u << 14}) {
+      double incr_total = 0, full_total = 0;
+      std::uint64_t incr_launches = 0, full_launches = 0;
+      for (int r = 0; r < runs; ++r) {
+        oracle.refresh(ctx, dg);  // make the index current first
+        dg.insert_edges(ctx, intra_batch(batch_size));
+        const std::size_t incrementals_before = oracle.incremental_refreshes();
+        std::uint64_t before = ctx.launch_count();
+        util::Timer timer;
+        oracle.refresh(ctx, dg);
+        incr_total += timer.seconds();
+        incr_launches += ctx.launch_count() - before;
+        if (oracle.incremental_refreshes() == incrementals_before) {
+          std::fprintf(stderr, "warning: incremental path not taken at "
+                       "batch=%zu\n", batch_size);
+        }
+        dynamic::ConnectivityOracle scratch;  // full pipeline, same snapshot
+        before = ctx.launch_count();
+        timer.reset();
+        scratch.refresh(ctx, dg);
+        full_total += timer.seconds();
+        full_launches += ctx.launch_count() - before;
+      }
+      record("refresh_incremental", batch_size, incr_total / runs,
+             incr_launches / runs);
+      record("refresh_full_rebuild", batch_size, full_total / runs,
+             full_launches / runs);
+    }
   }
 
   // ---- query batches: one kernel per batch

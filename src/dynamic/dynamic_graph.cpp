@@ -194,6 +194,7 @@ std::size_t DynamicGraph::insert_edges(const device::Context& ctx,
   });
   num_edges_ += c;
   ++epoch_;
+  record_delta(ctx, fresh, /*inserted=*/true);
   return c;
 }
 
@@ -229,7 +230,22 @@ std::size_t DynamicGraph::erase_edges(const device::Context& ctx,
   });
   num_edges_ -= c;
   ++epoch_;
+  record_delta(ctx, doomed, /*inserted=*/false);
   return c;
+}
+
+void DynamicGraph::record_delta(const device::Context& ctx,
+                                const std::vector<std::uint64_t>& keys,
+                                bool inserted) {
+  last_delta_.from_epoch = epoch_ - 1;
+  auto& applied = inserted ? last_delta_.inserted : last_delta_.erased;
+  auto& other = inserted ? last_delta_.erased : last_delta_.inserted;
+  other.clear();
+  applied.resize(keys.size());
+  device::transform(ctx, keys.size(), applied.data(), [&](std::size_t i) {
+    return graph::Edge{static_cast<NodeId>(keys[i] >> 32),
+                       static_cast<NodeId>(keys[i] & 0xffffffffULL)};
+  });
 }
 
 void DynamicGraph::compact(const device::Context& ctx, const EdgeId* demand) {

@@ -41,6 +41,23 @@
 
 namespace emc::dynamic {
 
+/// The applied (post-normalization) delta of the most recent effective
+/// update batch: the edges that actually entered or left the store, in
+/// canonical (u < v) form, and the epoch the batch applied on top of. A
+/// consumer holding an index for `from_epoch` can bring it to
+/// `from_epoch + 1` by replaying the delta instead of re-reading the whole
+/// graph — the hook ConnectivityOracle's incremental refresh hangs off.
+struct UpdateDelta {
+  /// Epoch the delta applies on top of (the batch produced from_epoch + 1).
+  /// kNoDelta when no effective batch has run yet.
+  std::uint64_t from_epoch = ~std::uint64_t{0};
+  std::vector<graph::Edge> inserted;  // canonical u < v, deduplicated
+  std::vector<graph::Edge> erased;    // canonical u < v, deduplicated
+
+  static constexpr std::uint64_t kNoDelta = ~std::uint64_t{0};
+  bool insert_only() const { return erased.empty(); }
+};
+
 class DynamicGraph {
  public:
   /// Empty graph on `num_nodes` nodes (all segments empty, zero capacity;
@@ -77,6 +94,14 @@ class DynamicGraph {
 
   /// Version counter: advances exactly when the edge set changes.
   std::uint64_t epoch() const { return epoch_; }
+
+  /// Delta of the most recent effective update batch (the one that advanced
+  /// the epoch to epoch()). No-op batches leave it untouched; before any
+  /// effective batch (including right after the seeding constructor, whose
+  /// initial edges are part of epoch 0, not a delta on top of it) its
+  /// from_epoch is UpdateDelta::kNoDelta. Invalidated by the next effective
+  /// batch — consumers replay it immediately or not at all.
+  const UpdateDelta& last_delta() const { return last_delta_; }
 
   /// Process-unique graph identity (never 0). Consumers that cache derived
   /// state key it on (uid, epoch): epoch alone would collide across
@@ -123,9 +148,15 @@ class DynamicGraph {
   std::uint64_t uid_ = 0;
   std::size_t num_compactions_ = 0;
 
+  /// Records `keys` (canonical packed edges) as the delta that produced the
+  /// current epoch, into the inserted or erased side.
+  void record_delta(const device::Context& ctx,
+                    const std::vector<std::uint64_t>& keys, bool inserted);
+
   std::vector<EdgeId> seg_begin_;  // size n+1: slot range of each segment
   std::vector<EdgeId> seg_count_;  // size n: used slots (node degree)
   std::vector<NodeId> adj_;        // slot store
+  UpdateDelta last_delta_;
 
   static constexpr std::uint64_t kNeverBuilt = ~std::uint64_t{0};
   mutable graph::EdgeList edge_snapshot_;

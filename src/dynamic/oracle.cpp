@@ -8,6 +8,7 @@
 #include "core/euler_tour.hpp"
 #include "core/tree.hpp"
 #include "device/primitives.hpp"
+#include "device/union_find.hpp"
 
 namespace emc::dynamic {
 
@@ -18,10 +19,38 @@ bool ConnectivityOracle::refresh(const device::Context& ctx,
     ++refreshes_skipped_;
     return false;
   }
-  rebuild(ctx, graph.snapshot(ctx), phases);
+  // Incremental path: the index must be exactly the one effective batch
+  // whose delta the graph still holds behind the current epoch, the delta
+  // must pass the size rule, and every inserted edge must stay within a
+  // connected component of the indexed snapshot (an edge joining two
+  // components would make later inserted edges' block paths span trees the
+  // old LCA cannot answer).
+  const UpdateDelta& delta = graph.last_delta();
+  bool incremental = built_uid_ == graph.uid() &&
+                     built_epoch_ != kNeverBuilt &&
+                     graph.epoch() == built_epoch_ + 1 &&
+                     delta.from_epoch == built_epoch_ &&
+                     incremental_applies(delta.inserted.size(),
+                                         delta.erased.size(), built_edges_);
+  if (incremental) {
+    const std::size_t cross_component = device::reduce(
+        ctx, delta.inserted.size(), std::size_t{0},
+        [&](std::size_t i) -> std::size_t {
+          const graph::Edge e = delta.inserted[i];
+          return cc_label_[e.u] == cc_label_[e.v] ? 0 : 1;
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
+    incremental = cross_component == 0;
+  }
+  if (incremental && apply_insertions(ctx, delta.inserted, phases)) {
+    ++incremental_refreshes_;
+  } else {
+    rebuild(ctx, graph.snapshot(ctx), phases);
+    ++rebuilds_;
+  }
   built_uid_ = graph.uid();
   built_epoch_ = graph.epoch();
-  ++rebuilds_;
+  built_edges_ = graph.num_edges();
   return true;
 }
 
@@ -127,12 +156,148 @@ void ConnectivityOracle::rebuild(const device::Context& ctx,
                       return graph::Edge{static_cast<NodeId>(num_blocks),
                                          block_of_[comp_reps[r]]};
                     });
+  index_block_tree(ctx, block_tree);
+}
+
+void ConnectivityOracle::index_block_tree(const device::Context& ctx,
+                                          const graph::EdgeList& block_tree) {
+  const auto super_root = static_cast<NodeId>(block_tree.num_nodes - 1);
   std::vector<NodeId> parent, level;
-  core::root_tree(ctx, block_tree, static_cast<NodeId>(num_blocks), parent,
-                  level);
-  const core::ParentTree tree{static_cast<NodeId>(num_blocks),
-                              std::move(parent)};
+  core::root_tree(ctx, block_tree, super_root, parent, level);
+  const core::ParentTree tree{super_root, std::move(parent)};
   block_lca_ = lca::InlabelLca::build_parallel(ctx, tree);
+}
+
+bool ConnectivityOracle::apply_insertions(
+    const device::Context& ctx, const std::vector<graph::Edge>& inserted,
+    util::PhaseTimer* phases) {
+  const std::size_t n = block_of_.size();
+  const std::size_t d = inserted.size();
+  const auto old_blocks = static_cast<NodeId>(num_blocks_);
+  const NodeId old_super_root = old_blocks;
+  const std::vector<NodeId>& parent = block_lca_->parents();
+  const std::vector<NodeId>& depth = block_lca_->levels();
+
+  // The inserted endpoints' block pairs, and their meeting points on the
+  // block tree — one bulk LCA kernel for the whole delta. Every pair lies
+  // within one component, so the meet is always a real block, never the
+  // virtual super-root.
+  std::vector<std::pair<NodeId, NodeId>> pairs(d);
+  device::transform(ctx, d, pairs.data(), [&](std::size_t i) {
+    return std::pair<NodeId, NodeId>{block_of_[inserted[i].u],
+                                     block_of_[inserted[i].v]};
+  });
+  std::vector<NodeId> meet;
+  {
+    util::ScopedPhase phase(phases, "lca_paths");
+    block_lca_->query_batch(ctx, pairs, meet);
+  }
+
+  // Covered-length rule: the contraction below walks every covered tree
+  // edge, and the delta SIZE does not bound that (a single inserted edge
+  // can span a chain of a million blocks). Sum the path lengths from the
+  // LCA answers and hand oversized totals back to the full rebuild — the
+  // probe's cost so far is three small kernels, noise next to either path.
+  const std::size_t covered = device::reduce(
+      ctx, d, std::size_t{0},
+      [&](std::size_t i) -> std::size_t {
+        return static_cast<std::size_t>(depth[pairs[i].first] +
+                                        depth[pairs[i].second] -
+                                        2 * depth[meet[i]]);
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  if (covered > std::max<std::size_t>(kIncrementalFloor,
+                                      num_blocks_ / kIncrementalRatio)) {
+    return false;
+  }
+
+  // Contract: each inserted edge closes a cycle through the tree path
+  // between its blocks, merging every block on it. One virtual thread per
+  // edge walks both legs up to the meet, hooking each block to its tree
+  // parent in the shared union-find; paths overlap freely (unite is
+  // idempotent and order-independent), and the final partition is exactly
+  // connectivity over the covered tree edges. A tree edge (b, parent[b])
+  // dies iff it was covered: the tree path between b and parent[b] is that
+  // single edge, so transitive merges cannot kill an uncovered bridge.
+  std::vector<NodeId> uf(num_blocks_);
+  {
+    util::ScopedPhase phase(phases, "contract");
+    device::uf_init(ctx, uf.data(), num_blocks_);
+    device::launch(ctx, d, [&](std::size_t i) {
+      const NodeId z = meet[i];
+      for (NodeId b : {pairs[i].first, pairs[i].second}) {
+        while (depth[b] > depth[z]) {
+          const NodeId p = parent[b];
+          device::uf_unite(uf.data(), b, p);
+          b = p;
+        }
+      }
+    });
+    device::uf_flatten(ctx, uf.data(), num_blocks_);
+  }
+
+  util::ScopedPhase phase(phases, "block_tree");
+  // Compact surviving roots to new block ids and remap old blocks.
+  std::vector<NodeId> reps(num_blocks_);
+  const std::size_t new_blocks = device::copy_if_index(
+      ctx, num_blocks_,
+      [&](std::size_t b) { return uf[b] == static_cast<NodeId>(b); },
+      reps.data());
+  std::vector<NodeId> new_id(num_blocks_);
+  device::launch(ctx, new_blocks, [&](std::size_t b) {
+    new_id[reps[b]] = static_cast<NodeId>(b);
+  });
+  std::vector<NodeId> remap(num_blocks_);
+  device::transform(ctx, num_blocks_, remap.data(),
+                    [&](std::size_t b) { return new_id[uf[b]]; });
+
+  // Surviving bridges (uncontracted non-virtual tree edges) and the virtual
+  // root children (one per component — unchanged, since the delta never
+  // joins components; a component's root child can merge downward but never
+  // with another component's).
+  std::vector<NodeId> surviving(num_blocks_);
+  const std::size_t num_surviving = device::copy_if_index(
+      ctx, num_blocks_,
+      [&](std::size_t b) {
+        const NodeId p = parent[b];
+        return p != old_super_root && uf[b] != uf[p];
+      },
+      surviving.data());
+  std::vector<NodeId> root_children(num_blocks_);
+  const std::size_t k = device::copy_if_index(
+      ctx, num_blocks_,
+      [&](std::size_t b) { return parent[b] == old_super_root; },
+      root_children.data());
+
+  graph::EdgeList new_tree;
+  new_tree.num_nodes = static_cast<NodeId>(new_blocks + 1);
+  new_tree.edges.resize(num_surviving + k);
+  device::transform(ctx, num_surviving, new_tree.edges.data(),
+                    [&](std::size_t i) {
+                      const NodeId b = surviving[i];
+                      return graph::Edge{remap[b], remap[parent[b]]};
+                    });
+  device::transform(ctx, k, new_tree.edges.data() + num_surviving,
+                    [&](std::size_t r) {
+                      return graph::Edge{static_cast<NodeId>(new_blocks),
+                                         remap[root_children[r]]};
+                    });
+
+  // Relabel the per-node index (the one n-sized pass of this path) and
+  // fold the merged blocks' sizes together.
+  device::launch(ctx, n, [&](std::size_t v) { block_of_[v] = remap[block_of_[v]]; });
+  std::vector<NodeId> new_size(new_blocks, 0);
+  device::launch(ctx, num_blocks_, [&](std::size_t b) {
+    std::atomic_ref<NodeId>(new_size[remap[b]])
+        .fetch_add(block_size_[b], std::memory_order_relaxed);
+  });
+  block_size_ = std::move(new_size);
+  num_bridges_ = num_surviving;
+  num_blocks_ = new_blocks;
+  // cc_label_ is untouched: an intra-component delta cannot change
+  // connectivity. Rebuild only the (now smaller) block tree index.
+  index_block_tree(ctx, new_tree);
+  return true;
 }
 
 NodeId ConnectivityOracle::bridges_on_path(NodeId u, NodeId v) const {

@@ -25,10 +25,36 @@
 // Epoch versioning: refresh() compares its build epoch against the graph's
 // and skips the rebuild entirely when nothing changed — in particular after
 // update batches that turn out to be no-ops (all duplicates / already
-// absent), which never advance the graph epoch. Incremental (non-rebuild)
-// maintenance is the designated follow-on (see ROADMAP).
+// absent), which never advance the graph epoch.
+//
+// Incremental maintenance: when the graph is exactly ONE effective batch
+// ahead of the index and that batch's applied delta (DynamicGraph::
+// last_delta) is insert-only, small, and stays within connected components,
+// refresh() skips the full pipeline. An inserted edge {u, v} inside one
+// component can only MERGE 2-edge-connected components: it closes a cycle
+// through the block-tree path between u's and v's blocks, so every block on
+// that path collapses into one. The incremental path therefore
+//
+//   1. answers all inserted endpoints' block pairs with ONE bulk LCA kernel
+//      on the existing block tree;
+//   2. contracts each pair's tree path with the device union-find (one bulk
+//      kernel; each virtual thread walks its path hooking blocks together
+//      with CAS — src/device/union_find.hpp);
+//   3. relabels the per-node block ids with one n-sized pass and drops the
+//      contracted bridges;
+//   4. rebuilds only the now-smaller block tree + its inlabel LCA.
+//
+// Everything else — deletions, oversized deltas, edges joining two
+// components, or a graph more than one batch ahead — falls back to the full
+// rebuild under the explicit cost rule in incremental_applies(). One more
+// guard engages mid-flight: the contraction's work is the total length of
+// the covered block-tree paths, which the delta size does not bound (one
+// edge can span a million-block chain), so after the bulk LCA answers the
+// path lengths are summed and an oversized total aborts into the rebuild —
+// see apply_insertions().
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -46,17 +72,38 @@ namespace emc::dynamic {
 
 class ConnectivityOracle {
  public:
-  /// Brings the index up to date with `graph`. Returns true if a rebuild
-  /// ran, false if the (uid, epoch) check proved the index is already
-  /// current for this exact graph instance. Phases (when collected):
-  /// components, bridge_mask, two_ecc, block_tree.
+  /// Brings the index up to date with `graph`. Returns true if any work ran
+  /// (incremental or full rebuild), false if the (uid, epoch) check proved
+  /// the index is already current for this exact graph instance. Phases
+  /// (when collected): components, bridge_mask, two_ecc, block_tree for the
+  /// full rebuild; lca_paths, contract, block_tree for the incremental path.
   bool refresh(const device::Context& ctx, const DynamicGraph& graph,
                util::PhaseTimer* phases = nullptr);
+
+  /// The size half of the incremental decision rule: an insert-only delta
+  /// qualifies iff it is small relative to the INDEXED snapshot —
+  ///   inserted <= max(kIncrementalFloor, indexed_edges / kIncrementalRatio)
+  /// and erased == 0. (The floor keeps small graphs on the incremental path;
+  /// the ratio bounds the worst case where contraction relabels would not
+  /// beat the full pipeline.) The remaining conditions — index exactly one
+  /// batch behind, every inserted edge within one connected component — are
+  /// checked against live state by refresh().
+  static bool incremental_applies(std::size_t inserted, std::size_t erased,
+                                  std::size_t indexed_edges) {
+    return erased == 0 && inserted > 0 &&
+           inserted <= std::max<std::size_t>(kIncrementalFloor,
+                                             indexed_edges / kIncrementalRatio);
+  }
+
+  static constexpr std::size_t kIncrementalFloor = 64;
+  static constexpr std::size_t kIncrementalRatio = 4;
 
   /// Epoch of the snapshot the index was built from.
   std::uint64_t built_epoch() const { return built_epoch_; }
   std::size_t rebuilds() const { return rebuilds_; }
   std::size_t refreshes_skipped() const { return refreshes_skipped_; }
+  /// Refreshes served by the incremental (delta-replay) path.
+  std::size_t incremental_refreshes() const { return incremental_refreshes_; }
 
   std::size_t num_bridges() const { return num_bridges_; }
   /// Number of 2-edge-connected components (blocks).
@@ -98,6 +145,22 @@ class ConnectivityOracle {
   void rebuild(const device::Context& ctx, const graph::EdgeList& snapshot,
                util::PhaseTimer* phases);
 
+  /// Replays an insert-only, intra-component delta onto the current index.
+  /// Precondition: incremental_applies() held and every edge's endpoints
+  /// share a connected component (checked by refresh()). Returns false —
+  /// leaving the index UNCHANGED — when the covered-length rule fires: the
+  /// summed block-tree path length of the delta exceeds
+  /// max(kIncrementalFloor, num_blocks / kIncrementalRatio), in which case
+  /// the contraction walk would not beat the full pipeline.
+  bool apply_insertions(const device::Context& ctx,
+                        const std::vector<graph::Edge>& inserted,
+                        util::PhaseTimer* phases);
+
+  /// Shared tail of both paths: roots the block forest (+ virtual
+  /// super-root, node id num_blocks) and builds the inlabel LCA over it.
+  void index_block_tree(const device::Context& ctx,
+                        const graph::EdgeList& block_tree);
+
   bool in_range(NodeId v) const {
     return v >= 0 && static_cast<std::size_t>(v) < block_of_.size();
   }
@@ -105,8 +168,10 @@ class ConnectivityOracle {
   static constexpr std::uint64_t kNeverBuilt = ~std::uint64_t{0};
   std::uint64_t built_uid_ = 0;  // no DynamicGraph has uid 0
   std::uint64_t built_epoch_ = kNeverBuilt;
+  std::size_t built_edges_ = 0;  // edge count of the indexed snapshot
   std::size_t rebuilds_ = 0;
   std::size_t refreshes_skipped_ = 0;
+  std::size_t incremental_refreshes_ = 0;
 
   std::size_t num_bridges_ = 0;
   std::size_t num_blocks_ = 0;

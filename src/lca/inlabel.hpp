@@ -59,6 +59,12 @@ class InlabelLca {
   NodeId num_nodes() const { return static_cast<NodeId>(level_.size()); }
   const std::vector<NodeId>& levels() const { return level_; }
 
+  /// The rooted tree the index was built over: parent per node (kNoNode for
+  /// the root). Lets consumers that keep an InlabelLca walk or enumerate
+  /// tree edges without storing the parent array a second time.
+  const std::vector<NodeId>& parents() const { return parent_; }
+  NodeId root() const { return root_; }
+
  private:
   InlabelLca() = default;
 

@@ -1,0 +1,102 @@
+// Seed-replayable fuzzing support.
+//
+// Every fuzz suite draws its seed and round count through here so a CI
+// failure is reproducible locally:
+//
+//   EMC_FUZZ_SEED=<n>    — replaces the suite's default seed
+//   EMC_FUZZ_ROUNDS=<n>  — replaces the suite's default round count
+//
+// Both use the same strict parsing policy as EMC_WORKERS (see
+// device/context.cpp): the value is taken only when it parses COMPLETELY as
+// an integer inside the knob's sane range; empty, non-numeric, trailing
+// junk, or out-of-range values fall back to the default, so a typo in a job
+// script degrades to the stock run instead of silently fuzzing nothing.
+//
+// On a mismatch, suites print the failing seed plus the batch script that
+// led to it (BatchScript below), so the exact failing update sequence can be
+// replayed or turned into a regression test.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace emc::test_support {
+
+/// Strict integer env parse: the value is used iff it parses completely and
+/// lies in [lo, hi]; otherwise `def`. Same policy as EMC_WORKERS.
+inline std::int64_t env_int_or(const char* name, std::int64_t def,
+                               std::int64_t lo, std::int64_t hi) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(env, &end, 10);
+    // errno check: strtoll clamps overflow to LLONG_MIN/MAX, which would
+    // otherwise sneak past a range check whose bound is the type's limit.
+    if (errno == 0 && end != env && *end == '\0' && parsed >= lo &&
+        parsed <= hi) {
+      return parsed;
+    }
+  }
+  return def;
+}
+
+/// Fuzz seed: EMC_FUZZ_SEED override, any non-negative 63-bit value.
+inline std::uint64_t fuzz_seed(std::uint64_t def) {
+  return static_cast<std::uint64_t>(env_int_or(
+      "EMC_FUZZ_SEED", static_cast<std::int64_t>(def), 0,
+      std::numeric_limits<std::int64_t>::max()));
+}
+
+/// Fuzz round count: EMC_FUZZ_ROUNDS override, [1, 10^7] (the extended-CI
+/// job raises it; anything past 10^7 is assumed to be a typo).
+inline int fuzz_rounds(int def) {
+  return static_cast<int>(env_int_or("EMC_FUZZ_ROUNDS", def, 1, 10'000'000));
+}
+
+/// The resolved knobs of one fuzz test, plus the ready-made replay line to
+/// hand to SCOPED_TRACE (hoisted above the round loop — the message is
+/// loop-invariant).
+struct FuzzRun {
+  std::uint64_t seed;
+  int rounds;
+  std::string trace;
+};
+
+inline FuzzRun fuzz_run(std::uint64_t default_seed, int default_rounds) {
+  FuzzRun run{fuzz_seed(default_seed), fuzz_rounds(default_rounds), {}};
+  run.trace = "replay with EMC_FUZZ_SEED=" + std::to_string(run.seed) +
+              " EMC_FUZZ_ROUNDS=" + std::to_string(run.rounds);
+  return run;
+}
+
+/// Accumulates a human-readable script of the update batches a fuzz run
+/// applied, for printing next to the seed when a round fails.
+class BatchScript {
+ public:
+  void add(int round, const char* op, const std::vector<graph::Edge>& batch) {
+    script_ += "round " + std::to_string(round) + ": " + op + " {";
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i > 0) script_ += ", ";
+      script_ += std::to_string(batch[i].u) + "-" + std::to_string(batch[i].v);
+    }
+    script_ += "}\n";
+  }
+
+  /// The replay header + script to print on mismatch.
+  std::string replay(std::uint64_t seed, int rounds) const {
+    return "fuzz mismatch — replay with EMC_FUZZ_SEED=" +
+           std::to_string(seed) + " EMC_FUZZ_ROUNDS=" +
+           std::to_string(rounds) + "\nbatch script so far:\n" + script_;
+  }
+
+ private:
+  std::string script_;
+};
+
+}  // namespace emc::test_support

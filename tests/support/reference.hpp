@@ -1,0 +1,148 @@
+// Shared from-scratch reference implementations for differential testing.
+//
+// Every fuzz/differential suite checks a device pipeline against an
+// independent sequential recompute. The references here — union-find
+// connectivity, DFS-bridge-based 2ecc labels, BFS reachability, and the
+// full oracle reference built from them — used to be duplicated across
+// test_dynamic.cpp and test_fuzz.cpp; they live here once so all suites
+// (and future ones) diff against the same ground truth. Nothing in this
+// header shares code with the device pipelines it checks, except the
+// sequential DFS bridge finder, which is itself a paper baseline.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "bridges/dfs_bridges.hpp"
+#include "device/context.hpp"
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace emc::test_support {
+
+/// Minimal sequential union-find (path halving, no ranks) — the
+/// connectivity reference. Deliberately unrelated to device::uf_*.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t v = 0; v < n; ++v) parent_[v] = static_cast<NodeId>(v);
+  }
+
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+/// Connected-component label per node (a representative node id) by
+/// union-find over the edge list.
+inline std::vector<NodeId> cc_labels(const graph::EdgeList& g) {
+  UnionFind uf(static_cast<std::size_t>(g.num_nodes));
+  for (const graph::Edge& e : g.edges) uf.unite(e.u, e.v);
+  std::vector<NodeId> label(static_cast<std::size_t>(g.num_nodes));
+  for (NodeId v = 0; v < g.num_nodes; ++v) label[v] = uf.find(v);
+  return label;
+}
+
+/// 2-edge-connected-component label per node: union-find over the
+/// non-bridge edges of `mask` (which must align with g.edges).
+inline std::vector<NodeId> two_ecc_labels(const graph::EdgeList& g,
+                                          const bridges::BridgeMask& mask) {
+  UnionFind uf(static_cast<std::size_t>(g.num_nodes));
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    if (!mask[e]) uf.unite(g.edges[e].u, g.edges[e].v);
+  }
+  std::vector<NodeId> label(static_cast<std::size_t>(g.num_nodes));
+  for (NodeId v = 0; v < g.num_nodes; ++v) label[v] = uf.find(v);
+  return label;
+}
+
+/// BFS levels from `source`; kNoNode for unreachable nodes — the
+/// reachability/level reference for the device BFS and block-tree walks.
+inline std::vector<NodeId> bfs_levels(const graph::Csr& csr, NodeId source) {
+  std::vector<NodeId> dist(static_cast<std::size_t>(csr.num_nodes), kNoNode);
+  std::queue<NodeId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (EdgeId i = csr.row_offsets[u]; i < csr.row_offsets[u + 1]; ++i) {
+      const NodeId v = csr.neighbors[i];
+      if (dist[v] == kNoNode) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+/// From-scratch recompute reference for every ConnectivityOracle query:
+/// DFS bridges, union-find cc/2ecc labels, and BFS distances over the
+/// contracted block graph. Shares no code with the oracle's device
+/// pipeline.
+struct ReferenceOracle {
+  std::vector<NodeId> cc;         // connected component label
+  std::vector<NodeId> comp;       // 2ecc label
+  std::vector<NodeId> comp_size;  // per node: size of its 2ecc component
+  std::vector<std::vector<NodeId>> block_adj;  // bridge adjacency over comps
+  std::size_t num_bridges = 0;
+
+  ReferenceOracle(const device::Context& ctx, const graph::EdgeList& g) {
+    const auto n = static_cast<std::size_t>(g.num_nodes);
+    const graph::Csr csr = graph::build_csr(ctx, g);
+    const bridges::BridgeMask mask = bridges::find_bridges_dfs(csr);
+    num_bridges = bridges::count_bridges(mask);
+    cc = cc_labels(g);
+    comp = two_ecc_labels(g, mask);
+    comp_size.assign(n, 0);
+    std::vector<NodeId> count(n, 0);
+    for (std::size_t v = 0; v < n; ++v) ++count[comp[v]];
+    for (std::size_t v = 0; v < n; ++v) comp_size[v] = count[comp[v]];
+    block_adj.assign(n, {});
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      if (mask[e]) {
+        block_adj[comp[g.edges[e].u]].push_back(comp[g.edges[e].v]);
+        block_adj[comp[g.edges[e].v]].push_back(comp[g.edges[e].u]);
+      }
+    }
+  }
+
+  NodeId bridges_on_path(NodeId u, NodeId v) const {
+    if (cc[u] != cc[v]) return kNoNode;
+    if (comp[u] == comp[v]) return 0;
+    std::vector<NodeId> dist(block_adj.size(), kNoNode);
+    std::queue<NodeId> queue;
+    dist[comp[u]] = 0;
+    queue.push(comp[u]);
+    while (!queue.empty()) {
+      const NodeId b = queue.front();
+      queue.pop();
+      if (b == comp[v]) return dist[b];
+      for (const NodeId next : block_adj[b]) {
+        if (dist[next] == kNoNode) {
+          dist[next] = dist[b] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return kNoNode;  // unreachable: same cc implies a block path exists
+  }
+};
+
+}  // namespace emc::test_support

@@ -14,6 +14,7 @@
 #include "device/context.hpp"
 #include "gen/graphs.hpp"
 #include "graph/graph.hpp"
+#include "support/reference.hpp"
 #include "util/rng.hpp"
 
 namespace emc::bridges {
@@ -191,24 +192,8 @@ TEST_P(BridgesParam, BfsLevelsMatchSequential) {
   const auto g = prepared(gen::er_graph(400, 900, 3));
   const graph::Csr csr = build_csr(ctx_, g);
   const BfsTree tree = bfs(ctx_, csr, 0);
-  // Sequential reference BFS.
-  std::vector<NodeId> dist(g.num_nodes, kNoNode);
-  std::vector<NodeId> frontier{0};
-  dist[0] = 0;
-  while (!frontier.empty()) {
-    std::vector<NodeId> next;
-    for (const NodeId u : frontier) {
-      for (EdgeId i = csr.row_offsets[u]; i < csr.row_offsets[u + 1]; ++i) {
-        const NodeId v = csr.neighbors[i];
-        if (dist[v] == kNoNode) {
-          dist[v] = dist[u] + 1;
-          next.push_back(v);
-        }
-      }
-    }
-    frontier = std::move(next);
-  }
-  EXPECT_EQ(tree.level, dist);
+  // Shared sequential reference BFS.
+  EXPECT_EQ(tree.level, test_support::bfs_levels(csr, 0));
   // Parent edges are consistent: level[parent] == level[v] - 1.
   for (NodeId v = 0; v < g.num_nodes; ++v) {
     if (v == 0) continue;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "device/context.hpp"
 #include "device/primitives.hpp"
 #include "device/segreduce.hpp"
+#include "device/union_find.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -143,6 +145,57 @@ TEST_P(DeviceParam, CopyIfIndexSelectsInOrder) {
   std::size_t expected_count = (n_ + 2) / 3;
   EXPECT_EQ(k, expected_count);
   for (std::size_t j = 0; j < k; ++j) ASSERT_EQ(out[j], 3 * j);
+}
+
+TEST_P(DeviceParam, UnionFindMatchesSequentialReference) {
+  if (n_ == 0) return;
+  // Random unions applied concurrently (one bulk kernel, all workers
+  // hooking at once) must produce the same partition as a sequential
+  // union-find over the same pairs — the min-id root rule makes the result
+  // schedule-independent.
+  util::Rng rng(n_ ^ 0x5eed);
+  const std::size_t num_pairs = n_ / 2 + 3;
+  std::vector<std::pair<NodeId, NodeId>> pairs(num_pairs);
+  for (auto& [a, b] : pairs) {
+    a = static_cast<NodeId>(rng.below(n_));
+    b = static_cast<NodeId>(rng.below(n_));
+  }
+  std::vector<NodeId> uf(n_);
+  uf_init(ctx_, uf.data(), n_);
+  launch(ctx_, num_pairs, [&](std::size_t i) {
+    uf_unite(uf.data(), pairs[i].first, pairs[i].second);
+  });
+  uf_flatten(ctx_, uf.data(), n_);
+
+  std::vector<NodeId> ref(n_);
+  std::iota(ref.begin(), ref.end(), 0);
+  auto find = [&](NodeId x) {
+    while (ref[x] != x) x = ref[x] = ref[ref[x]];
+    return x;
+  };
+  for (const auto& [a, b] : pairs) {
+    const NodeId ra = find(a), rb = find(b);
+    // Hook larger onto smaller, mirroring the primitive's determinism rule.
+    if (ra != rb) ref[std::max(ra, rb)] = std::min(ra, rb);
+  }
+  for (std::size_t v = 0; v < n_; ++v) {
+    ASSERT_EQ(uf[v], find(static_cast<NodeId>(v))) << "node " << v;
+  }
+}
+
+TEST(DevicePrimitives, UnionFindRootIsMinimumOfSet) {
+  const Context ctx(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<NodeId> uf(kN);
+  uf_init(ctx, uf.data(), kN);
+  // Chain unions submitted in adversarial (reverse) order still leave the
+  // minimum as the root of the single merged set.
+  launch(ctx, kN - 1, [&](std::size_t i) {
+    const auto v = static_cast<NodeId>(kN - 1 - i);
+    uf_unite(uf.data(), v, v - 1);
+  });
+  uf_flatten(ctx, uf.data(), kN);
+  for (std::size_t v = 0; v < kN; ++v) ASSERT_EQ(uf[v], 0);
 }
 
 TEST(DevicePrimitives, AtomicMinMax) {

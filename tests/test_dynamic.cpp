@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <queue>
+#include <iostream>
 #include <set>
 #include <utility>
 #include <vector>
@@ -14,6 +14,8 @@
 #include "dynamic/oracle.hpp"
 #include "gen/graphs.hpp"
 #include "graph/graph.hpp"
+#include "support/fuzz_env.hpp"
+#include "support/reference.hpp"
 #include "util/rng.hpp"
 
 namespace emc::dynamic {
@@ -30,87 +32,13 @@ std::set<std::pair<NodeId, NodeId>> edge_set(const EdgeList& g) {
   return s;
 }
 
-/// From-scratch recompute reference for every oracle query: DFS bridges,
-/// union-find 2ecc labels, and BFS distances over the contracted block
-/// graph. Shares no code with the oracle's device pipeline.
-struct Reference {
-  std::vector<NodeId> cc;         // connected component label
-  std::vector<NodeId> comp;       // 2ecc label
-  std::vector<NodeId> comp_size;  // per node: size of its 2ecc component
-  std::vector<std::vector<NodeId>> block_adj;  // bridge adjacency over comps
-  std::size_t num_bridges = 0;
-
-  explicit Reference(const device::Context& ctx, const EdgeList& g) {
-    const auto n = static_cast<std::size_t>(g.num_nodes);
-    const graph::Csr csr = graph::build_csr(ctx, g);
-    const bridges::BridgeMask mask = bridges::find_bridges_dfs(csr);
-    num_bridges = bridges::count_bridges(mask);
-
-    auto make_uf = [&]() {
-      std::vector<NodeId> uf(n);
-      for (std::size_t v = 0; v < n; ++v) uf[v] = static_cast<NodeId>(v);
-      return uf;
-    };
-    auto find = [](std::vector<NodeId>& uf, NodeId x) {
-      while (uf[x] != x) x = uf[x] = uf[uf[x]];
-      return x;
-    };
-    std::vector<NodeId> uf_cc = make_uf();
-    std::vector<NodeId> uf_2ecc = make_uf();
-    for (std::size_t e = 0; e < g.edges.size(); ++e) {
-      uf_cc[find(uf_cc, g.edges[e].u)] = find(uf_cc, g.edges[e].v);
-      if (!mask[e]) {
-        uf_2ecc[find(uf_2ecc, g.edges[e].u)] = find(uf_2ecc, g.edges[e].v);
-      }
-    }
-    cc.resize(n);
-    comp.resize(n);
-    comp_size.assign(n, 0);
-    std::vector<NodeId> count(n, 0);
-    for (std::size_t v = 0; v < n; ++v) {
-      cc[v] = find(uf_cc, static_cast<NodeId>(v));
-      comp[v] = find(uf_2ecc, static_cast<NodeId>(v));
-      ++count[comp[v]];
-    }
-    for (std::size_t v = 0; v < n; ++v) comp_size[v] = count[comp[v]];
-    block_adj.assign(n, {});
-    for (std::size_t e = 0; e < g.edges.size(); ++e) {
-      if (mask[e]) {
-        block_adj[comp[g.edges[e].u]].push_back(comp[g.edges[e].v]);
-        block_adj[comp[g.edges[e].v]].push_back(comp[g.edges[e].u]);
-      }
-    }
-  }
-
-  NodeId bridges_on_path(NodeId u, NodeId v) const {
-    if (cc[u] != cc[v]) return kNoNode;
-    if (comp[u] == comp[v]) return 0;
-    std::vector<NodeId> dist(block_adj.size(), kNoNode);
-    std::queue<NodeId> queue;
-    dist[comp[u]] = 0;
-    queue.push(comp[u]);
-    while (!queue.empty()) {
-      const NodeId b = queue.front();
-      queue.pop();
-      if (b == comp[v]) return dist[b];
-      for (const NodeId next : block_adj[b]) {
-        if (dist[next] == kNoNode) {
-          dist[next] = dist[b] + 1;
-          queue.push(next);
-        }
-      }
-    }
-    return kNoNode;  // unreachable: same cc implies a block path exists
-  }
-};
-
 void expect_oracle_matches_reference(const device::Context& ctx,
                                      const DynamicGraph& dg,
                                      const ConnectivityOracle& oracle,
                                      util::Rng& rng, int num_queries,
                                      const char* label) {
   const EdgeList& snap = dg.snapshot(ctx);
-  const Reference ref(ctx, snap);
+  const test_support::ReferenceOracle ref(ctx, snap);
   ASSERT_EQ(oracle.num_bridges(), ref.num_bridges) << label;
   std::vector<std::pair<NodeId, NodeId>> queries(num_queries);
   for (auto& [u, v] : queries) {
@@ -238,6 +166,39 @@ TEST_P(DynamicParam, CompactionPreservesEdgesAndAmortizes) {
   EXPECT_EQ(dg.num_edges(), ref.size());
   // Capacity tracks occupancy (slack is a constant factor, not unbounded).
   EXPECT_LE(dg.slot_capacity(), 2 * 2 * ref.size() + 4 * 50);
+}
+
+TEST_P(DynamicParam, LastDeltaTracksAppliedBatches) {
+  DynamicGraph dg(6);
+  EXPECT_EQ(dg.last_delta().from_epoch, UpdateDelta::kNoDelta);
+
+  dg.insert_edges(ctx_, {{1, 0}, {1, 2}, {0, 1}, {2, 2}});
+  const UpdateDelta& delta = dg.last_delta();
+  EXPECT_EQ(delta.from_epoch, 0u);
+  EXPECT_TRUE(delta.insert_only());
+  // Canonical (u < v), deduplicated, invalid entries dropped.
+  EXPECT_EQ(delta.inserted,
+            (std::vector<Edge>{{0, 1}, {1, 2}}));
+
+  // No-op batches leave the delta untouched.
+  dg.insert_edges(ctx_, {{0, 1}});
+  dg.erase_edges(ctx_, {{3, 4}});
+  EXPECT_EQ(dg.last_delta().from_epoch, 0u);
+  EXPECT_EQ(dg.last_delta().inserted.size(), 2u);
+
+  // An effective erase replaces it and flips the side.
+  dg.erase_edges(ctx_, {{2, 1}, {4, 5}});
+  EXPECT_EQ(dg.last_delta().from_epoch, 1u);
+  EXPECT_FALSE(dg.last_delta().insert_only());
+  EXPECT_EQ(dg.last_delta().erased, (std::vector<Edge>{{1, 2}}));
+  EXPECT_TRUE(dg.last_delta().inserted.empty());
+}
+
+TEST_P(DynamicParam, SeededConstructorHasNoDelta) {
+  const DynamicGraph dg(ctx_, gen::cycle_graph(5));
+  // The initial edges are epoch 0 itself, not a delta on top of it.
+  EXPECT_EQ(dg.last_delta().from_epoch, UpdateDelta::kNoDelta);
+  EXPECT_EQ(dg.epoch(), 0u);
 }
 
 // ------------------------------------------------------------- the oracle
@@ -412,14 +373,16 @@ TEST(DynamicLaunches, UpdateBatchLaunchesIndependentOfBatchSize) {
 TEST(DynamicFuzz, OracleMatchesFromScratchRecompute) {
   const device::Context ctx(2);
   constexpr NodeId kNodes = 48;
-  constexpr int kRounds = 120;
-  util::Rng rng(2026);
+  const std::uint64_t seed = test_support::fuzz_seed(2026);
+  const int rounds = test_support::fuzz_rounds(120);
+  util::Rng rng(seed);
+  test_support::BatchScript script;
 
   DynamicGraph dg(kNodes);
   ConnectivityOracle oracle;
   std::set<std::pair<NodeId, NodeId>> ref_edges;
 
-  for (int round = 0; round < kRounds; ++round) {
+  for (int round = 0; round < rounds; ++round) {
     std::vector<Edge> batch;
     const std::size_t size = 1 + rng.below(24);
     const bool erase = round % 3 == 2 && !ref_edges.empty();
@@ -439,6 +402,7 @@ TEST(DynamicFuzz, OracleMatchesFromScratchRecompute) {
       for (const Edge& e : batch) {
         ref_edges.erase({std::min(e.u, e.v), std::max(e.u, e.v)});
       }
+      script.add(round, "erase", batch);
       dg.erase_edges(ctx, batch);
     } else {
       for (std::size_t i = 0; i < size; ++i) {
@@ -447,15 +411,24 @@ TEST(DynamicFuzz, OracleMatchesFromScratchRecompute) {
         batch.push_back({u, v});
         if (u != v) ref_edges.insert({std::min(u, v), std::max(u, v)});
       }
+      script.add(round, "insert", batch);
       dg.insert_edges(ctx, batch);
     }
-    ASSERT_EQ(dg.num_edges(), ref_edges.size()) << "round " << round;
-    ASSERT_EQ(edge_set(dg.snapshot(ctx)), ref_edges) << "round " << round;
-
-    oracle.refresh(ctx, dg);
-    ASSERT_EQ(oracle.built_epoch(), dg.epoch());
-    expect_oracle_matches_reference(ctx, dg, oracle, rng, 24,
-                                    ("round " + std::to_string(round)).c_str());
+    // The round's asserts live in an immediately-invoked lambda so a fatal
+    // failure returns HERE (not out of the test), letting the replay print
+    // below fire for every mismatch.
+    [&] {
+      ASSERT_EQ(dg.num_edges(), ref_edges.size()) << "round " << round;
+      ASSERT_EQ(edge_set(dg.snapshot(ctx)), ref_edges) << "round " << round;
+      oracle.refresh(ctx, dg);
+      ASSERT_EQ(oracle.built_epoch(), dg.epoch());
+      expect_oracle_matches_reference(
+          ctx, dg, oracle, rng, 24, ("round " + std::to_string(round)).c_str());
+    }();
+    if (::testing::Test::HasFailure()) {
+      std::cerr << script.replay(seed, rounds);
+      return;
+    }
   }
 }
 

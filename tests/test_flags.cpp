@@ -6,6 +6,7 @@
 
 #include "device/context.hpp"
 #include "device/primitives.hpp"
+#include "support/fuzz_env.hpp"
 #include "util/flags.hpp"
 
 namespace emc::util {
@@ -88,6 +89,42 @@ TEST(DeviceWorkers, InvalidEmcWorkersFallsBackToHardwareConcurrency) {
   }
   unsetenv("EMC_WORKERS");
   EXPECT_EQ(device::Context(0).workers(), hardware);
+}
+
+// EMC_FUZZ_SEED / EMC_FUZZ_ROUNDS use the same strict policy as
+// EMC_WORKERS: complete parse within the knob's range, else the default.
+
+TEST(FuzzEnv, ValidOverridesAreHonored) {
+  ASSERT_EQ(setenv("EMC_FUZZ_SEED", "12345", 1), 0);
+  ASSERT_EQ(setenv("EMC_FUZZ_ROUNDS", "7", 1), 0);
+  EXPECT_EQ(test_support::fuzz_seed(42), 12345u);
+  EXPECT_EQ(test_support::fuzz_rounds(100), 7);
+  ASSERT_EQ(setenv("EMC_FUZZ_SEED", "0", 1), 0);  // 0 is a valid seed
+  EXPECT_EQ(test_support::fuzz_seed(42), 0u);
+  unsetenv("EMC_FUZZ_SEED");
+  unsetenv("EMC_FUZZ_ROUNDS");
+}
+
+TEST(FuzzEnv, InvalidOverridesFallBackToDefault) {
+  for (const char* bad : {"abc", "", "2x", "1e3", "-1", "99999999999999999"}) {
+    ASSERT_EQ(setenv("EMC_FUZZ_ROUNDS", bad, 1), 0);
+    EXPECT_EQ(test_support::fuzz_rounds(100), 100)
+        << "EMC_FUZZ_ROUNDS=\"" << bad << "\"";
+  }
+  ASSERT_EQ(setenv("EMC_FUZZ_ROUNDS", "0", 1), 0);  // rounds must be >= 1
+  EXPECT_EQ(test_support::fuzz_rounds(100), 100);
+  // The last entry overflows int64: strtoll clamps it to LLONG_MAX, which
+  // would pass a naive range check — the errno guard must reject it.
+  for (const char* bad : {"abc", "", "7seven", "-5",
+                          "92233720368547758071"}) {
+    ASSERT_EQ(setenv("EMC_FUZZ_SEED", bad, 1), 0);
+    EXPECT_EQ(test_support::fuzz_seed(42), 42u)
+        << "EMC_FUZZ_SEED=\"" << bad << "\"";
+  }
+  unsetenv("EMC_FUZZ_SEED");
+  unsetenv("EMC_FUZZ_ROUNDS");
+  EXPECT_EQ(test_support::fuzz_seed(42), 42u);
+  EXPECT_EQ(test_support::fuzz_rounds(100), 100);
 }
 
 TEST(DeviceLatencyModel, SequentialAndExplicitContextsAreFree) {

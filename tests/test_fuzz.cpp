@@ -4,6 +4,7 @@
 // per CPU-second than large ones.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "bridges/biconnectivity.hpp"
@@ -21,6 +22,8 @@
 #include "lca/inlabel.hpp"
 #include "lca/naive.hpp"
 #include "lca/rmq_lca.hpp"
+#include "support/fuzz_env.hpp"
+#include "support/reference.hpp"
 #include "util/rng.hpp"
 
 namespace emc {
@@ -45,8 +48,10 @@ graph::EdgeList random_connected_multigraph(NodeId n, std::size_t extra,
 
 TEST(FuzzLca, ExhaustiveOnTinyTrees) {
   const device::Context ctx(2);
-  util::Rng rng(42);
-  for (int round = 0; round < 150; ++round) {
+  const test_support::FuzzRun run = test_support::fuzz_run(42, 150);
+  SCOPED_TRACE(run.trace);
+  util::Rng rng(run.seed);
+  for (int round = 0; round < run.rounds; ++round) {
     const NodeId n = 1 + static_cast<NodeId>(rng.below(12));
     const NodeId grasp = rng.below(2) == 0
                              ? gen::kInfiniteGrasp
@@ -83,8 +88,10 @@ TEST(FuzzLca, ExhaustiveOnTinyTrees) {
 
 TEST(FuzzEuler, StatsOnTinyTrees) {
   const device::Context ctx(3);
-  util::Rng rng(43);
-  for (int round = 0; round < 200; ++round) {
+  const test_support::FuzzRun run = test_support::fuzz_run(43, 200);
+  SCOPED_TRACE(run.trace);
+  util::Rng rng(run.seed);
+  for (int round = 0; round < run.rounds; ++round) {
     const NodeId n = 1 + static_cast<NodeId>(rng.below(10));
     core::ParentTree tree = gen::random_tree(n, gen::kInfiniteGrasp, rng());
     gen::scramble_ids(tree, rng());
@@ -103,8 +110,10 @@ TEST(FuzzEuler, StatsOnTinyTrees) {
 
 TEST(FuzzBridges, AllAlgorithmsOnTinyMultigraphs) {
   const device::Context ctx(2);
-  util::Rng rng(44);
-  for (int round = 0; round < 250; ++round) {
+  const test_support::FuzzRun run = test_support::fuzz_run(44, 250);
+  SCOPED_TRACE(run.trace);
+  util::Rng rng(run.seed);
+  for (int round = 0; round < run.rounds; ++round) {
     const NodeId n = 2 + static_cast<NodeId>(rng.below(10));
     const std::size_t extra = rng.below(12);
     const graph::EdgeList g = random_connected_multigraph(n, extra, rng);
@@ -121,8 +130,10 @@ TEST(FuzzBridges, AllAlgorithmsOnTinyMultigraphs) {
 
 TEST(FuzzBiconnectivity, BlocksOnTinyMultigraphs) {
   const device::Context ctx(2);
-  util::Rng rng(45);
-  for (int round = 0; round < 250; ++round) {
+  const test_support::FuzzRun run = test_support::fuzz_run(45, 250);
+  SCOPED_TRACE(run.trace);
+  util::Rng rng(run.seed);
+  for (int round = 0; round < run.rounds; ++round) {
     const NodeId n = 2 + static_cast<NodeId>(rng.below(9));
     const std::size_t extra = rng.below(10);
     const graph::EdgeList g = random_connected_multigraph(n, extra, rng);
@@ -138,8 +149,10 @@ TEST(FuzzBiconnectivity, BlocksOnTinyMultigraphs) {
 
 TEST(FuzzListRank, TinyListsAllAlgorithms) {
   const device::Context ctx(3);
-  util::Rng rng(46);
-  for (int round = 0; round < 300; ++round) {
+  const test_support::FuzzRun run = test_support::fuzz_run(46, 300);
+  SCOPED_TRACE(run.trace);
+  util::Rng rng(run.seed);
+  for (int round = 0; round < run.rounds; ++round) {
     const std::size_t n = 1 + rng.below(20);
     std::vector<EdgeId> order(n);
     for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<EdgeId>(i);
@@ -160,8 +173,10 @@ TEST(FuzzListRank, TinyListsAllAlgorithms) {
 
 TEST(FuzzTwoEcc, AgreesWithBridgeStructure) {
   const device::Context ctx(2);
-  util::Rng rng(47);
-  for (int round = 0; round < 100; ++round) {
+  const test_support::FuzzRun run = test_support::fuzz_run(47, 100);
+  SCOPED_TRACE(run.trace);
+  util::Rng rng(run.seed);
+  for (int round = 0; round < run.rounds; ++round) {
     const NodeId n = 2 + static_cast<NodeId>(rng.below(10));
     const graph::EdgeList g = random_connected_multigraph(n, rng.below(8), rng);
     const auto mask = bridges::find_bridges_tarjan_vishkin(ctx, g);
@@ -174,6 +189,14 @@ TEST(FuzzTwoEcc, AgreesWithBridgeStructure) {
         ASSERT_NE(labels[u], labels[v]) << "round " << round;
       } else {
         ASSERT_EQ(labels[u], labels[v]) << "round " << round;
+      }
+    }
+    // Full partition diff against the shared union-find reference.
+    const auto ref = test_support::two_ecc_labels(g, mask);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        ASSERT_EQ(labels[u] == labels[v], ref[u] == ref[v])
+            << "round " << round << " (" << u << "," << v << ")";
       }
     }
   }

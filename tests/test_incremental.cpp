@@ -1,0 +1,348 @@
+// Incremental oracle maintenance under insertions.
+//
+// The contract: for an insert-only, intra-component, size-bounded delta,
+// ConnectivityOracle::refresh() must produce an index INDISTINGUISHABLE
+// from a full rebuild of the same snapshot — verified here three ways:
+// differential fuzz against a from-scratch oracle and the shared sequential
+// reference (tests/support/reference.hpp), launch-count pins showing the
+// incremental path is a fixed kernel sequence cheaper than the rebuild,
+// and unit tests of the explicit fallback rule.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "device/context.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/oracle.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "support/fuzz_env.hpp"
+#include "support/reference.hpp"
+#include "util/rng.hpp"
+
+namespace emc::dynamic {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+
+/// Diffs `oracle` against a freshly rebuilt oracle AND the sequential
+/// reference on the same snapshot: structure counts plus a query sample.
+void expect_equivalent_to_full_rebuild(const device::Context& ctx,
+                                       const DynamicGraph& dg,
+                                       const ConnectivityOracle& oracle,
+                                       util::Rng& rng, int num_queries) {
+  ConnectivityOracle fresh;
+  fresh.refresh(ctx, dg);
+  ASSERT_EQ(oracle.num_bridges(), fresh.num_bridges());
+  ASSERT_EQ(oracle.num_blocks(), fresh.num_blocks());
+  const test_support::ReferenceOracle ref(ctx, dg.snapshot(ctx));
+  ASSERT_EQ(oracle.num_bridges(), ref.num_bridges);
+  for (int q = 0; q < num_queries; ++q) {
+    const auto u = static_cast<NodeId>(rng.below(dg.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.below(dg.num_nodes()));
+    ASSERT_EQ(oracle.same_2ecc(u, v), fresh.same_2ecc(u, v))
+        << "same_2ecc(" << u << ", " << v << ")";
+    ASSERT_EQ(oracle.same_2ecc(u, v), ref.comp[u] == ref.comp[v])
+        << "same_2ecc(" << u << ", " << v << ") vs reference";
+    ASSERT_EQ(oracle.bridges_on_path(u, v), fresh.bridges_on_path(u, v))
+        << "bridges_on_path(" << u << ", " << v << ")";
+    ASSERT_EQ(oracle.bridges_on_path(u, v), ref.bridges_on_path(u, v))
+        << "bridges_on_path(" << u << ", " << v << ") vs reference";
+    ASSERT_EQ(oracle.component_size(u), fresh.component_size(u))
+        << "component_size(" << u << ")";
+  }
+}
+
+// --------------------------------------------------- the fallback rule
+
+TEST(IncrementalRule, SizeRuleIsExplicit) {
+  using O = ConnectivityOracle;
+  // Any erase, or an empty delta, disqualifies.
+  EXPECT_FALSE(O::incremental_applies(0, 0, 1000));
+  EXPECT_FALSE(O::incremental_applies(10, 1, 1000));
+  // The floor keeps small graphs incremental...
+  EXPECT_TRUE(O::incremental_applies(1, 0, 0));
+  EXPECT_TRUE(O::incremental_applies(O::kIncrementalFloor, 0, 0));
+  EXPECT_FALSE(O::incremental_applies(O::kIncrementalFloor + 1, 0, 0));
+  // ...and the ratio governs past it: inserted <= edges / kIncrementalRatio.
+  EXPECT_TRUE(O::incremental_applies(250, 0, 1000));
+  EXPECT_FALSE(O::incremental_applies(251, 0, 1000));
+}
+
+TEST(IncrementalRule, InsertOnlyIntraComponentDeltaGoesIncremental) {
+  const device::Context ctx(2);
+  // Two triangles joined by a bridge; closing a second path kills it.
+  DynamicGraph dg(6);
+  dg.insert_edges(ctx,
+                  {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  ConnectivityOracle oracle;
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 1u);
+  dg.insert_edges(ctx, {{1, 4}});
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 1u);  // no full pipeline this time
+  EXPECT_EQ(oracle.incremental_refreshes(), 1u);
+  EXPECT_EQ(oracle.built_epoch(), dg.epoch());
+  EXPECT_EQ(oracle.num_bridges(), 0u);
+  EXPECT_EQ(oracle.num_blocks(), 1u);
+  util::Rng rng(3);
+  expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng, 36);
+}
+
+TEST(IncrementalRule, EraseBatchFallsBackToRebuild) {
+  const device::Context ctx(2);
+  DynamicGraph dg(ctx, gen::cycle_graph(8));
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  dg.erase_edges(ctx, {{0, 1}});
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 2u);
+  EXPECT_EQ(oracle.incremental_refreshes(), 0u);
+  EXPECT_EQ(oracle.num_bridges(), 7u);  // the cycle became a path
+}
+
+TEST(IncrementalRule, CrossComponentInsertFallsBackToRebuild) {
+  const device::Context ctx(2);
+  DynamicGraph dg(7);
+  dg.insert_edges(ctx, {{0, 1}, {1, 2}, {2, 0},    // triangle
+                        {3, 4}, {4, 5}, {5, 3}});  // triangle, 6 isolated
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  // {2, 3} joins two components: the block paths of later edges would span
+  // trees the old LCA cannot answer, so this is a full rebuild.
+  dg.insert_edges(ctx, {{2, 3}});
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 2u);
+  EXPECT_EQ(oracle.incremental_refreshes(), 0u);
+  EXPECT_EQ(oracle.num_bridges(), 1u);
+  EXPECT_EQ(oracle.bridges_on_path(0, 6), kNoNode);  // 6 still isolated
+}
+
+TEST(IncrementalRule, MultipleBatchesBehindFallsBackToRebuild) {
+  const device::Context ctx(2);
+  DynamicGraph dg(ctx, gen::cycle_graph(16));
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  // Two effective batches with no refresh between: only the second delta is
+  // retained, so the one-batch-ahead precondition fails.
+  dg.insert_edges(ctx, {{0, 2}});
+  dg.insert_edges(ctx, {{0, 4}});
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 2u);
+  EXPECT_EQ(oracle.incremental_refreshes(), 0u);
+  util::Rng rng(5);
+  expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng, 24);
+}
+
+TEST(IncrementalRule, OversizedDeltaFallsBackToRebuild) {
+  const device::Context ctx(2);
+  // Path on 200 nodes: m = 199, so the cutoff is max(64, 199/4) = 64.
+  DynamicGraph dg(ctx, gen::path_graph(200));
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  std::vector<Edge> batch;
+  for (NodeId v = 0; v < 65; ++v) batch.push_back({v, static_cast<NodeId>(v + 100)});
+  ASSERT_EQ(dg.insert_edges(ctx, batch), 65u);
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 2u);
+  EXPECT_EQ(oracle.incremental_refreshes(), 0u);
+  util::Rng rng(6);
+  expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng, 24);
+}
+
+TEST(IncrementalRule, LongCoveredPathFallsBackToRebuild) {
+  const device::Context ctx(2);
+  // Path graph: every edge a bridge, every node its own block, so an
+  // inserted edge covers a block-tree path as long as its span. The delta
+  // size (1) passes the size rule; the covered-length rule must catch it.
+  DynamicGraph dg(ctx, gen::path_graph(1000));
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  ASSERT_EQ(oracle.num_blocks(), 1000u);
+  // Covered length 999 > max(64, 1000 / 4) = 250: full rebuild.
+  dg.insert_edges(ctx, {{0, 999}});
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 2u);
+  EXPECT_EQ(oracle.incremental_refreshes(), 0u);
+  EXPECT_EQ(oracle.num_bridges(), 0u);  // the path closed into a cycle
+  // A chord inside the merged block (covered length 0) stays incremental.
+  dg.insert_edges(ctx, {{200, 205}});
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 2u);
+  EXPECT_EQ(oracle.incremental_refreshes(), 1u);
+  util::Rng rng(9);
+  expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng, 24);
+}
+
+TEST(IncrementalRule, WithinBlockInsertIsStructurallyInert) {
+  const device::Context ctx(2);
+  // K4 plus a pendant: adding another chord inside the K4 block changes no
+  // structure, but must still go through the incremental path and keep the
+  // index exact.
+  DynamicGraph dg(5);
+  dg.insert_edges(ctx, {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {1, 3}, {3, 4}});
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  const std::size_t bridges_before = oracle.num_bridges();
+  dg.insert_edges(ctx, {{2, 3}});  // inside the 2ecc {0,1,2,3}
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.incremental_refreshes(), 1u);
+  EXPECT_EQ(oracle.num_bridges(), bridges_before);
+  util::Rng rng(7);
+  expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng, 25);
+}
+
+// ------------------------------------------------ launch-count guarantees
+
+TEST(IncrementalLaunches, FixedKernelSequenceCheaperThanRebuild) {
+  const device::Context ctx = device::Context::device();
+  // Road-like base: bridgy appendages over a 2-edge-connected core, all in
+  // one giant component (reliability 1 keeps the grid connected).
+  DynamicGraph dg(ctx, gen::road_graph(40, 40, 1.0, 0.05, 3));
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  const auto cc = test_support::cc_labels(dg.snapshot(ctx));
+
+  // Batches of intra-component edges, sizes 8 and 56: the incremental
+  // refresh must take the same number of launches for both (the kernel
+  // sequence is fixed; only per-kernel work scales with the delta).
+  util::Rng rng(11);
+  auto intra_batch = [&](std::size_t size) {
+    std::vector<Edge> batch;
+    while (batch.size() < size) {
+      const auto u = static_cast<NodeId>(rng.below(dg.num_nodes()));
+      const auto v = static_cast<NodeId>(rng.below(dg.num_nodes()));
+      if (u != v && cc[u] == cc[v] && !dg.has_edge(u, v)) batch.push_back({u, v});
+    }
+    return batch;
+  };
+  auto refresh_launches = [&](const std::vector<Edge>& batch) {
+    EXPECT_GT(dg.insert_edges(ctx, batch), 0u) << "batch was a no-op";
+    const std::uint64_t before = ctx.launch_count();
+    EXPECT_TRUE(oracle.refresh(ctx, dg));
+    return ctx.launch_count() - before;
+  };
+
+  const std::uint64_t small = refresh_launches(intra_batch(8));
+  const std::uint64_t large = refresh_launches(intra_batch(56));
+  EXPECT_EQ(oracle.incremental_refreshes(), 2u);
+  EXPECT_EQ(small, large) << "incremental launch count must not scale with "
+                             "the delta size";
+
+  // And it must undercut the full pipeline on the same graph.
+  ConnectivityOracle scratch;
+  const std::uint64_t before = ctx.launch_count();
+  scratch.refresh(ctx, dg);
+  const std::uint64_t rebuild = ctx.launch_count() - before;
+  EXPECT_LT(large, rebuild);
+}
+
+// ------------------------------------------------------------------- fuzz
+
+TEST(IncrementalFuzz, InsertOnlyBatchesMatchFullRebuild) {
+  const device::Context ctx(2);
+  constexpr NodeId kNodes = 64;
+  const std::uint64_t seed = test_support::fuzz_seed(777);
+  const int rounds = test_support::fuzz_rounds(200);
+  util::Rng rng(seed);
+  test_support::BatchScript script;
+
+  // Connected base so every insertion is intra-component and the
+  // incremental path carries (almost) every round.
+  DynamicGraph dg(ctx, gen::cycle_graph(kNodes));
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+
+  int effective_rounds = 0;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<Edge> batch;
+    const std::size_t size = 1 + rng.below(12);
+    for (std::size_t i = 0; i < size; ++i) {
+      batch.push_back({static_cast<NodeId>(rng.below(kNodes)),
+                       static_cast<NodeId>(rng.below(kNodes))});
+    }
+    script.add(round, "insert", batch);
+    if (dg.insert_edges(ctx, batch) > 0) ++effective_rounds;
+    // IIFE so a fatal failure lands here and the replay print still fires.
+    [&] {
+      oracle.refresh(ctx, dg);
+      ASSERT_EQ(oracle.built_epoch(), dg.epoch());
+      expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng, 16);
+    }();
+    if (::testing::Test::HasFailure()) {
+      std::cerr << script.replay(seed, rounds);
+      return;
+    }
+  }
+  // The point of the suite: the incremental path must actually have served
+  // every effective round (connected base + small insert-only batches).
+  EXPECT_EQ(oracle.rebuilds(), 1u);
+  EXPECT_EQ(oracle.incremental_refreshes(),
+            static_cast<std::size_t>(effective_rounds));
+}
+
+TEST(IncrementalFuzz, MixedBatchesMatchFullRebuild) {
+  const device::Context ctx(2);
+  constexpr NodeId kNodes = 60;
+  const std::uint64_t seed = test_support::fuzz_seed(31337);
+  const int rounds = test_support::fuzz_rounds(200);
+  util::Rng rng(seed);
+  test_support::BatchScript script;
+
+  // Disconnected base (two cycles + isolated tail nodes): inserts are a mix
+  // of intra-component (incremental) and cross-component (rebuild) edges,
+  // and every few rounds an erase batch forces the rebuild path.
+  DynamicGraph dg(kNodes);
+  std::vector<Edge> base;
+  for (NodeId v = 0; v < 24; ++v)
+    base.push_back({v, static_cast<NodeId>((v + 1) % 24)});
+  for (NodeId v = 24; v < 48; ++v)
+    base.push_back({v, static_cast<NodeId>(v == 47 ? 24 : v + 1)});
+  dg.insert_edges(ctx, base);
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+
+  std::vector<Edge> inserted_pool(base);
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<Edge> batch;
+    const std::size_t size = 1 + rng.below(10);
+    if (round % 3 == 2) {
+      for (std::size_t i = 0; i < size; ++i) {
+        batch.push_back(inserted_pool[rng.below(inserted_pool.size())]);
+      }
+      script.add(round, "erase", batch);
+      dg.erase_edges(ctx, batch);
+    } else {
+      for (std::size_t i = 0; i < size; ++i) {
+        const Edge e = {static_cast<NodeId>(rng.below(kNodes)),
+                        static_cast<NodeId>(rng.below(kNodes))};
+        batch.push_back(e);
+        if (e.u != e.v) inserted_pool.push_back(e);
+      }
+      script.add(round, "insert", batch);
+      dg.insert_edges(ctx, batch);
+    }
+    [&] {
+      oracle.refresh(ctx, dg);
+      ASSERT_EQ(oracle.built_epoch(), dg.epoch());
+      expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng, 16);
+    }();
+    if (::testing::Test::HasFailure()) {
+      std::cerr << script.replay(seed, rounds);
+      return;
+    }
+  }
+  // Both paths must have been exercised by the mix — a coverage claim that
+  // only holds statistically, so skip it when a small EMC_FUZZ_ROUNDS
+  // override (a replay session) leaves too few rounds to guarantee it.
+  if (rounds >= 30) {
+    EXPECT_GT(oracle.incremental_refreshes(), 0u);
+    EXPECT_GT(oracle.rebuilds(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace emc::dynamic
