@@ -11,11 +11,9 @@
 //      Euler rooting (hybrid) vs TV — isolating why hybrid never wins.
 #include <cstdio>
 
-#include "bridges/chaitanya_kothapalli.hpp"
-#include "bridges/hybrid.hpp"
-#include "bridges/tarjan_vishkin.hpp"
 #include "common.hpp"
 #include "core/euler_tour.hpp"
+#include "engine/engine.hpp"
 #include "device/primitives.hpp"
 #include "gen/graphs.hpp"
 #include "gen/trees.hpp"
@@ -101,11 +99,17 @@ int main(int argc, char** argv) {
   {
     const graph::EdgeList road = graph::largest_component(graph::simplified(
         gen::road_graph(180, 180, 0.72, 0.04, 7)));
-    const graph::Csr csr = build_csr(ctx.gpu, road);
+    engine::Engine eng;
+    engine::Session session = eng.session(road);
+    session.csr();
+    session.num_components();  // input prep outside the phase timers
     util::PhaseTimer ck_phases, hy_phases, tv_phases;
-    bridges::find_bridges_ck(ctx.gpu, road, csr, &ck_phases);
-    bridges::find_bridges_hybrid(ctx.gpu, road, &hy_phases);
-    bridges::find_bridges_tarjan_vishkin(ctx.gpu, road, &tv_phases);
+    session.run(engine::Bridges{&ck_phases},
+                engine::Policy::fixed(engine::Backend::kCk));
+    session.run(engine::Bridges{&hy_phases},
+                engine::Policy::fixed(engine::Backend::kHybrid));
+    session.run(engine::Bridges{&tv_phases},
+                engine::Policy::fixed(engine::Backend::kTv));
     std::printf("A4 spanning-tree choice on a road graph (%d nodes):\n",
                 road.num_nodes);
     auto show = [](const char* name, const util::PhaseTimer& phases) {

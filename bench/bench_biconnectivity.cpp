@@ -9,8 +9,8 @@
 
 #include "bridge_suite.hpp"
 #include "bridges/biconnectivity.hpp"
-#include "bridges/tarjan_vishkin.hpp"
 #include "common.hpp"
+#include "engine/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace emc;
@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.finish();
 
   const bench::Contexts ctx = bench::make_contexts();
+  engine::Engine eng;
   std::printf("# Extension: full TV biconnectivity vs sequential baseline\n\n");
   util::Table table({"graph", "blocks", "articulations", "cpu1_dfs_s",
                      "gpu_tv_bicc_s", "gpu_tv_bridges_s"});
@@ -42,8 +43,13 @@ int main(int argc, char** argv) {
         runs, [&] { bridges::biconnectivity_dfs(g, csr); });
     const double tv = bench::time_avg(
         runs, [&] { bridges::biconnectivity_tv(ctx.gpu, g); });
-    const double tv_bridges = bench::time_avg(
-        runs, [&] { bridges::find_bridges_tarjan_vishkin(ctx.gpu, g); });
+    engine::Session session = eng.session(g);
+    session.num_components();  // input prep outside the timer
+    const double tv_bridges = bench::time_avg(runs, [&] {
+      session.drop_results();
+      session.run(engine::Bridges{},
+                  engine::Policy::fixed(engine::Backend::kTv));
+    });
     table.add_row({inst.name, bench::human(result.num_blocks),
                    bench::human(articulations), util::Table::num(dfs),
                    util::Table::num(tv), util::Table::num(tv_bridges)});

@@ -15,10 +15,8 @@
 #include <string>
 
 #include "bridge_suite.hpp"
-#include "bridges/chaitanya_kothapalli.hpp"
-#include "bridges/hybrid.hpp"
-#include "bridges/tarjan_vishkin.hpp"
 #include "common.hpp"
+#include "engine/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace emc;
@@ -28,7 +26,7 @@ int main(int argc, char** argv) {
   const auto kron_max = static_cast<int>(flags.get_int("kron-max", 15, ""));
   flags.finish();
 
-  const bench::Contexts ctx = bench::make_contexts();
+  engine::Engine eng;
   std::printf("# Figure 11: runtime breakdown of GPU bridge algorithms\n");
   std::printf("# `launches` counts kernel launches (ThreadPool::launch_count "
               "deltas): each one pays the modeled launch+barrier latency, so "
@@ -42,7 +40,9 @@ int main(int argc, char** argv) {
 
   for (const auto& inst : suite) {
     const auto& g = inst.graph;
-    const auto csr = build_csr(ctx.gpu, g);
+    engine::Session session = eng.session(g);
+    session.csr();
+    session.num_components();  // input prep outside the launch windows
 
     auto render = [](const util::PhaseTimer& phases) {
       std::string out;
@@ -53,26 +53,18 @@ int main(int argc, char** argv) {
       return out;
     };
 
-    util::PhaseTimer ck_phases;
-    std::uint64_t launches = ctx.gpu.launch_count();
-    bridges::find_bridges_ck(ctx.gpu, g, csr, &ck_phases);
-    table.add_row({inst.name, "gpu-ck", render(ck_phases),
-                   util::Table::num(ck_phases.total() * 1e3, 1),
-                   std::to_string(ctx.gpu.launch_count() - launches)});
-
-    util::PhaseTimer tv_phases;
-    launches = ctx.gpu.launch_count();
-    bridges::find_bridges_tarjan_vishkin(ctx.gpu, g, &tv_phases);
-    table.add_row({inst.name, "gpu-tv", render(tv_phases),
-                   util::Table::num(tv_phases.total() * 1e3, 1),
-                   std::to_string(ctx.gpu.launch_count() - launches)});
-
-    util::PhaseTimer hy_phases;
-    launches = ctx.gpu.launch_count();
-    bridges::find_bridges_hybrid(ctx.gpu, g, &hy_phases);
-    table.add_row({inst.name, "gpu-hybrid", render(hy_phases),
-                   util::Table::num(hy_phases.total() * 1e3, 1),
-                   std::to_string(ctx.gpu.launch_count() - launches)});
+    const auto measure = [&](const char* label, engine::Backend backend) {
+      util::PhaseTimer phases;
+      session.drop_results();
+      const std::uint64_t launches = eng.device_launches();
+      session.run(engine::Bridges{&phases}, engine::Policy::fixed(backend));
+      table.add_row({inst.name, label, render(phases),
+                     util::Table::num(phases.total() * 1e3, 1),
+                     std::to_string(eng.device_launches() - launches)});
+    };
+    measure("gpu-ck", engine::Backend::kCk);
+    measure("gpu-tv", engine::Backend::kTv);
+    measure("gpu-hybrid", engine::Backend::kHybrid);
   }
   table.print();
   std::printf("\n# Section 4.3 check: hybrid total should usually sit between "

@@ -1,16 +1,16 @@
 // Figure 10 — bridge-finding algorithms on the real-world-class suite
-// (social/web and road-network stand-ins).
+// (social/web and road-network stand-ins), run as forced-backend requests
+// through one engine Session per instance.
 //
-// Expectations from the paper: TV wins everywhere except the smallest
-// web graph; the TV-over-CK advantage is largest on the road networks
-// (up to ~4.7x), where CK's BFS pays for the huge diameter.
+// Expectations from the paper (wide machines): TV wins everywhere except
+// the smallest web graph; the TV-over-CK advantage is largest on the road
+// networks (up to ~4.7x), where CK's BFS pays for the huge diameter.
 #include <cstdio>
+#include <string>
 
 #include "bridge_suite.hpp"
-#include "bridges/chaitanya_kothapalli.hpp"
-#include "bridges/dfs_bridges.hpp"
-#include "bridges/tarjan_vishkin.hpp"
 #include "common.hpp"
+#include "engine/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace emc;
@@ -19,28 +19,34 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<int>(flags.get_int("runs", 1, ""));
   flags.finish();
 
-  const bench::Contexts ctx = bench::make_contexts();
+  engine::Engine eng;
   std::printf("# Figure 10: bridge finding on real-world-class graphs\n\n");
   util::Table table({"graph", "nodes", "edges", "cpu1_dfs_s", "multicore_ck_s",
-                     "gpu_ck_s", "gpu_tv_s", "tv_speedup_vs_ck"});
+                     "gpu_ck_s", "gpu_tv_s", "tv_speedup_vs_ck", "auto_pick"});
 
   for (const auto& inst : bench::real_suite(scale)) {
     const auto& g = inst.graph;
-    const auto csr = build_csr(ctx.gpu, g);
-    const double dfs = bench::time_avg(
-        runs, [&] { bridges::find_bridges_dfs(csr); });
-    const double ck_mc = bench::time_avg(
-        runs, [&] { bridges::find_bridges_ck(ctx.multicore, g, csr); });
-    const double ck_gpu = bench::time_avg(
-        runs, [&] { bridges::find_bridges_ck(ctx.gpu, g, csr); });
-    const double tv = bench::time_avg(
-        runs, [&] { bridges::find_bridges_tarjan_vishkin(ctx.gpu, g); });
+    engine::Session session = eng.session(g);
+    session.csr();
+    session.num_components();  // input prep outside the timers
+    const auto timed = [&](engine::Backend backend) {
+      return bench::time_avg(runs, [&] {
+        session.drop_results();
+        session.run(engine::Bridges{}, engine::Policy::fixed(backend));
+      });
+    };
+    const double dfs = timed(engine::Backend::kDfs);
+    const double ck_mc = timed(engine::Backend::kCkMulticore);
+    const double ck_gpu = timed(engine::Backend::kCk);
+    const double tv = timed(engine::Backend::kTv);
     table.add_row({inst.name,
                    bench::human(static_cast<std::size_t>(g.num_nodes)),
                    bench::human(g.num_edges()), util::Table::num(dfs),
                    util::Table::num(ck_mc), util::Table::num(ck_gpu),
                    util::Table::num(tv),
-                   util::Table::num(ck_gpu / tv, 2) + "x"});
+                   util::Table::num(ck_gpu / tv, 2) + "x",
+                   std::string(engine::to_string(
+                       session.plan(engine::Bridges{}).chosen))});
   }
   table.print();
   return 0;

@@ -1,6 +1,7 @@
 // Table 1 — statistics of the largest connected components of the graphs
 // used in the bridge-finding experiments: nodes, edges, bridges, diameter —
-// plus the per-edge Tarjan-Vishkin cost on each instance.
+// plus the per-edge Tarjan-Vishkin cost on each instance, measured through
+// an engine Session with the TV backend forced.
 //
 // Bridges are counted with Tarjan-Vishkin (validated against DFS in the
 // test suite); the diameter column is the standard iterated double-BFS
@@ -14,8 +15,8 @@
 #include <cstdio>
 
 #include "bridge_suite.hpp"
-#include "bridges/tarjan_vishkin.hpp"
 #include "common.hpp"
+#include "engine/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace emc;
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
       1, static_cast<int>(flags.get_int("runs", 3, "timing runs")));
   flags.finish();
 
-  const bench::Contexts ctx = bench::make_contexts();
+  engine::Engine eng;
   std::printf("# Table 1: statistics of largest connected components\n\n");
   util::Table table(
       {"graph", "nodes", "edges", "bridges", "diameter", "tv ns/edge"});
@@ -39,19 +40,22 @@ int main(int argc, char** argv) {
   suite.insert(suite.end(), std::make_move_iterator(real.begin()),
                std::make_move_iterator(real.end()));
 
+  const engine::Policy tv = engine::Policy::fixed(engine::Backend::kTv);
   for (const auto& inst : suite) {
     const auto& g = inst.graph;
-    bridges::BridgeMask mask;
+    engine::Session session = eng.session(g);
+    session.num_components();  // input prep outside the timers
     const double seconds = bench::time_avg(runs, [&] {
-      mask = bridges::find_bridges_tarjan_vishkin(ctx.gpu, g);
+      session.drop_results();
+      session.run(engine::Bridges{}, tv);
     });
     const double ns_per_edge = seconds * 1e9 / g.num_edges();
-    const auto csr = graph::build_csr(ctx.gpu, g);
+    const std::size_t num_bridges =
+        bridges::count_bridges(session.run(engine::Bridges{}, tv));
     table.add_row({inst.name,
                    bench::human(static_cast<std::size_t>(g.num_nodes)),
-                   bench::human(g.num_edges()),
-                   bench::human(bridges::count_bridges(mask)),
-                   std::to_string(graph::estimate_diameter(csr)),
+                   bench::human(g.num_edges()), bench::human(num_bridges),
+                   std::to_string(graph::estimate_diameter(session.csr())),
                    std::to_string(ns_per_edge)});
     rows.push_back({"bridges_tv/" + inst.name, g.num_edges(), "gpu",
                     ns_per_edge});

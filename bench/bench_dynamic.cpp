@@ -1,23 +1,27 @@
-// Batch-dynamic subsystem throughput: update batches vs query batches.
+// Batch-dynamic subsystem throughput: update batches vs query batches,
+// served through an engine Session bound to the DynamicGraph.
 //
 // The workload the dynamic subsystem exists for: a long-lived graph absorbs
-// batches of edge insertions/deletions, the 2-edge-connectivity oracle
-// rebuilds its index once per changed batch, and between updates it serves
-// large batches of point queries — each query batch as ONE bulk kernel, so
-// throughput is bandwidth-bound rather than launch-bound (the Figure 6
-// regime). Reported per batch size:
+// batches of edge insertions/deletions, the session's epoch-keyed cache
+// brings the 2-ecc index up to date once per changed batch, and between
+// updates it serves large batches of point queries — each query batch as
+// ONE bulk kernel when the policy routes it to the device (the Figure 6
+// regime), or as a host loop when the batch is too small to pay a launch.
+// Reported per batch size:
 //
-//   update rows — seconds to apply the batch to the DCSR and refresh the
-//     oracle (the rebuild dominates; launches shows the fixed kernel count);
-//   incremental rows — refresh cost alone for small INSERT-ONLY
-//     intra-component batches, where refresh() takes the delta-replay path
-//     (LCA kernel + union-find contraction + block-tree rebuild) instead of
-//     the full pipeline, next to the full rebuild of the same snapshot;
-//   query rows  — queries/s for same_2ecc and bridges_on_path batches;
+//   update rows — seconds to apply the batch to the DCSR and answer the
+//     first query (the index refresh dominates; launches shows the fixed
+//     kernel count);
+//   incremental rows — refresh cost alone for small INSERT-ONLY batches,
+//     where the cached index replays the delta (LCA kernel + union-find
+//     contraction, plus the tree-link path for cross-component edges)
+//     instead of the full pipeline, next to a fresh session's full rebuild
+//     of the same snapshot;
+//   query rows  — queries/s for same_2ecc and bridges_on_path batches on
+//     the forced device route, plus the auto route (host below the
+//     launch-overhead threshold) for comparison;
 //   mix rows    — interleaved update/query rounds at a given ratio, the
-//     serving steady state (insert-only rounds, so refresh() takes the
-//     incremental path whenever the random batch happens to stay
-//     intra-component — exactly what a server would see).
+//     serving steady state.
 //
 // Rows also land in BENCH_dynamic.json (same shape as the other BENCH
 // files; n is the batch size, ns_per_elem the per-element batch cost).
@@ -29,9 +33,8 @@
 #include <vector>
 
 #include "common.hpp"
-#include "device/context.hpp"
 #include "dynamic/dynamic_graph.hpp"
-#include "dynamic/oracle.hpp"
+#include "engine/engine.hpp"
 #include "gen/graphs.hpp"
 #include "util/rng.hpp"
 
@@ -49,14 +52,14 @@ std::vector<graph::Edge> random_batch(util::Rng& rng, NodeId n,
   return batch;
 }
 
-std::vector<std::pair<NodeId, NodeId>> random_queries(util::Rng& rng, NodeId n,
-                                                      std::size_t size) {
-  std::vector<std::pair<NodeId, NodeId>> queries(size);
-  for (auto& [u, v] : queries) {
+engine::Same2Ecc random_queries(util::Rng& rng, NodeId n, std::size_t size) {
+  engine::Same2Ecc request;
+  request.pairs.resize(size);
+  for (auto& [u, v] : request.pairs) {
     u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
     v = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
   }
-  return queries;
+  return request;
 }
 
 }  // namespace
@@ -69,33 +72,39 @@ int main(int argc, char** argv) {
       1, static_cast<int>(flags.get_int("runs", 3, "timing runs")));
   flags.finish();
 
-  const device::Context ctx = device::Context::device();
+  engine::Engine eng;
+  const device::Context& ctx = eng.device();
   const auto n = static_cast<NodeId>(side) * side;
   std::printf("# dynamic graph: %d nodes (road-like base), %u workers\n\n",
               n, ctx.workers());
 
   util::Rng rng(42);
-  dynamic::DynamicGraph dg(
-      ctx, gen::road_graph(side, side, 0.95, 0.03, 7));
-  dynamic::ConnectivityOracle oracle;
-  oracle.refresh(ctx, dg);
+  dynamic::DynamicGraph dg(ctx, gen::road_graph(side, side, 0.95, 0.03, 7));
+  engine::Session session = eng.session(dg);
+  const engine::TwoEccView base = session.run(engine::TwoEcc{});
   std::printf("base: %zu edges, %zu bridges, %zu blocks\n\n", dg.num_edges(),
-              oracle.num_bridges(), oracle.num_blocks());
+              base.num_bridges, base.num_blocks);
+
+  // The paper's bulk regime: query batches forced onto the device route.
+  engine::Policy device_route;
+  device_route.min_device_batch = 1;
 
   util::Table table({"op", "batch", "seconds", "Melem/s", "launches"});
   std::vector<bench::BenchRow> rows;
   const auto record = [&](const std::string& op, std::size_t batch,
-                          double seconds, std::uint64_t launches) {
+                          double seconds, std::uint64_t launches,
+                          const char* context = "gpu") {
     table.add_row({op, bench::human(batch), std::to_string(seconds),
                    std::to_string(batch / seconds / 1e6),
                    std::to_string(launches)});
-    rows.push_back({op, batch, "gpu", seconds * 1e9 / batch});
+    rows.push_back({op, batch, context, seconds * 1e9 / batch});
   };
 
-  // ---- update batches: DCSR apply + oracle rebuild. The erase batch
-  // samples EXISTING edges so it is always effective: the round's final
-  // delta then contains erases and refresh() deterministically takes the
-  // full-rebuild path (the incremental path is measured separately below).
+  // ---- update batches: DCSR apply + index refresh (via a 1-pair query).
+  // The erase batch samples EXISTING edges so it is always effective: the
+  // round's final delta then contains erases and the refresh
+  // deterministically takes the full-rebuild path (the incremental paths
+  // are measured separately below).
   for (const std::size_t batch_size : {1u << 10, 1u << 14, 1u << 18}) {
     double total = 0;
     const std::uint64_t before = ctx.launch_count();
@@ -107,7 +116,7 @@ int main(int argc, char** argv) {
       util::Timer timer;
       dg.insert_edges(ctx, inserts);
       dg.erase_edges(ctx, erases);
-      oracle.refresh(ctx, dg);
+      session.run(engine::Same2Ecc{{{0, 1}}});  // refreshes the index
       total += timer.seconds();
     }
     // Average launches per round (compaction and adaptive sort pass counts
@@ -117,8 +126,10 @@ int main(int argc, char** argv) {
   }
 
   // ---- incremental refresh vs full rebuild: small insert-only batches of
-  // intra-component edges (the delta shape the incremental path serves).
-  // Timed per phase: refresh() only — the DCSR apply is identical for both.
+  // intra-component edges (the delta shape the replay paths serve). Timed
+  // per phase: the index refresh only — the DCSR apply is identical for
+  // both. The "full" side is a FRESH session on the same graph, whose
+  // oracle has no index to replay onto.
   {
     const auto cc = graph::connected_component_labels(dg.snapshot(ctx));
     auto intra_batch = [&](std::size_t size) {
@@ -134,22 +145,24 @@ int main(int argc, char** argv) {
       double incr_total = 0, full_total = 0;
       std::uint64_t incr_launches = 0, full_launches = 0;
       for (int r = 0; r < runs; ++r) {
-        oracle.refresh(ctx, dg);  // make the index current first
+        session.run(engine::Same2Ecc{{{0, 1}}});  // make the index current
         dg.insert_edges(ctx, intra_batch(batch_size));
-        const std::size_t incrementals_before = oracle.incremental_refreshes();
+        const std::size_t incrementals_before =
+            session.two_ecc_index().incremental_refreshes();
         std::uint64_t before = ctx.launch_count();
         util::Timer timer;
-        oracle.refresh(ctx, dg);
+        session.run(engine::Same2Ecc{{{0, 1}}});
         incr_total += timer.seconds();
         incr_launches += ctx.launch_count() - before;
-        if (oracle.incremental_refreshes() == incrementals_before) {
+        if (session.two_ecc_index().incremental_refreshes() ==
+            incrementals_before) {
           std::fprintf(stderr, "warning: incremental path not taken at "
                        "batch=%zu\n", batch_size);
         }
-        dynamic::ConnectivityOracle scratch;  // full pipeline, same snapshot
+        engine::Session fresh = eng.session(dg);  // full pipeline
         before = ctx.launch_count();
         timer.reset();
-        scratch.refresh(ctx, dg);
+        fresh.run(engine::Same2Ecc{{{0, 1}}});
         full_total += timer.seconds();
         full_launches += ctx.launch_count() - before;
       }
@@ -160,40 +173,48 @@ int main(int argc, char** argv) {
     }
   }
 
-  // ---- query batches: one kernel per batch
+  // ---- query batches: one kernel per batch on the device route; the auto
+  // route shows what the policy's batch-size threshold does instead.
   for (const std::size_t batch_size : {1u << 10, 1u << 15, 1u << 20}) {
-    const auto queries = random_queries(rng, n, batch_size);
-    std::vector<std::uint8_t> same;
-    std::vector<NodeId> dist;
+    const engine::Same2Ecc same = random_queries(rng, n, batch_size);
+    engine::BridgesOnPath dist;
+    dist.pairs = same.pairs;
     std::uint64_t before = ctx.launch_count();
-    const double same_secs = bench::time_avg(
-        runs, [&] { oracle.same_2ecc_batch(ctx, queries, same); });
-    record("query_same_2ecc", batch_size,
-           same_secs, (ctx.launch_count() - before) / runs);
+    const double same_secs =
+        bench::time_avg(runs, [&] { session.run(same, device_route); });
+    record("query_same_2ecc", batch_size, same_secs,
+           (ctx.launch_count() - before) / runs);
     before = ctx.launch_count();
-    const double path_secs = bench::time_avg(
-        runs, [&] { oracle.bridges_on_path_batch(ctx, queries, dist); });
+    const double path_secs =
+        bench::time_avg(runs, [&] { session.run(dist, device_route); });
     record("query_bridges_on_path", batch_size, path_secs,
            (ctx.launch_count() - before) / runs);
+    before = ctx.launch_count();
+    const double auto_secs =
+        bench::time_avg(runs, [&] { session.run(same); });
+    // Label the committed row by the route auto actually took: below the
+    // launch-overhead threshold the batch is served as a host loop.
+    const std::uint64_t auto_launches = (ctx.launch_count() - before) / runs;
+    record("query_same_2ecc_auto", batch_size, auto_secs, auto_launches,
+           auto_launches == 0 ? "host" : "gpu");
   }
 
   // ---- steady-state mixes: updates and queries interleaved
   const std::vector<std::tuple<std::size_t, std::size_t, const char*>> mixes =
       {{1u << 12, 1u << 16, "mix_1:16"}, {1u << 14, 1u << 14, "mix_1:1"}};
   for (const auto& [updates_per_round, queries_per_round, label] : mixes) {
-    std::vector<std::uint8_t> same;
-    std::vector<NodeId> dist;
     double total = 0;
     std::size_t served = 0;
     const std::uint64_t before = ctx.launch_count();
     for (int r = 0; r < runs; ++r) {
       auto inserts = random_batch(rng, n, updates_per_round);
-      const auto queries = random_queries(rng, n, queries_per_round);
+      const engine::Same2Ecc same = random_queries(rng, n, queries_per_round);
+      engine::BridgesOnPath paths;
+      paths.pairs = same.pairs;
       util::Timer timer;
       dg.insert_edges(ctx, inserts);
-      oracle.refresh(ctx, dg);
-      oracle.same_2ecc_batch(ctx, queries, same);
-      oracle.bridges_on_path_batch(ctx, queries, dist);
+      session.run(same, device_route);
+      session.run(paths, device_route);
       total += timer.seconds();
       served += updates_per_round + 2 * queries_per_round;
     }

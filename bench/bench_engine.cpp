@@ -1,0 +1,132 @@
+// The engine's backend competition: per-backend bridge cost and the auto
+// policy's pick, per scenario — the Optiplan-style "backends compete per
+// instance" table (ISSUE 4), and the data the CostModel defaults are
+// calibrated against.
+//
+// Per scenario (kron / social / square road / ribbon road — spanning the
+// diameter and density regimes that decide the paper's Figures 9-11), every
+// fixed backend answers the same Bridges request through one Session
+// (result artifacts dropped between runs, input prep cached), then the auto
+// policy runs the same request. The auto row must match or beat every fixed
+// backend: it runs whichever backend the cost model picks, so its time is
+// the winner's time plus a cache lookup — if it does not, the model is
+// miscalibrated for this machine (rerun and refit CostModel).
+//
+// Rows land in BENCH_engine.json (committed at repo root):
+//   op   = engine_bridges/<scenario>/<backend>   (n = instance edge count)
+//   op   = engine_bridges/<scenario>/auto, context = the backend it picked
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "engine/engine.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace emc;
+
+/// Best-of-runs: the stable statistic for ranking backends on a noisy
+/// container (averages smear scheduler hiccups into the wrong winner).
+template <typename Fn>
+double time_min(int runs, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < runs; ++r) {
+    util::Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto runs = std::max(
+      1, static_cast<int>(flags.get_int("runs", 3, "timing runs (min taken)")));
+  const auto scale = flags.get_double("scale", 1.0, "instance size scale");
+  const bool check = flags.get_int("check", 1, "nonzero exit if auto loses") != 0;
+  flags.finish();
+
+  engine::Engine eng;
+  std::printf("# engine backend competition (device=%u multicore=%u "
+              "workers)\n\n",
+              eng.device().workers(), eng.multicore().workers());
+
+  const auto side = [&](int base) { return static_cast<NodeId>(base * scale); };
+  std::vector<std::pair<std::string, graph::EdgeList>> scenarios;
+  scenarios.emplace_back(  // small diameter, dense (Figure 9 regime)
+      "kron", graph::largest_component(
+                  graph::simplified(gen::kron_graph(12, 45.0, 1012))));
+  scenarios.emplace_back(  // small diameter, moderate density (social class)
+      "social", graph::largest_component(
+                    graph::simplified(gen::social_graph(14, 10, 2))));
+  scenarios.emplace_back(  // moderate diameter road grid
+      "road-square", graph::largest_component(graph::simplified(
+                         gen::road_graph(side(256), side(256), 0.72, 0.04, 3))));
+  scenarios.emplace_back(  // huge diameter ribbon (Figure 10 road regime)
+      "road-ribbon", graph::largest_component(graph::simplified(
+                         gen::road_graph(side(4096), 24, 0.72, 0.04, 4))));
+
+  util::Table table({"scenario", "nodes", "edges", "diameter", "backend",
+                     "seconds", "ns/edge"});
+  std::vector<bench::BenchRow> rows;
+  bool auto_won_everywhere = true;
+
+  for (const auto& [name, g] : scenarios) {
+    engine::Session session = eng.session(g);
+    session.csr();
+    session.num_components();
+    const NodeId diameter = session.diameter_estimate();  // input prep + plan
+
+    const auto timed = [&](const engine::Policy& policy) {
+      return time_min(runs, [&] {
+        session.drop_results();
+        session.run(engine::Bridges{}, policy);
+      });
+    };
+    double best_fixed = 1e300;
+    for (const engine::Backend backend : engine::kFixedBackends) {
+      const double seconds = timed(engine::Policy::fixed(backend));
+      best_fixed = std::min(best_fixed, seconds);
+      const std::string label(engine::to_string(backend));
+      table.add_row({name, bench::human(static_cast<std::size_t>(g.num_nodes)),
+                     bench::human(g.num_edges()), std::to_string(diameter),
+                     label, util::Table::num(seconds),
+                     util::Table::num(seconds * 1e9 / g.num_edges(), 1)});
+      rows.push_back({"engine_bridges/" + name + "/" + label, g.num_edges(),
+                      label, seconds * 1e9 / g.num_edges()});
+    }
+    const double auto_seconds = timed(engine::Policy{});
+    session.drop_results();
+    session.run(engine::Bridges{});
+    const std::string picked(engine::to_string(session.mask_backend()));
+    table.add_row({name, bench::human(static_cast<std::size_t>(g.num_nodes)),
+                   bench::human(g.num_edges()), std::to_string(diameter),
+                   "auto->" + picked, util::Table::num(auto_seconds),
+                   util::Table::num(auto_seconds * 1e9 / g.num_edges(), 1)});
+    rows.push_back({"engine_bridges/" + name + "/auto", g.num_edges(), picked,
+                    auto_seconds * 1e9 / g.num_edges()});
+    // The acceptance bar: auto within noise of the best fixed backend.
+    if (auto_seconds > best_fixed * 1.25 + 1e-4) {
+      std::printf("!! auto (%s, %.4fs) lost to the best fixed backend "
+                  "(%.4fs) on %s — CostModel is miscalibrated here\n",
+                  picked.c_str(), auto_seconds, best_fixed, name.c_str());
+      auto_won_everywhere = false;
+    }
+  }
+
+  table.print();
+  std::printf("\nauto policy %s every benched scenario\n",
+              auto_won_everywhere ? "matched or beat" : "LOST on");
+  if (!bench::write_bench_json("BENCH_engine.json", rows)) {
+    std::fprintf(stderr, "failed to write BENCH_engine.json\n");
+    return 1;
+  }
+  return check && !auto_won_everywhere ? 2 : 0;
+}

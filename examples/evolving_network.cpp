@@ -1,19 +1,21 @@
-// An evolving road network served by the connectivity oracle.
+// An evolving road network served by an engine Session over a DynamicGraph.
 //
 // Scenario: a regional road network monitored for single points of failure.
-// Edges fail (washouts, closures) and get built in batches; after every
-// batch the oracle refreshes its bridge-block index — skipping the rebuild
-// when the batch turned out to change nothing — and answers dispatcher
-// queries: "are these two depots still on a redundant route?" and "how many
-// critical road segments does a trip between them cross?".
+// Edges fail (washouts, closures) and get built in batches; the session's
+// epoch-keyed artifact cache notices each effective batch, brings the 2-ecc
+// index up to date (incrementally when the delta is small — including the
+// tree-link fast path when construction reconnects two regions), and
+// answers dispatcher query batches: "are these two depots still on a
+// redundant route?" and "how many critical road segments does a trip
+// between them cross?". No-op batches (re-reported closures) never advance
+// the epoch, so everything stays cached.
 //
 //   ./evolving_network [--side=64] [--rounds=8] [--batch=64]
 #include <cstdio>
 #include <vector>
 
-#include "device/context.hpp"
 #include "dynamic/dynamic_graph.hpp"
-#include "dynamic/oracle.hpp"
+#include "engine/engine.hpp"
 #include "gen/graphs.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -29,16 +31,15 @@ int main(int argc, char** argv) {
       flags.get_int("batch", 64, "edges per update batch"));
   flags.finish();
 
-  const device::Context ctx = device::Context::device();
+  engine::Engine eng;
+  const device::Context& ctx = eng.device();
   const NodeId n = side * side;
-  dynamic::DynamicGraph roads(ctx,
-                              gen::road_graph(side, side, 0.92, 0.02, 11));
-  dynamic::ConnectivityOracle oracle;
-  oracle.refresh(ctx, roads);
+  dynamic::DynamicGraph roads(ctx, gen::road_graph(side, side, 0.92, 0.02, 11));
+  engine::Session session = eng.session(roads);
+  const engine::TwoEccView base = session.run(engine::TwoEcc{});
   std::printf("road network: %d junctions, %zu segments, %zu critical "
               "(bridges), %zu redundant zones\n\n",
-              n, roads.num_edges(), oracle.num_bridges(),
-              oracle.num_blocks());
+              n, roads.num_edges(), base.num_bridges, base.num_blocks);
 
   util::Rng rng(3);
   const auto random_junction = [&] {
@@ -60,38 +61,41 @@ int main(int argc, char** argv) {
     }
     const std::size_t failed = roads.erase_edges(ctx, failures);
     const std::size_t built = roads.insert_edges(ctx, constructions);
-    const bool rebuilt = oracle.refresh(ctx, roads);
 
-    std::printf("round %d: -%zu/+%zu segments (epoch %llu, %s)\n", round,
-                failed, built,
-                static_cast<unsigned long long>(roads.epoch()),
-                rebuilt ? "index rebuilt" : "rebuild skipped");
-
-    // Dispatcher query batch between random depot pairs.
-    std::vector<std::pair<NodeId, NodeId>> trips(8, {depot_a, depot_b});
-    for (std::size_t t = 1; t < trips.size(); ++t) {
-      trips[t] = {random_junction(), random_junction()};
+    // Dispatcher query batch between random depot pairs — the request
+    // itself refreshes the session's index for the new epoch.
+    engine::BridgesOnPath trips{{{depot_a, depot_b}}};
+    for (int t = 1; t < 8; ++t) {
+      trips.pairs.push_back({random_junction(), random_junction()});
     }
-    std::vector<NodeId> critical;
-    oracle.bridges_on_path_batch(ctx, trips, critical);
+    const auto critical = session.run(trips);
+    std::printf("round %d: -%zu/+%zu segments (epoch %llu)\n", round, failed,
+                built, static_cast<unsigned long long>(roads.epoch()));
     if (critical[0] == kNoNode) {
       std::printf("  depot %d -> %d: DISCONNECTED\n", depot_a, depot_b);
     } else {
+      const auto redundant =
+          session.run(engine::Same2Ecc{{{depot_a, depot_b}}});
       std::printf("  depot %d -> %d: %d critical segment(s)%s\n", depot_a,
                   depot_b, critical[0],
-                  oracle.same_2ecc(depot_a, depot_b) ? " (redundant zone)"
-                                                     : "");
+                  redundant[0] ? " (redundant zone)" : "");
     }
   }
 
   // A no-op batch: re-reporting a closure of a segment that is already gone
-  // skips the rebuild.
+  // leaves the epoch alone, so the next request is served fully cached.
   graph::Edge gone = {0, 1};
   while (roads.has_edge(gone.u, gone.v)) gone = {random_junction(), gone.u};
   const std::size_t noop = roads.erase_edges(ctx, {gone, gone});
-  const bool rebuilt = oracle.refresh(ctx, roads);
-  std::printf("\nno-op batch: %zu changes, %s (skipped so far: %zu)\n", noop,
-              rebuilt ? "rebuilt" : "rebuild skipped",
-              oracle.refreshes_skipped());
+  const std::uint64_t launches = eng.device_launches();
+  session.run(engine::Same2Ecc{{{depot_a, depot_b}}});
+  const auto& index = session.two_ecc_index();
+  std::printf("\nno-op batch: %zu changes, %llu kernel launches to re-answer "
+              "(index: %zu rebuilds, %zu incremental of which %zu "
+              "tree-links)\n",
+              noop,
+              static_cast<unsigned long long>(eng.device_launches() - launches),
+              index.rebuilds(), index.incremental_refreshes(),
+              index.tree_links());
   return 0;
 }

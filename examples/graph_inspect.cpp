@@ -1,4 +1,5 @@
-// graph_inspect — run the full analysis pipeline on a graph file.
+// graph_inspect — run the full analysis pipeline on a graph file, through
+// the emc::engine façade.
 //
 // Accepts the formats the paper's datasets ship in (DIMACS .gr, SNAP edge
 // lists) plus the native "n m" edge list; with no argument it analyses a
@@ -7,16 +8,14 @@
 //   ./graph_inspect [path/to/graph]
 //
 // Pipeline (paper §4.2-§4.3): simplify → largest connected component →
-// statistics → bridges (TV, cross-checked with DFS) → biconnectivity
-// (blocks + articulation points) → 2-edge-connected components.
+// statistics → bridges (policy-picked backend, cross-checked against the
+// forced DFS baseline) → biconnectivity (blocks + articulation points) →
+// 2-edge-connected components from the session's cached index.
 #include <cstdio>
-#include <set>
+#include <string>
 
 #include "bridges/biconnectivity.hpp"
-#include "bridges/dfs_bridges.hpp"
-#include "bridges/tarjan_vishkin.hpp"
-#include "bridges/two_ecc.hpp"
-#include "device/context.hpp"
+#include "engine/engine.hpp"
 #include "gen/graphs.hpp"
 #include "graph/graph.hpp"
 #include "io/io.hpp"
@@ -24,7 +23,7 @@
 
 int main(int argc, char** argv) {
   using namespace emc;
-  const device::Context ctx = device::Context::device();
+  engine::Engine eng;
 
   graph::EdgeList raw;
   if (argc > 1) {
@@ -43,33 +42,38 @@ int main(int argc, char** argv) {
   }
 
   const graph::EdgeList g = graph::largest_component(graph::simplified(raw));
-  const graph::Csr csr = build_csr(ctx, g);
+  engine::Session session = eng.session(g);
   std::printf("largest component: %d nodes, %zu edges, diameter >= %d\n\n",
-              g.num_nodes, g.num_edges(), graph::estimate_diameter(csr));
+              g.num_nodes, g.num_edges(), session.diameter_estimate());
   if (g.num_edges() == 0) return 0;
+  session.num_components();  // input prep outside the timers below
 
   util::Timer timer;
-  const auto tv = bridges::find_bridges_tarjan_vishkin(ctx, g);
-  const double tv_time = timer.seconds();
+  const bridges::BridgeMask auto_mask = session.run(engine::Bridges{});
+  const double auto_time = timer.seconds();
+  const engine::Backend picked = session.mask_backend();
   timer.reset();
-  const auto dfs = bridges::find_bridges_dfs(csr);
+  const bridges::BridgeMask dfs = session.run(
+      engine::Bridges{}, engine::Policy::fixed(engine::Backend::kDfs));
   const double dfs_time = timer.seconds();
-  if (tv != dfs) {
-    std::fprintf(stderr, "TV/DFS disagreement — please report\n");
+  if (auto_mask != dfs) {
+    std::fprintf(stderr, "backend disagreement — please report\n");
     return 1;
   }
-  std::printf("bridges: %zu  (TV %.1f ms, DFS cross-check %.1f ms)\n",
-              bridges::count_bridges(tv), tv_time * 1e3, dfs_time * 1e3);
+  std::printf("bridges: %zu  (auto picked %s: %.1f ms, DFS cross-check "
+              "%.1f ms)\n",
+              bridges::count_bridges(dfs),
+              std::string(engine::to_string(picked)).c_str(), auto_time * 1e3,
+              dfs_time * 1e3);
 
   timer.reset();
-  const auto bic = bridges::biconnectivity_tv(ctx, g);
+  const auto bic = bridges::biconnectivity_tv(eng.device(), g);
   std::size_t articulations = 0;
   for (const auto a : bic.is_articulation) articulations += a;
   std::printf("blocks: %zu, articulation points: %zu  (%.1f ms)\n",
               bic.num_blocks, articulations, timer.seconds() * 1e3);
 
-  const auto tecc = bridges::two_edge_components(ctx, g, tv);
-  const std::set<NodeId> districts(tecc.begin(), tecc.end());
-  std::printf("2-edge-connected components: %zu\n", districts.size());
+  const engine::TwoEccView tecc = session.run(engine::TwoEcc{});
+  std::printf("2-edge-connected components: %zu\n", tecc.num_blocks);
   return 0;
 }

@@ -176,6 +176,7 @@ BiconnectivityResult biconnectivity_tv(const device::Context& ctx,
 
 BiconnectivityResult biconnectivity_dfs(const graph::EdgeList& graph,
                                         const graph::Csr& csr) {
+  assert(graph::csr_matches(graph, csr));  // the dual-argument contract
   const NodeId n = csr.num_nodes;
   const std::size_t m = graph.edges.size();
   BiconnectivityResult result;

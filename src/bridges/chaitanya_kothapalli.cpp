@@ -53,6 +53,9 @@ BridgeMask ck_marking_phase(const device::Context& ctx,
 BridgeMask find_bridges_ck(const device::Context& ctx,
                            const graph::EdgeList& graph, const graph::Csr& csr,
                            util::PhaseTimer* phases) {
+  // The dual-argument contract: a Csr built from a different edge list (or
+  // from this one in a different order) would silently misalign edge ids.
+  assert(graph::csr_matches(graph, csr));
   const auto n = static_cast<std::size_t>(graph.num_nodes);
   if (n <= 1 || graph.edges.empty()) {
     return BridgeMask(graph.edges.size(), 0);

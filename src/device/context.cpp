@@ -33,7 +33,7 @@ Context::Context(unsigned workers, double launch_overhead_seconds)
           launch_overhead_seconds)),
       arena_(std::make_shared<Arena>()) {}
 
-Context Context::device() {
+double Context::device_launch_overhead() {
   // Default 50us: the GTX 980's ~5us launch+sync latency scaled by the
   // roughly 10-100x throughput gap between that GPU and one CPU core, so
   // the latency-to-work ratio — which decides the diameter-bound behaviors
@@ -43,8 +43,10 @@ Context Context::device() {
   if (const char* env = std::getenv("EMC_KERNEL_LATENCY_US")) {
     overhead_us = std::strtod(env, nullptr);
   }
-  return Context(0, overhead_us * 1e-6);
+  return overhead_us * 1e-6;
 }
+
+Context Context::device() { return Context(0, device_launch_overhead()); }
 
 std::size_t Context::grain_for(std::size_t n) const {
   // Aim for ~4 chunks per worker so dynamic scheduling can balance load,

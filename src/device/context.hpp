@@ -43,6 +43,11 @@ class Context {
   /// and small query batches wasteful in Figure 6.
   static Context device();
 
+  /// The per-kernel latency device() charges (EMC_KERNEL_LATENCY_US or the
+  /// 50us default) — exposed so callers building a custom-width device
+  /// context (engine::EngineOptions::device_workers) keep the same model.
+  static double device_launch_overhead();
+
   double launch_overhead() const { return pool_->launch_overhead(); }
 
   unsigned workers() const { return pool_->workers(); }

@@ -129,6 +129,11 @@ class DynamicGraph {
   /// per epoch like snapshot().
   const graph::Csr& snapshot_csr(const device::Context& ctx) const;
 
+  /// True iff this epoch's CSR snapshot is already materialized, i.e. the
+  /// next snapshot_csr() call is free. Lets delegating caches (the engine
+  /// session) report a build vs a hit truthfully.
+  bool csr_snapshot_ready() const { return csr_snapshot_epoch_ == epoch_; }
+
  private:
   /// Sorts and deduplicates a batch into canonical packed (lo << 32 | hi)
   /// keys, dropping invalid entries and keeping only edges whose presence in

@@ -1,6 +1,8 @@
 #include "dynamic/oracle.hpp"
 
 #include <atomic>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "bridges/cc_spanning.hpp"
 #include "bridges/tarjan_vishkin.hpp"
@@ -14,38 +16,81 @@ namespace emc::dynamic {
 
 bool ConnectivityOracle::refresh(const device::Context& ctx,
                                  const DynamicGraph& graph,
-                                 util::PhaseTimer* phases) {
+                                 util::PhaseTimer* phases,
+                                 const bridges::BridgeMask* bridge_mask,
+                                 const bridges::SpanningForest* cc) {
   if (built_uid_ == graph.uid() && built_epoch_ == graph.epoch()) {
     ++refreshes_skipped_;
     return false;
   }
   // Incremental path: the index must be exactly the one effective batch
-  // whose delta the graph still holds behind the current epoch, the delta
-  // must pass the size rule, and every inserted edge must stay within a
-  // connected component of the indexed snapshot (an edge joining two
-  // components would make later inserted edges' block paths span trees the
-  // old LCA cannot answer).
+  // whose delta the graph still holds behind the current epoch, and the
+  // delta must pass the size rule.
   const UpdateDelta& delta = graph.last_delta();
-  bool incremental = built_uid_ == graph.uid() &&
-                     built_epoch_ != kNeverBuilt &&
-                     graph.epoch() == built_epoch_ + 1 &&
-                     delta.from_epoch == built_epoch_ &&
-                     incremental_applies(delta.inserted.size(),
-                                         delta.erased.size(), built_edges_);
+  bool incremental = incremental_candidate(graph);
+  // Partition the delta by the indexed components — on the host, since the
+  // size rule bounds it. Intra-component edges merge blocks (contraction);
+  // cross-component edges become bridges linking block trees (tree-link).
+  // A union-find over the touched component labels catches the one shape
+  // neither path can express: a SET of cross-component edges that closes a
+  // cycle through components merged earlier in the same batch (the second
+  // edge between two merged components is not a bridge, but it is also not
+  // intra-component on the indexed snapshot, so neither replay applies).
+  std::vector<graph::Edge> intra, cross;
+  std::unordered_map<NodeId, NodeId> merged;  // loser label -> winner label
   if (incremental) {
-    const std::size_t cross_component = device::reduce(
-        ctx, delta.inserted.size(), std::size_t{0},
-        [&](std::size_t i) -> std::size_t {
-          const graph::Edge e = delta.inserted[i];
-          return cc_label_[e.u] == cc_label_[e.v] ? 0 : 1;
-        },
-        [](std::size_t a, std::size_t b) { return a + b; });
-    incremental = cross_component == 0;
+    std::unordered_map<NodeId, NodeId> comp_uf;  // label -> parent label
+    auto find = [&](NodeId c) {
+      auto it = comp_uf.find(c);
+      while (it != comp_uf.end()) {
+        c = it->second;
+        it = comp_uf.find(c);
+      }
+      return c;
+    };
+    for (const graph::Edge& e : delta.inserted) {
+      const NodeId cu = cc_label_[e.u];
+      const NodeId cv = cc_label_[e.v];
+      if (cu == cv) {
+        intra.push_back(e);
+        continue;
+      }
+      // Min label wins, so the merged labels stay exactly what a fresh CC
+      // labeling of the new snapshot would assign.
+      const NodeId a = find(cu);
+      const NodeId b = find(cv);
+      if (a == b) {
+        incremental = false;  // cycle across components merged this batch
+        break;
+      }
+      comp_uf[std::max(a, b)] = std::min(a, b);
+      cross.push_back(e);
+    }
+    // Fully resolve loser -> final winner once; link_components consumes
+    // this instead of re-deriving the merge partition.
+    if (incremental) {
+      for (const auto& entry : comp_uf) merged[entry.first] = find(entry.first);
+    }
   }
-  if (incremental && apply_insertions(ctx, delta.inserted, phases)) {
+  // A mixed batch pipelines the two replays through ONE block-tree reindex:
+  // the contraction hands its un-indexed tree to the tree-link, which
+  // splices in the new bridges before the shared index_block_tree tail.
+  graph::EdgeList contracted;
+  bool have_contracted = false;
+  if (incremental && !intra.empty()) {
+    incremental = apply_insertions(ctx, intra, phases,
+                                   cross.empty() ? nullptr : &contracted);
+    have_contracted = incremental && !cross.empty();
+  }
+  if (incremental) {
+    if (!cross.empty()) {
+      if (!have_contracted) contracted = current_block_tree(ctx);
+      link_components(ctx, cross, merged, contracted, phases);
+      ++tree_links_;
+    }
     ++incremental_refreshes_;
   } else {
-    rebuild(ctx, graph.snapshot(ctx), phases);
+    rebuild(ctx, graph.snapshot(ctx), phases, bridge_mask, cc);
     ++rebuilds_;
   }
   built_uid_ = graph.uid();
@@ -54,9 +99,23 @@ bool ConnectivityOracle::refresh(const device::Context& ctx,
   return true;
 }
 
+void ConnectivityOracle::build(const device::Context& ctx,
+                               const graph::EdgeList& snapshot,
+                               const bridges::BridgeMask* bridge_mask,
+                               const bridges::SpanningForest* cc,
+                               util::PhaseTimer* phases) {
+  rebuild(ctx, snapshot, phases, bridge_mask, cc);
+  ++rebuilds_;
+  built_uid_ = 0;  // no DynamicGraph has uid 0: never matches a refresh()
+  built_epoch_ = kNeverBuilt;
+  built_edges_ = snapshot.edges.size();
+}
+
 void ConnectivityOracle::rebuild(const device::Context& ctx,
                                  const graph::EdgeList& snapshot,
-                                 util::PhaseTimer* phases) {
+                                 util::PhaseTimer* phases,
+                                 const bridges::BridgeMask* bridge_mask,
+                                 const bridges::SpanningForest* cc) {
   const auto n = static_cast<std::size_t>(snapshot.num_nodes);
   const std::size_t m = snapshot.edges.size();
   if (n == 0) {
@@ -74,35 +133,36 @@ void ConnectivityOracle::rebuild(const device::Context& ctx,
   bridges::SpanningForest forest;
   {
     util::ScopedPhase phase(phases, "components");
-    forest = bridges::cc_spanning_forest(ctx, snapshot);
+    if (cc != nullptr) {
+      // Precomputed by the caller (the engine's cached forest artifact).
+      // Only the labels are consumed here, and they are copied because the
+      // tail below moves them into cc_label_.
+      assert(cc->component.size() == n);
+      forest.component = cc->component;
+      forest.num_components = cc->num_components;
+    } else {
+      forest = bridges::cc_spanning_forest(ctx, snapshot);
+    }
   }
   const std::size_t k = forest.num_components;
-  std::vector<NodeId> comp_reps(n);
-  device::copy_if_index(
-      ctx, n,
-      [&](std::size_t v) {
-        return forest.component[v] == static_cast<NodeId>(v);
-      },
-      comp_reps.data());
+  const std::vector<NodeId> comp_reps =
+      bridges::component_representatives(ctx, forest);
 
   bridges::BridgeMask mask;
   {
     util::ScopedPhase phase(phases, "bridge_mask");
-    if (m > 0 && k == 1) {
+    if (bridge_mask != nullptr) {
+      // Precomputed by the caller (the engine's policy-chosen backend);
+      // every backend produces the same verdict, so reuse is exact.
+      assert(bridge_mask->size() == m);
+      mask = *bridge_mask;
+    } else if (m > 0 && k == 1) {
       mask = bridges::find_bridges_tarjan_vishkin(ctx, snapshot);
     } else if (m > 0) {
-      // Disconnected: stitch components with one virtual edge each from the
-      // first representative, run TV on the (connected) augmented graph,
-      // and slice the mask back to the real edges.
-      graph::EdgeList augmented;
-      augmented.num_nodes = snapshot.num_nodes;
-      augmented.edges.reserve(m + k - 1);
-      augmented.edges.insert(augmented.edges.end(), snapshot.edges.begin(),
-                             snapshot.edges.end());
-      for (std::size_t r = 1; r < k; ++r) {
-        augmented.edges.push_back({comp_reps[0], comp_reps[r]});
-      }
-      mask = bridges::find_bridges_tarjan_vishkin(ctx, augmented);
+      // Disconnected: run TV on the stitched augmentation and slice the
+      // mask back to the real edges.
+      mask = bridges::find_bridges_tarjan_vishkin(
+          ctx, bridges::stitch_components(snapshot, comp_reps));
       mask.resize(m);
     }
   }
@@ -170,7 +230,7 @@ void ConnectivityOracle::index_block_tree(const device::Context& ctx,
 
 bool ConnectivityOracle::apply_insertions(
     const device::Context& ctx, const std::vector<graph::Edge>& inserted,
-    util::PhaseTimer* phases) {
+    util::PhaseTimer* phases, graph::EdgeList* deferred_tree) {
   const std::size_t n = block_of_.size();
   const std::size_t d = inserted.size();
   const auto old_blocks = static_cast<NodeId>(num_blocks_);
@@ -295,9 +355,86 @@ bool ConnectivityOracle::apply_insertions(
   num_bridges_ = num_surviving;
   num_blocks_ = new_blocks;
   // cc_label_ is untouched: an intra-component delta cannot change
-  // connectivity. Rebuild only the (now smaller) block tree index.
-  index_block_tree(ctx, new_tree);
+  // connectivity. Rebuild only the (now smaller) block tree index — or, in
+  // a mixed batch, hand the tree to link_components() so the two replays
+  // share one reindex.
+  if (deferred_tree != nullptr) {
+    *deferred_tree = std::move(new_tree);
+  } else {
+    index_block_tree(ctx, new_tree);
+  }
   return true;
+}
+
+graph::EdgeList ConnectivityOracle::current_block_tree(
+    const device::Context& ctx) const {
+  graph::EdgeList tree;
+  tree.num_nodes = static_cast<NodeId>(num_blocks_ + 1);
+  tree.edges.resize(num_blocks_);
+  // One parent edge per block; root children point at the super-root, so
+  // the edge count is exactly num_blocks_.
+  const std::vector<NodeId>& parent = block_lca_->parents();
+  device::transform(ctx, num_blocks_, tree.edges.data(), [&](std::size_t b) {
+    return graph::Edge{static_cast<NodeId>(b), parent[b]};
+  });
+  return tree;
+}
+
+void ConnectivityOracle::link_components(
+    const device::Context& ctx, const std::vector<graph::Edge>& cross,
+    const std::unordered_map<NodeId, NodeId>& merged,
+    const graph::EdgeList& tree, util::PhaseTimer* phases) {
+  util::ScopedPhase phase(phases, "tree_link");
+  const std::size_t num_blocks = num_blocks_;
+  const auto super_root = static_cast<NodeId>(num_blocks);
+  assert(tree.edges.size() == num_blocks);
+
+  // The merged-away components' root-child blocks — one per cross edge. A
+  // component's root child is the block holding its representative (the
+  // virtual edges are built as (super_root, block_of[rep])); block_of_ is
+  // read here, after any same-batch contraction relabeled it, while the
+  // merged map's keys are component labels, which contraction never moves.
+  std::unordered_set<NodeId> loser_children;
+  for (const auto& entry : merged) {
+    loser_children.insert(block_of_[entry.first]);
+  }
+  assert(loser_children.size() == cross.size());
+
+  // The new block tree: every real bridge survives (no block merges here),
+  // the cross edges join as bridges between the linked trees, and the
+  // merged-away components' virtual-root edges are dropped — one per cross
+  // edge, keeping the edge count at exactly num_blocks.
+  std::vector<NodeId> kept(num_blocks);
+  const std::size_t k = device::copy_if_index(
+      ctx, num_blocks,
+      [&](std::size_t i) {
+        const graph::Edge e = tree.edges[i];
+        if (e.u != super_root && e.v != super_root) return true;
+        const NodeId child = e.u == super_root ? e.v : e.u;
+        return !loser_children.contains(child);
+      },
+      kept.data());
+  assert(k + cross.size() == num_blocks);
+
+  graph::EdgeList new_tree;
+  new_tree.num_nodes = static_cast<NodeId>(num_blocks + 1);
+  new_tree.edges.resize(num_blocks);
+  device::transform(ctx, k, new_tree.edges.data(),
+                    [&](std::size_t i) { return tree.edges[kept[i]]; });
+  for (std::size_t i = 0; i < cross.size(); ++i) {
+    new_tree.edges[k + i] = {block_of_[cross[i].u], block_of_[cross[i].v]};
+  }
+
+  // Relabel the merged components with one n-sized pass (read-only host map
+  // lookups race-free under the bulk kernel) and count the new bridges. The
+  // 2-ecc state — block_of_, block_size_, num_blocks_ — is untouched: a
+  // first edge between two components can never close a cycle.
+  device::launch(ctx, cc_label_.size(), [&](std::size_t v) {
+    const auto it = merged.find(cc_label_[v]);
+    if (it != merged.end()) cc_label_[v] = it->second;
+  });
+  num_bridges_ += cross.size();
+  index_block_tree(ctx, new_tree);
 }
 
 NodeId ConnectivityOracle::bridges_on_path(NodeId u, NodeId v) const {

@@ -44,11 +44,23 @@
 //      contracted bridges;
 //   4. rebuilds only the now-smaller block tree + its inlabel LCA.
 //
-// Everything else — deletions, oversized deltas, edges joining two
-// components, or a graph more than one batch ahead — falls back to the full
-// rebuild under the explicit cost rule in incremental_applies(). One more
-// guard engages mid-flight: the contraction's work is the total length of
-// the covered block-tree paths, which the delta size does not bound (one
+// An inserted edge whose endpoints lie in DIFFERENT components takes the
+// complementary fast path: it cannot merge any 2-edge-connected components
+// (every cycle through it would need a second connecting edge), it IS a new
+// bridge, and its only structural effect is linking two trees of the block
+// forest. refresh() therefore splits an insert-only delta into the
+// intra-component part (contracted as above) and the cross-component part,
+// which link_components() replays without touching the n-sized 2-ecc state:
+// merge the affected component labels (one n-sized relabel pass), append
+// one block-tree edge per inserted bridge, drop the merged-away components'
+// virtual-root edges, and rebuild only the block tree + inlabel LCA.
+//
+// Everything else — deletions, oversized deltas, a cycle-closing set of
+// cross-component edges within one batch (two deltas joining the same pair
+// of components), or a graph more than one batch ahead — falls back to the
+// full rebuild under the explicit cost rule in incremental_applies(). One
+// more guard engages mid-flight: the contraction's work is the total length
+// of the covered block-tree paths, which the delta size does not bound (one
 // edge can span a million-block chain), so after the bulk LCA answers the
 // path lengths are summed and an oversized total aborts into the rebuild —
 // see apply_insertions().
@@ -59,9 +71,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "bridges/bridges.hpp"
+#include "bridges/cc_spanning.hpp"
 #include "device/context.hpp"
 #include "dynamic/dynamic_graph.hpp"
 #include "lca/inlabel.hpp"
@@ -76,9 +91,55 @@ class ConnectivityOracle {
   /// (incremental or full rebuild), false if the (uid, epoch) check proved
   /// the index is already current for this exact graph instance. Phases
   /// (when collected): components, bridge_mask, two_ecc, block_tree for the
-  /// full rebuild; lca_paths, contract, block_tree for the incremental path.
+  /// full rebuild; lca_paths, contract, block_tree, tree_link for the
+  /// incremental paths. `bridge_mask` and `cc`, when provided, must belong
+  /// to the graph's CURRENT snapshot (engine artifact reuse: the per-edge
+  /// bridge verdict and the connected-components spanning forest); both are
+  /// consumed only if the full-rebuild path runs.
   bool refresh(const device::Context& ctx, const DynamicGraph& graph,
-               util::PhaseTimer* phases = nullptr);
+               util::PhaseTimer* phases = nullptr,
+               const bridges::BridgeMask* bridge_mask = nullptr,
+               const bridges::SpanningForest* cc = nullptr);
+
+  /// Builds the index from an immutable snapshot with the full pipeline,
+  /// unconditionally — the engine's static-graph entry (the caller owns
+  /// change detection; epoch-keying lives in its artifact cache). Severs any
+  /// (uid, epoch) binding to a DynamicGraph and counts as a rebuild.
+  /// `bridge_mask`, when provided, must align with `snapshot.edges` (any
+  /// backend — they all agree) and lets the rebuild skip its own
+  /// Tarjan-Vishkin mask phase; `cc`, when provided, must be the spanning
+  /// forest of `snapshot` and spares the rebuild its components phase the
+  /// same way — so a session that already answered a Bridges request pays
+  /// only the marginal 2-ecc work.
+  void build(const device::Context& ctx, const graph::EdgeList& snapshot,
+             const bridges::BridgeMask* bridge_mask = nullptr,
+             const bridges::SpanningForest* cc = nullptr,
+             util::PhaseTimer* phases = nullptr);
+
+  /// True iff a refresh() against `graph` right now would run the full
+  /// rebuild pipeline — neither the (uid, epoch) skip nor the incremental
+  /// candidacy checks hold. Cheap host checks only: a candidate delta can
+  /// still fall back to the rebuild mid-flight (cycle-closing cross edges,
+  /// oversized covered paths), so a false here is a strong hint, not a
+  /// promise. The engine uses it to decide whether a policy-chosen mask is
+  /// worth computing up front.
+  bool refresh_needs_rebuild(const DynamicGraph& graph) const {
+    if (built_uid_ == graph.uid() && built_epoch_ == graph.epoch()) {
+      return false;  // refresh would skip entirely
+    }
+    return !incremental_candidate(graph);
+  }
+
+  /// Severs the (uid, epoch) binding so the next refresh() can take neither
+  /// the skip nor the incremental path — it must run the full pipeline. The
+  /// engine's drop_artifacts/drop_results hooks call this so "the next
+  /// request rebuilds" holds for dynamic sessions too (their refresh would
+  /// otherwise no-op on the unchanged epoch). The index stays queryable.
+  void invalidate() {
+    built_uid_ = 0;
+    built_epoch_ = kNeverBuilt;
+    built_edges_ = 0;
+  }
 
   /// The size half of the incremental decision rule: an insert-only delta
   /// qualifies iff it is small relative to the INDEXED snapshot —
@@ -86,8 +147,8 @@ class ConnectivityOracle {
   /// and erased == 0. (The floor keeps small graphs on the incremental path;
   /// the ratio bounds the worst case where contraction relabels would not
   /// beat the full pipeline.) The remaining conditions — index exactly one
-  /// batch behind, every inserted edge within one connected component — are
-  /// checked against live state by refresh().
+  /// batch behind, and no cycle-closing set of cross-component edges within
+  /// the batch — are checked against live state by refresh().
   static bool incremental_applies(std::size_t inserted, std::size_t erased,
                                   std::size_t indexed_edges) {
     return erased == 0 && inserted > 0 &&
@@ -104,10 +165,23 @@ class ConnectivityOracle {
   std::size_t refreshes_skipped() const { return refreshes_skipped_; }
   /// Refreshes served by the incremental (delta-replay) path.
   std::size_t incremental_refreshes() const { return incremental_refreshes_; }
+  /// Incremental refreshes whose delta included cross-component edges,
+  /// served by the tree-link path (a subset of incremental_refreshes()).
+  std::size_t tree_links() const { return tree_links_; }
 
   std::size_t num_bridges() const { return num_bridges_; }
   /// Number of 2-edge-connected components (blocks).
   std::size_t num_blocks() const { return num_blocks_; }
+
+  /// Per-node compact 2-ecc block id in [0, num_blocks) — u and v share a
+  /// block iff same_2ecc(u, v). This is the label array the engine serves
+  /// as its TwoEcc artifact (the oracle IS the cache's 2-ecc index, not a
+  /// parallel universe).
+  const std::vector<NodeId>& block_labels() const { return block_of_; }
+  /// Nodes per block, indexed by block id.
+  const std::vector<NodeId>& block_sizes() const { return block_size_; }
+  /// Per-node connected-component representative of the indexed snapshot.
+  const std::vector<NodeId>& component_labels() const { return cc_label_; }
 
   // Query precondition (all forms below): refresh() must have run against
   // the queried graph, and node ids must be < that snapshot's num_nodes —
@@ -142,8 +216,23 @@ class ConnectivityOracle {
                             std::vector<NodeId>& answers) const;
 
  private:
+  /// The stateful half of the incremental decision rule (shared by
+  /// refresh() and refresh_needs_rebuild()): the index is exactly the one
+  /// effective batch whose delta the graph still holds behind the current
+  /// epoch, and the delta passes incremental_applies().
+  bool incremental_candidate(const DynamicGraph& graph) const {
+    const UpdateDelta& delta = graph.last_delta();
+    return built_uid_ == graph.uid() && built_epoch_ != kNeverBuilt &&
+           graph.epoch() == built_epoch_ + 1 &&
+           delta.from_epoch == built_epoch_ &&
+           incremental_applies(delta.inserted.size(), delta.erased.size(),
+                               built_edges_);
+  }
+
   void rebuild(const device::Context& ctx, const graph::EdgeList& snapshot,
-               util::PhaseTimer* phases);
+               util::PhaseTimer* phases,
+               const bridges::BridgeMask* bridge_mask = nullptr,
+               const bridges::SpanningForest* cc = nullptr);
 
   /// Replays an insert-only, intra-component delta onto the current index.
   /// Precondition: incremental_applies() held and every edge's endpoints
@@ -152,9 +241,32 @@ class ConnectivityOracle {
   /// summed block-tree path length of the delta exceeds
   /// max(kIncrementalFloor, num_blocks / kIncrementalRatio), in which case
   /// the contraction walk would not beat the full pipeline.
+  /// With `deferred_tree` set, the contracted block tree is handed back
+  /// un-indexed instead of running index_block_tree — the mixed-batch path
+  /// splices the cross-component bridges into it first so both replays
+  /// share one reindex.
   bool apply_insertions(const device::Context& ctx,
                         const std::vector<graph::Edge>& inserted,
-                        util::PhaseTimer* phases);
+                        util::PhaseTimer* phases,
+                        graph::EdgeList* deferred_tree = nullptr);
+
+  /// Replays cross-component insertions onto the current index: each edge
+  /// becomes a new bridge linking two trees of the block forest, so no
+  /// 2-ecc state changes — apply `merged` (refresh's fully resolved
+  /// loser-label -> winner-label partition of the cross edges, min label
+  /// winning so the result matches a fresh CC labeling) to the component
+  /// labels in one n-sized pass, splice the new bridges into `tree` (the
+  /// current block forest, either current_block_tree() or
+  /// apply_insertions' deferred output) in place of the merged-away
+  /// components' virtual-root edges, and reindex once.
+  void link_components(const device::Context& ctx,
+                       const std::vector<graph::Edge>& cross,
+                       const std::unordered_map<NodeId, NodeId>& merged,
+                       const graph::EdgeList& tree, util::PhaseTimer* phases);
+
+  /// The indexed block forest as an edge list (one parent edge per block,
+  /// root children attached to the virtual super-root, node id num_blocks).
+  graph::EdgeList current_block_tree(const device::Context& ctx) const;
 
   /// Shared tail of both paths: roots the block forest (+ virtual
   /// super-root, node id num_blocks) and builds the inlabel LCA over it.
@@ -172,6 +284,7 @@ class ConnectivityOracle {
   std::size_t rebuilds_ = 0;
   std::size_t refreshes_skipped_ = 0;
   std::size_t incremental_refreshes_ = 0;
+  std::size_t tree_links_ = 0;
 
   std::size_t num_bridges_ = 0;
   std::size_t num_blocks_ = 0;

@@ -1,0 +1,435 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bridges/chaitanya_kothapalli.hpp"
+#include "bridges/dfs_bridges.hpp"
+#include "bridges/hybrid.hpp"
+#include "bridges/tarjan_vishkin.hpp"
+#include "core/euler_tour.hpp"
+#include "core/tree.hpp"
+#include "device/primitives.hpp"
+
+namespace emc::engine {
+
+Engine::Engine(const EngineOptions& options)
+    : options_(options),
+      device_(options.device_workers == 0
+                  ? device::Context::device()
+                  : device::Context(options.device_workers,
+                                    device::Context::device_launch_overhead())),
+      multicore_(options.multicore_workers == 0
+                     ? device::Context(std::max(2u, device_.workers() / 2))
+                     : device::Context(options.multicore_workers)) {}
+
+Session Engine::session(GraphRef graph) {
+  ++stats_.sessions;
+  return Session(*this, graph);
+}
+
+// ----------------------------------------------------------- cache plumbing
+
+void Session::sync_epoch() {
+  const std::uint64_t epoch = graph_.epoch();
+  if (cache_.epoch == epoch) return;
+  cache_.epoch = epoch;
+  cache_.csr.reset();
+  cache_.forest.reset();
+  cache_.stitched.reset();
+  cache_.stitched_csr.reset();
+  cache_.mask.reset();
+  cache_.mask_backend = Backend::kAuto;
+  cache_.oracle_current = false;  // the oracle object itself survives: its
+                                  // refresh() replays dynamic deltas
+  cache_.forest_lca.reset();
+  // The diameter hint is sticky by design (see diameter_estimate()).
+}
+
+void Session::drop_artifacts() {
+  cache_.epoch = Cache::kNone;
+  sync_epoch();  // resets every epoch-keyed artifact
+  cache_.epoch = Cache::kNone;
+  // A dynamic graph's oracle would otherwise see an unchanged (uid, epoch)
+  // and no-op its refresh — sever the binding so the rebuild is real.
+  cache_.oracle.invalidate();
+}
+
+void Session::drop_results() {
+  cache_.mask.reset();
+  cache_.mask_backend = Backend::kAuto;
+  cache_.oracle_current = false;
+  cache_.oracle.invalidate();  // see drop_artifacts()
+  cache_.forest_lca.reset();
+}
+
+bool Session::track(bool built) {
+  if (built) {
+    ++engine_->stats_.artifact_builds;
+  } else {
+    ++engine_->stats_.artifact_hits;
+  }
+  return built;
+}
+
+const graph::Csr& Session::csr() {
+  sync_epoch();
+  if (graph_.is_dynamic()) {
+    // The DCSR caches its own per-epoch CSR; delegating keeps it zero-copy.
+    track(!graph_.dynamic_graph()->csr_snapshot_ready());
+    return graph_.dynamic_graph()->snapshot_csr(engine_->device_);
+  }
+  track(!cache_.csr);
+  if (!cache_.csr) {
+    cache_.csr = graph::build_csr(engine_->device_, graph_.edges(engine_->device_));
+  }
+  return *cache_.csr;
+}
+
+const bridges::SpanningForest& Session::forest() {
+  sync_epoch();
+  track(!cache_.forest);
+  if (!cache_.forest) {
+    cache_.forest = bridges::cc_spanning_forest(engine_->device_,
+                                                graph_.edges(engine_->device_));
+  }
+  return *cache_.forest;
+}
+
+std::size_t Session::num_components() { return forest().num_components; }
+
+const graph::EdgeList& Session::stitched() {
+  sync_epoch();
+  track(!cache_.stitched);
+  if (!cache_.stitched) {
+    const device::Context& ctx = engine_->device_;
+    const graph::EdgeList& g = graph_.edges(ctx);
+    cache_.stitched = bridges::stitch_components(
+        g, bridges::component_representatives(ctx, forest()));
+  }
+  return *cache_.stitched;
+}
+
+const graph::Csr& Session::stitched_csr() {
+  sync_epoch();
+  track(!cache_.stitched_csr);
+  if (!cache_.stitched_csr) {
+    cache_.stitched_csr = graph::build_csr(engine_->device_, stitched());
+  }
+  return *cache_.stitched_csr;
+}
+
+NodeId Session::diameter_estimate() {
+  sync_epoch();
+  if (graph_.num_nodes() == 0) return 0;
+  const std::size_t m = graph_.num_edges();
+  const std::size_t m0 = cache_.diameter_at_m;
+  const std::size_t drift = m > m0 ? m - m0 : m0 - m;
+  // Edge-count drift misses structural change at constant m (balanced
+  // insert/erase batches can collapse a road diameter without moving m),
+  // so the hint also expires after a fixed number of effective update
+  // batches — amortizing the two BFS sweeps to a sliver of steady-state
+  // serving while bounding how stale the policy's key input can get.
+  const bool stale =
+      cache_.diameter == kNoNode ||
+      drift * 4 > std::max<std::size_t>(m0, 1) ||
+      graph_.epoch() - cache_.diameter_at_epoch >= Cache::kDiameterMaxAge;
+  track(stale);
+  if (stale) {
+    cache_.diameter = graph::estimate_diameter(csr(), /*sweeps=*/2);
+    cache_.diameter_at_m = m;
+    cache_.diameter_at_epoch = graph_.epoch();
+  }
+  return cache_.diameter;
+}
+
+PlanInputs Session::machine_inputs() const {
+  PlanInputs inputs;
+  inputs.n = graph_.num_nodes();
+  inputs.m = graph_.num_edges();
+  inputs.device_workers = engine_->device_.workers();
+  inputs.multicore_workers = engine_->multicore_.workers();
+  inputs.launch_overhead = engine_->device_.launch_overhead();
+  return inputs;
+}
+
+PlanInputs Session::plan_inputs() {
+  PlanInputs inputs = machine_inputs();
+  inputs.diameter = diameter_estimate();
+  return inputs;
+}
+
+// -------------------------------------------------------------- artifacts
+
+const bridges::BridgeMask& Session::mask_artifact(const Policy& policy,
+                                                  util::PhaseTimer* phases) {
+  sync_epoch();
+  // A cached mask is reusable unless the request FORCES a backend other
+  // than the one that computed it (forcing is the point in benches/tests).
+  if (cache_.mask && (policy.backend == Backend::kAuto ||
+                      policy.backend == cache_.mask_backend)) {
+    track(false);
+    return *cache_.mask;
+  }
+  const device::Context& device = engine_->device_;
+  const graph::EdgeList& g = graph_.edges(device);
+  const std::size_t m = g.edges.size();
+  bridges::BridgeMask mask(m, 0);
+  Backend backend = policy.backend;
+  if (m == 0) {
+    if (backend == Backend::kAuto) backend = Backend::kDfs;
+  } else {
+    if (backend == Backend::kAuto) backend = policy.choose(plan_inputs());
+    if (backend == Backend::kDfs) {
+      mask = bridges::find_bridges_dfs(csr());
+    } else {
+      // The parallel backends require a connected input; a disconnected
+      // graph runs through the stitched augmentation and slices back.
+      const bool connected = forest().num_components <= 1;
+      const graph::EdgeList& target = connected ? g : stitched();
+      switch (backend) {
+        case Backend::kCkMulticore:
+          mask = bridges::find_bridges_ck(engine_->multicore_, target,
+                                          connected ? csr() : stitched_csr(),
+                                          phases);
+          break;
+        case Backend::kCk:
+          mask = bridges::find_bridges_ck(
+              device, target, connected ? csr() : stitched_csr(), phases);
+          break;
+        case Backend::kTv:
+          mask = bridges::find_bridges_tarjan_vishkin(device, target, phases);
+          break;
+        case Backend::kHybrid:
+          mask = bridges::find_bridges_hybrid(device, target, phases);
+          break;
+        case Backend::kDfs:
+        case Backend::kAuto:
+          assert(false);
+          break;
+      }
+      mask.resize(m);  // drop the virtual stitch edges' verdicts
+    }
+    // Inside the m > 0 branch: the edgeless early path runs no backend, so
+    // it must not count as one.
+    ++engine_->stats_.backend_runs[backend_index(backend)];
+  }
+  track(true);
+  cache_.mask = std::move(mask);
+  cache_.mask_backend = backend;
+  return *cache_.mask;
+}
+
+const dynamic::ConnectivityOracle& Session::oracle_artifact(
+    const Policy& policy) {
+  sync_epoch();
+  track(!(cache_.oracle_current));
+  if (!cache_.oracle_current) {
+    const bridges::BridgeMask* mask =
+        cache_.mask ? &*cache_.mask : nullptr;
+    // A forced backend follows the same rule as a forced Bridges request:
+    // a cached mask from a DIFFERENT backend does not satisfy it.
+    const bool needs_forced_mask =
+        policy.backend != Backend::kAuto &&
+        (mask == nullptr || cache_.mask_backend != policy.backend);
+    if (graph_.is_dynamic()) {
+      // An explicit backend override is honored by computing this epoch's
+      // mask artifact with it and handing it down (it stays cached for
+      // later Bridges requests) — but only when refresh() would actually
+      // run the full rebuild: eagerly building a mask the incremental
+      // replay then discards would turn every small-delta serving step
+      // into a full mask computation. kAuto always stays lazy, and a
+      // candidate delta that still aborts into the rebuild mid-flight
+      // just runs the oracle's own TV mask phase.
+      if (needs_forced_mask &&
+          cache_.oracle.refresh_needs_rebuild(*graph_.dynamic_graph())) {
+        mask = &mask_artifact(policy, nullptr);
+      }
+      // refresh() replays deltas incrementally when it can; this epoch's
+      // cached mask and forest (only if already built — forcing either
+      // would defeat the incremental path) spare the full rebuild those
+      // phases.
+      cache_.oracle.refresh(engine_->device_, *graph_.dynamic_graph(),
+                            nullptr, mask,
+                            cache_.forest ? &*cache_.forest : nullptr);
+    } else {
+      // Static: the mask is the policy-chosen artifact — ensure it exists
+      // (recomputing a forced-backend mismatch, like a Bridges request
+      // would), and hand the cached spanning forest down with it, so the
+      // 2-ecc index pays only the marginal work on top of both.
+      if (mask == nullptr || needs_forced_mask) {
+        mask = &mask_artifact(policy, nullptr);
+      }
+      cache_.oracle.build(engine_->device_, graph_.edges(engine_->device_),
+                          mask, &forest());
+    }
+    cache_.oracle_current = true;
+  }
+  return cache_.oracle;
+}
+
+const lca::InlabelLca& Session::forest_lca_artifact() {
+  sync_epoch();
+  track(!cache_.forest_lca);
+  if (!cache_.forest_lca) {
+    const device::Context& ctx = engine_->device_;
+    const graph::EdgeList& g = graph_.edges(ctx);
+    const bridges::SpanningForest& f = forest();
+    const auto n = static_cast<std::size_t>(g.num_nodes);
+    const auto virtual_root = static_cast<NodeId>(n);
+    // Stitch the spanning forest into one tree below a virtual root (one
+    // edge per component representative), root it with the Euler tour
+    // technique, and index it with the Schieber-Vishkin inlabel LCA.
+    graph::EdgeList tree;
+    tree.num_nodes = static_cast<NodeId>(n + 1);
+    const std::size_t t = f.tree_edges.size();
+    const std::vector<NodeId> reps = bridges::component_representatives(ctx, f);
+    const std::size_t k = reps.size();
+    tree.edges.resize(t + k);
+    device::transform(ctx, t, tree.edges.data(), [&](std::size_t i) {
+      return g.edges[f.tree_edges[i]];
+    });
+    device::transform(ctx, k, tree.edges.data() + t, [&](std::size_t r) {
+      return graph::Edge{virtual_root, reps[r]};
+    });
+    std::vector<NodeId> parent, level;
+    core::root_tree(ctx, tree, virtual_root, parent, level);
+    const core::ParentTree ptree{virtual_root, std::move(parent)};
+    cache_.forest_lca = lca::InlabelLca::build_parallel(ctx, ptree);
+  }
+  return *cache_.forest_lca;
+}
+
+// --------------------------------------------------------------- requests
+
+const bridges::BridgeMask& Session::run(const Bridges& request) {
+  return run(request, engine_->default_policy());
+}
+
+const bridges::BridgeMask& Session::run(const Bridges& request,
+                                        const Policy& policy) {
+  ++engine_->stats_.requests;
+  return mask_artifact(policy, request.phases);
+}
+
+TwoEccView Session::run(const TwoEcc& request) {
+  return run(request, engine_->default_policy());
+}
+
+TwoEccView Session::run(const TwoEcc&, const Policy& policy) {
+  ++engine_->stats_.requests;
+  const dynamic::ConnectivityOracle& oracle = oracle_artifact(policy);
+  return {&oracle.block_labels(), oracle.num_blocks(), oracle.num_bridges()};
+}
+
+std::vector<std::uint8_t> Session::run(const Same2Ecc& request) {
+  return run(request, engine_->default_policy());
+}
+
+std::vector<std::uint8_t> Session::run(const Same2Ecc& request,
+                                       const Policy& policy) {
+  ++engine_->stats_.requests;
+  const dynamic::ConnectivityOracle& oracle = oracle_artifact(policy);
+  std::vector<std::uint8_t> answers;
+  if (policy.use_device_batch(request.pairs.size(), machine_inputs())) {
+    ++engine_->stats_.device_query_batches;
+    oracle.same_2ecc_batch(engine_->device_, request.pairs, answers);
+  } else {
+    ++engine_->stats_.host_query_batches;
+    answers.resize(request.pairs.size());
+    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+      answers[q] = static_cast<std::uint8_t>(
+          oracle.same_2ecc(request.pairs[q].first, request.pairs[q].second));
+    }
+  }
+  return answers;
+}
+
+std::vector<NodeId> Session::run(const BridgesOnPath& request) {
+  return run(request, engine_->default_policy());
+}
+
+std::vector<NodeId> Session::run(const BridgesOnPath& request,
+                                 const Policy& policy) {
+  ++engine_->stats_.requests;
+  const dynamic::ConnectivityOracle& oracle = oracle_artifact(policy);
+  std::vector<NodeId> answers;
+  if (policy.use_device_batch(request.pairs.size(), machine_inputs())) {
+    ++engine_->stats_.device_query_batches;
+    oracle.bridges_on_path_batch(engine_->device_, request.pairs, answers);
+  } else {
+    ++engine_->stats_.host_query_batches;
+    answers.resize(request.pairs.size());
+    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+      answers[q] =
+          oracle.bridges_on_path(request.pairs[q].first, request.pairs[q].second);
+    }
+  }
+  return answers;
+}
+
+std::vector<NodeId> Session::run(const ComponentSize& request) {
+  return run(request, engine_->default_policy());
+}
+
+std::vector<NodeId> Session::run(const ComponentSize& request,
+                                 const Policy& policy) {
+  ++engine_->stats_.requests;
+  const dynamic::ConnectivityOracle& oracle = oracle_artifact(policy);
+  std::vector<NodeId> answers;
+  if (policy.use_device_batch(request.nodes.size(), machine_inputs())) {
+    ++engine_->stats_.device_query_batches;
+    oracle.component_size_batch(engine_->device_, request.nodes, answers);
+  } else {
+    ++engine_->stats_.host_query_batches;
+    answers.resize(request.nodes.size());
+    for (std::size_t q = 0; q < request.nodes.size(); ++q) {
+      answers[q] = oracle.component_size(request.nodes[q]);
+    }
+  }
+  return answers;
+}
+
+std::vector<NodeId> Session::run(const LcaBatch& request) {
+  return run(request, engine_->default_policy());
+}
+
+std::vector<NodeId> Session::run(const LcaBatch& request,
+                                 const Policy& policy) {
+  ++engine_->stats_.requests;
+  const lca::InlabelLca& lca = forest_lca_artifact();
+  const auto virtual_root = static_cast<NodeId>(graph_.num_nodes());
+  std::vector<NodeId> answers;
+  if (policy.use_device_batch(request.pairs.size(), machine_inputs())) {
+    ++engine_->stats_.device_query_batches;
+    lca.query_batch(engine_->device_, request.pairs, answers);
+  } else {
+    ++engine_->stats_.host_query_batches;
+    answers.resize(request.pairs.size());
+    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+      answers[q] = lca.query(request.pairs[q].first, request.pairs[q].second);
+    }
+  }
+  // Meeting at the virtual root means "different components".
+  for (NodeId& a : answers) {
+    if (a == virtual_root) a = kNoNode;
+  }
+  return answers;
+}
+
+Plan Session::plan(const Bridges& request) {
+  return plan(request, engine_->default_policy());
+}
+
+Plan Session::plan(const Bridges&, const Policy& policy) {
+  Plan result;
+  result.inputs = plan_inputs();
+  for (std::size_t i = 0; i < kNumBackends; ++i) {
+    result.predicted_seconds[i] =
+        policy.model.seconds(kFixedBackends[i], result.inputs);
+  }
+  result.chosen = policy.choose(result.inputs);
+  return result;
+}
+
+}  // namespace emc::engine

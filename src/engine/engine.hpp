@@ -1,0 +1,334 @@
+// emc::engine — the one Graph/Session façade over the whole library.
+//
+// Everything below src/engine is a zoo of free functions with inconsistent
+// signatures (find_bridges_dfs(Csr), find_bridges_ck(ctx, EdgeList, Csr),
+// ConnectivityOracle with its own lifecycle); every bench/example used to
+// re-wire that pipeline by hand, and nothing above the oracle reused
+// derived artifacts. The engine replaces that with three nouns:
+//
+//   Engine  — owns the execution contexts (device and multicore; the
+//             paper's third machine model, one sequential core, is the
+//             calling thread itself — DFS runs on it directly), the default
+//             Policy, and aggregate stats. One per process is the intended
+//             shape.
+//   GraphRef — one non-owning handle over both input kinds: a static
+//             graph::EdgeList or a live dynamic::DynamicGraph. Static and
+//             dynamic inputs are served by IDENTICAL code paths; the only
+//             difference is where the epoch comes from (a DynamicGraph
+//             advances it per effective update batch, a static graph is
+//             forever at epoch 0).
+//   Session — a GraphRef plus an epoch-keyed ArtifactCache. Requests are
+//             typed batches (Bridges, TwoEcc, Same2Ecc, BridgesOnPath,
+//             ComponentSize, LcaBatch); each is answered with the existing
+//             bulk kernels, a Policy picks the backend per request
+//             (explicit override or the calibrated cost model —
+//             policy.hpp), and every derived artifact (Csr, spanning
+//             forest, stitched augmentation, bridge mask, 2-ecc index,
+//             forest LCA) is cached under the graph epoch so repeated and
+//             mixed request batches pay only the marginal work.
+//
+// The ArtifactCache's 2-ecc artifact IS a dynamic::ConnectivityOracle —
+// not a parallel universe: for dynamic graphs refresh() replays deltas
+// incrementally, for static graphs build() runs the full pipeline once,
+// and in both cases a bridge mask the session already computed is handed
+// down so the oracle skips its own mask phase.
+//
+// Disconnected inputs are handled uniformly (the free-function backends
+// except DFS require connected graphs): the cache keeps a "stitched"
+// augmentation — one virtual edge from the first component representative
+// to each other representative, which can never change the bridgeness of a
+// real edge — runs the backend on it, and slices the mask back.
+//
+// Lifetimes: the Engine must outlive its Sessions; a Session must not
+// outlive its graph. A static EdgeList must not be mutated while a Session
+// is bound to it (the epoch key cannot see such edits); a DynamicGraph may
+// be updated freely between requests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bridges/bridges.hpp"
+#include "bridges/cc_spanning.hpp"
+#include "device/context.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/oracle.hpp"
+#include "engine/policy.hpp"
+#include "graph/graph.hpp"
+#include "lca/inlabel.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace emc::engine {
+
+class Engine;
+class Session;
+
+// ------------------------------------------------------------- requests
+//
+// A request is a plain struct naming the question plus its batch payload;
+// Session::run overloads on the request type and returns the typed answer.
+// Batched requests are answered by ONE bulk kernel (or a host loop when
+// the policy says the batch is too small to pay a launch — Figure 6).
+
+/// Per-edge bridge verdict for the whole graph, EdgeList order. The answer
+/// is cached per epoch: a second run on an unchanged epoch is free — and
+/// `phases` is then left untouched (nothing ran, nothing to time); call
+/// drop_results() first when timing the computation itself.
+struct Bridges {
+  util::PhaseTimer* phases = nullptr;  // optional per-phase breakdown
+};
+
+/// 2-edge-connected components of the whole graph.
+struct TwoEcc {};
+
+/// For each pair: do two edge-disjoint paths connect them?
+struct Same2Ecc {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+/// For each pair: number of bridges on the connecting path (kNoNode if in
+/// different components).
+struct BridgesOnPath {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+/// For each node: size of its 2-edge-connected component.
+struct ComponentSize {
+  std::vector<NodeId> nodes;
+};
+
+/// For each pair: lowest common ancestor on the session's cached rooted
+/// spanning forest (each component rooted at its representative; kNoNode
+/// for pairs in different components). The forest and its inlabel index
+/// are artifacts — built once per epoch via the Euler tour technique.
+struct LcaBatch {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+/// Answer view for TwoEcc: compact per-node block ids served straight from
+/// the cached 2-ecc index (valid until the session's next refresh/drop).
+struct TwoEccView {
+  const std::vector<NodeId>* labels = nullptr;  // block id per node
+  std::size_t num_blocks = 0;
+  std::size_t num_bridges = 0;
+};
+
+// ------------------------------------------------------------- GraphRef
+
+/// Non-owning handle over either graph kind. Constructed implicitly, so
+/// engine.session(my_edge_list) and engine.session(my_dynamic_graph) both
+/// read naturally.
+class GraphRef {
+ public:
+  /* implicit */ GraphRef(const graph::EdgeList& graph) : static_(&graph) {}
+  /* implicit */ GraphRef(const dynamic::DynamicGraph& graph)
+      : dynamic_(&graph) {}
+  // Non-owning: binding a temporary (eng.session(make_graph())) would
+  // dangle the moment the full expression ends — make it a compile error.
+  GraphRef(const graph::EdgeList&&) = delete;
+  GraphRef(const dynamic::DynamicGraph&&) = delete;
+
+  bool is_dynamic() const { return dynamic_ != nullptr; }
+  NodeId num_nodes() const {
+    return dynamic_ != nullptr ? dynamic_->num_nodes() : static_->num_nodes;
+  }
+  std::size_t num_edges() const {
+    return dynamic_ != nullptr ? dynamic_->num_edges() : static_->num_edges();
+  }
+  /// The artifact-cache key: a static graph is immutable (epoch 0 forever),
+  /// a dynamic graph advances per effective update batch.
+  std::uint64_t epoch() const {
+    return dynamic_ != nullptr ? dynamic_->epoch() : 0;
+  }
+  const graph::EdgeList& edges(const device::Context& ctx) const {
+    return dynamic_ != nullptr ? dynamic_->snapshot(ctx) : *static_;
+  }
+  const dynamic::DynamicGraph* dynamic_graph() const { return dynamic_; }
+
+ private:
+  const graph::EdgeList* static_ = nullptr;
+  const dynamic::DynamicGraph* dynamic_ = nullptr;
+};
+
+// -------------------------------------------------------------- Engine
+
+/// Aggregate counters across all of an engine's sessions.
+struct EngineStats {
+  std::size_t sessions = 0;
+  std::size_t requests = 0;
+  /// Artifact-cache outcomes: builds ran kernels, hits were free.
+  std::size_t artifact_builds = 0;
+  std::size_t artifact_hits = 0;
+  /// Bridge-mask computations per backend, kFixedBackends order.
+  std::array<std::size_t, kNumBackends> backend_runs{};
+  /// Query batches answered by one device kernel vs a host loop.
+  std::size_t device_query_batches = 0;
+  std::size_t host_query_batches = 0;
+};
+
+struct EngineOptions {
+  /// Workers for the device context (0 = EMC_WORKERS / hardware width).
+  unsigned device_workers = 0;
+  /// Workers for the multicore context (0 = half the device width, >= 2 —
+  /// the paper's mid-tier baseline).
+  unsigned multicore_workers = 0;
+  /// Default policy for sessions; per-request overrides win.
+  Policy policy{};
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Binds a session to a graph. The engine and the graph must outlive it.
+  Session session(GraphRef graph);
+
+  const device::Context& device() const { return device_; }
+  const device::Context& multicore() const { return multicore_; }
+
+  const Policy& default_policy() const { return options_.policy; }
+  const EngineStats& stats() const { return stats_; }
+  /// Kernel launches issued on the device context so far (the currency the
+  /// cache-reuse tests pin).
+  std::uint64_t device_launches() const { return device_.launch_count(); }
+
+ private:
+  friend class Session;
+  EngineOptions options_;
+  device::Context device_;
+  device::Context multicore_;
+  EngineStats stats_;
+};
+
+// ------------------------------------------------------------- Session
+
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  // --- typed request batches (overload per request; the second form
+  //     overrides the engine's default policy for this request only)
+  //
+  // run(Bridges) returns a reference into the artifact cache: it stays
+  // valid until the next request that recomputes the mask (an epoch
+  // change, drop_results/drop_artifacts, or a forced backend different
+  // from the one that produced it). Copy the mask to keep it across such
+  // calls.
+  const bridges::BridgeMask& run(const Bridges& request);
+  const bridges::BridgeMask& run(const Bridges& request, const Policy& policy);
+  TwoEccView run(const TwoEcc& request);
+  TwoEccView run(const TwoEcc& request, const Policy& policy);
+  std::vector<std::uint8_t> run(const Same2Ecc& request);
+  std::vector<std::uint8_t> run(const Same2Ecc& request, const Policy& policy);
+  std::vector<NodeId> run(const BridgesOnPath& request);
+  std::vector<NodeId> run(const BridgesOnPath& request, const Policy& policy);
+  std::vector<NodeId> run(const ComponentSize& request);
+  std::vector<NodeId> run(const ComponentSize& request, const Policy& policy);
+  std::vector<NodeId> run(const LcaBatch& request);
+  std::vector<NodeId> run(const LcaBatch& request, const Policy& policy);
+
+  /// The decision a Bridges request would take, without running it: chosen
+  /// backend plus the model's per-backend predictions. Builds the cheap
+  /// inputs (Csr, diameter estimate) if missing.
+  Plan plan(const Bridges& request);
+  Plan plan(const Bridges& request, const Policy& policy);
+
+  // --- artifacts and instance statistics
+  const graph::Csr& csr();
+  /// Double-sweep BFS diameter lower bound. Sticky across epochs: an
+  /// estimate survives small edge-count drift (|m - m_at_estimate| <= 25%)
+  /// for up to Cache::kDiameterMaxAge effective update batches, so
+  /// steady-state dynamic serving does not re-pay the sweeps while the
+  /// policy's key input cannot go arbitrarily stale at constant m.
+  NodeId diameter_estimate();
+  /// The session's 2-ecc index object — a pure stats reader (rebuilds,
+  /// incremental refreshes, tree-links, block counts). It does NOT refresh:
+  /// it may lag the graph until the next 2-ecc request runs. Queries go
+  /// through run().
+  const dynamic::ConnectivityOracle& two_ecc_index() const {
+    return cache_.oracle;
+  }
+  std::size_t num_components();
+
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+  std::size_t num_edges() const { return graph_.num_edges(); }
+  std::uint64_t epoch() const { return graph_.epoch(); }
+  /// The backend that served the most recent bridge-mask computation
+  /// (after kAuto resolution); kAuto if none ran yet this epoch.
+  Backend mask_backend() const { return cache_.mask_backend; }
+
+  /// Drops every cached artifact (benchmark / memory-pressure hook) except
+  /// the sticky diameter hint. The next request rebuilds from scratch.
+  void drop_artifacts();
+
+  /// Drops only the ANSWER artifacts (bridge mask, 2-ecc index, forest
+  /// LCA), keeping the input-preparation ones (Csr, spanning forest,
+  /// stitched augmentation, diameter hint). The benchmark hook for timing
+  /// the per-request algorithm cost the way the paper's figures do — input
+  /// prep outside the timer, algorithm inside.
+  void drop_results();
+
+ private:
+  friend class Engine;
+  Session(Engine& engine, GraphRef graph) : engine_(&engine), graph_(graph) {}
+
+  struct Cache {
+    static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+    std::uint64_t epoch = kNone;  // epoch the artifacts below belong to
+    std::optional<graph::Csr> csr;  // static graphs only; dynamic ones
+                                    // delegate to the DCSR's own snapshot
+    std::optional<bridges::SpanningForest> forest;
+    std::optional<graph::EdgeList> stitched;  // connected augmentation
+    std::optional<graph::Csr> stitched_csr;
+    std::optional<bridges::BridgeMask> mask;
+    Backend mask_backend = Backend::kAuto;
+    bool oracle_current = false;
+    dynamic::ConnectivityOracle oracle;  // persists across epochs: dynamic
+                                         // refreshes replay deltas
+    std::optional<lca::InlabelLca> forest_lca;
+    // Sticky diameter hint (see diameter_estimate()).
+    static constexpr std::uint64_t kDiameterMaxAge = 16;  // effective batches
+    NodeId diameter = kNoNode;
+    std::size_t diameter_at_m = 0;
+    std::uint64_t diameter_at_epoch = 0;
+  };
+
+  /// Epoch fence: every request passes through here first; a changed epoch
+  /// invalidates the epoch-keyed artifacts (the oracle object survives so
+  /// dynamic refreshes can take the incremental paths).
+  void sync_epoch();
+  const bridges::SpanningForest& forest();
+  /// Connected augmentation of a disconnected graph: one virtual edge from
+  /// the first component representative to each other representative (can
+  /// never change a real edge's bridgeness), so the connected-only backends
+  /// run unmodified and the mask is sliced back to the real edges.
+  const graph::EdgeList& stitched();
+  const graph::Csr& stitched_csr();
+  /// The mask artifact under `policy` (the heart of the Bridges request).
+  const bridges::BridgeMask& mask_artifact(const Policy& policy,
+                                           util::PhaseTimer* phases);
+  /// The 2-ecc index artifact: refresh (dynamic) or build (static), either
+  /// way reusing this epoch's cached mask when present.
+  const dynamic::ConnectivityOracle& oracle_artifact(const Policy& policy);
+  const lca::InlabelLca& forest_lca_artifact();
+  /// Machine-only inputs (workers, launch overhead, n, m) — enough for the
+  /// batch-size decision without touching the diameter artifact.
+  PlanInputs machine_inputs() const;
+  PlanInputs plan_inputs();
+  bool track(bool built);  // stats helper: count a build or a hit
+
+  Engine* engine_;
+  GraphRef graph_;
+  Cache cache_;
+};
+
+}  // namespace emc::engine

@@ -1,0 +1,107 @@
+#include "engine/policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emc::engine {
+
+std::string_view to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto: return "auto";
+    case Backend::kDfs: return "dfs";
+    case Backend::kCkMulticore: return "ck_multicore";
+    case Backend::kCk: return "ck";
+    case Backend::kTv: return "tv";
+    case Backend::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+std::size_t backend_index(Backend backend) {
+  switch (backend) {
+    case Backend::kDfs: return 0;
+    case Backend::kCkMulticore: return 1;
+    case Backend::kCk: return 2;
+    case Backend::kTv: return 3;
+    case Backend::kHybrid: return 4;
+    case Backend::kAuto: break;
+  }
+  assert(false && "backend_index(kAuto)");
+  return 0;
+}
+
+// Calibration notes — constants fitted to the committed BENCH tables
+// (BENCH_engine.json is the primary source: it measures every fixed
+// backend on scenarios spanning the density/diameter regimes; the worker
+// division extrapolates to wider machines):
+//
+//   DFS  — per-edge cost ~9.7 ns on dense kron (n/m ~ 0.03) vs ~24-27 ns
+//          on road shapes (n/m ~ 0.7): node_ns ~ 22, edge_ns ~ 4.5 per
+//          half-edge.
+//   TV   — work split from the same regimes (kron ~87, road ~200-250
+//          ns/edge at one worker, ~70 launches from
+//          bench_bridges_breakdown): node_ns ~ 230, edge_ns ~ 48.
+//   CK   — the road-ribbon row pins the launch term: measured ~1769
+//          ns/edge at diameter ~4700 on m ~ 141k is almost exactly
+//          diameter * 50us of launch latency; the flat work term (~50
+//          ns/edge) comes from the small-diameter rows. The multicore
+//          variant pays ~1us pool syncs per BFS level instead of launches.
+//   Hybrid — fewer launches than TV (~40) and a marking phase far cheaper
+//          than TV's detect on this simulator: node_ns ~ 280, edge ~ 10.
+double CostModel::seconds(Backend backend, const PlanInputs& inputs) const {
+  const double n = static_cast<double>(inputs.n);
+  const double m = static_cast<double>(inputs.m);
+  const double diam = static_cast<double>(std::max<NodeId>(inputs.diameter, 1));
+  const double device_w = std::max(1u, inputs.device_workers);
+  const double multicore_w = std::max(1u, inputs.multicore_workers);
+  const double launch = inputs.launch_overhead;
+  const double ck_work_ns = ck_node_ns * n + ck_edge_ns * m;
+  const double ck_launches = ck_launches_per_diameter * diam + ck_fixed_launches;
+  switch (backend) {
+    case Backend::kDfs:
+      return (dfs_node_ns * n + dfs_edge_ns * 2.0 * m) * 1e-9;
+    case Backend::kCkMulticore:
+      // CPU contexts charge no launch latency, but every BFS level still
+      // synchronizes the pool.
+      return (ck_work_ns / multicore_w + ck_launches * multicore_sync_ns) *
+             1e-9;
+    case Backend::kCk:
+      return ck_launches * launch + ck_work_ns / device_w * 1e-9;
+    case Backend::kTv:
+      return tv_launches * launch +
+             (tv_node_ns * n + tv_edge_ns * m) / device_w * 1e-9;
+    case Backend::kHybrid:
+      return hybrid_launches * launch +
+             (hybrid_node_ns * n + hybrid_edge_ns * m) / device_w * 1e-9;
+    case Backend::kAuto: break;
+  }
+  assert(false && "CostModel::seconds(kAuto)");
+  return 0.0;
+}
+
+Backend Policy::choose(const PlanInputs& inputs) const {
+  if (backend != Backend::kAuto) return backend;
+  Backend best = Backend::kDfs;
+  double best_seconds = model.seconds(best, inputs);
+  for (const Backend candidate : kFixedBackends) {
+    const double seconds = model.seconds(candidate, inputs);
+    if (seconds < best_seconds) {
+      best = candidate;
+      best_seconds = seconds;
+    }
+  }
+  return best;
+}
+
+bool Policy::use_device_batch(std::size_t size, const PlanInputs& inputs) const {
+  if (min_device_batch > 0) return size >= min_device_batch;
+  // One bulk kernel costs the launch latency plus the divided per-query
+  // work; the host loop pays the undivided work with no latency.
+  const double device_w = std::max(1u, inputs.device_workers);
+  const double host_seconds = model.query_host_ns * size * 1e-9;
+  const double device_seconds =
+      inputs.launch_overhead + model.query_device_ns * size / device_w * 1e-9;
+  return device_seconds < host_seconds;
+}
+
+}  // namespace emc::engine

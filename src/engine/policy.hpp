@@ -1,0 +1,134 @@
+// Backend selection policy for the engine (paper §4 + ISSUE 4).
+//
+// The paper's headline finding is that the SAME bridge/2-ecc problem is
+// best served by different backends depending on the instance: sequential
+// DFS on one core, CK on multicore, CK/TV/hybrid on the device — with the
+// winner decided by graph shape (diameter, density) and, for query
+// serving, by the batch size (Figure 6's launch-overhead regime). In the
+// spirit of Optiplan (PAPERS.md), which let IP-based and graph-based
+// planners compete per instance behind one interface, a Policy either
+// forces one backend or resolves kAuto through an explicit cost model.
+//
+// The cost model is deliberately simple — per-element work constants plus
+// a per-kernel launch charge — and is CALIBRATED, not derived: the
+// constants in CostModel's defaults are fitted to the committed BENCH
+// tables (see the notes in policy.cpp). It only has to rank backends,
+// not predict wall time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace emc::engine {
+
+/// The bridge-finding backends a Session can dispatch to. All produce the
+/// identical per-edge verdict; they differ only in cost shape.
+enum class Backend {
+  kAuto = 0,     // resolve through the cost model
+  kDfs,          // sequential Hopcroft-Tarjan on the CSR (cpu1 baseline)
+  kCkMulticore,  // Chaitanya-Kothapalli on the multicore context
+  kCk,           // Chaitanya-Kothapalli on the device context
+  kTv,           // Tarjan-Vishkin on the device context
+  kHybrid,       // CC tree + Euler rooting + CK marking on the device
+};
+
+inline constexpr std::size_t kNumBackends = 5;
+
+/// The fixed (non-auto) backends, in the order Plan::predicted_seconds and
+/// EngineStats::backend_runs are indexed.
+inline constexpr std::array<Backend, kNumBackends> kFixedBackends = {
+    Backend::kDfs, Backend::kCkMulticore, Backend::kCk, Backend::kTv,
+    Backend::kHybrid};
+
+std::string_view to_string(Backend backend);
+
+/// Index of a fixed backend in kFixedBackends order (kAuto not allowed).
+std::size_t backend_index(Backend backend);
+
+/// What the cost model sees: instance statistics (from the session's
+/// artifact cache) and machine parameters (from the engine's contexts).
+struct PlanInputs {
+  NodeId n = 0;
+  std::size_t m = 0;
+  NodeId diameter = 0;  // double-sweep BFS lower bound (cached artifact)
+  unsigned device_workers = 1;
+  unsigned multicore_workers = 1;
+  double launch_overhead = 0.0;  // seconds per device kernel launch
+};
+
+/// Per-element work constants (nanoseconds) and launch counts. Defaults are
+/// fitted to the committed BENCH tables; override to recalibrate for other
+/// hardware without rebuilding.
+struct CostModel {
+  // Sequential DFS: one cache-unfriendly pass over n + 2m adjacency slots.
+  double dfs_node_ns = 22.0;
+  double dfs_edge_ns = 4.5;  // per directed half-edge (the model doubles m)
+  // Tarjan-Vishkin: node/edge split fitted from the BENCH tables (see
+  // policy.cpp); launch count pinned by bench_bridges_breakdown.
+  double tv_node_ns = 230.0;
+  double tv_edge_ns = 48.0;
+  double tv_launches = 70.0;
+  // CK: the diameter cost is the BFS LAUNCH COUNT (~1 launch per unit of
+  // the diameter estimate), not the marking walks — measured walks stay
+  // local (most non-tree edges meet their BFS-tree LCA within a few hops),
+  // so marking folds into the flat per-edge constant.
+  double ck_node_ns = 37.0;
+  double ck_edge_ns = 50.0;
+  double ck_launches_per_diameter = 1.0;
+  double ck_fixed_launches = 10.0;
+  double multicore_sync_ns = 950.0;  // per BFS-level pool barrier (no
+                                     // modeled latency on CPU contexts)
+  // Hybrid: TV's spanning tree + Euler tour, then CK's (cheap) marking in
+  // place of TV's RMQ-heavy detect phase — fewer launches than TV.
+  double hybrid_node_ns = 280.0;
+  double hybrid_edge_ns = 10.0;
+  double hybrid_launches = 40.0;
+  // Point queries on the 2-ecc index / forest LCA (per query; identical
+  // arithmetic either way, so the device only wins by dividing it).
+  double query_host_ns = 30.0;
+  double query_device_ns = 30.0;
+
+  /// Predicted seconds for one bridge-mask computation with `backend`
+  /// (kAuto not allowed) on the given instance.
+  double seconds(Backend backend, const PlanInputs& inputs) const;
+};
+
+/// How a Session chooses and runs backends. Default-constructed = full auto.
+struct Policy {
+  /// Forced backend for bridge-mask computations, or kAuto to let the cost
+  /// model pick per request.
+  Backend backend = Backend::kAuto;
+  /// Query batches at least this large run as ONE bulk device kernel;
+  /// smaller batches loop on the host, dodging the launch overhead that
+  /// makes small batches wasteful on the device (Figure 6). 0 = derive the
+  /// threshold from the model and machine parameters.
+  std::size_t min_device_batch = 0;
+  CostModel model{};
+
+  static Policy fixed(Backend backend) {
+    Policy policy;
+    policy.backend = backend;
+    return policy;
+  }
+
+  /// Resolves this policy for one bridge request: the forced backend, or
+  /// the cost-model argmin over kFixedBackends.
+  Backend choose(const PlanInputs& inputs) const;
+
+  /// True iff a query batch of `size` should run as a device kernel.
+  bool use_device_batch(std::size_t size, const PlanInputs& inputs) const;
+};
+
+/// The resolved decision for one bridge request — exposed so benches and
+/// tests can audit the policy (and print WHY a backend was picked).
+struct Plan {
+  Backend chosen = Backend::kAuto;
+  std::array<double, kNumBackends> predicted_seconds{};  // kFixedBackends order
+  PlanInputs inputs;
+};
+
+}  // namespace emc::engine

@@ -57,6 +57,44 @@ Csr build_csr(const device::Context& ctx, const EdgeList& graph) {
 
 namespace {
 
+/// splitmix64 step as a pure finalizer: the cheap mixer both sides of
+/// csr_matches() feed their (edge id, canonical endpoints) incidences
+/// through before summing.
+std::uint64_t mix64(std::uint64_t x) { return util::splitmix64(x); }
+
+}  // namespace
+
+bool csr_matches(const EdgeList& graph, const Csr& csr) {
+  const std::size_t m = graph.edges.size();
+  if (graph.num_nodes != csr.num_nodes || m != csr.num_edges()) return false;
+  if (csr.row_offsets.size() != static_cast<std::size_t>(csr.num_nodes) + 1) {
+    return false;
+  }
+  // Each undirected edge e = {u, v} appears in the CSR as two half-edges
+  // carrying the same (edge id, endpoints) triple, so summing the mixed
+  // triples over the edge list twice and over every CSR slot once must
+  // agree. Summation makes both sides insensitive to adjacency order.
+  // The edge id is mixed before combining: a raw (key ^ id) fold would let
+  // structured inputs collide deterministically (edge {0,2} at id 0 and
+  // edge {0,6} at id 2 fold to the same value), reducing the check to far
+  // less than its nominal 64 bits on exactly the regular graphs it guards.
+  std::uint64_t list_hash = 0;
+  for (std::size_t e = 0; e < m; ++e) {
+    const Edge edge = graph.edges[e];
+    list_hash += 2 * mix64(edge_key(edge.u, edge.v) ^ mix64(e));
+  }
+  std::uint64_t csr_hash = 0;
+  for (NodeId v = 0; v < csr.num_nodes; ++v) {
+    for (EdgeId s = csr.row_offsets[v]; s < csr.row_offsets[v + 1]; ++s) {
+      csr_hash += mix64(edge_key(v, csr.neighbors[s]) ^
+                        mix64(csr.edge_ids[s]));
+    }
+  }
+  return list_hash == csr_hash;
+}
+
+namespace {
+
 class UnionFind {
  public:
   explicit UnionFind(std::size_t n) : parent_(n) {

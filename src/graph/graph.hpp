@@ -72,6 +72,17 @@ struct Csr {
 /// bulk-parallel over the device context.
 Csr build_csr(const device::Context& ctx, const EdgeList& graph);
 
+/// True iff `csr` could be the adjacency build_csr() produces for `graph`:
+/// same node/edge counts and the same multiset of (edge id, endpoints)
+/// incidences, compared through an order-insensitive 64-bit hash that each
+/// side computes from its own representation alone (so nothing has to be
+/// stored at build time and the Release hot path pays nothing). O(n + m)
+/// sequential — this is the debug contract behind the dual-argument
+/// algorithms: every function taking an (EdgeList, Csr) pair asserts it,
+/// turning a silently wrong answer from mismatched arguments into an
+/// immediate failure.
+bool csr_matches(const EdgeList& graph, const Csr& csr);
+
 /// Connected component labels via sequential union-find. This is the
 /// *preprocessing* tool (e.g. extracting the largest component of a
 /// generated graph, mirroring the paper's dataset preparation); the

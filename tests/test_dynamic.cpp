@@ -282,9 +282,11 @@ TEST_P(DynamicParam, RefreshSkipsWhenEpochUnchanged) {
   EXPECT_FALSE(oracle.refresh(ctx_, dg));
   EXPECT_EQ(oracle.rebuilds(), 1u);
   EXPECT_EQ(oracle.refreshes_skipped(), 2u);
-  dg.insert_edges(ctx_, {{2, 3}});
+  dg.insert_edges(ctx_, {{2, 3}});  // effective (cross-component: tree-link)
   EXPECT_TRUE(oracle.refresh(ctx_, dg));
-  EXPECT_EQ(oracle.rebuilds(), 2u);
+  EXPECT_EQ(oracle.rebuilds(), 1u);
+  EXPECT_EQ(oracle.incremental_refreshes(), 1u);
+  EXPECT_EQ(oracle.tree_links(), 1u);
 }
 
 // Adversarial inputs the dynamic path produces, cross-checked against the

@@ -33,6 +33,42 @@ TEST(EdgeListValidation, RejectsOutOfRange) {
   EXPECT_FALSE(g.valid());
 }
 
+TEST(CsrMatches, AcceptsTheCsrBuiltFromTheList) {
+  const device::Context ctx(2);
+  const EdgeList g = simplified(gen::er_graph(200, 500, 7));
+  EXPECT_TRUE(csr_matches(g, build_csr(ctx, g)));
+  // Parallel edges carry distinct edge ids; the contract must hold for them
+  // too (raw generated graphs are multigraphs).
+  EdgeList multi;
+  multi.num_nodes = 3;
+  multi.edges = {{0, 1}, {1, 2}, {0, 1}};
+  EXPECT_TRUE(csr_matches(multi, build_csr(ctx, multi)));
+}
+
+TEST(CsrMatches, RejectsMismatchedPairs) {
+  const device::Context ctx(2);
+  EdgeList g;
+  g.num_nodes = 4;
+  g.edges = {{0, 1}, {1, 2}, {2, 3}};
+  const Csr csr = build_csr(ctx, g);
+
+  EdgeList other = g;          // same counts, one endpoint differs
+  other.edges[1] = {1, 3};
+  EXPECT_FALSE(csr_matches(other, csr));
+
+  EdgeList reordered = g;      // same edge set, edge ids shuffled
+  std::swap(reordered.edges[0], reordered.edges[2]);
+  EXPECT_FALSE(csr_matches(reordered, csr));
+
+  EdgeList shorter = g;        // edge-count mismatch
+  shorter.edges.pop_back();
+  EXPECT_FALSE(csr_matches(shorter, csr));
+
+  EdgeList renamed = g;        // node-count mismatch
+  renamed.num_nodes = 5;
+  EXPECT_FALSE(csr_matches(renamed, csr));
+}
+
 class CsrParam : public ::testing::TestWithParam<unsigned> {
  protected:
   device::Context ctx_{GetParam()};

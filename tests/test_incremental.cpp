@@ -104,21 +104,59 @@ TEST(IncrementalRule, EraseBatchFallsBackToRebuild) {
   EXPECT_EQ(oracle.num_bridges(), 7u);  // the cycle became a path
 }
 
-TEST(IncrementalRule, CrossComponentInsertFallsBackToRebuild) {
+TEST(IncrementalRule, CrossComponentInsertTreeLinks) {
   const device::Context ctx(2);
   DynamicGraph dg(7);
   dg.insert_edges(ctx, {{0, 1}, {1, 2}, {2, 0},    // triangle
                         {3, 4}, {4, 5}, {5, 3}});  // triangle, 6 isolated
   ConnectivityOracle oracle;
   oracle.refresh(ctx, dg);
-  // {2, 3} joins two components: the block paths of later edges would span
-  // trees the old LCA cannot answer, so this is a full rebuild.
+  // {2, 3} joins two components: it is a new bridge linking two block
+  // trees, replayed by the tree-link fast path — no full pipeline.
   dg.insert_edges(ctx, {{2, 3}});
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 1u);
+  EXPECT_EQ(oracle.incremental_refreshes(), 1u);
+  EXPECT_EQ(oracle.tree_links(), 1u);
+  EXPECT_EQ(oracle.num_bridges(), 1u);
+  EXPECT_FALSE(oracle.same_2ecc(0, 3));
+  EXPECT_EQ(oracle.bridges_on_path(0, 4), 1);
+  EXPECT_EQ(oracle.bridges_on_path(0, 6), kNoNode);  // 6 still isolated
+  util::Rng rng(21);
+  expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng, 36);
+
+  // Linking the isolated node, together with an intra-component chord in
+  // the same batch, exercises both replay paths in one refresh.
+  dg.insert_edges(ctx, {{6, 0}, {1, 4}});
+  EXPECT_TRUE(oracle.refresh(ctx, dg));
+  EXPECT_EQ(oracle.rebuilds(), 1u);
+  EXPECT_EQ(oracle.incremental_refreshes(), 2u);
+  EXPECT_EQ(oracle.tree_links(), 2u);
+  EXPECT_EQ(oracle.num_bridges(), 1u);  // {1,4} collapsed the old bridge
+  EXPECT_TRUE(oracle.same_2ecc(0, 5));
+  EXPECT_EQ(oracle.bridges_on_path(2, 6), 1);
+  util::Rng rng2(22);
+  expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng2, 36);
+}
+
+TEST(IncrementalRule, CycleClosingCrossBatchFallsBackToRebuild) {
+  const device::Context ctx(2);
+  DynamicGraph dg(6);
+  dg.insert_edges(ctx, {{0, 1}, {1, 2}, {2, 0},    // triangle
+                        {3, 4}, {4, 5}, {5, 3}});  // triangle
+  ConnectivityOracle oracle;
+  oracle.refresh(ctx, dg);
+  // Two edges between the SAME pair of components in one batch: the second
+  // closes a cycle through the first, which no replay path can express
+  // (it is neither a bridge nor intra-component on the indexed snapshot).
+  dg.insert_edges(ctx, {{0, 3}, {1, 4}});
   EXPECT_TRUE(oracle.refresh(ctx, dg));
   EXPECT_EQ(oracle.rebuilds(), 2u);
   EXPECT_EQ(oracle.incremental_refreshes(), 0u);
-  EXPECT_EQ(oracle.num_bridges(), 1u);
-  EXPECT_EQ(oracle.bridges_on_path(0, 6), kNoNode);  // 6 still isolated
+  EXPECT_EQ(oracle.num_bridges(), 0u);
+  EXPECT_TRUE(oracle.same_2ecc(0, 5));
+  util::Rng rng(23);
+  expect_equivalent_to_full_rebuild(ctx, dg, oracle, rng, 24);
 }
 
 TEST(IncrementalRule, MultipleBatchesBehindFallsBackToRebuild) {

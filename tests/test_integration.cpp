@@ -6,11 +6,10 @@
 
 #include <vector>
 
-#include "bridges/chaitanya_kothapalli.hpp"
 #include "bridges/dfs_bridges.hpp"
-#include "bridges/hybrid.hpp"
 #include "bridges/tarjan_vishkin.hpp"
 #include "core/euler_tour.hpp"
+#include "engine/engine.hpp"
 #include "core/tree.hpp"
 #include "device/context.hpp"
 #include "gen/graphs.hpp"
@@ -75,9 +74,10 @@ TEST(Integration, LcaBatchedOnlinePipeline) {
 }
 
 TEST(Integration, BridgesExperimentPipeline) {
-  // The Figure 9/10 pipeline at test scale, over all three graph classes.
-  const device::Context gpu(4);
-  const device::Context multicore(2);
+  // The Figure 9/10 pipeline at test scale, over all three graph classes,
+  // run the way the benches now run it: one engine Session per instance,
+  // every backend forced through the same Bridges request.
+  engine::Engine eng({.device_workers = 4, .multicore_workers = 2});
   const std::vector<std::pair<const char*, graph::EdgeList>> suite = {
       {"kron", gen::kron_graph(10, 6, 1)},
       {"social", gen::social_graph(10, 4, 2)},
@@ -87,16 +87,14 @@ TEST(Integration, BridgesExperimentPipeline) {
     const graph::EdgeList g =
         graph::largest_component(graph::simplified(raw));
     ASSERT_GE(g.num_nodes, 100) << name;
-    const graph::Csr csr = build_csr(gpu, g);
-    const auto dfs = bridges::find_bridges_dfs(csr);
-    const auto ck_mc = bridges::find_bridges_ck(multicore, g, csr);
-    const auto ck_gpu = bridges::find_bridges_ck(gpu, g, csr);
-    const auto tv = bridges::find_bridges_tarjan_vishkin(gpu, g);
-    const auto hy = bridges::find_bridges_hybrid(gpu, g);
-    ASSERT_EQ(ck_mc, dfs) << name;
-    ASSERT_EQ(ck_gpu, dfs) << name;
-    ASSERT_EQ(tv, dfs) << name;
-    ASSERT_EQ(hy, dfs) << name;
+    engine::Session session = eng.session(g);
+    const auto dfs = bridges::find_bridges_dfs(session.csr());
+    for (const engine::Backend backend : engine::kFixedBackends) {
+      ASSERT_EQ(session.run(engine::Bridges{}, engine::Policy::fixed(backend)),
+                dfs)
+          << name << " via " << engine::to_string(backend);
+    }
+    ASSERT_EQ(session.run(engine::Bridges{}), dfs) << name << " via auto";
   }
 }
 
