@@ -58,6 +58,11 @@ int main(int argc, char** argv) {
               "workers)\n\n",
               eng.device().workers(), eng.multicore().workers());
 
+  // The startup-fitted model competes alongside the committed hand table:
+  // both auto rows must match or beat every fixed backend.
+  engine::Policy calibrated;
+  calibrated.calibrate(eng);
+
   const auto side = [&](int base) { return static_cast<NodeId>(base * scale); };
   std::vector<std::pair<std::string, graph::EdgeList>> scenarios;
   scenarios.emplace_back(  // small diameter, dense (Figure 9 regime)
@@ -102,23 +107,28 @@ int main(int argc, char** argv) {
       rows.push_back({"engine_bridges/" + name + "/" + label, g.num_edges(),
                       label, seconds * 1e9 / g.num_edges()});
     }
-    const double auto_seconds = timed(engine::Policy{});
-    session.drop_results();
-    session.run(engine::Bridges{});
-    const std::string picked(engine::to_string(session.mask_backend()));
-    table.add_row({name, bench::human(static_cast<std::size_t>(g.num_nodes)),
-                   bench::human(g.num_edges()), std::to_string(diameter),
-                   "auto->" + picked, util::Table::num(auto_seconds),
-                   util::Table::num(auto_seconds * 1e9 / g.num_edges(), 1)});
-    rows.push_back({"engine_bridges/" + name + "/auto", g.num_edges(), picked,
-                    auto_seconds * 1e9 / g.num_edges()});
-    // The acceptance bar: auto within noise of the best fixed backend.
-    if (auto_seconds > best_fixed * 1.25 + 1e-4) {
-      std::printf("!! auto (%s, %.4fs) lost to the best fixed backend "
-                  "(%.4fs) on %s — CostModel is miscalibrated here\n",
-                  picked.c_str(), auto_seconds, best_fixed, name.c_str());
-      auto_won_everywhere = false;
-    }
+    const auto auto_row = [&](const char* label, const engine::Policy& policy) {
+      const double seconds = timed(policy);
+      session.drop_results();
+      session.run(engine::Bridges{}, policy);
+      const std::string picked(engine::to_string(session.mask_backend()));
+      table.add_row({name, bench::human(static_cast<std::size_t>(g.num_nodes)),
+                     bench::human(g.num_edges()), std::to_string(diameter),
+                     std::string(label) + "->" + picked,
+                     util::Table::num(seconds),
+                     util::Table::num(seconds * 1e9 / g.num_edges(), 1)});
+      rows.push_back({"engine_bridges/" + name + "/" + label, g.num_edges(),
+                      picked, seconds * 1e9 / g.num_edges()});
+      // The acceptance bar: auto within noise of the best fixed backend.
+      if (seconds > best_fixed * 1.25 + 1e-4) {
+        std::printf("!! %s (%s, %.4fs) lost to the best fixed backend "
+                    "(%.4fs) on %s — CostModel is miscalibrated here\n",
+                    label, picked.c_str(), seconds, best_fixed, name.c_str());
+        auto_won_everywhere = false;
+      }
+    };
+    auto_row("auto", engine::Policy{});
+    auto_row("auto_cal", calibrated);
   }
 
   table.print();

@@ -1,0 +1,256 @@
+// Serving throughput/latency: the Dispatcher's request coalescing against
+// per-request submission, across worker counts, with and without a
+// concurrent writer — the Figure 6 story run end-to-end through the
+// serving stack instead of as a raw kernel microbenchmark.
+//
+// Per scenario (1M-node road grid / 1M-node kron), a closed-loop client
+// submits bursts of single-pair Same2Ecc requests and waits them out,
+// under every cell of:
+//
+//   route    auto (host loops on this machine) and forced-device (every
+//            answer round is a bulk kernel paying the simulated launch
+//            latency — the regime where coalescing is structural: K
+//            launches become 1);
+//   threads  dispatcher workers 1/2/4;
+//   mode     coalesced (window 200us, rounds up to the burst size) vs
+//            per-request (max_coalesce=1);
+//   writer   off, or a thread continuously applying small insert batches,
+//            refreshing the session and publishing fresh Views (readers
+//            keep answering on their epoch — MVCC, no pauses).
+//
+// Rows land in BENCH_serve.json (committed at repo root):
+//   op = serve/<scenario>/<route>/w<0|1>/t<threads>/<coal|percall>
+//        (n = completed requests, ns_per_elem = ns per request)
+//   op = .../p99 (ns_per_elem = p99 latency in ns)
+//
+// With --check 1 (default), exits nonzero if any forced-device coalesced
+// cell fails to beat its per-request twin — that pair is the paper's
+// batched-query prediction, and losing it means coalescing is broken.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "engine/engine.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace emc;
+using Clock = std::chrono::steady_clock;
+
+struct CellResult {
+  std::size_t completed = 0;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t rounds = 0;
+  std::size_t published = 0;
+};
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[index];
+}
+
+CellResult run_cell(engine::Session& session, dynamic::DynamicGraph& dg,
+                    const device::Context& update_ctx,
+                    const engine::Policy& policy, unsigned threads,
+                    bool coalesce, bool with_writer, double duration,
+                    std::size_t burst, std::uint64_t seed) {
+  serve::DispatcherOptions options;
+  options.workers = threads;
+  options.max_coalesce = coalesce ? burst : 1;
+  options.coalesce_window = std::chrono::microseconds(coalesce ? 200 : 0);
+  serve::Dispatcher dispatcher(session.view(policy), options);
+
+  std::atomic<bool> stop_writer{false};
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&] {
+      util::Rng rng(seed ^ 0x57a7e5u);
+      while (!stop_writer.load(std::memory_order_acquire)) {
+        std::vector<graph::Edge> batch;
+        for (int i = 0; i < 8; ++i) {
+          batch.push_back({static_cast<NodeId>(rng.below(dg.num_nodes())),
+                           static_cast<NodeId>(rng.below(dg.num_nodes()))});
+        }
+        dg.insert_edges(update_ctx, batch);
+        session.refresh(policy);
+        dispatcher.publish(session.view(policy));
+      }
+    });
+  }
+
+  const NodeId n = dg.num_nodes();
+  util::Rng rng(seed);
+  std::vector<double> latencies_us;
+  CellResult result;
+  util::Timer timer;
+  std::vector<std::pair<std::future<serve::Reply<std::vector<std::uint8_t>>>,
+                        Clock::time_point>>
+      inflight;
+  inflight.reserve(burst);
+  while (timer.seconds() < duration) {
+    inflight.clear();
+    for (std::size_t i = 0; i < burst; ++i) {
+      engine::Same2Ecc request;
+      request.pairs.push_back({static_cast<NodeId>(rng.below(n)),
+                               static_cast<NodeId>(rng.below(n))});
+      inflight.emplace_back(dispatcher.submit(std::move(request)),
+                            Clock::now());
+    }
+    for (auto& [future, submitted] : inflight) {
+      future.get();
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - submitted)
+              .count());
+    }
+    result.completed += burst;
+  }
+  const double elapsed = timer.seconds();
+  if (with_writer) {
+    stop_writer.store(true, std::memory_order_release);
+    writer.join();
+  }
+  const serve::DispatcherStats stats = dispatcher.stats();
+  dispatcher.stop();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  result.rps = static_cast<double>(result.completed) / elapsed;
+  result.p50_us = percentile(latencies_us, 0.50);
+  result.p99_us = percentile(latencies_us, 0.99);
+  result.rounds = stats.rounds;
+  result.published = stats.views_published;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto side = static_cast<NodeId>(
+      flags.get_int("side", 1024, "road grid side (side^2 nodes)"));
+  const auto kron_scale = static_cast<int>(
+      flags.get_int("kron-scale", 20, "kron scale (2^scale nodes)"));
+  const auto kron_factor =
+      flags.get_double("kron-factor", 8.0, "kron edge factor");
+  const double duration =
+      flags.get_double("duration", 0.8, "seconds measured per cell");
+  const auto burst = static_cast<std::size_t>(
+      flags.get_int("burst", 512, "closed-loop outstanding requests"));
+  const bool check = flags.get_int("check", 1,
+                                   "nonzero exit if a forced-device "
+                                   "coalesced cell loses") != 0;
+  flags.finish();
+
+  // Startup-calibrated policy: the CostModel constants are fitted to THIS
+  // machine before any cell runs (EngineOptions::calibrate).
+  engine::Engine eng({.calibrate = true});
+  std::printf("# serving throughput (device=%u workers, calibrated policy)\n\n",
+              eng.device().workers());
+
+  engine::Policy auto_policy = eng.default_policy();
+  engine::Policy device_route = auto_policy;
+  device_route.min_device_batch = 1;
+
+  util::Table table({"scenario", "route", "writer", "threads", "mode",
+                     "req/s", "p50us", "p99us", "rounds", "published"});
+  std::vector<bench::BenchRow> rows;
+  bool coalescing_won = true;
+
+  struct Scenario {
+    std::string name;
+    graph::EdgeList edges;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(
+      {"road", gen::road_graph(side, side, 0.72, 0.04, 1012)});
+  scenarios.push_back(
+      {"kron", gen::kron_graph(kron_scale, kron_factor, 1013)});
+
+  for (Scenario& scenario : scenarios) {
+    dynamic::DynamicGraph dg(eng.device(), scenario.edges);
+    scenario.edges = graph::EdgeList{};  // seeded into the DCSR; free it
+    engine::Session session = eng.session(dg);
+    session.refresh(auto_policy);  // pay the initial artifact build once
+
+    struct Cell {
+      const char* route;
+      const engine::Policy* policy;
+      bool writer;
+      unsigned threads;
+      bool coalesce;
+    };
+    std::vector<Cell> cells;
+    for (const bool writer : {false, true}) {
+      for (const unsigned threads : {1u, 2u, 4u}) {
+        for (const bool coalesce : {false, true}) {
+          cells.push_back({"auto", &auto_policy, writer, threads, coalesce});
+        }
+      }
+    }
+    for (const bool coalesce : {false, true}) {  // the Figure 6 pair
+      cells.push_back({"device", &device_route, false, 2u, coalesce});
+    }
+
+    std::map<std::string, double> rps_by_cell;
+    for (const Cell& cell : cells) {
+      const CellResult result = run_cell(
+          session, dg, eng.device(), *cell.policy, cell.threads,
+          cell.coalesce, cell.writer, duration, burst,
+          1012 + cell.threads * 7 + (cell.coalesce ? 3 : 0));
+      const std::string key = std::string(cell.route) + "/w" +
+                              (cell.writer ? "1" : "0") + "/t" +
+                              std::to_string(cell.threads);
+      const std::string mode = cell.coalesce ? "coal" : "percall";
+      rps_by_cell[key + "/" + mode] = result.rps;
+      table.add_row({scenario.name, cell.route, cell.writer ? "yes" : "no",
+                     std::to_string(cell.threads), mode,
+                     bench::human(static_cast<std::size_t>(result.rps)),
+                     util::Table::num(result.p50_us, 1),
+                     util::Table::num(result.p99_us, 1),
+                     std::to_string(result.rounds),
+                     std::to_string(result.published)});
+      const std::string op =
+          "serve/" + scenario.name + "/" + key + "/" + mode;
+      rows.push_back({op, result.completed, scenario.name,
+                      1e9 / std::max(result.rps, 1e-9)});
+      rows.push_back({op + "/p99", result.completed, scenario.name,
+                      result.p99_us * 1e3});
+    }
+    // The structural claim: on the device route, K launches became 1.
+    const double percall = rps_by_cell["device/w0/t2/percall"];
+    const double coal = rps_by_cell["device/w0/t2/coal"];
+    if (coal <= percall) {
+      std::printf("!! coalesced device serving (%.0f req/s) lost to "
+                  "per-request submission (%.0f req/s) on %s\n",
+                  coal, percall, scenario.name.c_str());
+      coalescing_won = false;
+    }
+  }
+
+  table.print();
+  std::printf("\ncoalescing %s the per-request baseline on every "
+              "forced-device cell\n",
+              coalescing_won ? "beat" : "LOST to");
+  if (!bench::write_bench_json("BENCH_serve.json", rows)) {
+    std::fprintf(stderr, "failed to write BENCH_serve.json\n");
+    return 1;
+  }
+  return check && !coalescing_won ? 2 : 0;
+}

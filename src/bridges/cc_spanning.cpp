@@ -35,11 +35,16 @@ SpanningForest cc_spanning_forest(const device::Context& ctx,
     bool changed = true;
     while (changed) {
       std::atomic<int> any{0};
+      // Pointer jumping: label[l] may be rewritten by a sibling thread in
+      // the same launch. Relaxed atomics make the race defined; a stale
+      // read only delays that node to the next round (the loop runs until
+      // a full pass — barrier-separated from the previous one — changes
+      // nothing).
       device::launch(ctx, n, [&](std::size_t v) {
-        const NodeId l = label[v];
-        const NodeId ll = label[l];
+        const NodeId l = std::atomic_ref(label[v]).load(std::memory_order_relaxed);
+        const NodeId ll = std::atomic_ref(label[l]).load(std::memory_order_relaxed);
         if (ll != l) {
-          label[v] = ll;
+          std::atomic_ref(label[v]).store(ll, std::memory_order_relaxed);
           any.store(1, std::memory_order_relaxed);
         }
       });

@@ -31,7 +31,8 @@ Context::Context(unsigned workers, double launch_overhead_seconds)
     : pool_(std::make_shared<ThreadPool>(
           workers == 0 ? default_workers() : workers,
           launch_overhead_seconds)),
-      arena_(std::make_shared<Arena>()) {}
+      arena_(std::make_shared<Arena>()),
+      driver_mutex_(std::make_shared<std::recursive_mutex>()) {}
 
 double Context::device_launch_overhead() {
   // Default 50us: the GTX 980's ~5us launch+sync latency scaled by the

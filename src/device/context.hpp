@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "device/arena.hpp"
 #include "device/thread_pool.hpp"
@@ -61,6 +62,20 @@ class Context {
   /// Kernel launches issued on this context's pool so far.
   std::uint64_t launch_count() const { return pool_->launch_count(); }
 
+  /// Driver lock for multi-threaded hosts. The pool's dispatch slot and the
+  /// arena both assume ONE host thread drives the context at a time (the
+  /// CUDA-stream shape); single-threaded programs satisfy that for free and
+  /// never touch this. Concurrent drivers (emc::serve workers racing a
+  /// writer's artifact builds or DynamicGraph updates) must hold this lock
+  /// across each whole kernel pipeline — not per launch, since arena slots
+  /// live across launches. Recursive, so self-locking entry points
+  /// (DynamicGraph updates/snapshots) compose with callers that already
+  /// hold it (a Session building artifacts). Copies of a Context share the
+  /// lock along with the pool and arena.
+  std::unique_lock<std::recursive_mutex> exclusive() const {
+    return std::unique_lock<std::recursive_mutex>(*driver_mutex_);
+  }
+
   /// Default chunk grain for bulk launches: large enough to amortize
   /// scheduling, small enough to balance load.
   std::size_t grain_for(std::size_t n) const;
@@ -68,6 +83,7 @@ class Context {
  private:
   std::shared_ptr<ThreadPool> pool_;  // shared so Context is cheaply copyable
   std::shared_ptr<Arena> arena_;
+  std::shared_ptr<std::recursive_mutex> driver_mutex_;
 };
 
 }  // namespace emc::device

@@ -79,6 +79,7 @@ DynamicGraph::DynamicGraph(NodeId num_nodes)
 DynamicGraph::DynamicGraph(const device::Context& ctx,
                            const graph::EdgeList& initial)
     : DynamicGraph(initial.num_nodes) {
+  const auto lock = ctx.exclusive();  // see insert_edges
   const graph::EdgeList canon = graph::canonicalize(ctx, initial);
   const std::size_t n = static_cast<std::size_t>(num_nodes_);
   const std::size_t m = canon.edges.size();
@@ -152,6 +153,11 @@ std::vector<std::uint64_t> DynamicGraph::normalized_batch(
 std::size_t DynamicGraph::insert_edges(const device::Context& ctx,
                                        const std::vector<graph::Edge>& batch) {
   if (batch.empty()) return 0;
+  // Self-locking: a serving writer races concurrent device-routed View
+  // queries on the same context (the pool's dispatch slot and the arena
+  // take one driver at a time). Recursive, so callers already holding the
+  // driver lock compose.
+  const auto lock = ctx.exclusive();
   const auto fresh = normalized_batch(ctx, batch, /*keep_present=*/false);
   const std::size_t c = fresh.size();
   if (c == 0) return 0;
@@ -201,6 +207,8 @@ std::size_t DynamicGraph::insert_edges(const device::Context& ctx,
 std::size_t DynamicGraph::erase_edges(const device::Context& ctx,
                                       const std::vector<graph::Edge>& batch) {
   if (batch.empty()) return 0;
+  const auto lock = ctx.exclusive();  // see insert_edges
+
   const auto doomed = normalized_batch(ctx, batch, /*keep_present=*/true);
   const std::size_t c = doomed.size();
   if (c == 0) return 0;
@@ -267,9 +275,10 @@ void DynamicGraph::compact(const device::Context& ctx, const EdgeId* demand) {
   ++num_compactions_;
 }
 
-const graph::EdgeList& DynamicGraph::snapshot(
+std::shared_ptr<const graph::EdgeList> DynamicGraph::snapshot_shared(
     const device::Context& ctx) const {
   if (edge_snapshot_epoch_ == epoch_) return edge_snapshot_;
+  const auto lock = ctx.exclusive();  // see insert_edges
   const std::size_t n = static_cast<std::size_t>(num_nodes_);
   // The lower endpoint of each edge emits it, so every undirected edge
   // appears exactly once: per-node counts, scan, then a placement kernel.
@@ -284,24 +293,31 @@ const graph::EdgeList& DynamicGraph::snapshot(
   });
   std::vector<EdgeId> offset(n + 1);
   offset[n] = device::exclusive_scan(ctx, count.data(), n, offset.data());
-  edge_snapshot_.num_nodes = num_nodes_;
-  edge_snapshot_.edges.resize(static_cast<std::size_t>(offset[n]));
+  graph::EdgeList snap;
+  snap.num_nodes = num_nodes_;
+  snap.edges.resize(static_cast<std::size_t>(offset[n]));
   device::launch(ctx, n, [&](std::size_t v) {
     EdgeId w = offset[v];
     const EdgeId begin = seg_begin_[v];
     for (EdgeId i = begin; i < begin + seg_count_[v]; ++i) {
       if (adj_[i] > static_cast<NodeId>(v)) {
-        edge_snapshot_.edges[w++] = {static_cast<NodeId>(v), adj_[i]};
+        snap.edges[w++] = {static_cast<NodeId>(v), adj_[i]};
       }
     }
   });
+  // A fresh object rather than reuse: a consumer may still hold the previous
+  // epoch's snapshot through its shared handle.
+  edge_snapshot_ = std::make_shared<const graph::EdgeList>(std::move(snap));
   edge_snapshot_epoch_ = epoch_;
   return edge_snapshot_;
 }
 
-const graph::Csr& DynamicGraph::snapshot_csr(const device::Context& ctx) const {
+std::shared_ptr<const graph::Csr> DynamicGraph::csr_snapshot_shared(
+    const device::Context& ctx) const {
   if (csr_snapshot_epoch_ == epoch_) return csr_snapshot_;
-  csr_snapshot_ = graph::build_csr(ctx, snapshot(ctx));
+  const auto lock = ctx.exclusive();  // see insert_edges
+  csr_snapshot_ = std::make_shared<const graph::Csr>(
+      graph::build_csr(ctx, snapshot(ctx)));
   csr_snapshot_epoch_ = epoch_;
   return csr_snapshot_;
 }

@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "device/context.hpp"
@@ -122,12 +123,25 @@ class DynamicGraph {
   /// The current version as an immutable edge list, built once per epoch and
   /// cached: calling again without an intervening update returns the same
   /// object (zero-copy). Every existing bridge finder runs unmodified on it.
-  const graph::EdgeList& snapshot(const device::Context& ctx) const;
+  const graph::EdgeList& snapshot(const device::Context& ctx) const {
+    return *snapshot_shared(ctx);
+  }
 
   /// CSR adjacency of snapshot(), with edge_ids aligned to snapshot() edge
   /// order (so a BridgeMask computed on the snapshot indexes both). Cached
   /// per epoch like snapshot().
-  const graph::Csr& snapshot_csr(const device::Context& ctx) const;
+  const graph::Csr& snapshot_csr(const device::Context& ctx) const {
+    return *csr_snapshot_shared(ctx);
+  }
+
+  /// Shared-ownership forms of the per-epoch snapshots. The store only keeps
+  /// the CURRENT epoch's snapshot cached; a consumer pinning an older
+  /// version (an engine::View generation) holds it alive through these
+  /// handles after the cache has moved on — MVCC by refcount, no copying.
+  std::shared_ptr<const graph::EdgeList> snapshot_shared(
+      const device::Context& ctx) const;
+  std::shared_ptr<const graph::Csr> csr_snapshot_shared(
+      const device::Context& ctx) const;
 
   /// True iff this epoch's CSR snapshot is already materialized, i.e. the
   /// next snapshot_csr() call is free. Lets delegating caches (the engine
@@ -164,9 +178,9 @@ class DynamicGraph {
   UpdateDelta last_delta_;
 
   static constexpr std::uint64_t kNeverBuilt = ~std::uint64_t{0};
-  mutable graph::EdgeList edge_snapshot_;
+  mutable std::shared_ptr<const graph::EdgeList> edge_snapshot_;
   mutable std::uint64_t edge_snapshot_epoch_ = kNeverBuilt;
-  mutable graph::Csr csr_snapshot_;
+  mutable std::shared_ptr<const graph::Csr> csr_snapshot_;
   mutable std::uint64_t csr_snapshot_epoch_ = kNeverBuilt;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "bridges/chaitanya_kothapalli.hpp"
 #include "bridges/dfs_bridges.hpp"
@@ -10,8 +11,117 @@
 #include "core/euler_tour.hpp"
 #include "core/tree.hpp"
 #include "device/primitives.hpp"
+#include "gen/graphs.hpp"
 
 namespace emc::engine {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// Machine-only inputs for the batch-size routing decision (Figure 6);
+/// shared by Session (cache-side) and View (snapshot-side) answering.
+PlanInputs query_inputs(const Engine& engine, NodeId n, std::size_t m) {
+  PlanInputs inputs;
+  inputs.n = n;
+  inputs.m = m;
+  inputs.device_workers = engine.device().workers();
+  inputs.multicore_workers = engine.multicore().workers();
+  inputs.launch_overhead = engine.device().launch_overhead();
+  return inputs;
+}
+
+// The four query-answer routines below are the single implementation both
+// Session::run (lazy cache) and View::run (frozen snapshot) delegate to.
+// The host route reads the index with no synchronization at all — the
+// index is immutable while the caller holds it — and the device route
+// serializes its one bulk kernel on the context's driver lock, so any
+// number of threads can answer concurrently.
+
+std::vector<std::uint8_t> answer_same2ecc(
+    const Engine& engine, const dynamic::ConnectivityOracle& oracle,
+    const Policy& policy, const PlanInputs& inputs, const Same2Ecc& request) {
+  std::vector<std::uint8_t> answers;
+  if (policy.use_device_batch(request.pairs.size(), inputs)) {
+    engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+    const auto lock = engine.device().exclusive();
+    oracle.same_2ecc_batch(engine.device(), request.pairs, answers);
+  } else {
+    engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+    answers.resize(request.pairs.size());
+    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+      answers[q] = static_cast<std::uint8_t>(
+          oracle.same_2ecc(request.pairs[q].first, request.pairs[q].second));
+    }
+  }
+  return answers;
+}
+
+std::vector<NodeId> answer_bridges_on_path(
+    const Engine& engine, const dynamic::ConnectivityOracle& oracle,
+    const Policy& policy, const PlanInputs& inputs,
+    const BridgesOnPath& request) {
+  std::vector<NodeId> answers;
+  if (policy.use_device_batch(request.pairs.size(), inputs)) {
+    engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+    const auto lock = engine.device().exclusive();
+    oracle.bridges_on_path_batch(engine.device(), request.pairs, answers);
+  } else {
+    engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+    answers.resize(request.pairs.size());
+    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+      answers[q] = oracle.bridges_on_path(request.pairs[q].first,
+                                          request.pairs[q].second);
+    }
+  }
+  return answers;
+}
+
+std::vector<NodeId> answer_component_size(
+    const Engine& engine, const dynamic::ConnectivityOracle& oracle,
+    const Policy& policy, const PlanInputs& inputs,
+    const ComponentSize& request) {
+  std::vector<NodeId> answers;
+  if (policy.use_device_batch(request.nodes.size(), inputs)) {
+    engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+    const auto lock = engine.device().exclusive();
+    oracle.component_size_batch(engine.device(), request.nodes, answers);
+  } else {
+    engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+    answers.resize(request.nodes.size());
+    for (std::size_t q = 0; q < request.nodes.size(); ++q) {
+      answers[q] = oracle.component_size(request.nodes[q]);
+    }
+  }
+  return answers;
+}
+
+std::vector<NodeId> answer_lca(const Engine& engine, const lca::InlabelLca& lca,
+                               NodeId virtual_root, const Policy& policy,
+                               const PlanInputs& inputs,
+                               const LcaBatch& request) {
+  std::vector<NodeId> answers;
+  if (policy.use_device_batch(request.pairs.size(), inputs)) {
+    engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+    const auto lock = engine.device().exclusive();
+    lca.query_batch(engine.device(), request.pairs, answers);
+  } else {
+    engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+    answers.resize(request.pairs.size());
+    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+      answers[q] = lca.query(request.pairs[q].first, request.pairs[q].second);
+    }
+  }
+  // Meeting at the virtual root means "different components".
+  for (NodeId& a : answers) {
+    if (a == virtual_root) a = kNoNode;
+  }
+  return answers;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Engine
 
 Engine::Engine(const EngineOptions& options)
     : options_(options),
@@ -21,11 +131,28 @@ Engine::Engine(const EngineOptions& options)
                                     device::Context::device_launch_overhead())),
       multicore_(options.multicore_workers == 0
                      ? device::Context(std::max(2u, device_.workers() / 2))
-                     : device::Context(options.multicore_workers)) {}
+                     : device::Context(options.multicore_workers)) {
+  if (options_.calibrate) options_.policy.calibrate(*this);
+}
 
 Session Engine::session(GraphRef graph) {
-  ++stats_.sessions;
+  counters_.sessions.fetch_add(1, kRelaxed);
   return Session(*this, graph);
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.sessions = counters_.sessions.load(kRelaxed);
+  s.requests = counters_.requests.load(kRelaxed);
+  s.artifact_builds = counters_.artifact_builds.load(kRelaxed);
+  s.artifact_hits = counters_.artifact_hits.load(kRelaxed);
+  for (std::size_t i = 0; i < kNumBackends; ++i) {
+    s.backend_runs[i] = counters_.backend_runs[i].load(kRelaxed);
+  }
+  s.device_query_batches = counters_.device_query_batches.load(kRelaxed);
+  s.host_query_batches = counters_.host_query_batches.load(kRelaxed);
+  s.views = counters_.views.load(kRelaxed);
+  return s;
 }
 
 // ----------------------------------------------------------- cache plumbing
@@ -34,6 +161,8 @@ void Session::sync_epoch() {
   const std::uint64_t epoch = graph_.epoch();
   if (cache_.epoch == epoch) return;
   cache_.epoch = epoch;
+  // Resetting a shared_ptr drops the SESSION's reference only: Views
+  // pinning the outgoing epoch keep its artifacts alive until they retire.
   cache_.csr.reset();
   cache_.forest.reset();
   cache_.stitched.reset();
@@ -52,27 +181,41 @@ void Session::drop_artifacts() {
   cache_.epoch = Cache::kNone;
   // A dynamic graph's oracle would otherwise see an unchanged (uid, epoch)
   // and no-op its refresh — sever the binding so the rebuild is real.
-  cache_.oracle.invalidate();
+  oracle_mut().invalidate();
 }
 
 void Session::drop_results() {
   cache_.mask.reset();
   cache_.mask_backend = Backend::kAuto;
   cache_.oracle_current = false;
-  cache_.oracle.invalidate();  // see drop_artifacts()
+  oracle_mut().invalidate();  // see drop_artifacts()
   cache_.forest_lca.reset();
 }
 
-bool Session::track(bool built) {
-  if (built) {
-    ++engine_->stats_.artifact_builds;
-  } else {
-    ++engine_->stats_.artifact_hits;
+dynamic::ConnectivityOracle& Session::oracle_mut() {
+  if (cache_.oracle_published) {
+    // Copy-on-write: a View shares the object, so it must never change
+    // underneath the readers. The clone carries the (uid, epoch) binding
+    // and the cumulative stats, so the incremental replay still applies to
+    // it exactly as it would have in place. The sticky flag (rather than
+    // use_count() == 1) is deliberate: a refcount load is not a
+    // synchronization point, so mutating on an observed count of 1 would
+    // race the retired readers' earlier reads (no happens-before edge);
+    // the price is at most one conservative clone after every View of an
+    // epoch has already dropped.
+    cache_.oracle = std::make_shared<dynamic::ConnectivityOracle>(*cache_.oracle);
+    cache_.oracle_published = false;
   }
+  return *cache_.oracle;
+}
+
+bool Session::track(bool built) {
+  (built ? engine_->counters_.artifact_builds : engine_->counters_.artifact_hits)
+      .fetch_add(1, kRelaxed);
   return built;
 }
 
-const graph::Csr& Session::csr() {
+const graph::Csr& Session::csr_artifact() {
   sync_epoch();
   if (graph_.is_dynamic()) {
     // The DCSR caches its own per-epoch CSR; delegating keeps it zero-copy.
@@ -81,22 +224,32 @@ const graph::Csr& Session::csr() {
   }
   track(!cache_.csr);
   if (!cache_.csr) {
-    cache_.csr = graph::build_csr(engine_->device_, graph_.edges(engine_->device_));
+    cache_.csr = std::make_shared<const graph::Csr>(
+        graph::build_csr(engine_->device_, graph_.edges(engine_->device_)));
   }
   return *cache_.csr;
+}
+
+const graph::Csr& Session::csr() {
+  const auto lock = engine_->device_.exclusive();
+  return csr_artifact();
 }
 
 const bridges::SpanningForest& Session::forest() {
   sync_epoch();
   track(!cache_.forest);
   if (!cache_.forest) {
-    cache_.forest = bridges::cc_spanning_forest(engine_->device_,
-                                                graph_.edges(engine_->device_));
+    cache_.forest = std::make_shared<const bridges::SpanningForest>(
+        bridges::cc_spanning_forest(engine_->device_,
+                                    graph_.edges(engine_->device_)));
   }
   return *cache_.forest;
 }
 
-std::size_t Session::num_components() { return forest().num_components; }
+std::size_t Session::num_components() {
+  const auto lock = engine_->device_.exclusive();
+  return forest().num_components;
+}
 
 const graph::EdgeList& Session::stitched() {
   sync_epoch();
@@ -104,8 +257,9 @@ const graph::EdgeList& Session::stitched() {
   if (!cache_.stitched) {
     const device::Context& ctx = engine_->device_;
     const graph::EdgeList& g = graph_.edges(ctx);
-    cache_.stitched = bridges::stitch_components(
-        g, bridges::component_representatives(ctx, forest()));
+    cache_.stitched = std::make_shared<const graph::EdgeList>(
+        bridges::stitch_components(
+            g, bridges::component_representatives(ctx, forest())));
   }
   return *cache_.stitched;
 }
@@ -114,12 +268,13 @@ const graph::Csr& Session::stitched_csr() {
   sync_epoch();
   track(!cache_.stitched_csr);
   if (!cache_.stitched_csr) {
-    cache_.stitched_csr = graph::build_csr(engine_->device_, stitched());
+    cache_.stitched_csr = std::make_shared<const graph::Csr>(
+        graph::build_csr(engine_->device_, stitched()));
   }
   return *cache_.stitched_csr;
 }
 
-NodeId Session::diameter_estimate() {
+NodeId Session::diameter_artifact() {
   sync_epoch();
   if (graph_.num_nodes() == 0) return 0;
   const std::size_t m = graph_.num_edges();
@@ -136,26 +291,25 @@ NodeId Session::diameter_estimate() {
       graph_.epoch() - cache_.diameter_at_epoch >= Cache::kDiameterMaxAge;
   track(stale);
   if (stale) {
-    cache_.diameter = graph::estimate_diameter(csr(), /*sweeps=*/2);
+    cache_.diameter = graph::estimate_diameter(csr_artifact(), /*sweeps=*/2);
     cache_.diameter_at_m = m;
     cache_.diameter_at_epoch = graph_.epoch();
   }
   return cache_.diameter;
 }
 
+NodeId Session::diameter_estimate() {
+  const auto lock = engine_->device_.exclusive();
+  return diameter_artifact();
+}
+
 PlanInputs Session::machine_inputs() const {
-  PlanInputs inputs;
-  inputs.n = graph_.num_nodes();
-  inputs.m = graph_.num_edges();
-  inputs.device_workers = engine_->device_.workers();
-  inputs.multicore_workers = engine_->multicore_.workers();
-  inputs.launch_overhead = engine_->device_.launch_overhead();
-  return inputs;
+  return query_inputs(*engine_, graph_.num_nodes(), graph_.num_edges());
 }
 
 PlanInputs Session::plan_inputs() {
   PlanInputs inputs = machine_inputs();
-  inputs.diameter = diameter_estimate();
+  inputs.diameter = diameter_artifact();
   return inputs;
 }
 
@@ -181,7 +335,7 @@ const bridges::BridgeMask& Session::mask_artifact(const Policy& policy,
   } else {
     if (backend == Backend::kAuto) backend = policy.choose(plan_inputs());
     if (backend == Backend::kDfs) {
-      mask = bridges::find_bridges_dfs(csr());
+      mask = bridges::find_bridges_dfs(csr_artifact());
     } else {
       // The parallel backends require a connected input; a disconnected
       // graph runs through the stitched augmentation and slices back.
@@ -189,13 +343,14 @@ const bridges::BridgeMask& Session::mask_artifact(const Policy& policy,
       const graph::EdgeList& target = connected ? g : stitched();
       switch (backend) {
         case Backend::kCkMulticore:
-          mask = bridges::find_bridges_ck(engine_->multicore_, target,
-                                          connected ? csr() : stitched_csr(),
-                                          phases);
+          mask = bridges::find_bridges_ck(
+              engine_->multicore_, target,
+              connected ? csr_artifact() : stitched_csr(), phases);
           break;
         case Backend::kCk:
           mask = bridges::find_bridges_ck(
-              device, target, connected ? csr() : stitched_csr(), phases);
+              device, target, connected ? csr_artifact() : stitched_csr(),
+              phases);
           break;
         case Backend::kTv:
           mask = bridges::find_bridges_tarjan_vishkin(device, target, phases);
@@ -212,10 +367,11 @@ const bridges::BridgeMask& Session::mask_artifact(const Policy& policy,
     }
     // Inside the m > 0 branch: the edgeless early path runs no backend, so
     // it must not count as one.
-    ++engine_->stats_.backend_runs[backend_index(backend)];
+    engine_->counters_.backend_runs[backend_index(backend)].fetch_add(1,
+                                                                      kRelaxed);
   }
   track(true);
-  cache_.mask = std::move(mask);
+  cache_.mask = std::make_shared<const bridges::BridgeMask>(std::move(mask));
   cache_.mask_backend = backend;
   return *cache_.mask;
 }
@@ -242,16 +398,16 @@ const dynamic::ConnectivityOracle& Session::oracle_artifact(
       // candidate delta that still aborts into the rebuild mid-flight
       // just runs the oracle's own TV mask phase.
       if (needs_forced_mask &&
-          cache_.oracle.refresh_needs_rebuild(*graph_.dynamic_graph())) {
+          cache_.oracle->refresh_needs_rebuild(*graph_.dynamic_graph())) {
         mask = &mask_artifact(policy, nullptr);
       }
       // refresh() replays deltas incrementally when it can; this epoch's
       // cached mask and forest (only if already built — forcing either
       // would defeat the incremental path) spare the full rebuild those
       // phases.
-      cache_.oracle.refresh(engine_->device_, *graph_.dynamic_graph(),
-                            nullptr, mask,
-                            cache_.forest ? &*cache_.forest : nullptr);
+      oracle_mut().refresh(engine_->device_, *graph_.dynamic_graph(),
+                           nullptr, mask,
+                           cache_.forest ? &*cache_.forest : nullptr);
     } else {
       // Static: the mask is the policy-chosen artifact — ensure it exists
       // (recomputing a forced-backend mismatch, like a Bridges request
@@ -260,12 +416,12 @@ const dynamic::ConnectivityOracle& Session::oracle_artifact(
       if (mask == nullptr || needs_forced_mask) {
         mask = &mask_artifact(policy, nullptr);
       }
-      cache_.oracle.build(engine_->device_, graph_.edges(engine_->device_),
-                          mask, &forest());
+      oracle_mut().build(engine_->device_, graph_.edges(engine_->device_),
+                         mask, &forest());
     }
     cache_.oracle_current = true;
   }
-  return cache_.oracle;
+  return *cache_.oracle;
 }
 
 const lca::InlabelLca& Session::forest_lca_artifact() {
@@ -295,7 +451,8 @@ const lca::InlabelLca& Session::forest_lca_artifact() {
     std::vector<NodeId> parent, level;
     core::root_tree(ctx, tree, virtual_root, parent, level);
     const core::ParentTree ptree{virtual_root, std::move(parent)};
-    cache_.forest_lca = lca::InlabelLca::build_parallel(ctx, ptree);
+    cache_.forest_lca = std::make_shared<const lca::InlabelLca>(
+        lca::InlabelLca::build_parallel(ctx, ptree));
   }
   return *cache_.forest_lca;
 }
@@ -308,7 +465,8 @@ const bridges::BridgeMask& Session::run(const Bridges& request) {
 
 const bridges::BridgeMask& Session::run(const Bridges& request,
                                         const Policy& policy) {
-  ++engine_->stats_.requests;
+  engine_->counters_.requests.fetch_add(1, kRelaxed);
+  const auto lock = engine_->device_.exclusive();
   return mask_artifact(policy, request.phases);
 }
 
@@ -317,9 +475,23 @@ TwoEccView Session::run(const TwoEcc& request) {
 }
 
 TwoEccView Session::run(const TwoEcc&, const Policy& policy) {
-  ++engine_->stats_.requests;
+  engine_->counters_.requests.fetch_add(1, kRelaxed);
+  const auto lock = engine_->device_.exclusive();
   const dynamic::ConnectivityOracle& oracle = oracle_artifact(policy);
   return {&oracle.block_labels(), oracle.num_blocks(), oracle.num_bridges()};
+}
+
+const dynamic::ConnectivityOracle& Session::locked_oracle(
+    const Policy& policy) {
+  engine_->counters_.requests.fetch_add(1, kRelaxed);
+  const auto lock = engine_->device_.exclusive();
+  return oracle_artifact(policy);
+}
+
+const lca::InlabelLca& Session::locked_forest_lca() {
+  engine_->counters_.requests.fetch_add(1, kRelaxed);
+  const auto lock = engine_->device_.exclusive();
+  return forest_lca_artifact();
 }
 
 std::vector<std::uint8_t> Session::run(const Same2Ecc& request) {
@@ -328,21 +500,8 @@ std::vector<std::uint8_t> Session::run(const Same2Ecc& request) {
 
 std::vector<std::uint8_t> Session::run(const Same2Ecc& request,
                                        const Policy& policy) {
-  ++engine_->stats_.requests;
-  const dynamic::ConnectivityOracle& oracle = oracle_artifact(policy);
-  std::vector<std::uint8_t> answers;
-  if (policy.use_device_batch(request.pairs.size(), machine_inputs())) {
-    ++engine_->stats_.device_query_batches;
-    oracle.same_2ecc_batch(engine_->device_, request.pairs, answers);
-  } else {
-    ++engine_->stats_.host_query_batches;
-    answers.resize(request.pairs.size());
-    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
-      answers[q] = static_cast<std::uint8_t>(
-          oracle.same_2ecc(request.pairs[q].first, request.pairs[q].second));
-    }
-  }
-  return answers;
+  return answer_same2ecc(*engine_, locked_oracle(policy), policy,
+                         machine_inputs(), request);
 }
 
 std::vector<NodeId> Session::run(const BridgesOnPath& request) {
@@ -351,21 +510,8 @@ std::vector<NodeId> Session::run(const BridgesOnPath& request) {
 
 std::vector<NodeId> Session::run(const BridgesOnPath& request,
                                  const Policy& policy) {
-  ++engine_->stats_.requests;
-  const dynamic::ConnectivityOracle& oracle = oracle_artifact(policy);
-  std::vector<NodeId> answers;
-  if (policy.use_device_batch(request.pairs.size(), machine_inputs())) {
-    ++engine_->stats_.device_query_batches;
-    oracle.bridges_on_path_batch(engine_->device_, request.pairs, answers);
-  } else {
-    ++engine_->stats_.host_query_batches;
-    answers.resize(request.pairs.size());
-    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
-      answers[q] =
-          oracle.bridges_on_path(request.pairs[q].first, request.pairs[q].second);
-    }
-  }
-  return answers;
+  return answer_bridges_on_path(*engine_, locked_oracle(policy), policy,
+                                machine_inputs(), request);
 }
 
 std::vector<NodeId> Session::run(const ComponentSize& request) {
@@ -374,20 +520,8 @@ std::vector<NodeId> Session::run(const ComponentSize& request) {
 
 std::vector<NodeId> Session::run(const ComponentSize& request,
                                  const Policy& policy) {
-  ++engine_->stats_.requests;
-  const dynamic::ConnectivityOracle& oracle = oracle_artifact(policy);
-  std::vector<NodeId> answers;
-  if (policy.use_device_batch(request.nodes.size(), machine_inputs())) {
-    ++engine_->stats_.device_query_batches;
-    oracle.component_size_batch(engine_->device_, request.nodes, answers);
-  } else {
-    ++engine_->stats_.host_query_batches;
-    answers.resize(request.nodes.size());
-    for (std::size_t q = 0; q < request.nodes.size(); ++q) {
-      answers[q] = oracle.component_size(request.nodes[q]);
-    }
-  }
-  return answers;
+  return answer_component_size(*engine_, locked_oracle(policy), policy,
+                               machine_inputs(), request);
 }
 
 std::vector<NodeId> Session::run(const LcaBatch& request) {
@@ -396,25 +530,9 @@ std::vector<NodeId> Session::run(const LcaBatch& request) {
 
 std::vector<NodeId> Session::run(const LcaBatch& request,
                                  const Policy& policy) {
-  ++engine_->stats_.requests;
-  const lca::InlabelLca& lca = forest_lca_artifact();
-  const auto virtual_root = static_cast<NodeId>(graph_.num_nodes());
-  std::vector<NodeId> answers;
-  if (policy.use_device_batch(request.pairs.size(), machine_inputs())) {
-    ++engine_->stats_.device_query_batches;
-    lca.query_batch(engine_->device_, request.pairs, answers);
-  } else {
-    ++engine_->stats_.host_query_batches;
-    answers.resize(request.pairs.size());
-    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
-      answers[q] = lca.query(request.pairs[q].first, request.pairs[q].second);
-    }
-  }
-  // Meeting at the virtual root means "different components".
-  for (NodeId& a : answers) {
-    if (a == virtual_root) a = kNoNode;
-  }
-  return answers;
+  return answer_lca(*engine_, locked_forest_lca(),
+                    static_cast<NodeId>(graph_.num_nodes()), policy,
+                    machine_inputs(), request);
 }
 
 Plan Session::plan(const Bridges& request) {
@@ -422,6 +540,7 @@ Plan Session::plan(const Bridges& request) {
 }
 
 Plan Session::plan(const Bridges&, const Policy& policy) {
+  const auto lock = engine_->device_.exclusive();
   Plan result;
   result.inputs = plan_inputs();
   for (std::size_t i = 0; i < kNumBackends; ++i) {
@@ -430,6 +549,282 @@ Plan Session::plan(const Bridges&, const Policy& policy) {
   }
   result.chosen = policy.choose(result.inputs);
   return result;
+}
+
+// ------------------------------------------------------------------ views
+
+struct View::State {
+  Engine* engine = nullptr;
+  Policy policy;  // captured at acquisition: decides batch routing
+  std::uint64_t epoch = 0;
+  NodeId n = 0;
+  std::size_t m = 0;
+  std::size_t components = 0;
+  Backend mask_backend = Backend::kAuto;
+  std::shared_ptr<const graph::EdgeList> owned_edges;  // dynamic snapshot
+  const graph::EdgeList* edges = nullptr;  // owned_edges or the static graph
+  std::shared_ptr<const graph::Csr> csr;
+  std::shared_ptr<const bridges::SpanningForest> forest;
+  std::shared_ptr<const bridges::BridgeMask> mask;
+  std::shared_ptr<const dynamic::ConnectivityOracle> oracle;
+  std::shared_ptr<const lca::InlabelLca> forest_lca;
+};
+
+void Session::ensure_all_artifacts(const Policy& policy) {
+  sync_epoch();
+  csr_artifact();
+  forest();
+  mask_artifact(policy, nullptr);
+  oracle_artifact(policy);
+  forest_lca_artifact();
+}
+
+std::shared_ptr<const View::State> Session::make_state(const Policy& policy) {
+  ensure_all_artifacts(policy);
+  auto state = std::make_shared<View::State>();
+  state->engine = engine_;
+  state->policy = policy;
+  state->epoch = cache_.epoch;
+  state->n = graph_.num_nodes();
+  state->m = graph_.num_edges();
+  state->components = cache_.forest->num_components;
+  state->mask_backend = cache_.mask_backend;
+  if (graph_.is_dynamic()) {
+    state->owned_edges =
+        graph_.dynamic_graph()->snapshot_shared(engine_->device_);
+    state->edges = state->owned_edges.get();
+    state->csr = graph_.dynamic_graph()->csr_snapshot_shared(engine_->device_);
+  } else {
+    state->edges = graph_.static_graph();
+    state->csr = cache_.csr;
+  }
+  state->forest = cache_.forest;
+  state->mask = cache_.mask;
+  state->oracle = cache_.oracle;
+  state->forest_lca = cache_.forest_lca;
+  // From here on the shared oracle is frozen: the next epoch's refresh
+  // clones it first (oracle_mut) instead of replaying deltas in place.
+  cache_.oracle_published = true;
+  std::erase_if(published_, [](const auto& weak) { return weak.expired(); });
+  published_.push_back(state);
+  return state;
+}
+
+View Session::view() { return view(engine_->default_policy()); }
+
+View Session::view(const Policy& policy) {
+  engine_->counters_.views.fetch_add(1, kRelaxed);
+  const auto lock = engine_->device_.exclusive();
+  return View(make_state(policy));
+}
+
+std::uint64_t Session::refresh() { return refresh(engine_->default_policy()); }
+
+std::uint64_t Session::refresh(const Policy& policy) {
+  const auto lock = engine_->device_.exclusive();
+  ensure_all_artifacts(policy);
+  return cache_.epoch;
+}
+
+std::size_t Session::pinned_epochs() const {
+  std::vector<std::uint64_t> epochs;
+  for (const auto& weak : published_) {
+    if (const auto state = weak.lock()) epochs.push_back(state->epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+  return epochs.size();
+}
+
+std::uint64_t View::epoch() const { return state_->epoch; }
+NodeId View::num_nodes() const { return state_->n; }
+std::size_t View::num_edges() const { return state_->m; }
+std::size_t View::num_components() const { return state_->components; }
+Backend View::mask_backend() const { return state_->mask_backend; }
+const graph::EdgeList& View::edges() const { return *state_->edges; }
+const graph::Csr& View::csr() const { return *state_->csr; }
+const bridges::SpanningForest& View::forest() const { return *state_->forest; }
+
+const bridges::BridgeMask& View::run(const Bridges&) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return *state_->mask;  // prebuilt and frozen; phases would have nothing
+                         // to time
+}
+
+TwoEccView View::run(const TwoEcc&) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return {&state_->oracle->block_labels(), state_->oracle->num_blocks(),
+          state_->oracle->num_bridges()};
+}
+
+std::vector<std::uint8_t> View::run(const Same2Ecc& request) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return answer_same2ecc(*state_->engine, *state_->oracle, state_->policy,
+                         query_inputs(*state_->engine, state_->n, state_->m),
+                         request);
+}
+
+std::vector<NodeId> View::run(const BridgesOnPath& request) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return answer_bridges_on_path(
+      *state_->engine, *state_->oracle, state_->policy,
+      query_inputs(*state_->engine, state_->n, state_->m), request);
+}
+
+std::vector<NodeId> View::run(const ComponentSize& request) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return answer_component_size(
+      *state_->engine, *state_->oracle, state_->policy,
+      query_inputs(*state_->engine, state_->n, state_->m), request);
+}
+
+std::vector<NodeId> View::run(const LcaBatch& request) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return answer_lca(*state_->engine, *state_->forest_lca, state_->n,
+                    state_->policy,
+                    query_inputs(*state_->engine, state_->n, state_->m),
+                    request);
+}
+
+// ------------------------------------------------------------ calibration
+
+namespace {
+
+/// The model's pure-work prediction (launch/sync charges zeroed) and the
+/// charges themselves — the charges are already exact (launch counts are
+/// structural, the overhead is the context's known constant), so
+/// calibration subtracts them from measured time and refits only the work.
+double work_seconds(const CostModel& model, Backend backend,
+                    const PlanInputs& inputs) {
+  CostModel work_only = model;
+  work_only.multicore_sync_ns = 0.0;
+  PlanInputs no_launch = inputs;
+  no_launch.launch_overhead = 0.0;
+  return work_only.seconds(backend, no_launch);
+}
+
+double charge_seconds(const CostModel& model, Backend backend,
+                      const PlanInputs& inputs) {
+  return model.seconds(backend, inputs) - work_seconds(model, backend, inputs);
+}
+
+}  // namespace
+
+void Policy::calibrate(Engine& engine) {
+  // Two small instances spanning the regimes that separate the backends: a
+  // high-diameter ribbon (CK's BFS-launch regime) and a dense low-diameter
+  // kron. ~1-2k nodes each keeps the whole fit around 100ms on the
+  // reference container.
+  struct Instance {
+    graph::EdgeList g;
+    graph::Csr csr;
+    PlanInputs inputs;
+  };
+  const device::Context& device = engine.device();
+  const auto lock = device.exclusive();
+  std::array<Instance, 2> instances{
+      Instance{graph::largest_component(
+                   graph::simplified(gen::road_graph(192, 8, 0.92, 0.02, 71))),
+               {},
+               {}},
+      Instance{graph::largest_component(
+                   graph::simplified(gen::kron_graph(10, 12.0, 72))),
+               {},
+               {}}};
+  for (Instance& inst : instances) {
+    inst.csr = graph::build_csr(device, inst.g);
+    inst.inputs = query_inputs(engine, inst.g.num_nodes, inst.g.num_edges());
+    inst.inputs.diameter = graph::estimate_diameter(inst.csr, /*sweeps=*/2);
+  }
+
+  const auto measure = [&](Backend backend, const Instance& inst) {
+    double best = 1e300;
+    for (int run = 0; run < 2; ++run) {
+      util::Timer timer;
+      switch (backend) {
+        case Backend::kDfs:
+          bridges::find_bridges_dfs(inst.csr);
+          break;
+        case Backend::kCkMulticore:
+          bridges::find_bridges_ck(engine.multicore(), inst.g, inst.csr);
+          break;
+        case Backend::kCk:
+          bridges::find_bridges_ck(device, inst.g, inst.csr);
+          break;
+        case Backend::kTv:
+          bridges::find_bridges_tarjan_vishkin(device, inst.g);
+          break;
+        case Backend::kHybrid:
+          bridges::find_bridges_hybrid(device, inst.g);
+          break;
+        case Backend::kAuto:
+          break;
+      }
+      best = std::min(best, timer.seconds());
+    }
+    return best;
+  };
+
+  // Measured-over-predicted work ratio per backend (geometric mean across
+  // the instances); implausible ratios — noise, or a work term fully
+  // hidden under the launch charge — leave the hand constants in place.
+  const CostModel hand = model;
+  const auto fit_ratio = [&](Backend backend) {
+    double log_sum = 0.0;
+    int count = 0;
+    for (const Instance& inst : instances) {
+      const double work = work_seconds(hand, backend, inst.inputs);
+      const double net =
+          measure(backend, inst) - charge_seconds(hand, backend, inst.inputs);
+      if (!(work > 0.0) || !(net > 0.0)) continue;
+      const double ratio = net / work;
+      if (!std::isfinite(ratio) || ratio < 1.0 / 20.0 || ratio > 20.0) continue;
+      log_sum += std::log(ratio);
+      ++count;
+    }
+    return count > 0 ? std::exp(log_sum / count) : 1.0;
+  };
+
+  const double r_dfs = fit_ratio(Backend::kDfs);
+  model.dfs_node_ns *= r_dfs;
+  model.dfs_edge_ns *= r_dfs;
+  const double r_ck = fit_ratio(Backend::kCk);
+  model.ck_node_ns *= r_ck;
+  model.ck_edge_ns *= r_ck;
+  const double r_tv = fit_ratio(Backend::kTv);
+  model.tv_node_ns *= r_tv;
+  model.tv_edge_ns *= r_tv;
+  const double r_hybrid = fit_ratio(Backend::kHybrid);
+  model.hybrid_node_ns *= r_hybrid;
+  model.hybrid_edge_ns *= r_hybrid;
+  // Host/device point-query work scales with scalar host throughput.
+  model.query_host_ns *= r_dfs;
+  model.query_device_ns *= r_dfs;
+
+  // Multicore shares CK's (now rescaled) work constants; what is left to
+  // fit is the per-BFS-level pool sync. Take the residual over the
+  // instances, clamped to a plausible band around the hand value.
+  double sync_sum = 0.0;
+  int sync_count = 0;
+  for (const Instance& inst : instances) {
+    const double work =
+        work_seconds(model, Backend::kCkMulticore, inst.inputs);
+    const double residual = measure(Backend::kCkMulticore, inst) - work;
+    const double launches =
+        hand.ck_launches_per_diameter *
+            static_cast<double>(std::max<NodeId>(inst.inputs.diameter, 1)) +
+        hand.ck_fixed_launches;
+    if (residual <= 0.0 || launches <= 0.0) continue;
+    const double per_sync_ns = residual / launches * 1e9;
+    if (!std::isfinite(per_sync_ns) ||
+        per_sync_ns < hand.multicore_sync_ns / 20.0 ||
+        per_sync_ns > hand.multicore_sync_ns * 20.0) {
+      continue;
+    }
+    sync_sum += per_sync_ns;
+    ++sync_count;
+  }
+  if (sync_count > 0) model.multicore_sync_ns = sync_sum / sync_count;
 }
 
 }  // namespace emc::engine

@@ -4,20 +4,21 @@
 // signatures (find_bridges_dfs(Csr), find_bridges_ck(ctx, EdgeList, Csr),
 // ConnectivityOracle with its own lifecycle); every bench/example used to
 // re-wire that pipeline by hand, and nothing above the oracle reused
-// derived artifacts. The engine replaces that with three nouns:
+// derived artifacts. The engine replaces that with four nouns:
 //
 //   Engine  — owns the execution contexts (device and multicore; the
 //             paper's third machine model, one sequential core, is the
 //             calling thread itself — DFS runs on it directly), the default
 //             Policy, and aggregate stats. One per process is the intended
-//             shape.
+//             shape. Stats are atomic: concurrent Views account their work
+//             without locks.
 //   GraphRef — one non-owning handle over both input kinds: a static
 //             graph::EdgeList or a live dynamic::DynamicGraph. Static and
 //             dynamic inputs are served by IDENTICAL code paths; the only
 //             difference is where the epoch comes from (a DynamicGraph
 //             advances it per effective update batch, a static graph is
 //             forever at epoch 0).
-//   Session — a GraphRef plus an epoch-keyed ArtifactCache. Requests are
+//   Session — a GraphRef plus an epoch-keyed artifact cache. Requests are
 //             typed batches (Bridges, TwoEcc, Same2Ecc, BridgesOnPath,
 //             ComponentSize, LcaBatch); each is answered with the existing
 //             bulk kernels, a Policy picks the backend per request
@@ -26,12 +27,27 @@
 //             forest, stitched augmentation, bridge mask, 2-ecc index,
 //             forest LCA) is cached under the graph epoch so repeated and
 //             mixed request batches pay only the marginal work.
+//   View    — an immutable, refcounted snapshot of ONE epoch's artifacts,
+//             acquired with Session::view(). A View answers all six request
+//             types concurrently from any number of threads (snapshot
+//             isolation): host-routed query batches are lock-free reads of
+//             the frozen index; device-routed bulk kernels serialize on the
+//             context's driver lock. The serving shape is one writer thread
+//             updating the DynamicGraph and calling refresh()/view() to
+//             publish each new epoch, while reader threads keep answering
+//             on the Views they hold — an old epoch's artifacts stay alive
+//             exactly until the last View pinning them drops (MVCC by
+//             refcount; see Session::pinned_epochs()).
 //
-// The ArtifactCache's 2-ecc artifact IS a dynamic::ConnectivityOracle —
+// The artifact cache's 2-ecc artifact IS a dynamic::ConnectivityOracle —
 // not a parallel universe: for dynamic graphs refresh() replays deltas
 // incrementally, for static graphs build() runs the full pipeline once,
 // and in both cases a bridge mask the session already computed is handed
-// down so the oracle skips its own mask phase.
+// down so the oracle skips its own mask phase. Publishing a View freezes
+// the oracle object; the next epoch's refresh then clones it first
+// (copy-on-write — the incremental replay runs on the clone, the frozen
+// snapshot keeps answering) while unpublished sessions refresh in place
+// exactly as before.
 //
 // Disconnected inputs are handled uniformly (the free-function backends
 // except DFS require connected graphs): the cache keeps a "stitched"
@@ -39,16 +55,26 @@
 // to each other representative, which can never change the bridgeness of a
 // real edge — runs the backend on it, and slices the mask back.
 //
-// Lifetimes: the Engine must outlive its Sessions; a Session must not
-// outlive its graph. A static EdgeList must not be mutated while a Session
-// is bound to it (the epoch key cannot see such edits); a DynamicGraph may
-// be updated freely between requests.
+// Lifetimes: the Engine (whose contexts execute the bulk kernels) must
+// outlive its Sessions and their Views. A Session must not outlive its
+// graph. A View of a STATIC graph references the user's EdgeList and must
+// not outlive it either; a View of a DYNAMIC graph co-owns its epoch's
+// snapshot and survives both the graph moving on and the graph being
+// destroyed. A static EdgeList must not be mutated while a Session is
+// bound to it (the epoch key cannot see such edits).
+//
+// Threading contract: a Session (and a DynamicGraph) is driven by ONE
+// writer thread at a time; Views are the concurrent surface and may be
+// copied, queried, and dropped from any thread. Session builds and View
+// device-batches share the execution contexts safely through
+// device::Context::exclusive().
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -67,18 +93,21 @@ namespace emc::engine {
 
 class Engine;
 class Session;
+class View;
 
 // ------------------------------------------------------------- requests
 //
 // A request is a plain struct naming the question plus its batch payload;
-// Session::run overloads on the request type and returns the typed answer.
-// Batched requests are answered by ONE bulk kernel (or a host loop when
-// the policy says the batch is too small to pay a launch — Figure 6).
+// Session::run / View::run overload on the request type and return the
+// typed answer. Batched requests are answered by ONE bulk kernel (or a
+// host loop when the policy says the batch is too small to pay a launch —
+// Figure 6).
 
 /// Per-edge bridge verdict for the whole graph, EdgeList order. The answer
 /// is cached per epoch: a second run on an unchanged epoch is free — and
 /// `phases` is then left untouched (nothing ran, nothing to time); call
-/// drop_results() first when timing the computation itself.
+/// drop_results() first when timing the computation itself. Views ignore
+/// `phases` entirely (their mask is prebuilt).
 struct Bridges {
   util::PhaseTimer* phases = nullptr;  // optional per-phase breakdown
 };
@@ -111,7 +140,9 @@ struct LcaBatch {
 };
 
 /// Answer view for TwoEcc: compact per-node block ids served straight from
-/// the cached 2-ecc index (valid until the session's next refresh/drop).
+/// the cached 2-ecc index. From Session::run it is valid until the
+/// session's next refresh/drop; from View::run it is valid as long as that
+/// View (or any copy) lives.
 struct TwoEccView {
   const std::vector<NodeId>* labels = nullptr;  // block id per node
   std::size_t num_blocks = 0;
@@ -148,6 +179,7 @@ class GraphRef {
   const graph::EdgeList& edges(const device::Context& ctx) const {
     return dynamic_ != nullptr ? dynamic_->snapshot(ctx) : *static_;
   }
+  const graph::EdgeList* static_graph() const { return static_; }
   const dynamic::DynamicGraph* dynamic_graph() const { return dynamic_; }
 
  private:
@@ -157,7 +189,8 @@ class GraphRef {
 
 // -------------------------------------------------------------- Engine
 
-/// Aggregate counters across all of an engine's sessions.
+/// Coherent snapshot of an engine's aggregate counters, taken by
+/// Engine::stats().
 struct EngineStats {
   std::size_t sessions = 0;
   std::size_t requests = 0;
@@ -169,6 +202,8 @@ struct EngineStats {
   /// Query batches answered by one device kernel vs a host loop.
   std::size_t device_query_batches = 0;
   std::size_t host_query_batches = 0;
+  /// Views acquired via Session::view().
+  std::size_t views = 0;
 };
 
 struct EngineOptions {
@@ -179,6 +214,10 @@ struct EngineOptions {
   unsigned multicore_workers = 0;
   /// Default policy for sessions; per-request overrides win.
   Policy policy{};
+  /// Run policy.calibrate(*this) at construction: replaces the committed
+  /// hand-fitted CostModel constants (1-core container numbers) with ones
+  /// fitted to this machine by a ~100ms startup microbenchmark.
+  bool calibrate = false;
 };
 
 class Engine {
@@ -195,7 +234,26 @@ class Engine {
   const device::Context& multicore() const { return multicore_; }
 
   const Policy& default_policy() const { return options_.policy; }
-  const EngineStats& stats() const { return stats_; }
+
+  /// The live atomic counter sink behind stats(). Mutable through a const
+  /// Engine so concurrent Views account their work without locks; it is an
+  /// implementation surface for the engine/serve layers — consumers should
+  /// read the plain stats() snapshot instead.
+  struct Counters {
+    std::atomic<std::size_t> sessions{0};
+    std::atomic<std::size_t> requests{0};
+    std::atomic<std::size_t> artifact_builds{0};
+    std::atomic<std::size_t> artifact_hits{0};
+    std::array<std::atomic<std::size_t>, kNumBackends> backend_runs{};
+    std::atomic<std::size_t> device_query_batches{0};
+    std::atomic<std::size_t> host_query_batches{0};
+    std::atomic<std::size_t> views{0};
+  };
+  Counters& counters() const { return counters_; }
+
+  /// Plain snapshot of counters() (each counter read atomically).
+  EngineStats stats() const;
+
   /// Kernel launches issued on the device context so far (the currency the
   /// cache-reuse tests pin).
   std::uint64_t device_launches() const { return device_.launch_count(); }
@@ -205,7 +263,52 @@ class Engine {
   EngineOptions options_;
   device::Context device_;
   device::Context multicore_;
-  EngineStats stats_;
+  mutable Counters counters_;
+};
+
+// ---------------------------------------------------------------- View
+
+/// An immutable snapshot of one epoch's artifacts — the concurrent request
+/// surface. Copyable (copies share the refcounted state); a default-
+/// constructed View is empty and must not be queried. All run() overloads
+/// are safe to call from any number of threads simultaneously; answers are
+/// always computed against the acquisition epoch, no matter how far the
+/// graph has advanced since. The policy captured at acquisition decides
+/// host-loop vs bulk-device routing for query batches.
+class View {
+ public:
+  View() = default;
+  explicit operator bool() const { return state_ != nullptr; }
+
+  std::uint64_t epoch() const;
+  NodeId num_nodes() const;
+  std::size_t num_edges() const;
+  std::size_t num_components() const;
+  /// Backend that produced this snapshot's bridge mask.
+  Backend mask_backend() const;
+
+  /// The pinned snapshot itself: for a dynamic graph, the epoch's edge
+  /// list (mask order) co-owned with the DCSR cache; for a static graph,
+  /// the user's EdgeList.
+  const graph::EdgeList& edges() const;
+  const graph::Csr& csr() const;
+  const bridges::SpanningForest& forest() const;
+
+  // Typed requests, mirroring Session::run. The Bridges answer references
+  // the view's frozen mask (valid while any copy of the View lives);
+  // request.phases is ignored — nothing runs at answer time.
+  const bridges::BridgeMask& run(const Bridges& request) const;
+  TwoEccView run(const TwoEcc& request) const;
+  std::vector<std::uint8_t> run(const Same2Ecc& request) const;
+  std::vector<NodeId> run(const BridgesOnPath& request) const;
+  std::vector<NodeId> run(const ComponentSize& request) const;
+  std::vector<NodeId> run(const LcaBatch& request) const;
+
+ private:
+  friend class Session;
+  struct State;
+  explicit View(std::shared_ptr<const State> state) : state_(std::move(state)) {}
+  std::shared_ptr<const State> state_;
 };
 
 // ------------------------------------------------------------- Session
@@ -222,7 +325,7 @@ class Session {
   // valid until the next request that recomputes the mask (an epoch
   // change, drop_results/drop_artifacts, or a forced backend different
   // from the one that produced it). Copy the mask to keep it across such
-  // calls.
+  // calls — or hold a View, whose mask is frozen.
   const bridges::BridgeMask& run(const Bridges& request);
   const bridges::BridgeMask& run(const Bridges& request, const Policy& policy);
   TwoEccView run(const TwoEcc& request);
@@ -235,6 +338,24 @@ class Session {
   std::vector<NodeId> run(const ComponentSize& request, const Policy& policy);
   std::vector<NodeId> run(const LcaBatch& request);
   std::vector<NodeId> run(const LcaBatch& request, const Policy& policy);
+
+  // --- snapshot serving
+  //
+  // view() materializes EVERY artifact for the current epoch (where run()
+  // builds lazily per request type) and returns the epoch-pinned snapshot;
+  // refresh() does the same without acquiring a View — the writer-side
+  // "publish artifacts on the side" step, making the next view() cheap.
+  // Acquiring a View freezes the artifacts it shares: the next epoch's
+  // 2-ecc refresh clones the oracle (copy-on-write) instead of replaying
+  // deltas in place, so held Views keep answering at their epoch.
+  View view();
+  View view(const Policy& policy);
+  std::uint64_t refresh();
+  std::uint64_t refresh(const Policy& policy);
+  /// Number of distinct epochs still pinned by live Views of this session
+  /// (the current one included). An epoch's artifacts retire when its last
+  /// View drops — this is the observable for that.
+  std::size_t pinned_epochs() const;
 
   /// The decision a Bridges request would take, without running it: chosen
   /// backend plus the model's per-backend predictions. Builds the cheap
@@ -255,7 +376,7 @@ class Session {
   /// it may lag the graph until the next 2-ecc request runs. Queries go
   /// through run().
   const dynamic::ConnectivityOracle& two_ecc_index() const {
-    return cache_.oracle;
+    return *cache_.oracle;
   }
   std::size_t num_components();
 
@@ -268,6 +389,7 @@ class Session {
 
   /// Drops every cached artifact (benchmark / memory-pressure hook) except
   /// the sticky diameter hint. The next request rebuilds from scratch.
+  /// Live Views are unaffected: they co-own what they pinned.
   void drop_artifacts();
 
   /// Drops only the ANSWER artifacts (bridge mask, 2-ecc index, forest
@@ -284,17 +406,25 @@ class Session {
   struct Cache {
     static constexpr std::uint64_t kNone = ~std::uint64_t{0};
     std::uint64_t epoch = kNone;  // epoch the artifacts below belong to
-    std::optional<graph::Csr> csr;  // static graphs only; dynamic ones
-                                    // delegate to the DCSR's own snapshot
-    std::optional<bridges::SpanningForest> forest;
-    std::optional<graph::EdgeList> stitched;  // connected augmentation
-    std::optional<graph::Csr> stitched_csr;
-    std::optional<bridges::BridgeMask> mask;
+    // Artifacts are shared_ptrs so a published View co-owns them: an epoch
+    // change RESETS the session's reference (and rebuilds on demand) while
+    // every View pinning the old epoch keeps the objects alive.
+    std::shared_ptr<const graph::Csr> csr;  // static graphs only; dynamic
+                                            // ones delegate to the DCSR's
+                                            // own shared snapshot
+    std::shared_ptr<const bridges::SpanningForest> forest;
+    std::shared_ptr<const graph::EdgeList> stitched;  // connected augmentation
+    std::shared_ptr<const graph::Csr> stitched_csr;
+    std::shared_ptr<const bridges::BridgeMask> mask;
     Backend mask_backend = Backend::kAuto;
     bool oracle_current = false;
-    dynamic::ConnectivityOracle oracle;  // persists across epochs: dynamic
-                                         // refreshes replay deltas
-    std::optional<lca::InlabelLca> forest_lca;
+    // The 2-ecc index persists across epochs (dynamic refreshes replay
+    // deltas). Once `oracle_published` (a View shares the object), any
+    // mutation goes through Session::oracle_mut(), which clones first.
+    bool oracle_published = false;
+    std::shared_ptr<dynamic::ConnectivityOracle> oracle =
+        std::make_shared<dynamic::ConnectivityOracle>();
+    std::shared_ptr<const lca::InlabelLca> forest_lca;
     // Sticky diameter hint (see diameter_estimate()).
     static constexpr std::uint64_t kDiameterMaxAge = 16;  // effective batches
     NodeId diameter = kNoNode;
@@ -306,6 +436,8 @@ class Session {
   /// invalidates the epoch-keyed artifacts (the oracle object survives so
   /// dynamic refreshes can take the incremental paths).
   void sync_epoch();
+  const graph::Csr& csr_artifact();
+  NodeId diameter_artifact();
   const bridges::SpanningForest& forest();
   /// Connected augmentation of a disconnected graph: one virtual edge from
   /// the first component representative to each other representative (can
@@ -320,6 +452,20 @@ class Session {
   /// way reusing this epoch's cached mask when present.
   const dynamic::ConnectivityOracle& oracle_artifact(const Policy& policy);
   const lca::InlabelLca& forest_lca_artifact();
+  /// The artifact fetch shared by the query-type run() overloads: bump the
+  /// request counter, build (or hit) the artifact under the device driver
+  /// lock, release it — answering then routes host/device per policy.
+  const dynamic::ConnectivityOracle& locked_oracle(const Policy& policy);
+  const lca::InlabelLca& locked_forest_lca();
+  /// Mutable access to the 2-ecc index: clones it first if a View shares
+  /// the object (copy-on-write — cumulative stats and the (uid, epoch)
+  /// binding travel with the clone, so incremental replay still applies).
+  dynamic::ConnectivityOracle& oracle_mut();
+  /// Materializes every artifact for the current epoch under `policy`
+  /// (expects the caller to hold the device driver lock).
+  void ensure_all_artifacts(const Policy& policy);
+  /// ensure_all_artifacts + assemble and register the shared snapshot.
+  std::shared_ptr<const View::State> make_state(const Policy& policy);
   /// Machine-only inputs (workers, launch overhead, n, m) — enough for the
   /// batch-size decision without touching the diameter artifact.
   PlanInputs machine_inputs() const;
@@ -329,6 +475,9 @@ class Session {
   Engine* engine_;
   GraphRef graph_;
   Cache cache_;
+  /// Weak registry of every State this session published, for
+  /// pinned_epochs(); expired entries are pruned opportunistically.
+  std::vector<std::weak_ptr<const View::State>> published_;
 };
 
 }  // namespace emc::engine

@@ -25,6 +25,8 @@
 
 namespace emc::engine {
 
+class Engine;
+
 /// The bridge-finding backends a Session can dispatch to. All produce the
 /// identical per-edge verdict; they differ only in cost shape.
 enum class Backend {
@@ -114,6 +116,21 @@ struct Policy {
     policy.backend = backend;
     return policy;
   }
+
+  /// Auto-fits the CostModel's per-element work constants to THIS machine
+  /// with a ~100ms startup microbenchmark: each fixed backend runs on two
+  /// small calibration instances spanning the diameter regimes (a
+  /// high-diameter road ribbon and a dense small-diameter kron), the
+  /// already-exact launch/sync charges are subtracted from the measured
+  /// times, and each backend's work constants are scaled by the measured /
+  /// predicted work ratio. The committed hand-fitted constants (calibrated
+  /// for the 1-core reference container) stay as both the structural prior
+  /// — launch counts, diameter dependence and node/edge split are NOT
+  /// refitted, only scaled — and the fallback: a non-finite or wildly
+  /// implausible ratio (outside [1/20, 20], i.e. noise) leaves that
+  /// backend's constants untouched. Implemented in engine.cpp (it drives
+  /// the engine's execution contexts).
+  void calibrate(Engine& engine);
 
   /// Resolves this policy for one bridge request: the forced backend, or
   /// the cost-model argmin over kFixedBackends.

@@ -1,5 +1,6 @@
 #include "lca/inlabel.hpp"
 
+#include <atomic>
 #include <cassert>
 
 #include "device/primitives.hpp"
@@ -74,11 +75,15 @@ void InlabelLca::finish_preprocessing(const device::Context& ctx,
       if (ready[v]) return;
       const NodeId p = parent_[v];
       // The parent either lies on an already-resolved segment (its head is
-      // ready) or not; segments resolve top-down, one level per round.
+      // ready) or not; segments resolve top-down, one level per round. A
+      // sibling virtual thread may resolve ph within this same launch, so
+      // the ready handoff is acquire/release: observing ready[ph] == 1
+      // makes the paired ascendant_[ph] write visible (racing threads that
+      // miss it just resolve v next round).
       const NodeId ph = head_[inlabel_[p]];
-      if (ready[ph]) {
+      if (std::atomic_ref(ready[ph]).load(std::memory_order_acquire)) {
         ascendant_[v] = ascendant_[ph] | (1u << util::lsb_index(inlabel_[v]));
-        ready[v] = 1;
+        std::atomic_ref(ready[v]).store(1, std::memory_order_release);
         resolved.fetch_add(1, std::memory_order_relaxed);
       }
     });
@@ -86,10 +91,11 @@ void InlabelLca::finish_preprocessing(const device::Context& ctx,
     std::erase_if(heads_todo, [&](NodeId v) { return ready[v] != 0; });
   }
   assert(heads_todo.empty() && "ascendant sweep failed to converge");
-  // Non-head nodes share their segment head's ascendant.
+  // Non-head nodes share their segment head's ascendant. Heads skip the
+  // self-copy so no thread writes a slot another may be reading.
   device::launch(ctx, n, [&](std::size_t v) {
     const NodeId h = head_[inlabel_[v]];
-    ascendant_[v] = ascendant_[h];
+    if (static_cast<NodeId>(v) != h) ascendant_[v] = ascendant_[h];
   });
 }
 

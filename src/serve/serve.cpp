@@ -1,0 +1,295 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace emc::serve {
+
+namespace {
+
+/// Synchronous answer for the shutdown race (submit after stop): same
+/// result shape a drained round would produce. The generic form covers the
+/// types whose View answer IS the reply value; TwoEcc converts its
+/// index-pointing answer view into the value summary.
+template <typename Req>
+auto answer_now(const engine::View& view, const Req& request) {
+  return view.run(request);
+}
+
+TwoEccSummary answer_now(const engine::View& view,
+                         const engine::TwoEcc& request) {
+  const engine::TwoEccView answer = view.run(request);
+  return {answer.num_blocks, answer.num_bridges};
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(engine::View view, const DispatcherOptions& options)
+    : view_(std::move(view)),
+      options_(options),
+      paused_(options.start_paused) {
+  options_.workers = std::max(1u, options_.workers);
+  options_.max_coalesce = std::max<std::size_t>(1, options_.max_coalesce);
+  threads_.reserve(options_.workers);
+  for (unsigned t = 0; t < options_.workers; ++t) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Dispatcher::~Dispatcher() { stop(); }
+
+void Dispatcher::publish(engine::View view) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  view_ = std::move(view);
+  ++stats_.views_published;
+}
+
+engine::View Dispatcher::current_view() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return view_;
+}
+
+void Dispatcher::resume() {
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Dispatcher::stop() {
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+    paused_ = false;
+    to_join.swap(threads_);  // swap makes a second stop() a no-op
+  }
+  cv_.notify_all();
+  for (std::thread& thread : to_join) thread.join();
+}
+
+DispatcherStats Dispatcher::stats() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return stats_;
+}
+
+template <typename Req, typename Ans>
+std::future<Reply<Ans>> Dispatcher::enqueue(Lane<Req, Ans>& lane,
+                                            Req&& request) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  ++stats_.submitted;
+  if (stop_) {
+    // Shutdown race: answer synchronously so no future is ever abandoned.
+    const engine::View view = view_;
+    ++stats_.rounds;
+    ++stats_.answered;
+    stats_.max_round = std::max<std::size_t>(stats_.max_round, 1);
+    lk.unlock();
+    std::promise<Reply<Ans>> promise;
+    promise.set_value(Reply<Ans>{answer_now(view, request), view.epoch()});
+    return promise.get_future();
+  }
+  lane.queue.push_back(Item<Req, Ans>{next_seq_++, std::move(request), {}});
+  std::future<Reply<Ans>> future = lane.queue.back().promise.get_future();
+  cv_.notify_all();
+  return future;
+}
+
+std::future<Reply<std::vector<std::uint8_t>>> Dispatcher::submit(
+    engine::Same2Ecc request) {
+  return enqueue(same_, std::move(request));
+}
+
+std::future<Reply<std::vector<NodeId>>> Dispatcher::submit(
+    engine::BridgesOnPath request) {
+  return enqueue(paths_, std::move(request));
+}
+
+std::future<Reply<std::vector<NodeId>>> Dispatcher::submit(
+    engine::ComponentSize request) {
+  return enqueue(sizes_, std::move(request));
+}
+
+std::future<Reply<std::vector<NodeId>>> Dispatcher::submit(
+    engine::LcaBatch request) {
+  return enqueue(lcas_, std::move(request));
+}
+
+std::future<Reply<bridges::BridgeMask>> Dispatcher::submit(
+    engine::Bridges request) {
+  return enqueue(bridges_, std::move(request));
+}
+
+std::future<Reply<TwoEccSummary>> Dispatcher::submit(engine::TwoEcc request) {
+  return enqueue(twoecc_, std::move(request));
+}
+
+bool Dispatcher::pending_unclaimed() const {
+  const auto ready = [](const auto& lane) {
+    return !lane.claimed && !lane.queue.empty();
+  };
+  return ready(same_) || ready(paths_) || ready(sizes_) || ready(lcas_) ||
+         ready(bridges_) || ready(twoecc_);
+}
+
+bool Dispatcher::pending_none() const {
+  return same_.queue.empty() && paths_.queue.empty() && sizes_.queue.empty() &&
+         lcas_.queue.empty() && bridges_.queue.empty() &&
+         twoecc_.queue.empty();
+}
+
+template <typename Req, typename Ans, typename Payload>
+void Dispatcher::drain_queries(std::unique_lock<std::mutex>& lk,
+                               Lane<Req, Ans>& lane, Payload Req::* payload) {
+  lane.claimed = true;
+  if (options_.coalesce_window.count() > 0 && options_.max_coalesce > 1 &&
+      !stop_) {
+    // Let the round fill: a claimed lane is only drained by this worker,
+    // other lanes stay fair game for the rest of the pool.
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.coalesce_window;
+    cv_.wait_until(lk, deadline, [&] {
+      return stop_ || lane.queue.size() >= options_.max_coalesce;
+    });
+  }
+  const std::size_t take =
+      std::min(lane.queue.size(), options_.max_coalesce);
+  std::vector<Item<Req, Ans>> items;
+  items.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    items.push_back(std::move(lane.queue.front()));
+    lane.queue.pop_front();
+  }
+  lane.claimed = false;
+  const engine::View view = view_;
+  ++stats_.rounds;
+  stats_.answered += take;
+  if (take > 1) stats_.coalesced_requests += take;
+  stats_.max_round = std::max(stats_.max_round, take);
+  lk.unlock();
+
+  // One merged payload -> one View::run -> scatter the slices back. A
+  // throwing round (bad_alloc on a merged payload, most plausibly) fails
+  // exactly its own requests through their promises — it must not escape
+  // the worker thread (std::terminate) or abandon the futures.
+  try {
+    Req merged;
+    auto& all = merged.*payload;
+    std::vector<std::size_t> cuts;
+    cuts.reserve(items.size());
+    for (Item<Req, Ans>& item : items) {
+      const auto& part = item.request.*payload;
+      all.insert(all.end(), part.begin(), part.end());
+      cuts.push_back(all.size());
+    }
+    const Ans full = view.run(merged);
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Ans slice(full.begin() + static_cast<std::ptrdiff_t>(begin),
+                full.begin() + static_cast<std::ptrdiff_t>(cuts[i]));
+      begin = cuts[i];
+      items[i].promise.set_value(Reply<Ans>{std::move(slice), view.epoch()});
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Item<Req, Ans>& item : items) item.promise.set_exception(error);
+  }
+
+  lk.lock();
+  cv_.notify_all();  // a stopping worker may be waiting for pending_none()
+}
+
+template <typename Req, typename Ans, typename AnswerFn>
+void Dispatcher::drain_broadcast(std::unique_lock<std::mutex>& lk,
+                                 Lane<Req, Ans>& lane, AnswerFn&& answer) {
+  const std::size_t take =
+      std::min(lane.queue.size(), options_.max_coalesce);
+  std::vector<Item<Req, Ans>> items;
+  items.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    items.push_back(std::move(lane.queue.front()));
+    lane.queue.pop_front();
+  }
+  const engine::View view = view_;
+  ++stats_.rounds;
+  stats_.answered += take;
+  if (take > 1) stats_.coalesced_requests += take;
+  stats_.max_round = std::max(stats_.max_round, take);
+  lk.unlock();
+
+  try {
+    const Ans full = answer(view);
+    for (Item<Req, Ans>& item : items) {
+      item.promise.set_value(Reply<Ans>{full, view.epoch()});
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Item<Req, Ans>& item : items) item.promise.set_exception(error);
+  }
+
+  lk.lock();
+  cv_.notify_all();
+}
+
+void Dispatcher::serve_next(std::unique_lock<std::mutex>& lk) {
+  // FIFO across lanes: the unclaimed lane holding the oldest request wins.
+  std::uint64_t best = ~std::uint64_t{0};
+  int which = -1;
+  const auto consider = [&](const auto& lane, int id) {
+    if (!lane.claimed && !lane.queue.empty() &&
+        lane.queue.front().seq < best) {
+      best = lane.queue.front().seq;
+      which = id;
+    }
+  };
+  consider(same_, 0);
+  consider(paths_, 1);
+  consider(sizes_, 2);
+  consider(lcas_, 3);
+  consider(bridges_, 4);
+  consider(twoecc_, 5);
+  switch (which) {
+    case 0:
+      drain_queries(lk, same_, &engine::Same2Ecc::pairs);
+      break;
+    case 1:
+      drain_queries(lk, paths_, &engine::BridgesOnPath::pairs);
+      break;
+    case 2:
+      drain_queries(lk, sizes_, &engine::ComponentSize::nodes);
+      break;
+    case 3:
+      drain_queries(lk, lcas_, &engine::LcaBatch::pairs);
+      break;
+    case 4:
+      drain_broadcast(lk, bridges_, [](const engine::View& view) {
+        return bridges::BridgeMask(view.run(engine::Bridges{}));
+      });
+      break;
+    case 5:
+      drain_broadcast(lk, twoecc_, [](const engine::View& view) {
+        const engine::TwoEccView answer = view.run(engine::TwoEcc{});
+        return TwoEccSummary{answer.num_blocks, answer.num_bridges};
+      });
+      break;
+    default:
+      break;
+  }
+}
+
+void Dispatcher::worker_loop() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    cv_.wait(lk, [&] {
+      return (stop_ && pending_none()) || (!paused_ && pending_unclaimed());
+    });
+    if (!paused_ && pending_unclaimed()) {
+      serve_next(lk);
+      continue;
+    }
+    if (stop_ && pending_none()) return;
+  }
+}
+
+}  // namespace emc::serve

@@ -1,0 +1,182 @@
+// emc::serve — concurrent request serving on top of engine::View.
+//
+// The engine gives snapshot isolation (epoch-pinned Views); this layer
+// gives it a front door for heavy traffic: clients submit() typed requests
+// and get a std::future back, worker threads drain a queue of pending
+// requests and answer them against the CURRENT View, and a writer thread
+// publishes fresher Views as the graph advances — submission never blocks
+// on graph updates, updates never block on in-flight answers.
+//
+// The throughput mechanism is REQUEST COALESCING. Point-query traffic
+// arrives as many small batches (often single pairs); answered one by one
+// on the device, each batch pays a full kernel launch — the exact
+// left-edge-of-Figure-6 regime the paper shows is launch-bound. The
+// dispatcher instead merges every queued request of the same type (up to
+// `max_coalesce`, optionally waiting `coalesce_window` for stragglers)
+// into ONE payload, answers it with one View::run — one bulk kernel, or
+// one host loop — and scatters the answer slices back to the individual
+// futures. K coalesced requests thus cost one launch instead of K, which
+// is precisely the amortization the paper's batched-query figures predict;
+// whole-graph requests (Bridges, TwoEcc) coalesce even harder, one answer
+// broadcast to every waiter.
+//
+// Ordering/consistency: answers are computed against the View current at
+// DRAIN time, whose epoch is reported in the Reply envelope — a client
+// that must not see an epoch older than X checks reply.epoch. Requests of
+// the same type are answered FIFO; across types the oldest pending request
+// picks which lane drains next.
+//
+// Threading: submit(), publish(), current_view() and stats() are safe from
+// any thread. stop() (also run by the destructor) answers everything still
+// queued, then joins the workers — no future is ever abandoned; a submit()
+// racing stop() is answered synchronously by the caller.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bridges/bridges.hpp"
+#include "engine/engine.hpp"
+#include "util/types.hpp"
+
+namespace emc::serve {
+
+/// Answer envelope: the value plus the epoch of the View that served it.
+template <typename T>
+struct Reply {
+  T value{};
+  std::uint64_t epoch = 0;
+};
+
+/// Value-type answer for TwoEcc requests (the engine's TwoEccView points
+/// into a live index — a future outliving the View needs a copy).
+struct TwoEccSummary {
+  std::size_t num_blocks = 0;
+  std::size_t num_bridges = 0;
+};
+
+struct DispatcherOptions {
+  /// Worker threads draining the queue.
+  unsigned workers = 2;
+  /// After popping the first pending request of a type, wait up to this
+  /// long for more of the same type to coalesce with (0 = merge only what
+  /// is already queued — opportunistic coalescing, no added latency).
+  std::chrono::microseconds coalesce_window{0};
+  /// Largest number of requests merged into one answer round; 1 disables
+  /// coalescing entirely (the per-request baseline bench_serve compares
+  /// against).
+  std::size_t max_coalesce = 4096;
+  /// Construct with the workers parked; no request is drained until
+  /// resume(). Lets tests/benches enqueue a burst first, making coalescing
+  /// deterministic.
+  bool start_paused = false;
+};
+
+struct DispatcherStats {
+  std::size_t submitted = 0;
+  std::size_t answered = 0;
+  /// Answer rounds (each is one View::run — one bulk kernel or host loop).
+  std::size_t rounds = 0;
+  /// Requests that shared their round with at least one other request.
+  std::size_t coalesced_requests = 0;
+  std::size_t max_round = 0;  // largest round, in requests
+  std::size_t views_published = 0;
+};
+
+class Dispatcher {
+ public:
+  /// Starts `options.workers` drain threads answering against `view`.
+  explicit Dispatcher(engine::View view,
+                      const DispatcherOptions& options = {});
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Installs the View subsequent rounds answer against (the writer-side
+  /// publish step). In-flight rounds finish on the View they took.
+  void publish(engine::View view);
+  engine::View current_view() const;
+
+  // submit(): enqueue and return the future. Coalescable query types merge
+  // with same-type neighbors; Bridges/TwoEcc answer once per round and
+  // broadcast. The Bridges reply owns a COPY of the mask.
+  std::future<Reply<std::vector<std::uint8_t>>> submit(engine::Same2Ecc request);
+  std::future<Reply<std::vector<NodeId>>> submit(engine::BridgesOnPath request);
+  std::future<Reply<std::vector<NodeId>>> submit(engine::ComponentSize request);
+  std::future<Reply<std::vector<NodeId>>> submit(engine::LcaBatch request);
+  std::future<Reply<bridges::BridgeMask>> submit(engine::Bridges request);
+  std::future<Reply<TwoEccSummary>> submit(engine::TwoEcc request);
+
+  /// Releases start_paused workers.
+  void resume();
+
+  /// Answers everything still queued, then joins the workers. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  DispatcherStats stats() const;
+
+ private:
+  template <typename Req, typename Ans>
+  struct Item {
+    std::uint64_t seq = 0;
+    Req request;
+    std::promise<Reply<Ans>> promise;
+  };
+
+  template <typename Req, typename Ans>
+  struct Lane {
+    std::deque<Item<Req, Ans>> queue;
+    bool claimed = false;  // a worker is waiting out the window on it
+  };
+
+  template <typename Req, typename Ans>
+  std::future<Reply<Ans>> enqueue(Lane<Req, Ans>& lane, Req&& request);
+
+  /// Claims `lane`, optionally waits the coalescing window, merges up to
+  /// max_coalesce payloads, answers them with ONE View::run outside the
+  /// lock, and scatters the slices. `lk` is held on entry and exit.
+  template <typename Req, typename Ans, typename Payload>
+  void drain_queries(std::unique_lock<std::mutex>& lk, Lane<Req, Ans>& lane,
+                     Payload Req::* payload);
+
+  /// Takes every queued whole-graph request, answers ONCE, broadcasts.
+  template <typename Req, typename Ans, typename AnswerFn>
+  void drain_broadcast(std::unique_lock<std::mutex>& lk, Lane<Req, Ans>& lane,
+                       AnswerFn&& answer);
+
+  void worker_loop();
+  bool pending_unclaimed() const;
+  bool pending_none() const;
+  /// Serves the unclaimed lane whose head is the oldest pending request.
+  void serve_next(std::unique_lock<std::mutex>& lk);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  engine::View view_;
+  DispatcherOptions options_;
+  DispatcherStats stats_;
+  std::uint64_t next_seq_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+
+  Lane<engine::Same2Ecc, std::vector<std::uint8_t>> same_;
+  Lane<engine::BridgesOnPath, std::vector<NodeId>> paths_;
+  Lane<engine::ComponentSize, std::vector<NodeId>> sizes_;
+  Lane<engine::LcaBatch, std::vector<NodeId>> lcas_;
+  Lane<engine::Bridges, bridges::BridgeMask> bridges_;
+  Lane<engine::TwoEcc, TwoEccSummary> twoecc_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace emc::serve

@@ -14,6 +14,8 @@
 //     punished by diameter), and batch-size routing follows Figure 6.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 #include <vector>
@@ -29,6 +31,7 @@
 #include "lca/inlabel.hpp"
 #include "support/reference.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace emc::engine {
 namespace {
@@ -337,6 +340,69 @@ TEST(EnginePolicy, BatchRoutingFollowsTheLaunchOverhead) {
   policy.min_device_batch = 10;  // explicit override beats the model
   EXPECT_TRUE(policy.use_device_batch(10, one_worker));
   EXPECT_FALSE(policy.use_device_batch(9, wide));
+}
+
+TEST(EnginePolicy, CalibrationFitsThisMachineAndAutoStaysCompetitive) {
+  Engine engine({.device_workers = 2});
+  Policy calibrated;
+  calibrated.calibrate(engine);
+  const CostModel& fit = calibrated.model;
+
+  // Work constants stay positive and finite; structural terms (launch
+  // counts, diameter dependence) are priors, not fit targets.
+  for (const double c : {fit.dfs_node_ns, fit.dfs_edge_ns, fit.ck_node_ns,
+                         fit.ck_edge_ns, fit.tv_node_ns, fit.tv_edge_ns,
+                         fit.hybrid_node_ns, fit.hybrid_edge_ns,
+                         fit.multicore_sync_ns, fit.query_host_ns,
+                         fit.query_device_ns}) {
+    ASSERT_TRUE(std::isfinite(c));
+    ASSERT_GT(c, 0.0);
+  }
+  const CostModel hand;
+  EXPECT_EQ(fit.tv_launches, hand.tv_launches);
+  EXPECT_EQ(fit.hybrid_launches, hand.hybrid_launches);
+  EXPECT_EQ(fit.ck_launches_per_diameter, hand.ck_launches_per_diameter);
+
+  // The mini bench_engine: on a small road instance under the simulated
+  // 50us launch latency the device backends pay milliseconds of fixed
+  // charge, so calibrated auto must route around them...
+  const EdgeList g = graph::largest_component(
+      graph::simplified(gen::road_graph(48, 48, 0.72, 0.04, 7)));
+  Session session = engine.session(g);
+  session.csr();
+  session.num_components();
+  session.diameter_estimate();
+  const Plan plan = session.plan(Bridges{}, calibrated);
+  EXPECT_NE(plan.chosen, Backend::kCk);
+  EXPECT_NE(plan.chosen, Backend::kTv);
+  EXPECT_NE(plan.chosen, Backend::kHybrid);
+
+  // ...and must match or beat every fixed backend when measured (generous
+  // tolerance: the auto pick IS one of the fixed backends plus a model
+  // evaluation, so losing by 2x means the fit pointed at a loser).
+  const auto timed = [&](const Policy& policy) {
+    double best = 1e300;
+    for (int run = 0; run < 3; ++run) {
+      session.drop_results();
+      util::Timer timer;
+      session.run(Bridges{}, policy);
+      best = std::min(best, timer.seconds());
+    }
+    return best;
+  };
+  double best_fixed = 1e300;
+  for (const Backend backend : kFixedBackends) {
+    best_fixed = std::min(best_fixed, timed(Policy::fixed(backend)));
+  }
+  const double auto_seconds = timed(calibrated);
+  EXPECT_LE(auto_seconds, best_fixed * 2.0 + 2e-3)
+      << "calibrated auto picked " << to_string(session.mask_backend());
+
+  // EngineOptions::calibrate wires the same fit into the default policy.
+  Engine calibrated_engine(
+      {.device_workers = 2, .multicore_workers = 2, .calibrate = true});
+  ASSERT_TRUE(
+      std::isfinite(calibrated_engine.default_policy().model.dfs_edge_ns));
 }
 
 TEST(EnginePolicy, ForcedBackendIsRespected) {

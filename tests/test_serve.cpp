@@ -1,0 +1,469 @@
+// The serving layer: epoch-pinned Views must give snapshot isolation under
+// a concurrent writer, and the Dispatcher must coalesce small request
+// batches into single bulk answers.
+//
+// Four pillars:
+//   snapshot isolation — a View acquired at epoch E keeps answering E's
+//     truth (differentially checked against the shared reference) while
+//     the DynamicGraph advances arbitrarily far past E;
+//   concurrency — N reader threads answer on Views (host and device
+//     routes) while one writer applies insert/erase batches and publishes
+//     fresh Views; every answer must match the reference of the answering
+//     View's OWN epoch. This is the suite the TSan CI job leans on;
+//   coalescing pins — K small submitted batches drain as ONE answer round
+//     costing one bulk kernel launch (and exactly K launches with
+//     coalescing disabled — the per-request baseline);
+//   lifecycle — drains on stop, shutdown races, copy-on-write of the
+//     2-ecc index preserving the incremental-replay stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "engine/engine.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "serve/serve.hpp"
+#include "support/fuzz_env.hpp"
+#include "support/reference.hpp"
+#include "util/rng.hpp"
+
+namespace emc::serve {
+namespace {
+
+using engine::Backend;
+using engine::Engine;
+using engine::Policy;
+using engine::Session;
+using engine::View;
+using graph::Edge;
+using graph::EdgeList;
+using test_support::ReferenceOracle;
+
+std::vector<Edge> random_batch(util::Rng& rng, NodeId n, std::size_t count) {
+  std::vector<Edge> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back({static_cast<NodeId>(rng.below(n)),
+                     static_cast<NodeId>(rng.below(n))});
+  }
+  return batch;
+}
+
+/// Checks one view's answers for `pairs` against the reference of the
+/// view's own epoch. `tag` carries the replay seed into cross-thread
+/// failure messages (SCOPED_TRACE is thread-local).
+void expect_view_matches(const View& view, const ReferenceOracle& ref,
+                         const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                         const std::string& tag) {
+  const auto same = view.run(engine::Same2Ecc{pairs});
+  const auto paths = view.run(engine::BridgesOnPath{pairs});
+  const auto lcas = view.run(engine::LcaBatch{pairs});
+  engine::ComponentSize sizes;
+  for (const auto& [u, v] : pairs) sizes.nodes.push_back(u);
+  const auto size_got = view.run(sizes);
+  for (std::size_t q = 0; q < pairs.size(); ++q) {
+    const auto [u, v] = pairs[q];
+    EXPECT_EQ(same[q] != 0, ref.comp[u] == ref.comp[v])
+        << tag << " epoch " << view.epoch() << " same2ecc " << u << "," << v;
+    EXPECT_EQ(paths[q], ref.bridges_on_path(u, v))
+        << tag << " epoch " << view.epoch() << " paths " << u << "," << v;
+    // The forest LCA itself is rooting-specific; the component split is
+    // not: pairs meet a real ancestor iff they share a component.
+    EXPECT_EQ(lcas[q] == kNoNode, ref.cc[u] != ref.cc[v])
+        << tag << " epoch " << view.epoch() << " lca " << u << "," << v;
+    EXPECT_EQ(size_got[q], ref.comp_size[u])
+        << tag << " epoch " << view.epoch() << " size " << u;
+  }
+}
+
+TEST(ServeView, EpochPinnedSnapshotIsolation) {
+  Engine engine({.device_workers = 2});
+  // Sequential context for references: keeps the ground truth off the
+  // engine's (locked) contexts entirely.
+  const device::Context ref_ctx = device::Context::sequential();
+  dynamic::DynamicGraph dg(engine.device(),
+                           gen::road_graph(24, 24, 0.7, 0.05, 31));
+  Session session = engine.session(dg);
+
+  Policy device_route;
+  device_route.min_device_batch = 1;
+  View v0 = session.view();
+  View v0_dev = session.view(device_route);
+  const std::size_t m0 = dg.num_edges();
+  const auto ref0 =
+      std::make_shared<ReferenceOracle>(ref_ctx, dg.snapshot(engine.device()));
+  EXPECT_EQ(session.pinned_epochs(), 1u);  // both views pin the same epoch
+
+  // Advance the graph two effective epochs past the views.
+  util::Rng rng(91);
+  const EdgeList& snap = dg.snapshot(engine.device());
+  std::vector<Edge> erase(snap.edges.begin(), snap.edges.begin() + 40);
+  ASSERT_GT(dg.erase_edges(engine.device(), erase), 0u);
+  ASSERT_GT(dg.insert_edges(engine.device(), random_batch(rng, 576, 30)), 0u);
+  session.refresh();
+  View v1 = session.view();
+  const ReferenceOracle ref1(ref_ctx, dg.snapshot(engine.device()));
+  EXPECT_LT(v0.epoch(), v1.epoch());
+  EXPECT_EQ(session.pinned_epochs(), 2u);
+
+  // The old views answer at THEIR epoch — host route and device route.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int q = 0; q < 200; ++q) {
+    pairs.push_back({static_cast<NodeId>(rng.below(576)),
+                     static_cast<NodeId>(rng.below(576))});
+  }
+  expect_view_matches(v0, *ref0, pairs, "v0");
+  expect_view_matches(v0_dev, *ref0, pairs, "v0-dev");
+  expect_view_matches(v1, ref1, pairs, "v1");
+  EXPECT_EQ(v0.run(engine::Same2Ecc{pairs}), v0_dev.run(engine::Same2Ecc{pairs}));
+
+  // The frozen mask still indexes the OLD snapshot (which the view pins).
+  EXPECT_EQ(v0.run(engine::Bridges{}).size(), m0);
+  EXPECT_EQ(v0.num_edges(), m0);
+  EXPECT_EQ(v0.edges().edges.size(), m0);
+  EXPECT_NE(m0, dg.num_edges());
+
+  // Session-side drops do not disturb live views; dropping the last view
+  // of an epoch retires it.
+  session.drop_artifacts();
+  expect_view_matches(v0, *ref0, pairs, "v0-after-drop");
+  v0 = View{};
+  v0_dev = View{};
+  EXPECT_EQ(session.pinned_epochs(), 1u);
+  expect_view_matches(v1, ref1, pairs, "v1-after-retire");
+}
+
+TEST(ServeView, CopyOnWriteKeepsIncrementalReplayAndStats) {
+  Engine engine({.device_workers = 2});
+  const device::Context ref_ctx = device::Context::sequential();
+  dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(64));
+  Session session = engine.session(dg);
+
+  session.run(engine::TwoEcc{});  // build the index (rebuild #1)
+  View ring = session.view();
+  EXPECT_EQ(session.two_ecc_index().rebuilds(), 1u);
+
+  // An erase splits the cycle into a path of bridges. The session's index
+  // must advance (full rebuild on deletion) on a CLONE, the view's frozen
+  // copy must keep answering the ring.
+  ASSERT_EQ(dg.erase_edges(engine.device(), {{10, 11}}), 1u);
+  const auto after = session.run(engine::Same2Ecc{{{0, 32}}});
+  EXPECT_EQ(after[0], 0);  // path: no two edge-disjoint routes remain
+  const auto ring_answer = ring.run(engine::Same2Ecc{{{0, 32}}});
+  EXPECT_EQ(ring_answer[0], 1);  // the pinned epoch still sees the cycle
+  // The clone carried the cumulative stats (1 initial + 1 post-erase).
+  EXPECT_EQ(session.two_ecc_index().rebuilds(), 2u);
+
+  // Insert-only deltas still take the incremental path on the clone.
+  ASSERT_EQ(dg.insert_edges(engine.device(), {{10, 11}}), 1u);
+  session.refresh();
+  EXPECT_EQ(session.two_ecc_index().incremental_refreshes(), 1u);
+  const ReferenceOracle ref(ref_ctx, dg.snapshot(engine.device()));
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  util::Rng rng(7);
+  for (int q = 0; q < 100; ++q) {
+    pairs.push_back({static_cast<NodeId>(rng.below(64)),
+                     static_cast<NodeId>(rng.below(64))});
+  }
+  expect_view_matches(session.view(), ref, pairs, "post-incremental");
+}
+
+// The marquee concurrency fuzz: N readers on published Views, one writer
+// advancing the graph. Every answer is checked against the reference of
+// the answering view's OWN epoch — stale reads are correct reads here;
+// wrong ones mean the snapshot leaked. Run under TSan in CI.
+TEST(ServeConcurrent, ReadersHoldSnapshotsWhileWriterAdvances) {
+  const auto fuzz = test_support::fuzz_run(/*seed=*/2026, /*rounds=*/30);
+  SCOPED_TRACE(fuzz.trace);
+  const std::string tag = "[" + fuzz.trace + "]";
+  constexpr NodeId kSide = 18;
+  constexpr NodeId kNodes = kSide * kSide;
+
+  Engine engine({.device_workers = 2});
+  const device::Context ref_ctx = device::Context::sequential();
+  dynamic::DynamicGraph dg(
+      engine.device(), gen::road_graph(kSide, kSide, 0.65, 0.05, fuzz.seed));
+  Session session = engine.session(dg);
+
+  struct Entry {
+    View view;
+    std::shared_ptr<const ReferenceOracle> ref;
+  };
+  std::mutex board_mutex;
+  Entry board;
+  const auto publish = [&](const Policy& policy) {
+    Entry entry;
+    entry.view = session.view(policy);
+    entry.ref = std::make_shared<const ReferenceOracle>(
+        ref_ctx, dg.snapshot(engine.device()));
+    const std::lock_guard<std::mutex> lock(board_mutex);
+    board = std::move(entry);
+  };
+  publish(Policy{});
+
+  std::atomic<bool> done{false};
+  const auto reader = [&](unsigned tid) {
+    util::Rng rng(fuzz.seed * 1000003 + tid);
+    while (!done.load(std::memory_order_acquire)) {
+      Entry entry;
+      {
+        const std::lock_guard<std::mutex> lock(board_mutex);
+        entry = board;
+      }
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      for (int q = 0; q < 24; ++q) {
+        pairs.push_back({static_cast<NodeId>(rng.below(kNodes)),
+                         static_cast<NodeId>(rng.below(kNodes))});
+      }
+      expect_view_matches(entry.view, *entry.ref, pairs, tag);
+    }
+  };
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < 3; ++t) readers.emplace_back(reader, t);
+
+  // Writer: alternating insert/erase batches; every effective batch is
+  // refreshed and published, odd epochs with the forced-device query route
+  // so readers exercise the bulk kernels concurrently too.
+  util::Rng rng(fuzz.seed ^ 0x9e3779b9);
+  test_support::BatchScript script;
+  for (int round = 0; round < fuzz.rounds; ++round) {
+    const bool do_erase = round % 3 == 2;
+    std::vector<Edge> batch;
+    if (do_erase) {
+      const EdgeList& snap = dg.snapshot(engine.device());
+      const std::size_t count = 1 + rng.below(6);
+      for (std::size_t i = 0; i < count && !snap.edges.empty(); ++i) {
+        batch.push_back(snap.edges[rng.below(snap.edges.size())]);
+      }
+      script.add(round, "erase", batch);
+      dg.erase_edges(engine.device(), batch);
+    } else {
+      batch = random_batch(rng, kNodes, 1 + rng.below(8));
+      script.add(round, "insert", batch);
+      dg.insert_edges(engine.device(), batch);
+    }
+    Policy policy;
+    if (round % 2 == 1) policy.min_device_batch = 1;
+    publish(policy);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& thread : readers) thread.join();
+  if (::testing::Test::HasFailure()) {
+    ADD_FAILURE() << script.replay(fuzz.seed, fuzz.rounds);
+  }
+}
+
+TEST(ServeDispatcher, AnswersCarryTheServingEpochAcrossPublishes) {
+  const auto fuzz = test_support::fuzz_run(/*seed=*/414, /*rounds=*/12);
+  SCOPED_TRACE(fuzz.trace);
+  constexpr NodeId kNodes = 400;
+
+  Engine engine({.device_workers = 2});
+  const device::Context ref_ctx = device::Context::sequential();
+  dynamic::DynamicGraph dg(engine.device(),
+                           gen::er_graph(kNodes, 520, fuzz.seed));
+  Session session = engine.session(dg);
+
+  std::map<std::uint64_t, std::shared_ptr<const ReferenceOracle>> refs;
+  View first = session.view();
+  refs[first.epoch()] = std::make_shared<const ReferenceOracle>(
+      ref_ctx, dg.snapshot(engine.device()));
+  Dispatcher dispatcher(std::move(first), {.workers = 2});
+
+  util::Rng rng(fuzz.seed + 5);
+  struct PendingSame {
+    engine::Same2Ecc request;
+    std::future<Reply<std::vector<std::uint8_t>>> future;
+  };
+  struct PendingPath {
+    engine::BridgesOnPath request;
+    std::future<Reply<std::vector<NodeId>>> future;
+  };
+  std::vector<PendingSame> sames;
+  std::vector<PendingPath> paths;
+  for (int round = 0; round < fuzz.rounds; ++round) {
+    for (int burst = 0; burst < 20; ++burst) {
+      engine::Same2Ecc same;
+      engine::BridgesOnPath path;
+      for (int q = 0; q < 4; ++q) {
+        same.pairs.push_back({static_cast<NodeId>(rng.below(kNodes)),
+                              static_cast<NodeId>(rng.below(kNodes))});
+        path.pairs.push_back({static_cast<NodeId>(rng.below(kNodes)),
+                              static_cast<NodeId>(rng.below(kNodes))});
+      }
+      auto same_future = dispatcher.submit(engine::Same2Ecc{same});
+      auto path_future = dispatcher.submit(engine::BridgesOnPath{path});
+      sames.push_back({std::move(same), std::move(same_future)});
+      paths.push_back({std::move(path), std::move(path_future)});
+    }
+    // Advance and publish mid-traffic.
+    dg.insert_edges(engine.device(), random_batch(rng, kNodes, 4));
+    session.refresh();
+    View view = session.view();
+    if (refs.find(view.epoch()) == refs.end()) {
+      refs[view.epoch()] = std::make_shared<const ReferenceOracle>(
+          ref_ctx, dg.snapshot(engine.device()));
+    }
+    dispatcher.publish(std::move(view));
+  }
+  dispatcher.stop();
+
+  for (PendingSame& pending : sames) {
+    const auto reply = pending.future.get();
+    ASSERT_TRUE(refs.count(reply.epoch)) << "unknown serving epoch";
+    const ReferenceOracle& ref = *refs[reply.epoch];
+    for (std::size_t q = 0; q < pending.request.pairs.size(); ++q) {
+      const auto [u, v] = pending.request.pairs[q];
+      ASSERT_EQ(reply.value[q] != 0, ref.comp[u] == ref.comp[v])
+          << "epoch " << reply.epoch << " " << u << "," << v;
+    }
+  }
+  for (PendingPath& pending : paths) {
+    const auto reply = pending.future.get();
+    ASSERT_TRUE(refs.count(reply.epoch)) << "unknown serving epoch";
+    const ReferenceOracle& ref = *refs[reply.epoch];
+    for (std::size_t q = 0; q < pending.request.pairs.size(); ++q) {
+      const auto [u, v] = pending.request.pairs[q];
+      ASSERT_EQ(reply.value[q], ref.bridges_on_path(u, v))
+          << "epoch " << reply.epoch << " " << u << "," << v;
+    }
+  }
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.submitted, stats.answered);
+  EXPECT_GT(stats.views_published, 0u);
+}
+
+TEST(ServeDispatcher, CoalescesKSmallBatchesIntoOneBulkLaunch) {
+  constexpr std::size_t kRequests = 48;
+  Engine engine({.device_workers = 2});
+  const device::Context ref_ctx = device::Context::sequential();
+  const EdgeList g = graph::largest_component(
+      graph::simplified(gen::road_graph(30, 30, 0.72, 0.04, 3)));
+  Session session = engine.session(g);
+  const ReferenceOracle ref(ref_ctx, g);
+
+  Policy device_route;
+  device_route.min_device_batch = 1;  // every round is a bulk kernel
+  DispatcherOptions options;
+  options.workers = 1;  // deterministic: one drainer, one round
+  options.start_paused = true;
+  Dispatcher dispatcher(session.view(device_route), options);
+
+  util::Rng rng(17);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  std::vector<std::future<Reply<std::vector<std::uint8_t>>>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(g.num_nodes));
+    const auto v = static_cast<NodeId>(rng.below(g.num_nodes));
+    queries.push_back({u, v});
+    futures.push_back(dispatcher.submit(engine::Same2Ecc{{{u, v}}}));
+  }
+
+  const std::uint64_t before = engine.device_launches();
+  dispatcher.resume();
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto reply = futures[i].get();
+    ASSERT_EQ(reply.value.size(), 1u);
+    const auto [u, v] = queries[i];
+    EXPECT_EQ(reply.value[0] != 0, ref.comp[u] == ref.comp[v]) << u << "," << v;
+  }
+  // The pin: K single-pair requests, ONE bulk answer kernel.
+  EXPECT_EQ(engine.device_launches(), before + 1);
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.coalesced_requests, kRequests);
+  EXPECT_EQ(stats.max_round, kRequests);
+  EXPECT_EQ(stats.answered, kRequests);
+}
+
+TEST(ServeDispatcher, DisablingCoalescingPaysALaunchPerRequest) {
+  constexpr std::size_t kRequests = 16;
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::cycle_graph(128);
+  Session session = engine.session(g);
+
+  Policy device_route;
+  device_route.min_device_batch = 1;
+  DispatcherOptions options;
+  options.workers = 1;
+  options.start_paused = true;
+  options.max_coalesce = 1;  // the per-request baseline
+  Dispatcher dispatcher(session.view(device_route), options);
+
+  std::vector<std::future<Reply<std::vector<std::uint8_t>>>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(dispatcher.submit(
+        engine::Same2Ecc{{{static_cast<NodeId>(i), static_cast<NodeId>(i + 1)}}}));
+  }
+  const std::uint64_t before = engine.device_launches();
+  dispatcher.resume();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().value[0], 1);  // a cycle is one 2ecc block
+  }
+  EXPECT_EQ(engine.device_launches(), before + kRequests);
+  EXPECT_EQ(dispatcher.stats().rounds, kRequests);
+  EXPECT_EQ(dispatcher.stats().coalesced_requests, 0u);
+}
+
+TEST(ServeDispatcher, BroadcastLanesAnswerOncePerRound) {
+  Engine engine({.device_workers = 2});
+  const EdgeList g = graph::largest_component(
+      graph::simplified(gen::er_graph(300, 500, 23)));
+  Session session = engine.session(g);
+  const bridges::BridgeMask expected = session.run(engine::Bridges{});
+  const engine::TwoEccView expected_blocks = session.run(engine::TwoEcc{});
+
+  DispatcherOptions options;
+  options.workers = 1;
+  options.start_paused = true;
+  Dispatcher dispatcher(session.view(), options);
+  std::vector<std::future<Reply<bridges::BridgeMask>>> masks;
+  std::vector<std::future<Reply<TwoEccSummary>>> blocks;
+  for (int i = 0; i < 5; ++i) {
+    masks.push_back(dispatcher.submit(engine::Bridges{}));
+    blocks.push_back(dispatcher.submit(engine::TwoEcc{}));
+  }
+  const std::uint64_t before = engine.device_launches();
+  dispatcher.resume();
+  for (auto& future : masks) EXPECT_EQ(future.get().value, expected);
+  for (auto& future : blocks) {
+    const auto reply = future.get();
+    EXPECT_EQ(reply.value.num_blocks, expected_blocks.num_blocks);
+    EXPECT_EQ(reply.value.num_bridges, expected_blocks.num_bridges);
+  }
+  // Everything was prebuilt into the view: broadcasting launches nothing.
+  EXPECT_EQ(engine.device_launches(), before);
+  EXPECT_EQ(dispatcher.stats().rounds, 2u);  // one per lane
+}
+
+TEST(ServeDispatcher, StopDrainsEverythingAndLateSubmitsStillAnswer) {
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::cycle_graph(64);
+  Session session = engine.session(g);
+  DispatcherOptions options;
+  options.workers = 2;
+  options.start_paused = true;  // nothing drains until stop()
+  Dispatcher dispatcher(session.view(), options);
+
+  std::vector<std::future<Reply<std::vector<std::uint8_t>>>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(dispatcher.submit(engine::Same2Ecc{{{0, 32}}}));
+  }
+  dispatcher.stop();  // must answer the paused backlog, not abandon it
+  for (auto& future : futures) EXPECT_EQ(future.get().value[0], 1);
+
+  auto late = dispatcher.submit(engine::Same2Ecc{{{1, 2}}});
+  EXPECT_EQ(late.get().value[0], 1);  // synchronous shutdown-race path
+  EXPECT_EQ(dispatcher.stats().submitted, dispatcher.stats().answered);
+}
+
+}  // namespace
+}  // namespace emc::serve
