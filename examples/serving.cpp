@@ -47,13 +47,23 @@ int main(int argc, char** argv) {
   serve::DispatcherOptions options;
   options.workers = 2;
   options.coalesce_window = std::chrono::microseconds(200);
+  // Overload-safe serving: a bounded lane (smaller than our burst, so the
+  // flood actually sheds), oldest-first shedding weighted by client, and a
+  // per-request TTL. Turned-away requests resolve with a non-Ok Status
+  // instead of stretching the admitted tail — handle it below.
+  options.queue_bound = 128;
+  options.admission = serve::Admission::kShedOldest;
+  options.default_ttl = std::chrono::milliseconds(50);
   serve::Dispatcher dispatcher(session.view(), options);
   std::printf("serving %d junctions, %zu segments (epoch %llu)\n",
               n, roads.num_edges(),
               static_cast<unsigned long long>(session.epoch()));
 
   // Writer: construction crews add road segments in batches; each
-  // effective batch is refreshed (incrementally when small) and published.
+  // effective batch is published through the fault-tolerant path —
+  // publish(Session&) builds the new epoch's View with retry/backoff, and
+  // if the build keeps failing the dispatcher serves the last good epoch
+  // (bounded staleness) instead of crashing the writer.
   std::thread writer([&] {
     util::Rng rng(5);
     for (int u = 0; u < updates; ++u) {
@@ -63,8 +73,7 @@ int main(int argc, char** argv) {
                          static_cast<NodeId>(rng.below(n))});
       }
       roads.insert_edges(eng.device(), batch);
-      session.refresh();
-      dispatcher.publish(session.view());
+      dispatcher.publish(session);
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   });
@@ -72,7 +81,7 @@ int main(int argc, char** argv) {
   // Client: single-pair redundancy checks, coalesced behind our back.
   util::Rng rng(9);
   std::map<std::uint64_t, std::size_t> served_by_epoch;
-  std::size_t redundant = 0;
+  std::size_t redundant = 0, turned_away = 0;
   util::Timer timer;
   std::vector<std::future<serve::Reply<std::vector<std::uint8_t>>>> inflight;
   constexpr std::size_t kBurst = 256;
@@ -86,6 +95,10 @@ int main(int argc, char** argv) {
     }
     for (auto& future : inflight) {
       const auto reply = future.get();
+      if (reply.status != serve::Status::kOk) {
+        ++turned_away;  // kOverloaded / kTimeout: failed fast, retry later
+        continue;
+      }
       ++served_by_epoch[reply.epoch];
       redundant += reply.value[0];
     }
@@ -95,9 +108,10 @@ int main(int argc, char** argv) {
   const serve::DispatcherStats stats = dispatcher.stats();
   dispatcher.stop();
 
-  std::printf("%zu requests in %.2fs (%.0f req/s), %zu redundant trips\n",
+  std::printf("%zu requests in %.2fs (%.0f req/s), %zu redundant trips, "
+              "%zu turned away (shed %zu, expired %zu)\n",
               requests, seconds, static_cast<double>(requests) / seconds,
-              redundant);
+              redundant, turned_away, stats.shed, stats.expired);
   std::printf("%zu answer rounds (largest %zu), %zu views published, "
               "%zu epochs still pinned\n",
               stats.rounds, stats.max_round, stats.views_published,

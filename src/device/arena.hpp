@@ -25,6 +25,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/failpoint.hpp"
+
 namespace emc::device {
 
 class Arena {
@@ -141,6 +143,12 @@ class Arena {
   }
 
   Block make_block(std::size_t bytes) {
+    // Failpoint: simulated device OOM at the backing-store chokepoint. Bump
+    // allocations from warm blocks stay fault-free, matching a real pool
+    // (only growth talks to the driver).
+    if (util::failpoint::should_fail(util::failpoint::kArenaAlloc)) {
+      throw std::bad_alloc{};
+    }
     Block block;
     block.data.reset(static_cast<std::byte*>(
         ::operator new[](bytes, std::align_val_t(kAlign))));

@@ -76,6 +76,15 @@ class Context {
     return std::unique_lock<std::recursive_mutex>(*driver_mutex_);
   }
 
+  /// Non-blocking exclusive(): returns a lock that owns the driver mutex iff
+  /// it was free (check owns_lock()). Lets serve-layer callers detect a
+  /// saturated device route and fall back to the host route instead of
+  /// queueing behind a long kernel pipeline.
+  std::unique_lock<std::recursive_mutex> try_exclusive() const {
+    return std::unique_lock<std::recursive_mutex>(*driver_mutex_,
+                                                  std::try_to_lock);
+  }
+
   /// Default chunk grain for bulk launches: large enough to amortize
   /// scheduling, small enough to balance load.
   std::size_t grain_for(std::size_t n) const;

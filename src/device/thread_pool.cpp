@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/failpoint.hpp"
+
 namespace emc::device {
 
 ThreadPool::ThreadPool(unsigned workers, double launch_overhead_seconds)
@@ -25,6 +27,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::charge_launch_overhead() {
+  // Failpoint: every launch path (parallel_for / parallel_for_worker /
+  // run_on_workers) funnels through here, before any job state is written,
+  // so an injected launch failure leaves the pool reusable.
+  util::failpoint::maybe_throw(util::failpoint::kDeviceLaunch);
   launch_count_.fetch_add(1, std::memory_order_relaxed);
   if (launch_overhead_seconds_ <= 0.0) return;
   // Busy-wait: the latency is serial on a real device (the host cannot see

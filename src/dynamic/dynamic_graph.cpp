@@ -6,6 +6,7 @@
 
 #include "device/primitives.hpp"
 #include "device/sort.hpp"
+#include "util/failpoint.hpp"
 
 namespace emc::dynamic {
 
@@ -278,6 +279,10 @@ void DynamicGraph::compact(const device::Context& ctx, const EdgeId* demand) {
 std::shared_ptr<const graph::EdgeList> DynamicGraph::snapshot_shared(
     const device::Context& ctx) const {
   if (edge_snapshot_epoch_ == epoch_) return edge_snapshot_;
+  // Failpoint: after the cache-hit check, so an armed site perturbs only
+  // fresh materializations — cached snapshots stay servable, the property
+  // the bounded-staleness mode relies on.
+  util::failpoint::maybe_throw(util::failpoint::kSnapshot);
   const auto lock = ctx.exclusive();  // see insert_edges
   const std::size_t n = static_cast<std::size_t>(num_nodes_);
   // The lower endpoint of each edge emits it, so every undirected edge
@@ -315,6 +320,7 @@ std::shared_ptr<const graph::EdgeList> DynamicGraph::snapshot_shared(
 std::shared_ptr<const graph::Csr> DynamicGraph::csr_snapshot_shared(
     const device::Context& ctx) const {
   if (csr_snapshot_epoch_ == epoch_) return csr_snapshot_;
+  util::failpoint::maybe_throw(util::failpoint::kSnapshot);
   const auto lock = ctx.exclusive();  // see insert_edges
   csr_snapshot_ = std::make_shared<const graph::Csr>(
       graph::build_csr(ctx, snapshot(ctx)));

@@ -12,6 +12,7 @@
 #include "core/tree.hpp"
 #include "device/primitives.hpp"
 #include "gen/graphs.hpp"
+#include "util/failpoint.hpp"
 
 namespace emc::engine {
 
@@ -36,23 +37,40 @@ PlanInputs query_inputs(const Engine& engine, NodeId n, std::size_t m) {
 // The host route reads the index with no synchronization at all — the
 // index is immutable while the caller holds it — and the device route
 // serializes its one bulk kernel on the context's driver lock, so any
-// number of threads can answer concurrently.
+// number of threads can answer concurrently. With
+// Policy::host_fallback_when_busy set, a device-routed batch that finds the
+// driver lock held degrades to the (identical-answer) host loop instead of
+// queueing behind whoever holds it.
+
+/// Device-route attempt shared by the helpers: returns a lock owning the
+/// driver mutex, or an unowned lock when the policy chose to fall back.
+std::unique_lock<std::recursive_mutex> lock_device_for_batch(
+    const Engine& engine, const Policy& policy) {
+  if (!policy.host_fallback_when_busy) return engine.device().exclusive();
+  auto lock = engine.device().try_exclusive();
+  if (!lock.owns_lock()) {
+    engine.counters().host_fallbacks.fetch_add(1, kRelaxed);
+  }
+  return lock;
+}
 
 std::vector<std::uint8_t> answer_same2ecc(
     const Engine& engine, const dynamic::ConnectivityOracle& oracle,
     const Policy& policy, const PlanInputs& inputs, const Same2Ecc& request) {
   std::vector<std::uint8_t> answers;
   if (policy.use_device_batch(request.pairs.size(), inputs)) {
-    engine.counters().device_query_batches.fetch_add(1, kRelaxed);
-    const auto lock = engine.device().exclusive();
-    oracle.same_2ecc_batch(engine.device(), request.pairs, answers);
-  } else {
-    engine.counters().host_query_batches.fetch_add(1, kRelaxed);
-    answers.resize(request.pairs.size());
-    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
-      answers[q] = static_cast<std::uint8_t>(
-          oracle.same_2ecc(request.pairs[q].first, request.pairs[q].second));
+    const auto lock = lock_device_for_batch(engine, policy);
+    if (lock.owns_lock()) {
+      engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+      oracle.same_2ecc_batch(engine.device(), request.pairs, answers);
+      return answers;
     }
+  }
+  engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+  answers.resize(request.pairs.size());
+  for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+    answers[q] = static_cast<std::uint8_t>(
+        oracle.same_2ecc(request.pairs[q].first, request.pairs[q].second));
   }
   return answers;
 }
@@ -63,16 +81,18 @@ std::vector<NodeId> answer_bridges_on_path(
     const BridgesOnPath& request) {
   std::vector<NodeId> answers;
   if (policy.use_device_batch(request.pairs.size(), inputs)) {
-    engine.counters().device_query_batches.fetch_add(1, kRelaxed);
-    const auto lock = engine.device().exclusive();
-    oracle.bridges_on_path_batch(engine.device(), request.pairs, answers);
-  } else {
-    engine.counters().host_query_batches.fetch_add(1, kRelaxed);
-    answers.resize(request.pairs.size());
-    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
-      answers[q] = oracle.bridges_on_path(request.pairs[q].first,
-                                          request.pairs[q].second);
+    const auto lock = lock_device_for_batch(engine, policy);
+    if (lock.owns_lock()) {
+      engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+      oracle.bridges_on_path_batch(engine.device(), request.pairs, answers);
+      return answers;
     }
+  }
+  engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+  answers.resize(request.pairs.size());
+  for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+    answers[q] = oracle.bridges_on_path(request.pairs[q].first,
+                                        request.pairs[q].second);
   }
   return answers;
 }
@@ -83,15 +103,17 @@ std::vector<NodeId> answer_component_size(
     const ComponentSize& request) {
   std::vector<NodeId> answers;
   if (policy.use_device_batch(request.nodes.size(), inputs)) {
-    engine.counters().device_query_batches.fetch_add(1, kRelaxed);
-    const auto lock = engine.device().exclusive();
-    oracle.component_size_batch(engine.device(), request.nodes, answers);
-  } else {
-    engine.counters().host_query_batches.fetch_add(1, kRelaxed);
-    answers.resize(request.nodes.size());
-    for (std::size_t q = 0; q < request.nodes.size(); ++q) {
-      answers[q] = oracle.component_size(request.nodes[q]);
+    const auto lock = lock_device_for_batch(engine, policy);
+    if (lock.owns_lock()) {
+      engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+      oracle.component_size_batch(engine.device(), request.nodes, answers);
+      return answers;
     }
+  }
+  engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+  answers.resize(request.nodes.size());
+  for (std::size_t q = 0; q < request.nodes.size(); ++q) {
+    answers[q] = oracle.component_size(request.nodes[q]);
   }
   return answers;
 }
@@ -101,11 +123,16 @@ std::vector<NodeId> answer_lca(const Engine& engine, const lca::InlabelLca& lca,
                                const PlanInputs& inputs,
                                const LcaBatch& request) {
   std::vector<NodeId> answers;
+  bool answered = false;
   if (policy.use_device_batch(request.pairs.size(), inputs)) {
-    engine.counters().device_query_batches.fetch_add(1, kRelaxed);
-    const auto lock = engine.device().exclusive();
-    lca.query_batch(engine.device(), request.pairs, answers);
-  } else {
+    const auto lock = lock_device_for_batch(engine, policy);
+    if (lock.owns_lock()) {
+      engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+      lca.query_batch(engine.device(), request.pairs, answers);
+      answered = true;
+    }
+  }
+  if (!answered) {
     engine.counters().host_query_batches.fetch_add(1, kRelaxed);
     answers.resize(request.pairs.size());
     for (std::size_t q = 0; q < request.pairs.size(); ++q) {
@@ -151,6 +178,7 @@ EngineStats Engine::stats() const {
   }
   s.device_query_batches = counters_.device_query_batches.load(kRelaxed);
   s.host_query_batches = counters_.host_query_batches.load(kRelaxed);
+  s.host_fallbacks = counters_.host_fallbacks.load(kRelaxed);
   s.views = counters_.views.load(kRelaxed);
   return s;
 }
@@ -388,6 +416,7 @@ const dynamic::ConnectivityOracle& Session::oracle_artifact(
     const bool needs_forced_mask =
         policy.backend != Backend::kAuto &&
         (mask == nullptr || cache_.mask_backend != policy.backend);
+    const bridges::SpanningForest* forest_hint = nullptr;
     if (graph_.is_dynamic()) {
       // An explicit backend override is honored by computing this epoch's
       // mask artifact with it and handing it down (it stays cached for
@@ -401,13 +430,7 @@ const dynamic::ConnectivityOracle& Session::oracle_artifact(
           cache_.oracle->refresh_needs_rebuild(*graph_.dynamic_graph())) {
         mask = &mask_artifact(policy, nullptr);
       }
-      // refresh() replays deltas incrementally when it can; this epoch's
-      // cached mask and forest (only if already built — forcing either
-      // would defeat the incremental path) spare the full rebuild those
-      // phases.
-      oracle_mut().refresh(engine_->device_, *graph_.dynamic_graph(),
-                           nullptr, mask,
-                           cache_.forest ? &*cache_.forest : nullptr);
+      forest_hint = cache_.forest ? &*cache_.forest : nullptr;
     } else {
       // Static: the mask is the policy-chosen artifact — ensure it exists
       // (recomputing a forced-backend mismatch, like a Bridges request
@@ -416,8 +439,30 @@ const dynamic::ConnectivityOracle& Session::oracle_artifact(
       if (mask == nullptr || needs_forced_mask) {
         mask = &mask_artifact(policy, nullptr);
       }
-      oracle_mut().build(engine_->device_, graph_.edges(engine_->device_),
-                         mask, &forest());
+      forest_hint = &forest();
+    }
+    // oracle_mut() OUTSIDE the try: a clone failure must not invalidate the
+    // published oracle still serving live Views.
+    dynamic::ConnectivityOracle& oracle = oracle_mut();
+    try {
+      // refresh() replays deltas incrementally when it can; this epoch's
+      // cached mask and forest (only if already built — forcing either
+      // would defeat the incremental path) spare the full rebuild those
+      // phases.
+      if (graph_.is_dynamic()) {
+        oracle.refresh(engine_->device_, *graph_.dynamic_graph(), nullptr,
+                       mask, forest_hint);
+      } else {
+        oracle.build(engine_->device_, graph_.edges(engine_->device_), mask,
+                     forest_hint);
+      }
+    } catch (...) {
+      // A throw mid-refresh (injected fault, real OOM) can leave the index
+      // half-updated with its (uid, epoch) binding intact — a retry would
+      // then replay deltas on top of a corrupt base. Sever the binding so
+      // the next attempt rebuilds from scratch.
+      oracle.invalidate();
+      throw;
     }
     cache_.oracle_current = true;
   }
@@ -571,6 +616,10 @@ struct View::State {
 };
 
 void Session::ensure_all_artifacts(const Policy& policy) {
+  // Failpoint: the publish chokepoint — both refresh() and view() pass
+  // through here, and nothing is mutated yet when it fires, so a caller
+  // that catches the fault keeps a coherent (stale) cache.
+  util::failpoint::maybe_throw(util::failpoint::kPublish);
   sync_epoch();
   csr_artifact();
   forest();
@@ -636,11 +685,18 @@ std::size_t Session::pinned_epochs() const {
   return epochs.size();
 }
 
+View View::with_policy(const Policy& policy) const {
+  auto state = std::make_shared<State>(*state_);
+  state->policy = policy;
+  return View(std::move(state));
+}
+
 std::uint64_t View::epoch() const { return state_->epoch; }
 NodeId View::num_nodes() const { return state_->n; }
 std::size_t View::num_edges() const { return state_->m; }
 std::size_t View::num_components() const { return state_->components; }
 Backend View::mask_backend() const { return state_->mask_backend; }
+const Policy& View::policy() const { return state_->policy; }
 const graph::EdgeList& View::edges() const { return *state_->edges; }
 const graph::Csr& View::csr() const { return *state_->csr; }
 const bridges::SpanningForest& View::forest() const { return *state_->forest; }

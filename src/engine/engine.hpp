@@ -202,6 +202,9 @@ struct EngineStats {
   /// Query batches answered by one device kernel vs a host loop.
   std::size_t device_query_batches = 0;
   std::size_t host_query_batches = 0;
+  /// Device-routed batches re-routed to the host loop because the driver
+  /// lock was busy (Policy::host_fallback_when_busy).
+  std::size_t host_fallbacks = 0;
   /// Views acquired via Session::view().
   std::size_t views = 0;
 };
@@ -247,6 +250,7 @@ class Engine {
     std::array<std::atomic<std::size_t>, kNumBackends> backend_runs{};
     std::atomic<std::size_t> device_query_batches{0};
     std::atomic<std::size_t> host_query_batches{0};
+    std::atomic<std::size_t> host_fallbacks{0};
     std::atomic<std::size_t> views{0};
   };
   Counters& counters() const { return counters_; }
@@ -286,6 +290,8 @@ class View {
   std::size_t num_components() const;
   /// Backend that produced this snapshot's bridge mask.
   Backend mask_backend() const;
+  /// The routing policy captured at acquisition (see with_policy()).
+  const Policy& policy() const;
 
   /// The pinned snapshot itself: for a dynamic graph, the epoch's edge
   /// list (mask order) co-owned with the DCSR cache; for a static graph,
@@ -303,6 +309,11 @@ class View {
   std::vector<NodeId> run(const BridgesOnPath& request) const;
   std::vector<NodeId> run(const ComponentSize& request) const;
   std::vector<NodeId> run(const LcaBatch& request) const;
+
+  /// A copy of this View answering under a different routing policy (e.g.
+  /// host_fallback_when_busy for degraded serving). Cheap: the copy shares
+  /// every pinned artifact; only the captured Policy differs.
+  View with_policy(const Policy& policy) const;
 
  private:
   friend class Session;

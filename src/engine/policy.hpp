@@ -109,6 +109,12 @@ struct Policy {
   /// makes small batches wasteful on the device (Figure 6). 0 = derive the
   /// threshold from the model and machine parameters.
   std::size_t min_device_batch = 0;
+  /// Degradation knob for concurrent serving: when a device-routed query
+  /// batch finds the driver lock held (a writer mid-pipeline, or another
+  /// reader's kernel), answer with the host loop instead of queueing behind
+  /// it. Identical answers, bounded latency; counted in
+  /// EngineStats::host_fallbacks.
+  bool host_fallback_when_busy = false;
   CostModel model{};
 
   static Policy fixed(Backend backend) {

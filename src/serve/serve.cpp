@@ -1,35 +1,65 @@
 #include "serve/serve.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
+#include <iterator>
+#include <optional>
+
+#include "util/env.hpp"
+#include "util/failpoint.hpp"
 
 namespace emc::serve {
 
-namespace {
-
-/// Synchronous answer for the shutdown race (submit after stop): same
-/// result shape a drained round would produce. The generic form covers the
-/// types whose View answer IS the reply value; TwoEcc converts its
-/// index-pointing answer view into the value summary.
-template <typename Req>
-auto answer_now(const engine::View& view, const Req& request) {
-  return view.run(request);
+std::string_view to_string(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kTimeout:
+      return "timeout";
+    case Status::kOverloaded:
+      return "overloaded";
+    case Status::kCancelled:
+      return "cancelled";
+    case Status::kFaulted:
+      return "faulted";
+  }
+  return "?";
 }
 
-TwoEccSummary answer_now(const engine::View& view,
-                         const engine::TwoEcc& request) {
-  const engine::TwoEccView answer = view.run(request);
-  return {answer.num_blocks, answer.num_bridges};
+std::size_t resolve_queue_bound(std::size_t from_options) {
+  if (from_options > 0) return from_options;
+  return static_cast<std::size_t>(util::env_int_or(
+      "EMC_SERVE_QUEUE_BOUND", 0, 1, std::int64_t{1} << 30));
+}
+
+std::chrono::microseconds resolve_default_ttl(
+    std::chrono::microseconds from_options) {
+  if (from_options.count() > 0) return from_options;
+  return std::chrono::microseconds(util::env_int_or(
+      "EMC_SERVE_DEADLINE_US", 0, 1, std::int64_t{1'000'000'000}));
+}
+
+namespace {
+
+/// A reply that carries no answer: the non-Ok resolutions.
+template <typename Ans>
+Reply<Ans> empty_reply(Status status, std::uint64_t epoch,
+                       std::uint64_t staleness) {
+  return Reply<Ans>{Ans{}, epoch, status, staleness};
 }
 
 }  // namespace
 
 Dispatcher::Dispatcher(engine::View view, const DispatcherOptions& options)
-    : view_(std::move(view)),
-      options_(options),
-      paused_(options.start_paused) {
+    : options_(options), paused_(options.start_paused) {
   options_.workers = std::max(1u, options_.workers);
   options_.max_coalesce = std::max<std::size_t>(1, options_.max_coalesce);
+  options_.queue_bound = resolve_queue_bound(options_.queue_bound);
+  options_.default_ttl = resolve_default_ttl(options_.default_ttl);
+  options_.publish_attempts = std::max(1u, options_.publish_attempts);
+  latest_epoch_ = view.epoch();
+  view_ = adapt(std::move(view));
   threads_.reserve(options_.workers);
   for (unsigned t = 0; t < options_.workers; ++t) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -38,10 +68,62 @@ Dispatcher::Dispatcher(engine::View view, const DispatcherOptions& options)
 
 Dispatcher::~Dispatcher() { stop(); }
 
+engine::View Dispatcher::adapt(engine::View view) const {
+  if (!options_.degrade_to_host) return view;
+  engine::Policy policy = view.policy();
+  policy.host_fallback_when_busy = true;
+  return view.with_policy(policy);
+}
+
 void Dispatcher::publish(engine::View view) {
   const std::lock_guard<std::mutex> lk(mutex_);
-  view_ = std::move(view);
+  latest_epoch_ = std::max(latest_epoch_, view.epoch());
+  view_ = adapt(std::move(view));
+  degraded_ = false;  // an explicit healthy View ends staleness mode
   ++stats_.views_published;
+}
+
+bool Dispatcher::publish(engine::Session& session) {
+  return publish_impl(session, nullptr);
+}
+
+bool Dispatcher::publish(engine::Session& session,
+                         const engine::Policy& policy) {
+  return publish_impl(session, &policy);
+}
+
+bool Dispatcher::publish_impl(engine::Session& session,
+                              const engine::Policy* policy) {
+  auto backoff = options_.publish_backoff;
+  for (unsigned attempt = 0; attempt < options_.publish_attempts; ++attempt) {
+    if (attempt > 0) {
+      {
+        const std::lock_guard<std::mutex> lk(mutex_);
+        ++stats_.publish_retries;
+      }
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    try {
+      engine::View fresh = policy ? session.view(*policy) : session.view();
+      const std::lock_guard<std::mutex> lk(mutex_);
+      latest_epoch_ = std::max(latest_epoch_, fresh.epoch());
+      view_ = adapt(std::move(fresh));
+      degraded_ = false;
+      ++stats_.views_published;
+      return true;
+    } catch (...) {
+      // Epoch build failed (injected fault, allocation failure); the
+      // previous View is untouched and keeps serving. Retry after backoff.
+    }
+  }
+  // Every attempt failed: enter (or renew) bounded-staleness mode. The
+  // graph's real epoch tells readers how far the serving snapshot lags.
+  const std::lock_guard<std::mutex> lk(mutex_);
+  ++stats_.publish_failures;
+  latest_epoch_ = std::max(latest_epoch_, session.epoch());
+  degraded_ = true;
+  return false;
 }
 
 engine::View Dispatcher::current_view() const {
@@ -71,176 +153,352 @@ void Dispatcher::stop() {
 
 DispatcherStats Dispatcher::stats() const {
   const std::lock_guard<std::mutex> lk(mutex_);
-  return stats_;
+  DispatcherStats s = stats_;
+  s.degraded = degraded_;
+  s.staleness = latest_epoch_ - view_.epoch();
+  s.faults_injected = util::failpoint::total_fired();
+  return s;
 }
 
 template <typename Req, typename Ans>
 std::future<Reply<Ans>> Dispatcher::enqueue(Lane<Req, Ans>& lane,
-                                            Req&& request) {
+                                            Req&& request,
+                                            const Ticket& ticket) {
   std::unique_lock<std::mutex> lk(mutex_);
   ++stats_.submitted;
-  if (stop_) {
-    // Shutdown race: answer synchronously so no future is ever abandoned.
-    const engine::View view = view_;
-    ++stats_.rounds;
-    ++stats_.answered;
-    stats_.max_round = std::max<std::size_t>(stats_.max_round, 1);
+  // The answer-free resolutions below report the CURRENT serving epoch —
+  // the client learns what it would have been answered against.
+  const auto resolve_now = [&](Status status) {
+    ++(status == Status::kCancelled ? stats_.cancelled : stats_.rejected);
+    const std::uint64_t epoch = view_.epoch();
+    const std::uint64_t staleness = latest_epoch_ - epoch;
     lk.unlock();
     std::promise<Reply<Ans>> promise;
-    promise.set_value(Reply<Ans>{answer_now(view, request), view.epoch()});
+    promise.set_value(empty_reply<Ans>(status, epoch, staleness));
     return promise.get_future();
+  };
+  // Shutdown race: a submit() after stop() began is REFUSED, not silently
+  // worked on the caller thread after teardown started.
+  if (stop_) return resolve_now(Status::kCancelled);
+
+  std::optional<Item<Req, Ans>> victim;
+  if (options_.queue_bound > 0 && lane.total >= options_.queue_bound) {
+    switch (options_.admission) {
+      case Admission::kBlock:
+        cv_.wait(lk, [&] {
+          return stop_ || lane.total < options_.queue_bound;
+        });
+        if (stop_) return resolve_now(Status::kCancelled);
+        break;
+      case Admission::kReject:
+        return resolve_now(Status::kOverloaded);
+      case Admission::kShedOldest: {
+        // Shed from the FATTEST client (queued / weight) so a flood pays
+        // for its own shedding and light tenants ride through untouched.
+        auto fattest = lane.subs.end();
+        double worst = -1.0;
+        for (auto it = lane.subs.begin(); it != lane.subs.end(); ++it) {
+          if (it->second.queue.empty()) continue;
+          const double load =
+              static_cast<double>(it->second.queue.size()) /
+              static_cast<double>(std::max<std::uint32_t>(1, it->second.weight));
+          if (load > worst) {
+            worst = load;
+            fattest = it;
+          }
+        }
+        victim.emplace(std::move(fattest->second.queue.front()));
+        fattest->second.queue.pop_front();
+        --lane.total;
+        ++stats_.shed;
+        break;
+      }
+    }
   }
-  lane.queue.push_back(Item<Req, Ans>{next_seq_++, std::move(request), {}});
-  std::future<Reply<Ans>> future = lane.queue.back().promise.get_future();
+
+  const auto ttl =
+      ticket.ttl.count() > 0 ? ticket.ttl : options_.default_ttl;
+  auto& sub = lane.subs[ticket.client];
+  sub.weight = std::max<std::uint32_t>(1, ticket.weight);
+  sub.queue.push_back(Item<Req, Ans>{
+      next_seq_++, std::move(request), {},
+      ttl.count() > 0 ? Clock::now() + ttl : Clock::time_point::max()});
+  ++lane.total;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, lane.total);
+  std::future<Reply<Ans>> future = sub.queue.back().promise.get_future();
+  const std::uint64_t epoch = view_.epoch();
+  const std::uint64_t staleness = latest_epoch_ - epoch;
+  lk.unlock();
   cv_.notify_all();
+  if (victim) {
+    victim->promise.set_value(
+        empty_reply<Ans>(Status::kOverloaded, epoch, staleness));
+  }
   return future;
 }
 
 std::future<Reply<std::vector<std::uint8_t>>> Dispatcher::submit(
-    engine::Same2Ecc request) {
-  return enqueue(same_, std::move(request));
+    engine::Same2Ecc request, Ticket ticket) {
+  return enqueue(same_, std::move(request), ticket);
 }
 
 std::future<Reply<std::vector<NodeId>>> Dispatcher::submit(
-    engine::BridgesOnPath request) {
-  return enqueue(paths_, std::move(request));
+    engine::BridgesOnPath request, Ticket ticket) {
+  return enqueue(paths_, std::move(request), ticket);
 }
 
 std::future<Reply<std::vector<NodeId>>> Dispatcher::submit(
-    engine::ComponentSize request) {
-  return enqueue(sizes_, std::move(request));
+    engine::ComponentSize request, Ticket ticket) {
+  return enqueue(sizes_, std::move(request), ticket);
 }
 
 std::future<Reply<std::vector<NodeId>>> Dispatcher::submit(
-    engine::LcaBatch request) {
-  return enqueue(lcas_, std::move(request));
+    engine::LcaBatch request, Ticket ticket) {
+  return enqueue(lcas_, std::move(request), ticket);
 }
 
 std::future<Reply<bridges::BridgeMask>> Dispatcher::submit(
-    engine::Bridges request) {
-  return enqueue(bridges_, std::move(request));
+    engine::Bridges request, Ticket ticket) {
+  return enqueue(bridges_, std::move(request), ticket);
 }
 
-std::future<Reply<TwoEccSummary>> Dispatcher::submit(engine::TwoEcc request) {
-  return enqueue(twoecc_, std::move(request));
+std::future<Reply<TwoEccSummary>> Dispatcher::submit(engine::TwoEcc request,
+                                                     Ticket ticket) {
+  return enqueue(twoecc_, std::move(request), ticket);
 }
 
 bool Dispatcher::pending_unclaimed() const {
   const auto ready = [](const auto& lane) {
-    return !lane.claimed && !lane.queue.empty();
+    return !lane.claimed && lane.total > 0;
   };
   return ready(same_) || ready(paths_) || ready(sizes_) || ready(lcas_) ||
          ready(bridges_) || ready(twoecc_);
 }
 
 bool Dispatcher::pending_none() const {
-  return same_.queue.empty() && paths_.queue.empty() && sizes_.queue.empty() &&
-         lcas_.queue.empty() && bridges_.queue.empty() &&
-         twoecc_.queue.empty();
+  return same_.total == 0 && paths_.total == 0 && sizes_.total == 0 &&
+         lcas_.total == 0 && bridges_.total == 0 && twoecc_.total == 0;
+}
+
+template <typename Req, typename Ans>
+void Dispatcher::take_round(Lane<Req, Ans>& lane, std::size_t max_take,
+                            std::vector<Item<Req, Ans>>& live,
+                            std::vector<Item<Req, Ans>>& expired) {
+  const auto now = Clock::now();
+  while (live.size() < max_take && lane.total > 0) {
+    bool took = false;
+    auto it = lane.subs.lower_bound(lane.cursor);
+    for (std::size_t visited = 0;
+         visited < lane.subs.size() && live.size() < max_take; ++visited) {
+      if (it == lane.subs.end()) it = lane.subs.begin();
+      auto& sub = it->second;
+      // One fairness turn: up to `weight` LIVE items from this client.
+      // Expired items are routed out for a kTimeout reply and consume
+      // neither quota nor round capacity.
+      std::uint32_t quota = sub.weight;
+      while (!sub.queue.empty() && quota > 0 && live.size() < max_take) {
+        Item<Req, Ans> item = std::move(sub.queue.front());
+        sub.queue.pop_front();
+        --lane.total;
+        took = true;
+        if (item.deadline <= now) {
+          expired.push_back(std::move(item));
+        } else {
+          live.push_back(std::move(item));
+          --quota;
+        }
+      }
+      lane.cursor = it->first + 1;  // the next turn starts past this client
+      ++it;
+    }
+    if (!took) break;
+  }
+  for (auto it = lane.subs.begin(); it != lane.subs.end();) {
+    it = it->second.queue.empty() ? lane.subs.erase(it) : std::next(it);
+  }
+}
+
+template <typename Req, typename Ans>
+void Dispatcher::wait_for_round(std::unique_lock<std::mutex>& lk,
+                                Lane<Req, Ans>& lane) {
+  if (options_.coalesce_window.count() <= 0 || options_.max_coalesce <= 1 ||
+      stop_) {
+    return;
+  }
+  auto window =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.coalesce_window);
+  if (options_.adaptive_window) {
+    // Deep queue: latency is already queue-dominated, widen (more
+    // amortization per kernel). Shallow queue: the window IS the latency,
+    // shrink. Clamped so the knob's order of magnitude still governs.
+    const double depth_scale =
+        std::clamp(2.0 * static_cast<double>(lane.total) /
+                       static_cast<double>(options_.max_coalesce),
+                   0.25, 4.0);
+    window = std::chrono::nanoseconds(
+        std::llround(static_cast<double>(window.count()) * depth_scale));
+    // Never wait past the earliest queued deadline minus the measured
+    // round-service time. Sub fronts approximate "earliest" (oldest
+    // submit per client) without an O(queued) scan.
+    auto earliest = Clock::time_point::max();
+    for (const auto& [client, sub] : lane.subs) {
+      if (!sub.queue.empty()) {
+        earliest = std::min(earliest, sub.queue.front().deadline);
+      }
+    }
+    if (earliest != Clock::time_point::max()) {
+      const auto service =
+          std::chrono::nanoseconds(std::llround(round_ewma_ns_));
+      const auto slack = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          earliest - Clock::now() - service);
+      window = std::min(window, std::max(std::chrono::nanoseconds{0}, slack));
+    }
+  }
+  if (window.count() <= 0) return;
+  const auto deadline = Clock::now() + window;
+  // Let the round fill: a claimed lane is only drained by this worker,
+  // other lanes stay fair game for the rest of the pool.
+  cv_.wait_until(lk, deadline, [&] {
+    return stop_ || lane.total >= options_.max_coalesce;
+  });
 }
 
 template <typename Req, typename Ans, typename Payload>
 void Dispatcher::drain_queries(std::unique_lock<std::mutex>& lk,
                                Lane<Req, Ans>& lane, Payload Req::* payload) {
   lane.claimed = true;
-  if (options_.coalesce_window.count() > 0 && options_.max_coalesce > 1 &&
-      !stop_) {
-    // Let the round fill: a claimed lane is only drained by this worker,
-    // other lanes stay fair game for the rest of the pool.
-    const auto deadline =
-        std::chrono::steady_clock::now() + options_.coalesce_window;
-    cv_.wait_until(lk, deadline, [&] {
-      return stop_ || lane.queue.size() >= options_.max_coalesce;
-    });
-  }
-  const std::size_t take =
-      std::min(lane.queue.size(), options_.max_coalesce);
+  wait_for_round(lk, lane);
   std::vector<Item<Req, Ans>> items;
-  items.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    items.push_back(std::move(lane.queue.front()));
-    lane.queue.pop_front();
-  }
+  std::vector<Item<Req, Ans>> expired;
+  take_round(lane, options_.max_coalesce, items, expired);
   lane.claimed = false;
-  const engine::View view = view_;
-  ++stats_.rounds;
+  const std::size_t take = items.size();
+  const Snapshot snap{view_, latest_epoch_ - view_.epoch()};
+  if (take > 0) ++stats_.rounds;
   stats_.answered += take;
+  stats_.expired += expired.size();
   if (take > 1) stats_.coalesced_requests += take;
   stats_.max_round = std::max(stats_.max_round, take);
+  if (snap.staleness > 0) stats_.stale_served += take;
+  const auto round_start = Clock::now();
   lk.unlock();
 
+  for (Item<Req, Ans>& item : expired) {
+    item.promise.set_value(
+        empty_reply<Ans>(Status::kTimeout, snap.view.epoch(), snap.staleness));
+  }
+
   // One merged payload -> one View::run -> scatter the slices back. A
-  // throwing round (bad_alloc on a merged payload, most plausibly) fails
-  // exactly its own requests through their promises — it must not escape
-  // the worker thread (std::terminate) or abandon the futures.
-  try {
-    Req merged;
-    auto& all = merged.*payload;
-    std::vector<std::size_t> cuts;
-    cuts.reserve(items.size());
-    for (Item<Req, Ans>& item : items) {
-      const auto& part = item.request.*payload;
-      all.insert(all.end(), part.begin(), part.end());
-      cuts.push_back(all.size());
+  // throwing round (injected fault, bad_alloc on a merged payload) fails
+  // exactly its own requests — each resolves kFaulted with a definite
+  // Reply; nothing escapes the worker thread, no future is abandoned.
+  bool faulted = false;
+  if (take > 0) {
+    try {
+      Req merged;
+      auto& all = merged.*payload;
+      std::vector<std::size_t> cuts;
+      cuts.reserve(items.size());
+      for (Item<Req, Ans>& item : items) {
+        const auto& part = item.request.*payload;
+        all.insert(all.end(), part.begin(), part.end());
+        cuts.push_back(all.size());
+      }
+      const Ans full = snap.view.run(merged);
+      std::size_t begin = 0;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        Ans slice(full.begin() + static_cast<std::ptrdiff_t>(begin),
+                  full.begin() + static_cast<std::ptrdiff_t>(cuts[i]));
+        begin = cuts[i];
+        items[i].promise.set_value(Reply<Ans>{std::move(slice),
+                                              snap.view.epoch(), Status::kOk,
+                                              snap.staleness});
+      }
+    } catch (...) {
+      faulted = true;
+      for (Item<Req, Ans>& item : items) {
+        item.promise.set_value(empty_reply<Ans>(
+            Status::kFaulted, snap.view.epoch(), snap.staleness));
+      }
     }
-    const Ans full = view.run(merged);
-    std::size_t begin = 0;
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      Ans slice(full.begin() + static_cast<std::ptrdiff_t>(begin),
-                full.begin() + static_cast<std::ptrdiff_t>(cuts[i]));
-      begin = cuts[i];
-      items[i].promise.set_value(Reply<Ans>{std::move(slice), view.epoch()});
-    }
-  } catch (...) {
-    const std::exception_ptr error = std::current_exception();
-    for (Item<Req, Ans>& item : items) item.promise.set_exception(error);
   }
 
   lk.lock();
-  cv_.notify_all();  // a stopping worker may be waiting for pending_none()
+  if (take > 0) {
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             round_start)
+            .count());
+    round_ewma_ns_ =
+        round_ewma_ns_ <= 0.0 ? ns : 0.8 * round_ewma_ns_ + 0.2 * ns;
+    if (faulted) {
+      stats_.answered -= take;
+      stats_.faulted += take;
+    }
+  }
+  cv_.notify_all();  // stopping workers wait for pending_none(); blocked
+                     // submitters wait for lane space
 }
 
 template <typename Req, typename Ans, typename AnswerFn>
 void Dispatcher::drain_broadcast(std::unique_lock<std::mutex>& lk,
                                  Lane<Req, Ans>& lane, AnswerFn&& answer) {
-  const std::size_t take =
-      std::min(lane.queue.size(), options_.max_coalesce);
   std::vector<Item<Req, Ans>> items;
-  items.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    items.push_back(std::move(lane.queue.front()));
-    lane.queue.pop_front();
-  }
-  const engine::View view = view_;
-  ++stats_.rounds;
+  std::vector<Item<Req, Ans>> expired;
+  take_round(lane, options_.max_coalesce, items, expired);
+  const std::size_t take = items.size();
+  const Snapshot snap{view_, latest_epoch_ - view_.epoch()};
+  if (take > 0) ++stats_.rounds;
   stats_.answered += take;
+  stats_.expired += expired.size();
   if (take > 1) stats_.coalesced_requests += take;
   stats_.max_round = std::max(stats_.max_round, take);
+  if (snap.staleness > 0) stats_.stale_served += take;
   lk.unlock();
 
-  try {
-    const Ans full = answer(view);
-    for (Item<Req, Ans>& item : items) {
-      item.promise.set_value(Reply<Ans>{full, view.epoch()});
+  for (Item<Req, Ans>& item : expired) {
+    item.promise.set_value(
+        empty_reply<Ans>(Status::kTimeout, snap.view.epoch(), snap.staleness));
+  }
+
+  bool faulted = false;
+  if (take > 0) {
+    try {
+      const Ans full = answer(snap.view);
+      for (Item<Req, Ans>& item : items) {
+        item.promise.set_value(
+            Reply<Ans>{full, snap.view.epoch(), Status::kOk, snap.staleness});
+      }
+    } catch (...) {
+      faulted = true;
+      for (Item<Req, Ans>& item : items) {
+        item.promise.set_value(empty_reply<Ans>(
+            Status::kFaulted, snap.view.epoch(), snap.staleness));
+      }
     }
-  } catch (...) {
-    const std::exception_ptr error = std::current_exception();
-    for (Item<Req, Ans>& item : items) item.promise.set_exception(error);
   }
 
   lk.lock();
+  if (faulted) {
+    stats_.answered -= take;
+    stats_.faulted += take;
+  }
   cv_.notify_all();
 }
 
 void Dispatcher::serve_next(std::unique_lock<std::mutex>& lk) {
-  // FIFO across lanes: the unclaimed lane holding the oldest request wins.
+  // FIFO across lanes: the unclaimed lane holding the oldest request wins
+  // (each lane's head is the oldest front across its client sub-queues).
   std::uint64_t best = ~std::uint64_t{0};
   int which = -1;
   const auto consider = [&](const auto& lane, int id) {
-    if (!lane.claimed && !lane.queue.empty() &&
-        lane.queue.front().seq < best) {
-      best = lane.queue.front().seq;
-      which = id;
+    if (lane.claimed || lane.total == 0) return;
+    for (const auto& [client, sub] : lane.subs) {
+      if (!sub.queue.empty() && sub.queue.front().seq < best) {
+        best = sub.queue.front().seq;
+        which = id;
+      }
     }
   };
   consider(same_, 0);

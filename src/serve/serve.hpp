@@ -20,16 +20,46 @@
 // whole-graph requests (Bridges, TwoEcc) coalesce even harder, one answer
 // broadcast to every waiter.
 //
+// OVERLOAD AND FAILURE are first-class, not exceptional: every future
+// resolves with a definite Reply whose Status says what happened —
+//   kOk          answered normally
+//   kTimeout     the request's deadline passed before a round took it
+//   kOverloaded  a bounded lane was full (Reject) or the request was shed
+//                to admit newer work (ShedOldest)
+//   kCancelled   submitted after stop() began
+//   kFaulted     the answering round threw (injected fault, real OOM);
+//                the round fails exactly its own requests
+// Lanes are BOUNDED (`queue_bound`, or EMC_SERVE_QUEUE_BOUND) with an
+// explicit admission policy, and drained FAIRLY: each lane keeps one
+// sub-queue per client (Ticket::client), and rounds take items by
+// weighted round-robin across clients, so one hot tenant cannot starve
+// the rest — ShedOldest likewise shed from the fattest client first.
+// The coalescing window is deadline-aware: it widens when queues are deep
+// (more amortization when latency is already queue-dominated), shrinks
+// when they are shallow, and never waits past the earliest queued
+// deadline minus the measured round-service time.
+//
+// GRACEFUL DEGRADATION: publish(Session&) builds the next epoch's View
+// with bounded retry-with-backoff; when every attempt fails the previous
+// healthy View simply keeps serving and the dispatcher enters bounded-
+// staleness mode — replies carry `staleness` (graph epochs the serving
+// snapshot lags) so clients can decide, and recovery is the next
+// successful publish. With `degrade_to_host`, device-routed answer
+// batches that find the driver lock busy fall back to the identical-
+// answer host loop instead of queueing behind a writer's kernel pipeline.
+// Fault injection for all of the above: util/failpoint.hpp.
+//
 // Ordering/consistency: answers are computed against the View current at
 // DRAIN time, whose epoch is reported in the Reply envelope — a client
 // that must not see an epoch older than X checks reply.epoch. Requests of
-// the same type are answered FIFO; across types the oldest pending request
-// picks which lane drains next.
+// the same type AND client are answered FIFO; across clients the weighted
+// round-robin decides; across types the oldest pending request picks
+// which lane drains next.
 //
 // Threading: submit(), publish(), current_view() and stats() are safe from
 // any thread. stop() (also run by the destructor) answers everything still
 // queued, then joins the workers — no future is ever abandoned; a submit()
-// racing stop() is answered synchronously by the caller.
+// racing stop() resolves immediately with Status::kCancelled.
 #pragma once
 
 #include <chrono>
@@ -38,7 +68,9 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -49,11 +81,29 @@
 
 namespace emc::serve {
 
+/// What happened to a submitted request (see the header comment).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kTimeout,
+  kOverloaded,
+  kCancelled,
+  kFaulted,
+};
+
+std::string_view to_string(Status status);
+
 /// Answer envelope: the value plus the epoch of the View that served it.
+/// `value` is meaningful only when `status == kOk` (expected-style);
+/// `staleness` is how many graph epochs that View lagged the newest
+/// published state at answer time — 0 except in bounded-staleness mode.
 template <typename T>
 struct Reply {
   T value{};
   std::uint64_t epoch = 0;
+  Status status = Status::kOk;
+  std::uint64_t staleness = 0;
+
+  bool ok() const { return status == Status::kOk; }
 };
 
 /// Value-type answer for TwoEcc requests (the engine's TwoEccView points
@@ -61,6 +111,27 @@ struct Reply {
 struct TwoEccSummary {
   std::size_t num_blocks = 0;
   std::size_t num_bridges = 0;
+};
+
+/// What a full lane does to an incoming submit().
+enum class Admission : std::uint8_t {
+  kBlock = 0,    // wait for space (backpressure onto the caller)
+  kReject,       // resolve the NEW request kOverloaded immediately
+  kShedOldest,   // resolve the OLDEST queued request of the fattest
+                 // client kOverloaded, admit the new one
+};
+
+/// Per-request envelope carried alongside the payload.
+struct Ticket {
+  /// Time budget from submit(); once passed, the request resolves
+  /// kTimeout instead of being answered. 0 = the dispatcher's default_ttl.
+  std::chrono::microseconds ttl{0};
+  /// Fairness key: requests are drained round-robin ACROSS clients,
+  /// FIFO within one. The default client 0 is just another tenant.
+  std::uint64_t client = 0;
+  /// Round-robin quantum for this client (items per fairness turn,
+  /// clamped to >= 1). Last submit wins per (lane, client).
+  std::uint32_t weight = 1;
 };
 
 struct DispatcherOptions {
@@ -78,18 +149,80 @@ struct DispatcherOptions {
   /// resume(). Lets tests/benches enqueue a burst first, making coalescing
   /// deterministic.
   bool start_paused = false;
+
+  // --- overload / robustness knobs ---
+
+  /// Per-lane queued-request bound. 0 = take EMC_SERVE_QUEUE_BOUND from
+  /// the environment (strict parse, range [1, 2^30]), unbounded when that
+  /// is unset too.
+  std::size_t queue_bound = 0;
+  /// Policy when a bounded lane is full.
+  Admission admission = Admission::kBlock;
+  /// Deadline for requests whose Ticket carries none. 0 = take
+  /// EMC_SERVE_DEADLINE_US from the environment (strict parse, range
+  /// [1, 1e9] microseconds), no deadline when that is unset too.
+  std::chrono::microseconds default_ttl{0};
+  /// Scale coalesce_window with queue depth and cap it by the earliest
+  /// queued deadline (see the header comment). Off = the fixed window,
+  /// for tests that pin exact timing.
+  bool adaptive_window = true;
+  /// publish(Session&): total build attempts before giving up into
+  /// bounded-staleness mode (>= 1), and the first retry's sleep (doubling
+  /// each retry).
+  unsigned publish_attempts = 3;
+  std::chrono::microseconds publish_backoff{100};
+  /// Re-acquire each published View with host_fallback_when_busy set, so
+  /// answer rounds degrade device-routed batches to the host loop instead
+  /// of queueing on a busy driver lock.
+  bool degrade_to_host = false;
 };
 
+/// One coherent snapshot (every counter below is updated under the same
+/// dispatcher mutex stats() reads them under — the serve-layer analog of
+/// the engine's atomic Counters).
 struct DispatcherStats {
   std::size_t submitted = 0;
-  std::size_t answered = 0;
+  std::size_t answered = 0;  // resolved kOk
   /// Answer rounds (each is one View::run — one bulk kernel or host loop).
   std::size_t rounds = 0;
   /// Requests that shared their round with at least one other request.
   std::size_t coalesced_requests = 0;
   std::size_t max_round = 0;  // largest round, in requests
   std::size_t views_published = 0;
+
+  // --- overload / failure outcomes (submitted == answered + shed +
+  //     rejected + expired + cancelled + faulted once drained) ---
+  std::size_t shed = 0;       // ShedOldest victims (kOverloaded)
+  std::size_t rejected = 0;   // Reject admissions (kOverloaded)
+  std::size_t expired = 0;    // deadline passed before a round (kTimeout)
+  std::size_t cancelled = 0;  // submitted after stop() (kCancelled)
+  std::size_t faulted = 0;    // round threw (kFaulted)
+  /// Requests answered while the serving View lagged the graph.
+  std::size_t stale_served = 0;
+  /// publish(Session&) attempts beyond each call's first, and calls that
+  /// exhausted every attempt (entering/renewing bounded-staleness mode).
+  std::size_t publish_retries = 0;
+  std::size_t publish_failures = 0;
+  /// Process-wide injected faults (util::failpoint::total_fired()).
+  std::size_t faults_injected = 0;
+  /// Deepest any lane has been at admission.
+  std::size_t max_queue_depth = 0;
+  /// Bounded-staleness mode: the last publish(Session&) failed; replies
+  /// carry staleness = how far the serving epoch lags.
+  bool degraded = false;
+  std::uint64_t staleness = 0;
 };
+
+/// The resolved per-lane bound: `from_options` when nonzero, else a strict
+/// EMC_SERVE_QUEUE_BOUND parse (complete, in [1, 2^30]; anything else is
+/// ignored), else 0 = unbounded. Exposed for the env-hardening tests.
+std::size_t resolve_queue_bound(std::size_t from_options);
+
+/// The resolved default TTL: `from_options` when nonzero, else a strict
+/// EMC_SERVE_DEADLINE_US parse (complete, in [1, 1e9] microseconds), else
+/// zero = no deadline. Exposed for the env-hardening tests.
+std::chrono::microseconds resolve_default_ttl(
+    std::chrono::microseconds from_options);
 
 class Dispatcher {
  public:
@@ -104,17 +237,35 @@ class Dispatcher {
   /// Installs the View subsequent rounds answer against (the writer-side
   /// publish step). In-flight rounds finish on the View they took.
   void publish(engine::View view);
+
+  /// Builds and installs the session's current epoch's View with bounded
+  /// retry-with-backoff (publish_attempts / publish_backoff). On success
+  /// returns true and clears bounded-staleness mode. When every attempt
+  /// fails (epoch build keeps throwing — injected fault, real OOM), the
+  /// PREVIOUS healthy View keeps serving, the dispatcher records how far
+  /// it lags (`stats().staleness`), stamps that into every subsequent
+  /// Reply, and returns false. The writer retries on its next publish.
+  bool publish(engine::Session& session);
+  bool publish(engine::Session& session, const engine::Policy& policy);
+
   engine::View current_view() const;
 
   // submit(): enqueue and return the future. Coalescable query types merge
   // with same-type neighbors; Bridges/TwoEcc answer once per round and
-  // broadcast. The Bridges reply owns a COPY of the mask.
-  std::future<Reply<std::vector<std::uint8_t>>> submit(engine::Same2Ecc request);
-  std::future<Reply<std::vector<NodeId>>> submit(engine::BridgesOnPath request);
-  std::future<Reply<std::vector<NodeId>>> submit(engine::ComponentSize request);
-  std::future<Reply<std::vector<NodeId>>> submit(engine::LcaBatch request);
-  std::future<Reply<bridges::BridgeMask>> submit(engine::Bridges request);
-  std::future<Reply<TwoEccSummary>> submit(engine::TwoEcc request);
+  // broadcast. The Bridges reply owns a COPY of the mask. The Ticket
+  // carries the request's deadline and fairness identity.
+  std::future<Reply<std::vector<std::uint8_t>>> submit(
+      engine::Same2Ecc request, Ticket ticket = {});
+  std::future<Reply<std::vector<NodeId>>> submit(engine::BridgesOnPath request,
+                                                 Ticket ticket = {});
+  std::future<Reply<std::vector<NodeId>>> submit(engine::ComponentSize request,
+                                                 Ticket ticket = {});
+  std::future<Reply<std::vector<NodeId>>> submit(engine::LcaBatch request,
+                                                 Ticket ticket = {});
+  std::future<Reply<bridges::BridgeMask>> submit(engine::Bridges request,
+                                                 Ticket ticket = {});
+  std::future<Reply<TwoEccSummary>> submit(engine::TwoEcc request,
+                                           Ticket ticket = {});
 
   /// Releases start_paused workers.
   void resume();
@@ -126,21 +277,52 @@ class Dispatcher {
   DispatcherStats stats() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   template <typename Req, typename Ans>
   struct Item {
     std::uint64_t seq = 0;
     Req request;
     std::promise<Reply<Ans>> promise;
+    Clock::time_point deadline = Clock::time_point::max();
   };
 
   template <typename Req, typename Ans>
   struct Lane {
-    std::deque<Item<Req, Ans>> queue;
+    /// One FIFO per client; rounds take weighted round-robin across them.
+    struct Sub {
+      std::deque<Item<Req, Ans>> queue;
+      std::uint32_t weight = 1;
+    };
+    std::map<std::uint64_t, Sub> subs;
+    std::size_t total = 0;      // queued items across subs
+    std::uint64_t cursor = 0;   // client the next fairness turn starts at
     bool claimed = false;  // a worker is waiting out the window on it
   };
 
+  /// Epoch/staleness pair captured under the lock when a round (or an
+  /// immediate resolution) picks its View.
+  struct Snapshot {
+    engine::View view;
+    std::uint64_t staleness = 0;
+  };
+
   template <typename Req, typename Ans>
-  std::future<Reply<Ans>> enqueue(Lane<Req, Ans>& lane, Req&& request);
+  std::future<Reply<Ans>> enqueue(Lane<Req, Ans>& lane, Req&& request,
+                                  const Ticket& ticket);
+
+  /// Pops up to `max_take` live items by weighted round-robin across the
+  /// lane's clients (FIFO within one), routing already-expired items to
+  /// `expired` instead (they do not consume fairness quota or round
+  /// capacity). Lock held.
+  template <typename Req, typename Ans>
+  void take_round(Lane<Req, Ans>& lane, std::size_t max_take,
+                  std::vector<Item<Req, Ans>>& live,
+                  std::vector<Item<Req, Ans>>& expired);
+
+  /// The deadline-aware coalescing wait (lock held; see header comment).
+  template <typename Req, typename Ans>
+  void wait_for_round(std::unique_lock<std::mutex>& lk, Lane<Req, Ans>& lane);
 
   /// Claims `lane`, optionally waits the coalescing window, merges up to
   /// max_coalesce payloads, answers them with ONE View::run outside the
@@ -154,6 +336,11 @@ class Dispatcher {
   void drain_broadcast(std::unique_lock<std::mutex>& lk, Lane<Req, Ans>& lane,
                        AnswerFn&& answer);
 
+  /// Applies degrade_to_host to a freshly published view.
+  engine::View adapt(engine::View view) const;
+
+  bool publish_impl(engine::Session& session, const engine::Policy* policy);
+
   void worker_loop();
   bool pending_unclaimed() const;
   bool pending_none() const;
@@ -166,6 +353,13 @@ class Dispatcher {
   DispatcherOptions options_;
   DispatcherStats stats_;
   std::uint64_t next_seq_ = 0;
+  /// Newest graph epoch the writer has shown us (successful publishes AND
+  /// failed publish(Session&) calls); staleness = latest_epoch_ - serving.
+  std::uint64_t latest_epoch_ = 0;
+  bool degraded_ = false;
+  /// EWMA of round service time, the "p99 headroom" input to the adaptive
+  /// window (nanoseconds).
+  double round_ewma_ns_ = 0.0;
   bool paused_ = false;
   bool stop_ = false;
 

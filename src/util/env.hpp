@@ -1,0 +1,35 @@
+// Strict environment-variable parsing, shared by every EMC_* knob.
+//
+// Policy (established for EMC_WORKERS in device/context.cpp and reused by
+// EMC_FUZZ_SEED/EMC_FUZZ_ROUNDS and the serve-layer QoS knobs): a value is
+// taken only when it parses COMPLETELY as an integer inside the knob's sane
+// range; empty, non-numeric, trailing junk, or out-of-range values fall back
+// to the caller's default. A typo in a job script degrades to stock behavior
+// instead of silently arming the wrong configuration.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace emc::util {
+
+/// Strict integer env parse: the value is used iff it parses completely and
+/// lies in [lo, hi]; otherwise `def`.
+inline std::int64_t env_int_or(const char* name, std::int64_t def,
+                               std::int64_t lo, std::int64_t hi) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(env, &end, 10);
+    // errno check: strtoll clamps overflow to LLONG_MIN/MAX, which would
+    // otherwise sneak past a range check whose bound is the type's limit.
+    if (errno == 0 && end != env && *end == '\0' && parsed >= lo &&
+        parsed <= hi) {
+      return parsed;
+    }
+  }
+  return def;
+}
+
+}  // namespace emc::util

@@ -6,45 +6,29 @@
 //   EMC_FUZZ_SEED=<n>    — replaces the suite's default seed
 //   EMC_FUZZ_ROUNDS=<n>  — replaces the suite's default round count
 //
-// Both use the same strict parsing policy as EMC_WORKERS (see
-// device/context.cpp): the value is taken only when it parses COMPLETELY as
-// an integer inside the knob's sane range; empty, non-numeric, trailing
-// junk, or out-of-range values fall back to the default, so a typo in a job
-// script degrades to the stock run instead of silently fuzzing nothing.
+// Both use the strict EMC_* parsing policy of util/env.hpp: the value is
+// taken only when it parses completely as an integer inside the knob's sane
+// range; empty, non-numeric, trailing junk, or out-of-range values fall
+// back to the default, so a typo in a job script degrades to the stock run
+// instead of silently fuzzing nothing.
 //
 // On a mismatch, suites print the failing seed plus the batch script that
 // led to it (BatchScript below), so the exact failing update sequence can be
 // replayed or turned into a regression test.
 #pragma once
 
-#include <cerrno>
 #include <cstdint>
-#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/env.hpp"
 
 namespace emc::test_support {
 
-/// Strict integer env parse: the value is used iff it parses completely and
-/// lies in [lo, hi]; otherwise `def`. Same policy as EMC_WORKERS.
-inline std::int64_t env_int_or(const char* name, std::int64_t def,
-                               std::int64_t lo, std::int64_t hi) {
-  if (const char* env = std::getenv(name)) {
-    char* end = nullptr;
-    errno = 0;
-    const long long parsed = std::strtoll(env, &end, 10);
-    // errno check: strtoll clamps overflow to LLONG_MIN/MAX, which would
-    // otherwise sneak past a range check whose bound is the type's limit.
-    if (errno == 0 && end != env && *end == '\0' && parsed >= lo &&
-        parsed <= hi) {
-      return parsed;
-    }
-  }
-  return def;
-}
+/// The shared strict env parse (one policy for every EMC_* knob).
+using util::env_int_or;
 
 /// Fuzz seed: EMC_FUZZ_SEED override, any non-negative 63-bit value.
 inline std::uint64_t fuzz_seed(std::uint64_t def) {

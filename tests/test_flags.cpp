@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "device/context.hpp"
 #include "device/primitives.hpp"
+#include "serve/serve.hpp"
 #include "support/fuzz_env.hpp"
+#include "util/failpoint.hpp"
 #include "util/flags.hpp"
 
 namespace emc::util {
@@ -125,6 +128,113 @@ TEST(FuzzEnv, InvalidOverridesFallBackToDefault) {
   unsetenv("EMC_FUZZ_ROUNDS");
   EXPECT_EQ(test_support::fuzz_seed(42), 42u);
   EXPECT_EQ(test_support::fuzz_rounds(100), 100);
+}
+
+// EMC_SERVE_QUEUE_BOUND / EMC_SERVE_DEADLINE_US (the dispatcher's overload
+// knobs) follow the same strict policy; a typo'd bound must degrade to
+// "unbounded / no deadline", never to a surprise admission behavior.
+
+TEST(ServeEnv, QueueBoundAndDeadlineOverridesAreHonored) {
+  ASSERT_EQ(setenv("EMC_SERVE_QUEUE_BOUND", "128", 1), 0);
+  ASSERT_EQ(setenv("EMC_SERVE_DEADLINE_US", "2500", 1), 0);
+  EXPECT_EQ(serve::resolve_queue_bound(0), 128u);
+  EXPECT_EQ(serve::resolve_default_ttl({}).count(), 2500);
+  // Explicit DispatcherOptions win over the environment.
+  EXPECT_EQ(serve::resolve_queue_bound(16), 16u);
+  EXPECT_EQ(serve::resolve_default_ttl(std::chrono::microseconds(9)).count(),
+            9);
+  unsetenv("EMC_SERVE_QUEUE_BOUND");
+  unsetenv("EMC_SERVE_DEADLINE_US");
+  EXPECT_EQ(serve::resolve_queue_bound(0), 0u);      // unbounded
+  EXPECT_EQ(serve::resolve_default_ttl({}).count(), 0);  // no deadline
+}
+
+TEST(ServeEnv, InvalidValuesFallBackToUnset) {
+  for (const char* bad : {"0", "-5", "abc", "", "64k", "1e3",
+                          "99999999999999999999"}) {
+    ASSERT_EQ(setenv("EMC_SERVE_QUEUE_BOUND", bad, 1), 0);
+    ASSERT_EQ(setenv("EMC_SERVE_DEADLINE_US", bad, 1), 0);
+    EXPECT_EQ(serve::resolve_queue_bound(0), 0u)
+        << "EMC_SERVE_QUEUE_BOUND=\"" << bad << "\"";
+    EXPECT_EQ(serve::resolve_default_ttl({}).count(), 0)
+        << "EMC_SERVE_DEADLINE_US=\"" << bad << "\"";
+  }
+  // In-type but out-of-range: bound caps at 2^30, deadline at 10^9 us.
+  ASSERT_EQ(setenv("EMC_SERVE_QUEUE_BOUND", "1073741825", 1), 0);
+  ASSERT_EQ(setenv("EMC_SERVE_DEADLINE_US", "1000000001", 1), 0);
+  EXPECT_EQ(serve::resolve_queue_bound(0), 0u);
+  EXPECT_EQ(serve::resolve_default_ttl({}).count(), 0);
+  unsetenv("EMC_SERVE_QUEUE_BOUND");
+  unsetenv("EMC_SERVE_DEADLINE_US");
+}
+
+// EMC_FAILPOINT's spec grammar ("0.25" | "7" | "7+") is strict, and a full
+// config string arms all-or-nothing — a typo disarms everything rather than
+// arming the wrong site. Only the engine.publish site is used here: this
+// binary's other tests never hit it, while arming device.launch would fault
+// the primitive runs below.
+
+TEST(FailpointSpec, AcceptsTheDocumentedGrammar) {
+  namespace fp = failpoint;
+  EXPECT_TRUE(fp::configure(fp::kPublish, "1"));     // one-shot, first hit
+  EXPECT_TRUE(fp::configure(fp::kPublish, "7"));     // one-shot, nth hit
+  EXPECT_TRUE(fp::configure(fp::kPublish, "7+"));    // persistent from nth
+  EXPECT_TRUE(fp::configure(fp::kPublish, "1+"));    // always fail
+  EXPECT_TRUE(fp::configure(fp::kPublish, "0.25"));  // probability
+  EXPECT_TRUE(fp::configure(fp::kPublish, "1.0"));   // p == 1 is allowed
+  fp::disable_all();
+  EXPECT_FALSE(fp::armed());
+}
+
+TEST(FailpointSpec, RejectsMalformedSpecsAndUnknownSites) {
+  namespace fp = failpoint;
+  for (const char* bad : {"", "0", "0+", "0.0", "1.5", "-1", "abc", "0.25x",
+                          "7seven", "+", "1++", "0.5+"}) {
+    EXPECT_FALSE(fp::configure(fp::kPublish, bad))
+        << "spec \"" << bad << "\" should be rejected";
+  }
+  EXPECT_FALSE(fp::configure("no.such.site", "1"));
+  EXPECT_FALSE(fp::armed());
+}
+
+TEST(FailpointSpec, ConfigStringArmsAllOrNothing) {
+  namespace fp = failpoint;
+  EXPECT_EQ(fp::configure_from_string("arena.alloc:1,engine.publish:0.5"), 2);
+  EXPECT_TRUE(fp::armed());
+  fp::disable_all();
+  // One malformed entry must disarm the WHOLE string.
+  for (const char* bad :
+       {"arena.alloc:1,bogus.site:0.5", "arena.alloc:1,engine.publish:1.5",
+        "arena.alloc", "arena.alloc:", ":1", "arena.alloc:1,"}) {
+    EXPECT_EQ(fp::configure_from_string(bad), -1)
+        << "EMC_FAILPOINT \"" << bad << "\" should arm nothing";
+    EXPECT_FALSE(fp::armed());
+  }
+  fp::disable_all();
+}
+
+TEST(FailpointSpec, OneShotFiresExactlyOnceAndCountersTrack) {
+  namespace fp = failpoint;
+  ASSERT_TRUE(fp::configure(fp::kPublish, "2"));
+  EXPECT_FALSE(fp::should_fail(fp::kPublish));  // hit 1
+  EXPECT_TRUE(fp::should_fail(fp::kPublish));   // hit 2: fires
+  EXPECT_FALSE(fp::should_fail(fp::kPublish));  // hit 3: spent
+  EXPECT_EQ(fp::hits(fp::kPublish), 3u);
+  EXPECT_EQ(fp::fired(fp::kPublish), 1u);
+  fp::disable_all();
+  EXPECT_EQ(fp::hits(fp::kPublish), 0u);  // teardown zeroes the counters
+}
+
+TEST(FailpointSpec, ScopedSuspendMasksTheCallingThread) {
+  namespace fp = failpoint;
+  ASSERT_TRUE(fp::configure(fp::kPublish, "1+"));  // always fail...
+  {
+    fp::ScopedSuspend suspend;
+    EXPECT_FALSE(fp::should_fail(fp::kPublish));  // ...except when suspended
+    EXPECT_EQ(fp::hits(fp::kPublish), 0u);  // suspended hits are not counted
+  }
+  EXPECT_TRUE(fp::should_fail(fp::kPublish));
+  fp::disable_all();
 }
 
 TEST(DeviceLatencyModel, SequentialAndExplicitContextsAreFree) {

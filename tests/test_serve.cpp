@@ -17,7 +17,12 @@
 //     2-ecc index preserving the incremental-replay stats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +38,7 @@
 #include "serve/serve.hpp"
 #include "support/fuzz_env.hpp"
 #include "support/reference.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace emc::serve {
@@ -46,6 +52,15 @@ using engine::View;
 using graph::Edge;
 using graph::EdgeList;
 using test_support::ReferenceOracle;
+
+namespace failpoint = util::failpoint;
+
+/// Every submission ends in exactly one outcome bucket; the QoS and
+/// failpoint tests pin this ledger after every drain.
+std::size_t outcomes(const DispatcherStats& s) {
+  return s.answered + s.shed + s.rejected + s.expired + s.cancelled +
+         s.faulted;
+}
 
 std::vector<Edge> random_batch(util::Rng& rng, NodeId n, std::size_t count) {
   std::vector<Edge> batch;
@@ -444,7 +459,7 @@ TEST(ServeDispatcher, BroadcastLanesAnswerOncePerRound) {
   EXPECT_EQ(dispatcher.stats().rounds, 2u);  // one per lane
 }
 
-TEST(ServeDispatcher, StopDrainsEverythingAndLateSubmitsStillAnswer) {
+TEST(ServeDispatcher, StopDrainsEverythingAndLateSubmitsAreCancelled) {
   Engine engine({.device_workers = 2});
   const EdgeList g = gen::cycle_graph(64);
   Session session = engine.session(g);
@@ -458,11 +473,524 @@ TEST(ServeDispatcher, StopDrainsEverythingAndLateSubmitsStillAnswer) {
     futures.push_back(dispatcher.submit(engine::Same2Ecc{{{0, 32}}}));
   }
   dispatcher.stop();  // must answer the paused backlog, not abandon it
-  for (auto& future : futures) EXPECT_EQ(future.get().value[0], 1);
+  for (auto& future : futures) {
+    const auto reply = future.get();
+    EXPECT_EQ(reply.status, Status::kOk);
+    EXPECT_EQ(reply.value[0], 1);
+  }
 
+  // The shutdown race: a submit() after stop() began must NOT be silently
+  // worked on the caller thread — it resolves immediately as cancelled.
   auto late = dispatcher.submit(engine::Same2Ecc{{{1, 2}}});
-  EXPECT_EQ(late.get().value[0], 1);  // synchronous shutdown-race path
-  EXPECT_EQ(dispatcher.stats().submitted, dispatcher.stats().answered);
+  const auto reply = late.get();
+  EXPECT_EQ(reply.status, Status::kCancelled);
+  EXPECT_TRUE(reply.value.empty());
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.submitted, stats.answered + stats.cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// QoS: deadlines, bounded lanes with the three admission policies, fairness,
+// and the 4x-oversubscribed flash crowd (ISSUE 6 acceptance scenario).
+
+TEST(ServeQoS, ExpiredDeadlinesResolveTimeoutNotAnswers) {
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::cycle_graph(64);
+  Session session = engine.session(g);
+
+  DispatcherOptions options;
+  options.workers = 1;
+  options.start_paused = true;  // let the deadline pass while queued
+  Dispatcher dispatcher(session.view(), options);
+
+  Ticket doomed;
+  doomed.ttl = std::chrono::microseconds(1);
+  auto expired = dispatcher.submit(engine::Same2Ecc{{{0, 32}}}, doomed);
+  auto fine = dispatcher.submit(engine::Same2Ecc{{{0, 32}}});  // no deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  dispatcher.resume();
+
+  const auto timed_out = expired.get();
+  EXPECT_EQ(timed_out.status, Status::kTimeout);
+  EXPECT_TRUE(timed_out.value.empty());
+  const auto answered = fine.get();
+  EXPECT_EQ(answered.status, Status::kOk);
+  EXPECT_EQ(answered.value[0], 1);  // a cycle is one 2ecc block
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.answered, 1u);
+  EXPECT_EQ(stats.submitted, outcomes(stats));
+}
+
+TEST(ServeQoS, FullLaneRejectsImmediatelyUnderRejectPolicy) {
+  constexpr std::size_t kBound = 8;
+  constexpr std::size_t kSubmitted = 20;
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::cycle_graph(64);
+  Session session = engine.session(g);
+
+  DispatcherOptions options;
+  options.workers = 1;
+  options.start_paused = true;  // nothing drains: the lane must fill
+  options.queue_bound = kBound;
+  options.admission = Admission::kReject;
+  Dispatcher dispatcher(session.view(), options);
+
+  std::vector<std::future<Reply<std::vector<std::uint8_t>>>> futures;
+  for (std::size_t i = 0; i < kSubmitted; ++i) {
+    futures.push_back(dispatcher.submit(engine::Same2Ecc{{{0, 32}}}));
+  }
+  // Overflow submits resolve kOverloaded synchronously — no waiting for a
+  // worker, which is the point of Reject under overload.
+  for (std::size_t i = kBound; i < kSubmitted; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "rejected submit " << i << " should already be resolved";
+    const auto reply = futures[i].get();
+    EXPECT_EQ(reply.status, Status::kOverloaded);
+    EXPECT_TRUE(reply.value.empty());
+  }
+  dispatcher.resume();
+  for (std::size_t i = 0; i < kBound; ++i) {
+    const auto reply = futures[i].get();
+    EXPECT_EQ(reply.status, Status::kOk);
+    EXPECT_EQ(reply.value[0], 1);
+  }
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.rejected, kSubmitted - kBound);
+  EXPECT_EQ(stats.answered, kBound);
+  EXPECT_EQ(stats.max_queue_depth, kBound);  // the bound really bounded it
+  EXPECT_EQ(stats.submitted, outcomes(stats));
+}
+
+TEST(ServeQoS, ShedOldestEvictsTheFattestClientNotTheLightOne) {
+  constexpr std::size_t kBound = 8;
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::cycle_graph(64);
+  Session session = engine.session(g);
+
+  DispatcherOptions options;
+  options.workers = 1;
+  options.start_paused = true;
+  options.queue_bound = kBound;
+  options.admission = Admission::kShedOldest;
+  Dispatcher dispatcher(session.view(), options);
+
+  Ticket heavy;
+  heavy.client = 1;
+  Ticket light;
+  light.client = 2;
+
+  // The heavy tenant fills the lane; each light submit must then evict the
+  // OLDEST heavy item, never another light one — this is the fairness pin
+  // (round-robin drain order itself is not externally observable).
+  std::vector<std::future<Reply<std::vector<std::uint8_t>>>> heavy_futures;
+  for (std::size_t i = 0; i < kBound; ++i) {
+    heavy_futures.push_back(
+        dispatcher.submit(engine::Same2Ecc{{{0, 32}}}, heavy));
+  }
+  std::vector<std::future<Reply<std::vector<std::uint8_t>>>> light_futures;
+  light_futures.push_back(dispatcher.submit(engine::Same2Ecc{{{0, 32}}}, light));
+  light_futures.push_back(dispatcher.submit(engine::Same2Ecc{{{0, 32}}}, light));
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_EQ(heavy_futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(heavy_futures[i].get().status, Status::kOverloaded)
+        << "oldest heavy item " << i << " should have been shed";
+  }
+  dispatcher.resume();
+  for (auto& future : light_futures) {
+    const auto reply = future.get();
+    EXPECT_EQ(reply.status, Status::kOk) << "light tenant must not be shed";
+    EXPECT_EQ(reply.value[0], 1);
+  }
+  for (std::size_t i = 2; i < kBound; ++i) {
+    EXPECT_EQ(heavy_futures[i].get().status, Status::kOk);
+  }
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.submitted, outcomes(stats));
+}
+
+TEST(ServeQoS, BlockAdmissionAppliesBackpressureUntilSpaceFrees) {
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::cycle_graph(64);
+  Session session = engine.session(g);
+
+  DispatcherOptions options;
+  options.workers = 1;
+  options.start_paused = true;
+  options.queue_bound = 2;
+  options.admission = Admission::kBlock;
+  Dispatcher dispatcher(session.view(), options);
+
+  auto first = dispatcher.submit(engine::Same2Ecc{{{0, 32}}});
+  auto second = dispatcher.submit(engine::Same2Ecc{{{0, 32}}});
+
+  std::atomic<bool> admitted{false};
+  Status blocked_status = Status::kFaulted;
+  std::thread blocked([&] {
+    auto future = dispatcher.submit(engine::Same2Ecc{{{0, 32}}});
+    admitted.store(true);  // submit() returned: the lane made room
+    blocked_status = future.get().status;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load()) << "submit into a full Block lane must wait";
+
+  dispatcher.resume();  // drains the lane, which unblocks the caller
+  blocked.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(blocked_status, Status::kOk);
+  EXPECT_EQ(first.get().status, Status::kOk);
+  EXPECT_EQ(second.get().status, Status::kOk);
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.answered, 3u);
+  EXPECT_EQ(stats.max_queue_depth, 2u);
+  EXPECT_EQ(stats.submitted, outcomes(stats));
+}
+
+TEST(ServeQoS, FlashCrowdShedsExcessAndKeepsAdmittedLatencyBounded) {
+  constexpr NodeId kNodes = 400;
+  constexpr std::size_t kBound = 32;
+  constexpr unsigned kFlashThreads = 4;  // the 4x oversubscription
+  constexpr std::size_t kPerThread = 300;
+  Engine engine({.device_workers = 2});
+  const EdgeList g = graph::largest_component(
+      graph::simplified(gen::er_graph(kNodes, 900, 11)));
+  Session session = engine.session(g);
+
+  // Host route: merged rounds answer in the host loop, so admitted latency
+  // is queue-dominated and the steady/flash comparison is about QUEUEING,
+  // not about which backend a bigger merged batch happens to pick.
+  Policy host_route;
+  host_route.min_device_batch = std::size_t{1} << 30;
+
+  DispatcherOptions options;
+  options.workers = 2;
+  options.queue_bound = kBound;
+  options.admission = Admission::kShedOldest;
+  options.default_ttl = std::chrono::milliseconds(200);
+  Dispatcher dispatcher(session.view(host_route), options);
+
+  util::Rng rng(47);
+  const auto one_query = [&] {
+    return engine::Same2Ecc{{{static_cast<NodeId>(rng.below(g.num_nodes)),
+                              static_cast<NodeId>(rng.below(g.num_nodes))}}};
+  };
+  const auto p99 = [](std::vector<double>& lat) {
+    std::sort(lat.begin(), lat.end());
+    return lat.empty() ? 0.0 : lat[lat.size() - 1 - lat.size() / 100];
+  };
+
+  // Steady state: closed loop, 4 outstanding requests at a time.
+  std::vector<double> steady_lat;
+  for (int wave = 0; wave < 50; ++wave) {
+    std::array<std::chrono::steady_clock::time_point, 4> begin;
+    std::array<std::future<Reply<std::vector<std::uint8_t>>>, 4> futures;
+    for (int i = 0; i < 4; ++i) {
+      begin[i] = std::chrono::steady_clock::now();
+      futures[i] = dispatcher.submit(one_query());
+    }
+    for (int i = 0; i < 4; ++i) {
+      const auto reply = futures[i].get();
+      ASSERT_EQ(reply.status, Status::kOk);
+      steady_lat.push_back(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - begin[i])
+                               .count());
+    }
+  }
+  const double steady_p99 = p99(steady_lat);
+
+  // Flash crowd: kFlashThreads open-loop submitters flooding as fast as
+  // they can against the same bounded lane. Each thread reaps its own
+  // futures FIFO — opportunistically (non-blocking) while still
+  // submitting, so a reply's latency is measured when it resolves, not
+  // after the whole flood ends.
+  struct Timed {
+    std::chrono::steady_clock::time_point begin;
+    std::future<Reply<std::vector<std::uint8_t>>> future;
+  };
+  struct FlashOutcome {
+    std::size_t ok = 0, overloaded = 0, timeout = 0, unexpected = 0;
+    std::size_t nonempty_failures = 0;  // non-Ok replies carrying a value
+    std::vector<double> lat;
+  };
+  std::vector<FlashOutcome> per_thread(kFlashThreads);
+  std::vector<std::thread> flood;
+  for (unsigned t = 0; t < kFlashThreads; ++t) {
+    flood.emplace_back([&, t] {
+      util::Rng thread_rng(100 + t);
+      FlashOutcome& mine = per_thread[t];
+      std::deque<Timed> inflight;
+      const auto reap = [&](Timed& timed) {
+        const auto reply = timed.future.get();
+        switch (reply.status) {
+          case Status::kOk:
+            ++mine.ok;
+            mine.lat.push_back(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - timed.begin)
+                    .count());
+            break;
+          case Status::kOverloaded:
+            ++mine.overloaded;
+            break;
+          case Status::kTimeout:
+            ++mine.timeout;
+            break;
+          default:
+            ++mine.unexpected;
+        }
+        if (reply.status != Status::kOk && !reply.value.empty()) {
+          ++mine.nonempty_failures;
+        }
+      };
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const auto u = static_cast<NodeId>(thread_rng.below(g.num_nodes));
+        const auto v = static_cast<NodeId>(thread_rng.below(g.num_nodes));
+        inflight.push_back({std::chrono::steady_clock::now(),
+                            dispatcher.submit(engine::Same2Ecc{{{u, v}}})});
+        while (!inflight.empty() &&
+               inflight.front().future.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready) {
+          reap(inflight.front());
+          inflight.pop_front();
+        }
+      }
+      while (!inflight.empty()) {  // blocking drain of the tail
+        reap(inflight.front());
+        inflight.pop_front();
+      }
+    });
+  }
+  for (auto& thread : flood) thread.join();
+
+  // Every future must resolve with a definite Status — none abandoned.
+  std::size_t ok = 0, overloaded = 0, timeout = 0;
+  std::vector<double> flash_lat;
+  for (const FlashOutcome& mine : per_thread) {
+    ok += mine.ok;
+    overloaded += mine.overloaded;
+    timeout += mine.timeout;
+    EXPECT_EQ(mine.unexpected, 0u);
+    EXPECT_EQ(mine.nonempty_failures, 0u);
+    flash_lat.insert(flash_lat.end(), mine.lat.begin(), mine.lat.end());
+  }
+  EXPECT_EQ(ok + overloaded + timeout, kFlashThreads * kPerThread);
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(overloaded + timeout, 0u)
+      << "4x oversubscription of a bounded lane must shed or expire";
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_LE(stats.max_queue_depth, kBound);  // lanes stayed bounded
+  EXPECT_EQ(stats.shed + stats.expired, overloaded + timeout);
+  EXPECT_EQ(stats.submitted, outcomes(stats));
+
+  // The latency pin: shedding keeps ADMITTED p99 near the steady-state
+  // p99 instead of letting it grow with the (unbounded) arrival backlog.
+  // The absolute floor absorbs scheduler noise on loaded CI machines; the
+  // bench (bench_serve qos/flash) records the real ratio.
+  const double flash_p99 = p99(flash_lat);
+  EXPECT_LE(flash_p99, std::max(2.0 * steady_p99, 0.005))
+      << "steady p99 " << steady_p99 << "s vs flash admitted p99 "
+      << flash_p99 << "s";
+}
+
+// ---------------------------------------------------------------------------
+// Failpoints: publish retry/degradation and the randomized fault fuzz.
+// CI runs this filter with EMC_FAILPOINT set (one site per job round); the
+// deterministic launch-count pins above would not survive an env-armed
+// process, so the full binary runs unarmed.
+
+TEST(ServeFailpoints, PublishRetriesThroughATransientFault) {
+  failpoint::disable_all();
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(64));
+  Session session = engine.session(dg);
+
+  DispatcherOptions options;
+  options.workers = 1;
+  options.publish_backoff = std::chrono::microseconds(50);
+  Dispatcher dispatcher(session.view(), options);
+
+  dg.insert_edges(engine.device(), {{0, 32}});
+  // One-shot: the first build attempt throws, the retry succeeds.
+  ASSERT_TRUE(failpoint::configure(failpoint::kPublish, "1"));
+  EXPECT_TRUE(dispatcher.publish(session));
+  failpoint::disable_all();
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_GE(stats.publish_retries, 1u);
+  EXPECT_EQ(stats.publish_failures, 0u);
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_EQ(stats.staleness, 0u);
+  EXPECT_GE(stats.faults_injected, 1u);
+
+  // And it is really serving the fresh epoch.
+  const auto reply = dispatcher.submit(engine::Same2Ecc{{{0, 32}}}).get();
+  EXPECT_EQ(reply.status, Status::kOk);
+  EXPECT_EQ(reply.epoch, dg.epoch());
+  EXPECT_EQ(reply.staleness, 0u);
+}
+
+TEST(ServeFailpoints, PublishGivesUpIntoBoundedStalenessAndRecovers) {
+  failpoint::disable_all();
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(64));
+  Session session = engine.session(dg);
+
+  DispatcherOptions options;
+  options.workers = 1;
+  options.publish_attempts = 2;
+  options.publish_backoff = std::chrono::microseconds(50);
+  Dispatcher dispatcher(session.view(), options);
+  const std::uint64_t healthy_epoch = dispatcher.current_view().epoch();
+
+  dg.insert_edges(engine.device(), {{1, 33}});
+  // Persistent: every build attempt fails — the dispatcher must give up
+  // into bounded-staleness mode, keeping the previous View serving.
+  ASSERT_TRUE(failpoint::configure(failpoint::kPublish, "1+"));
+  EXPECT_FALSE(dispatcher.publish(session));
+
+  DispatcherStats stats = dispatcher.stats();
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_EQ(stats.publish_failures, 1u);
+  EXPECT_GE(stats.publish_retries, 1u);
+  EXPECT_GT(stats.staleness, 0u);
+
+  // Stale but correct-at-its-epoch answers, staleness stamped in replies.
+  auto reply = dispatcher.submit(engine::Same2Ecc{{{0, 32}}}).get();
+  EXPECT_EQ(reply.status, Status::kOk);
+  EXPECT_EQ(reply.epoch, healthy_epoch);
+  EXPECT_GT(reply.staleness, 0u);
+  EXPECT_EQ(reply.value[0], 1);
+  EXPECT_GT(dispatcher.stats().stale_served, 0u);
+
+  // Recovery is the next successful publish.
+  failpoint::disable_all();
+  EXPECT_TRUE(dispatcher.publish(session));
+  stats = dispatcher.stats();
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_EQ(stats.staleness, 0u);
+  reply = dispatcher.submit(engine::Same2Ecc{{{0, 32}}}).get();
+  EXPECT_EQ(reply.status, Status::kOk);
+  EXPECT_EQ(reply.epoch, dg.epoch());
+  EXPECT_EQ(reply.staleness, 0u);
+}
+
+// The robustness fuzz (ISSUE 6 acceptance): under fault injection at EVERY
+// catalog site, every submitted future must still resolve with a definite
+// Status, kOk answers must match the reference of their serving epoch, and
+// the outcome ledger must balance. When the environment armed EMC_FAILPOINT
+// (the CI matrix does, one site per job), fuzz under THAT configuration;
+// otherwise rotate through the catalog round-robin.
+TEST(ServeFailpoints, EveryFutureResolvesUnderRandomizedFaults) {
+  const auto fuzz = test_support::fuzz_run(/*seed=*/909, /*rounds=*/16);
+  SCOPED_TRACE(fuzz.trace);
+  constexpr NodeId kNodes = 256;
+
+  // Re-arm from the environment explicitly: an earlier test's
+  // disable_all() must not silently demote a CI-configured run into the
+  // self-rotating mode.
+  const char* env_spec = std::getenv("EMC_FAILPOINT");
+  const bool env_armed =
+      env_spec != nullptr && failpoint::configure_from_string(env_spec) > 0;
+  constexpr std::array<const char*, 4> kCatalog = {
+      failpoint::kArenaAlloc, failpoint::kDeviceLaunch, failpoint::kSnapshot,
+      failpoint::kPublish};
+
+  Engine engine({.device_workers = 2});
+  const device::Context ref_ctx = device::Context::sequential();
+  dynamic::DynamicGraph dg(engine.device(),
+                           gen::er_graph(kNodes, 400, fuzz.seed));
+  Session session = engine.session(dg);
+
+  std::map<std::uint64_t, std::shared_ptr<const ReferenceOracle>> refs;
+  // Reference building must not absorb injected faults: it is the ground
+  // truth, not the system under test.
+  const auto capture_ref = [&](const View& view) {
+    if (refs.count(view.epoch())) return;
+    failpoint::ScopedSuspend suspend;
+    refs[view.epoch()] =
+        std::make_shared<const ReferenceOracle>(ref_ctx, view.edges());
+  };
+
+  View initial = session.view();
+  capture_ref(initial);
+  DispatcherOptions options;
+  options.workers = 2;
+  options.queue_bound = 64;
+  options.admission = Admission::kShedOldest;
+  options.publish_attempts = 2;
+  options.publish_backoff = std::chrono::microseconds(20);
+  Dispatcher dispatcher(std::move(initial), options);
+
+  struct PendingSame {
+    engine::Same2Ecc request;
+    std::future<Reply<std::vector<std::uint8_t>>> future;
+  };
+  std::vector<PendingSame> pending;
+  util::Rng rng(fuzz.seed * 31 + 7);
+  for (int round = 0; round < fuzz.rounds; ++round) {
+    if (!env_armed) {
+      failpoint::disable_all();
+      ASSERT_TRUE(
+          failpoint::configure(kCatalog[round % kCatalog.size()], "0.3"));
+    }
+    for (int burst = 0; burst < 16; ++burst) {
+      engine::Same2Ecc same;
+      for (int q = 0; q < 3; ++q) {
+        same.pairs.push_back({static_cast<NodeId>(rng.below(kNodes)),
+                              static_cast<NodeId>(rng.below(kNodes))});
+      }
+      auto future = dispatcher.submit(engine::Same2Ecc{same});
+      pending.push_back({std::move(same), std::move(future)});
+    }
+    {
+      // The writer's own graph mutation must stay fault-free (a failed
+      // insert would corrupt the ground truth, not exercise the server).
+      failpoint::ScopedSuspend suspend;
+      dg.insert_edges(engine.device(), random_batch(rng, kNodes, 3));
+    }
+    dispatcher.publish(session);  // faults live: may retry or degrade
+    capture_ref(dispatcher.current_view());
+  }
+  failpoint::disable_all();
+  dispatcher.stop();
+
+  std::size_t ok = 0, not_ok = 0;
+  for (PendingSame& item : pending) {
+    ASSERT_EQ(item.future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "a future was abandoned";
+    const auto reply = item.future.get();
+    if (reply.status == Status::kOk) {
+      ++ok;
+      ASSERT_TRUE(refs.count(reply.epoch)) << "unknown serving epoch";
+      const ReferenceOracle& ref = *refs[reply.epoch];
+      for (std::size_t q = 0; q < item.request.pairs.size(); ++q) {
+        const auto [u, v] = item.request.pairs[q];
+        ASSERT_EQ(reply.value[q] != 0, ref.comp[u] == ref.comp[v])
+            << "epoch " << reply.epoch << " " << u << "," << v;
+      }
+    } else {
+      ++not_ok;
+      EXPECT_TRUE(reply.value.empty());
+    }
+  }
+  EXPECT_EQ(ok + not_ok, pending.size());
+  EXPECT_GT(ok, 0u) << "the server should still answer between faults";
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.submitted, outcomes(stats));
+  if (!env_armed) {
+    // Rotating every catalog site at p=0.3 over the whole run must have
+    // actually fired — otherwise this fuzz tested nothing.
+    EXPECT_GT(stats.faults_injected, 0u);
+  }
 }
 
 }  // namespace
