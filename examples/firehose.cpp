@@ -1,0 +1,159 @@
+// A firehose of edge updates from many producers, served while it streams.
+//
+// Scenario: N producer threads fire insert/erase updates at the ingest
+// ring as fast as they can — a telemetry firehose, not a polite writer.
+// The Ingestor's batcher coalesces the interleaved streams into
+// kind-homogeneous device batches, applies them on its writer thread, and
+// publishes epochs at a paced cadence (every 8 batches here, not every
+// batch) so apply throughput is not capped by publish cost. Meanwhile
+// reader threads flood a Dispatcher with redundancy queries; their replies
+// carry the epoch that answered and how far it lagged the newest applied
+// state — paced publishing shows up as honest bounded staleness, never as
+// a wrong answer.
+//
+//   ./firehose [--side=96] [--producers=4] [--updates=40000]
+//              [--readers=2] [--requests=20000]
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "engine/engine.hpp"
+#include "gen/graphs.hpp"
+#include "ingest/ingest.hpp"
+#include "serve/serve.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+  util::Flags flags(argc, argv);
+  const auto side =
+      static_cast<NodeId>(flags.get_int("side", 96, "grid side length"));
+  const auto producers = static_cast<unsigned>(
+      flags.get_int("producers", 4, "producer threads"));
+  const auto updates_per_producer = static_cast<std::size_t>(
+      flags.get_int("updates", 40000, "updates per producer"));
+  const auto readers =
+      static_cast<unsigned>(flags.get_int("readers", 2, "reader threads"));
+  const auto requests_per_reader = static_cast<std::size_t>(
+      flags.get_int("requests", 20000, "requests per reader"));
+  flags.finish();
+
+  engine::Engine eng({.calibrate = true});
+  const NodeId n = side * side;
+  dynamic::DynamicGraph roads(eng.device(),
+                              gen::road_graph(side, side, 0.9, 0.02, 33));
+  engine::Session session = eng.session(roads);
+
+  // Paced publishing: the firehose applies far faster than an epoch
+  // publish, so publishing every batch would stall the ring. Every 8th
+  // batch (or a 2ms idle gap) refreshes what readers see; ShedOldest keeps
+  // admission wait-free when the ring saturates.
+  ingest::IngestorOptions wopt;
+  wopt.queue_bound = 1 << 14;
+  wopt.admission = ingest::Admission::kShedOldest;
+  wopt.max_batch = 512;
+  wopt.linger = std::chrono::microseconds(200);
+  wopt.publish_every = 8;
+  wopt.idle_publish = std::chrono::milliseconds(2);
+  wopt.start_paused = true;
+  ingest::Ingestor ingestor(eng, roads, session, wopt);
+
+  serve::DispatcherOptions options;
+  options.workers = 2;
+  options.queue_bound = 4096;
+  options.admission = serve::Admission::kShedOldest;
+  serve::Dispatcher dispatcher(session.view(), options);
+  dispatcher.attach_ingestor(ingestor);
+  ingestor.resume();
+  std::printf("firehose: %u producers x %zu updates vs %u readers x %zu "
+              "requests on %d junctions\n",
+              producers, updates_per_producer, readers, requests_per_reader,
+              n);
+
+  util::Timer timer;
+  std::vector<std::thread> crew;
+  for (unsigned p = 0; p < producers; ++p) {
+    crew.emplace_back([&, p] {
+      util::Rng rng(100 + p);
+      std::vector<ingest::Update> burst(64);
+      for (std::size_t sent = 0; sent < updates_per_producer;) {
+        // Mostly construction with occasional demolition RUNS (a whole
+        // burst of one kind): the erase stretches exercise the batcher's
+        // kind segregation without chopping every batch to confetti the
+        // way per-update coin flips would.
+        const auto kind = rng.below(8) == 0 ? ingest::UpdateKind::kErase
+                                            : ingest::UpdateKind::kInsert;
+        for (ingest::Update& up : burst) {
+          up.edge = {static_cast<NodeId>(rng.below(n)),
+                     static_cast<NodeId>(rng.below(n))};
+          up.kind = kind;
+          up.producer = p;
+        }
+        sent += ingestor.submit(burst);
+      }
+    });
+  }
+
+  std::vector<std::thread> audience;
+  std::vector<std::size_t> answered(readers, 0);
+  std::vector<std::uint64_t> max_staleness(readers, 0);
+  for (unsigned r = 0; r < readers; ++r) {
+    audience.emplace_back([&, r] {
+      util::Rng rng(900 + r);
+      std::vector<std::future<serve::Reply<std::vector<std::uint8_t>>>>
+          inflight;
+      constexpr std::size_t kBurst = 128;
+      for (std::size_t sent = 0; sent < requests_per_reader;) {
+        inflight.clear();
+        for (std::size_t i = 0; i < kBurst && sent < requests_per_reader;
+             ++i, ++sent) {
+          engine::Same2Ecc request;
+          request.pairs.push_back({static_cast<NodeId>(rng.below(n)),
+                                   static_cast<NodeId>(rng.below(n))});
+          inflight.push_back(dispatcher.submit(std::move(request)));
+        }
+        for (auto& future : inflight) {
+          const auto reply = future.get();
+          if (reply.status != serve::Status::kOk) continue;
+          ++answered[r];
+          max_staleness[r] = std::max(max_staleness[r], reply.staleness);
+        }
+      }
+    });
+  }
+
+  for (std::thread& t : crew) t.join();
+  for (std::thread& t : audience) t.join();
+  ingestor.flush();
+  const double seconds = timer.seconds();
+
+  const ingest::IngestorStats ws = ingestor.stats();
+  const serve::DispatcherStats ds = dispatcher.stats();
+  ingestor.stop();  // before the Dispatcher: it owns the publish hook
+  dispatcher.stop();
+
+  std::printf("%.2fs: %zu updates accepted (%0.f/s), %zu shed at the ring\n",
+              seconds, ws.accepted,
+              static_cast<double>(ws.accepted) / seconds, ws.shed);
+  std::printf("applied in %zu batches (max %zu; %zu insert / %zu erase), "
+              "%zu publishes, final epoch %llu\n",
+              ws.batches, ws.max_batch, ws.insert_batches, ws.erase_batches,
+              ws.publishes,
+              static_cast<unsigned long long>(ws.published_epoch));
+  std::size_t total_answered = 0;
+  std::uint64_t worst = 0;
+  for (unsigned r = 0; r < readers; ++r) {
+    total_answered += answered[r];
+    worst = std::max(worst, max_staleness[r]);
+  }
+  std::printf("readers: %zu answered (%zu shed), worst staleness %llu "
+              "epochs, enqueue->publish ewma %.0fus\n",
+              total_answered, ds.shed,
+              static_cast<unsigned long long>(worst), ws.latency_ewma_us);
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "dynamic/dynamic_graph.hpp"
 #include "engine/engine.hpp"
 #include "gen/graphs.hpp"
+#include "ingest/ingest.hpp"
 #include "serve/serve.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -44,6 +45,18 @@ int main(int argc, char** argv) {
                               gen::road_graph(side, side, 0.9, 0.02, 21));
   engine::Session session = eng.session(roads);
 
+  // The write path is an Ingestor instead of a hand-rolled writer thread:
+  // producers push tagged edge updates into its bounded ring, the adaptive
+  // batcher coalesces them into kind-homogeneous device batches, and the
+  // ingest writer thread applies + publishes. Declared before the
+  // Dispatcher (it must be stopped before the Dispatcher dies and
+  // destroyed after it).
+  ingest::IngestorOptions wopt;
+  wopt.max_batch = 64;
+  wopt.linger = std::chrono::milliseconds(1);
+  wopt.start_paused = true;  // the session still seeds the Dispatcher below
+  ingest::Ingestor ingestor(eng, roads, session, wopt);
+
   serve::DispatcherOptions options;
   options.workers = 2;
   options.coalesce_window = std::chrono::microseconds(200);
@@ -55,15 +68,19 @@ int main(int argc, char** argv) {
   options.admission = serve::Admission::kShedOldest;
   options.default_ttl = std::chrono::milliseconds(50);
   serve::Dispatcher dispatcher(session.view(), options);
+  // Publishes now flow through the dispatcher's fault-tolerant path
+  // (retry/backoff, bounded staleness on persistent failure), and reply
+  // staleness measures against the newest APPLIED epoch, not just the
+  // newest published one.
+  dispatcher.attach_ingestor(ingestor);
+  ingestor.resume();
   std::printf("serving %d junctions, %zu segments (epoch %llu)\n",
               n, roads.num_edges(),
               static_cast<unsigned long long>(session.epoch()));
 
-  // Writer: construction crews add road segments in batches; each
-  // effective batch is published through the fault-tolerant path —
-  // publish(Session&) builds the new epoch's View with retry/backoff, and
-  // if the build keeps failing the dispatcher serves the last good epoch
-  // (bounded staleness) instead of crashing the writer.
+  // Writer: construction crews add road segments in batches — now just
+  // producers pushing into the ingest ring; batching, application, and
+  // epoch publication happen behind it.
   std::thread writer([&] {
     util::Rng rng(5);
     for (int u = 0; u < updates; ++u) {
@@ -72,8 +89,7 @@ int main(int argc, char** argv) {
         batch.push_back({static_cast<NodeId>(rng.below(n)),
                          static_cast<NodeId>(rng.below(n))});
       }
-      roads.insert_edges(eng.device(), batch);
-      dispatcher.publish(session);
+      ingestor.insert(batch);
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   });
@@ -105,7 +121,10 @@ int main(int argc, char** argv) {
   }
   const double seconds = timer.seconds();
   writer.join();
+  ingestor.flush();  // everything the crews pushed is applied AND published
   const serve::DispatcherStats stats = dispatcher.stats();
+  const ingest::IngestorStats wstats = ingestor.stats();
+  ingestor.stop();  // before the Dispatcher: it owns the publish hook
   dispatcher.stop();
 
   std::printf("%zu requests in %.2fs (%.0f req/s), %zu redundant trips, "
@@ -116,6 +135,10 @@ int main(int argc, char** argv) {
               "%zu epochs still pinned\n",
               stats.rounds, stats.max_round, stats.views_published,
               session.pinned_epochs());
+  std::printf("ingest: %zu updates -> %zu batches -> %zu publishes "
+              "(ewma enqueue->publish %.0fus)\n",
+              wstats.applied, wstats.batches, wstats.publishes,
+              wstats.latency_ewma_us);
   for (const auto& [epoch, count] : served_by_epoch) {
     std::printf("  epoch %llu answered %zu requests\n",
                 static_cast<unsigned long long>(epoch), count);

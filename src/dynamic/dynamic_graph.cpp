@@ -283,6 +283,29 @@ std::shared_ptr<const graph::EdgeList> DynamicGraph::snapshot_shared(
   // fresh materializations — cached snapshots stay servable, the property
   // the bounded-staleness mode relies on.
   util::failpoint::maybe_throw(util::failpoint::kSnapshot);
+  // Append fast path: when exactly one insert-only batch separates the
+  // cached snapshot from the current epoch, the new edge list is the old
+  // one plus the recorded delta — a host-side copy + append, no kernel
+  // launches and no driver lock. This is what lets a streaming ingest
+  // writer publish insert-heavy epochs without re-exporting every segment.
+  // (Edge ORDER differs from the segment-walk export below, but a snapshot
+  // only promises within-epoch consistency: the CSR and bridge mask built
+  // from it index ITS order.)
+  if (edge_snapshot_ != nullptr && edge_snapshot_epoch_ + 1 == epoch_ &&
+      last_delta_.from_epoch + 1 == epoch_ && last_delta_.insert_only() &&
+      !last_delta_.inserted.empty()) {
+    graph::EdgeList snap;
+    snap.num_nodes = num_nodes_;
+    snap.edges.reserve(edge_snapshot_->edges.size() +
+                       last_delta_.inserted.size());
+    snap.edges = edge_snapshot_->edges;
+    snap.edges.insert(snap.edges.end(), last_delta_.inserted.begin(),
+                      last_delta_.inserted.end());
+    edge_snapshot_ = std::make_shared<const graph::EdgeList>(std::move(snap));
+    edge_snapshot_epoch_ = epoch_;
+    ++num_snapshot_appends_;
+    return edge_snapshot_;
+  }
   const auto lock = ctx.exclusive();  // see insert_edges
   const std::size_t n = static_cast<std::size_t>(num_nodes_);
   // The lower endpoint of each edge emits it, so every undirected edge

@@ -112,6 +112,13 @@ class DynamicGraph {
   /// Compactions performed so far (the amortized reshuffles).
   std::size_t num_compactions() const { return num_compactions_; }
 
+  /// Edge-list snapshots served by the insert-only APPEND fast path (the
+  /// previous epoch's snapshot plus the recorded delta — no kernels, no
+  /// segment walk) rather than a full export. Advances when a streaming
+  /// writer publishes back-to-back insert-only epochs; the ingest tests pin
+  /// that insert-only stretches actually take it.
+  std::size_t num_snapshot_appends() const { return num_snapshot_appends_; }
+
   /// Total adjacency slots currently reserved (used + slack).
   std::size_t slot_capacity() const { return adj_.size(); }
 
@@ -180,6 +187,7 @@ class DynamicGraph {
   static constexpr std::uint64_t kNeverBuilt = ~std::uint64_t{0};
   mutable std::shared_ptr<const graph::EdgeList> edge_snapshot_;
   mutable std::uint64_t edge_snapshot_epoch_ = kNeverBuilt;
+  mutable std::size_t num_snapshot_appends_ = 0;
   mutable std::shared_ptr<const graph::Csr> csr_snapshot_;
   mutable std::uint64_t csr_snapshot_epoch_ = kNeverBuilt;
 };

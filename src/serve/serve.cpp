@@ -6,6 +6,7 @@
 #include <iterator>
 #include <optional>
 
+#include "ingest/ingest.hpp"
 #include "util/env.hpp"
 #include "util/failpoint.hpp"
 
@@ -126,6 +127,23 @@ bool Dispatcher::publish_impl(engine::Session& session,
   return false;
 }
 
+std::uint64_t Dispatcher::latest_known_epoch() const {
+  std::uint64_t latest = latest_epoch_;
+  if (ingestor_ != nullptr) {
+    latest = std::max(latest, ingestor_->graph_epoch());
+  }
+  return latest;
+}
+
+void Dispatcher::attach_ingestor(ingest::Ingestor& ingestor) {
+  // The hook runs on the ingestor's writer thread; publish_impl takes the
+  // dispatcher mutex internally, so no lock is held across the call.
+  ingestor.set_publisher(
+      [this](engine::Session& session) { return publish(session); });
+  const std::lock_guard<std::mutex> lk(mutex_);
+  ingestor_ = &ingestor;
+}
+
 engine::View Dispatcher::current_view() const {
   const std::lock_guard<std::mutex> lk(mutex_);
   return view_;
@@ -155,8 +173,9 @@ DispatcherStats Dispatcher::stats() const {
   const std::lock_guard<std::mutex> lk(mutex_);
   DispatcherStats s = stats_;
   s.degraded = degraded_;
-  s.staleness = latest_epoch_ - view_.epoch();
+  s.staleness = latest_known_epoch() - view_.epoch();
   s.faults_injected = util::failpoint::total_fired();
+  if (ingestor_ != nullptr) s.ingest_lag = ingestor_->lag();
   return s;
 }
 
@@ -171,7 +190,7 @@ std::future<Reply<Ans>> Dispatcher::enqueue(Lane<Req, Ans>& lane,
   const auto resolve_now = [&](Status status) {
     ++(status == Status::kCancelled ? stats_.cancelled : stats_.rejected);
     const std::uint64_t epoch = view_.epoch();
-    const std::uint64_t staleness = latest_epoch_ - epoch;
+    const std::uint64_t staleness = latest_known_epoch() - epoch;
     lk.unlock();
     std::promise<Reply<Ans>> promise;
     promise.set_value(empty_reply<Ans>(status, epoch, staleness));
@@ -227,7 +246,7 @@ std::future<Reply<Ans>> Dispatcher::enqueue(Lane<Req, Ans>& lane,
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, lane.total);
   std::future<Reply<Ans>> future = sub.queue.back().promise.get_future();
   const std::uint64_t epoch = view_.epoch();
-  const std::uint64_t staleness = latest_epoch_ - epoch;
+  const std::uint64_t staleness = latest_known_epoch() - epoch;
   lk.unlock();
   cv_.notify_all();
   if (victim) {
@@ -374,7 +393,7 @@ void Dispatcher::drain_queries(std::unique_lock<std::mutex>& lk,
   take_round(lane, options_.max_coalesce, items, expired);
   lane.claimed = false;
   const std::size_t take = items.size();
-  const Snapshot snap{view_, latest_epoch_ - view_.epoch()};
+  const Snapshot snap{view_, latest_known_epoch() - view_.epoch()};
   if (take > 0) ++stats_.rounds;
   stats_.answered += take;
   stats_.expired += expired.size();
@@ -448,7 +467,7 @@ void Dispatcher::drain_broadcast(std::unique_lock<std::mutex>& lk,
   std::vector<Item<Req, Ans>> expired;
   take_round(lane, options_.max_coalesce, items, expired);
   const std::size_t take = items.size();
-  const Snapshot snap{view_, latest_epoch_ - view_.epoch()};
+  const Snapshot snap{view_, latest_known_epoch() - view_.epoch()};
   if (take > 0) ++stats_.rounds;
   stats_.answered += take;
   stats_.expired += expired.size();

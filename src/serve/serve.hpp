@@ -79,6 +79,10 @@
 #include "engine/engine.hpp"
 #include "util/types.hpp"
 
+namespace emc::ingest {
+class Ingestor;  // serve sits above ingest; see attach_ingestor()
+}
+
 namespace emc::serve {
 
 /// What happened to a submitted request (see the header comment).
@@ -211,6 +215,9 @@ struct DispatcherStats {
   /// carry staleness = how far the serving epoch lags.
   bool degraded = false;
   std::uint64_t staleness = 0;
+  /// With an attached Ingestor (attach_ingestor): accepted-but-unpublished
+  /// updates in the write pipeline right now. 0 when none is attached.
+  std::size_t ingest_lag = 0;
 };
 
 /// The resolved per-lane bound: `from_options` when nonzero, else a strict
@@ -247,6 +254,17 @@ class Dispatcher {
   /// Reply, and returns false. The writer retries on its next publish.
   bool publish(engine::Session& session);
   bool publish(engine::Session& session, const engine::Policy& policy);
+
+  /// Wires a streaming write pipeline into this dispatcher: the Ingestor's
+  /// publish hook is rewired to this->publish(Session&) — so its epoch
+  /// publishes inherit the retry/backoff/bounded-staleness path — and the
+  /// dispatcher starts folding the ingestor's progress into its staleness
+  /// accounting: replies' `staleness` measures against the newest APPLIED
+  /// graph epoch (paced publishing shows up as bounded staleness, not as
+  /// freshness), and stats().ingest_lag reports the pipeline's lag.
+  /// Lifecycle: the Ingestor must be stop()ped before this dispatcher is
+  /// destroyed and destroyed after it (declare the Ingestor first).
+  void attach_ingestor(ingest::Ingestor& ingestor);
 
   engine::View current_view() const;
 
@@ -356,6 +374,10 @@ class Dispatcher {
   /// Newest graph epoch the writer has shown us (successful publishes AND
   /// failed publish(Session&) calls); staleness = latest_epoch_ - serving.
   std::uint64_t latest_epoch_ = 0;
+  /// latest_epoch_, folded with an attached ingestor's newest applied
+  /// epoch (lock held; one relaxed atomic read on the hot path).
+  std::uint64_t latest_known_epoch() const;
+  ingest::Ingestor* ingestor_ = nullptr;
   bool degraded_ = false;
   /// EWMA of round service time, the "p99 headroom" input to the adaptive
   /// window (nanoseconds).

@@ -7,6 +7,7 @@
 
 #include "device/context.hpp"
 #include "device/primitives.hpp"
+#include "ingest/ingest.hpp"
 #include "serve/serve.hpp"
 #include "support/fuzz_env.hpp"
 #include "util/failpoint.hpp"
@@ -166,6 +167,79 @@ TEST(ServeEnv, InvalidValuesFallBackToUnset) {
   EXPECT_EQ(serve::resolve_default_ttl({}).count(), 0);
   unsetenv("EMC_SERVE_QUEUE_BOUND");
   unsetenv("EMC_SERVE_DEADLINE_US");
+}
+
+// The EMC_INGEST_* knobs share the strict policy, with per-knob ranges:
+// queue bound and max batch in [1, 2^30], linger in [0, 1e9] us (0 is a
+// real setting — opportunistic batching), publish pacing in [1, 1e9].
+
+TEST(IngestEnv, OverridesAreHonoredAndOptionsWin) {
+  ASSERT_EQ(setenv("EMC_INGEST_QUEUE_BOUND", "1024", 1), 0);
+  ASSERT_EQ(setenv("EMC_INGEST_MAX_BATCH", "512", 1), 0);
+  ASSERT_EQ(setenv("EMC_INGEST_LINGER_US", "750", 1), 0);
+  ASSERT_EQ(setenv("EMC_INGEST_PUBLISH_EVERY", "8", 1), 0);
+  EXPECT_EQ(ingest::resolve_queue_bound(0), 1024u);
+  EXPECT_EQ(ingest::resolve_max_batch(0), 512u);
+  EXPECT_EQ(ingest::resolve_linger(std::chrono::microseconds(-1)).count(),
+            750);
+  EXPECT_EQ(ingest::resolve_publish_every(0), 8u);
+  // Explicit IngestorOptions win over the environment; linger 0 is an
+  // explicit setting, not "unset".
+  EXPECT_EQ(ingest::resolve_queue_bound(16), 16u);
+  EXPECT_EQ(ingest::resolve_max_batch(32), 32u);
+  EXPECT_EQ(ingest::resolve_linger(std::chrono::microseconds(0)).count(), 0);
+  EXPECT_EQ(ingest::resolve_publish_every(3), 3u);
+  unsetenv("EMC_INGEST_QUEUE_BOUND");
+  unsetenv("EMC_INGEST_MAX_BATCH");
+  unsetenv("EMC_INGEST_LINGER_US");
+  unsetenv("EMC_INGEST_PUBLISH_EVERY");
+  EXPECT_EQ(ingest::resolve_queue_bound(0), 65536u);
+  EXPECT_EQ(ingest::resolve_max_batch(0), 2048u);
+  EXPECT_EQ(ingest::resolve_linger(std::chrono::microseconds(-1)).count(),
+            200);
+  EXPECT_EQ(ingest::resolve_publish_every(0), 1u);
+}
+
+TEST(IngestEnv, InvalidValuesFallBackToDefaults) {
+  for (const char* bad : {"-5", "abc", "", "64k", "1e3",
+                          "99999999999999999999"}) {
+    ASSERT_EQ(setenv("EMC_INGEST_QUEUE_BOUND", bad, 1), 0);
+    ASSERT_EQ(setenv("EMC_INGEST_MAX_BATCH", bad, 1), 0);
+    ASSERT_EQ(setenv("EMC_INGEST_LINGER_US", bad, 1), 0);
+    ASSERT_EQ(setenv("EMC_INGEST_PUBLISH_EVERY", bad, 1), 0);
+    EXPECT_EQ(ingest::resolve_queue_bound(0), 65536u)
+        << "EMC_INGEST_QUEUE_BOUND=\"" << bad << "\"";
+    EXPECT_EQ(ingest::resolve_max_batch(0), 2048u)
+        << "EMC_INGEST_MAX_BATCH=\"" << bad << "\"";
+    EXPECT_EQ(ingest::resolve_linger(std::chrono::microseconds(-1)).count(),
+              200)
+        << "EMC_INGEST_LINGER_US=\"" << bad << "\"";
+    EXPECT_EQ(ingest::resolve_publish_every(0), 1u)
+        << "EMC_INGEST_PUBLISH_EVERY=\"" << bad << "\"";
+  }
+  // "0" splits the knobs: linger accepts it, the counted knobs do not.
+  ASSERT_EQ(setenv("EMC_INGEST_QUEUE_BOUND", "0", 1), 0);
+  ASSERT_EQ(setenv("EMC_INGEST_MAX_BATCH", "0", 1), 0);
+  ASSERT_EQ(setenv("EMC_INGEST_LINGER_US", "0", 1), 0);
+  ASSERT_EQ(setenv("EMC_INGEST_PUBLISH_EVERY", "0", 1), 0);
+  EXPECT_EQ(ingest::resolve_queue_bound(0), 65536u);
+  EXPECT_EQ(ingest::resolve_max_batch(0), 2048u);
+  EXPECT_EQ(ingest::resolve_linger(std::chrono::microseconds(-1)).count(), 0);
+  EXPECT_EQ(ingest::resolve_publish_every(0), 1u);
+  // In-type but out-of-range: sizes cap at 2^30, times/counts at 10^9.
+  ASSERT_EQ(setenv("EMC_INGEST_QUEUE_BOUND", "1073741825", 1), 0);
+  ASSERT_EQ(setenv("EMC_INGEST_MAX_BATCH", "1073741825", 1), 0);
+  ASSERT_EQ(setenv("EMC_INGEST_LINGER_US", "1000000001", 1), 0);
+  ASSERT_EQ(setenv("EMC_INGEST_PUBLISH_EVERY", "1000000001", 1), 0);
+  EXPECT_EQ(ingest::resolve_queue_bound(0), 65536u);
+  EXPECT_EQ(ingest::resolve_max_batch(0), 2048u);
+  EXPECT_EQ(ingest::resolve_linger(std::chrono::microseconds(-1)).count(),
+            200);
+  EXPECT_EQ(ingest::resolve_publish_every(0), 1u);
+  unsetenv("EMC_INGEST_QUEUE_BOUND");
+  unsetenv("EMC_INGEST_MAX_BATCH");
+  unsetenv("EMC_INGEST_LINGER_US");
+  unsetenv("EMC_INGEST_PUBLISH_EVERY");
 }
 
 // EMC_FAILPOINT's spec grammar ("0.25" | "7" | "7+") is strict, and a full
