@@ -70,6 +70,9 @@ int main(int argc, char** argv) {
       flags.get_int("side", 1024, "base road grid is side x side nodes"));
   const auto runs = std::max(
       1, static_cast<int>(flags.get_int("runs", 3, "timing runs")));
+  const bool check = flags.get_int("check", 0,
+                                   "exit 1 unless incremental publish costs "
+                                   "<= 10% of a full publish") != 0;
   flags.finish();
 
   engine::Engine eng;
@@ -173,6 +176,58 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- epoch publish: bring EVERY serving artifact (edge snapshot, CSR,
+  // spanning forest, bridge mask, forest LCA, 2-ecc oracle) to the new
+  // epoch, as Session::refresh() does for a publisher. The incremental side
+  // replays the insert-only delta onto the previous epoch's artifacts
+  // (delta-sized patches + appends); the full side is a fresh session's
+  // from-scratch pipeline at the SAME epoch (n-sized). The gap between the
+  // two rows is what makes per-batch publishing affordable at streaming
+  // cadence — the --check gate pins it.
+  double worst_publish_ratio = 0;
+  {
+    const auto cc = graph::connected_component_labels(dg.snapshot(ctx));
+    auto intra_batch = [&](std::size_t size) {
+      std::vector<graph::Edge> batch;
+      while (batch.size() < size) {
+        const auto u = static_cast<NodeId>(rng.below(n));
+        const auto v = static_cast<NodeId>(rng.below(n));
+        if (u != v && cc[u] == cc[v]) batch.push_back({u, v});
+      }
+      return batch;
+    };
+    for (const std::size_t batch_size : {1u << 6, 1u << 10, 1u << 14}) {
+      double incr_total = 0, full_total = 0;
+      std::uint64_t incr_launches = 0, full_launches = 0;
+      for (int r = 0; r < runs; ++r) {
+        session.refresh();  // make the previous epoch's artifacts current
+        const std::uint64_t replays_before = session.publish_replays();
+        dg.insert_edges(ctx, intra_batch(batch_size));
+        std::uint64_t before = ctx.launch_count();
+        util::Timer timer;
+        session.refresh();
+        incr_total += timer.seconds();
+        incr_launches += ctx.launch_count() - before;
+        if (session.publish_replays() == replays_before) {
+          std::fprintf(stderr, "warning: publish replay not taken at "
+                       "batch=%zu\n", batch_size);
+        }
+        engine::Session fresh = eng.session(dg);  // full pipeline baseline
+        before = ctx.launch_count();
+        timer.reset();
+        fresh.refresh();
+        full_total += timer.seconds();
+        full_launches += ctx.launch_count() - before;
+      }
+      record("publish_incremental", batch_size, incr_total / runs,
+             incr_launches / runs);
+      record("publish_full", batch_size, full_total / runs,
+             full_launches / runs);
+      worst_publish_ratio = std::max(worst_publish_ratio,
+                                     incr_total / full_total);
+    }
+  }
+
   // ---- query batches: one kernel per batch on the device route; the auto
   // route shows what the policy's batch-size threshold does instead.
   for (const std::size_t batch_size : {1u << 10, 1u << 15, 1u << 20}) {
@@ -226,6 +281,16 @@ int main(int argc, char** argv) {
   if (!bench::write_bench_json("BENCH_dynamic.json", rows)) {
     std::fprintf(stderr, "failed to write BENCH_dynamic.json\n");
     return 1;
+  }
+  if (check && worst_publish_ratio > 0.10) {
+    std::fprintf(stderr,
+                 "check FAILED: incremental publish cost %.1f%% of a full "
+                 "publish (gate: <= 10%%)\n", 100 * worst_publish_ratio);
+    return 1;
+  }
+  if (check) {
+    std::printf("\ncheck ok: worst incremental/full publish ratio %.2f%%\n",
+                100 * worst_publish_ratio);
   }
   return 0;
 }

@@ -206,6 +206,70 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Published cell: the same pool with a publish after EVERY batch. Only
+    // affordable because insert-only epochs publish by delta replay —
+    // every batch's artifacts (snapshot, CSR, forest, mask, LCA, oracle)
+    // are patched from the previous epoch instead of rebuilt, so the
+    // publish cost rides the delta, not the graph.
+    //   op = ingest/steady/published            per-update cost, publish on
+    //   op = ingest/steady/publish_replays      epochs published by replay
+    //   op = ingest/steady/publish_rebuilds     epochs that fell back
+    {
+      session.refresh();
+      const std::uint64_t replays_before = session.publish_replays();
+      const std::uint64_t rebuilds_before = session.publish_rebuilds();
+      ingest::IngestorOptions opt;
+      opt.queue_bound = 1 << 15;
+      opt.admission = ingest::Admission::kBlock;
+      opt.max_batch = 2048;
+      opt.linger = std::chrono::microseconds(0);
+      opt.publish_every = 1;
+      ingest::Ingestor ingestor(eng, dg, session, opt);
+
+      std::vector<ingest::Update> staged(pool.size());
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        staged[i] = {pool[i], ingest::UpdateKind::kInsert, 0, 0};
+      }
+      constexpr std::size_t kPush = 4096;
+      util::Timer timer;
+      for (std::size_t at = 0; at < staged.size(); at += kPush) {
+        ingestor.submit(staged.data() + at,
+                        std::min(kPush, staged.size() - at));
+      }
+      ingestor.flush();  // applied AND published
+      const double seconds = timer.seconds();
+      const ingest::IngestorStats s = ingestor.stats();
+      ingestor.stop();
+
+      const std::uint64_t replays = session.publish_replays() - replays_before;
+      const std::uint64_t rebuilds =
+          session.publish_rebuilds() - rebuilds_before;
+      table.add_row({"steady/published", bench::human(updates),
+                     std::to_string(seconds),
+                     std::to_string(static_cast<double>(updates) / seconds /
+                                    1e6),
+                     std::to_string(s.publishes)});
+      rows.push_back({"ingest/steady/published", updates, "gpu",
+                      seconds * 1e9 / static_cast<double>(updates)});
+      rows.push_back({"ingest/steady/publish_replays",
+                      static_cast<std::size_t>(replays), "gpu", 0.0});
+      rows.push_back({"ingest/steady/publish_rebuilds",
+                      static_cast<std::size_t>(rebuilds), "gpu", 0.0});
+      std::printf("published: %zu publishes = %llu replays + %llu rebuilds\n",
+                  s.publishes, static_cast<unsigned long long>(replays),
+                  static_cast<unsigned long long>(rebuilds));
+      if (check && replays == 0) {
+        std::printf("FAIL: published cell never took the replay path\n");
+        ok = false;
+      }
+      apply_chunked(dg, ctx, pool, 1 << 16, /*insert=*/false);  // restore
+      session.refresh();
+      if (dg.num_edges() != base_edges) {
+        std::printf("FAIL: published cell did not restore the base graph\n");
+        ok = false;
+      }
+    }
+
     if (check && matched_rate < 0.9 * direct_rate) {
       std::printf("FAIL: pipeline at the matched batch size reached %.2fM/s "
                   "vs direct %.2fM/s (> 10%% overhead)\n",

@@ -119,6 +119,13 @@ class DynamicGraph {
   /// that insert-only stretches actually take it.
   std::size_t num_snapshot_appends() const { return num_snapshot_appends_; }
 
+  /// CSR snapshots served by the matching append fast path: the delta's
+  /// half-edges spliced into the previous epoch's CSR (n-sized shift +
+  /// d-sized scatter) instead of the full sort-based rebuild. Only taken
+  /// when the edge snapshot itself appended, so edge ids stay
+  /// position-stable across the epoch.
+  std::size_t num_csr_appends() const { return num_csr_appends_; }
+
   /// Total adjacency slots currently reserved (used + slack).
   std::size_t slot_capacity() const { return adj_.size(); }
 
@@ -187,9 +194,15 @@ class DynamicGraph {
   static constexpr std::uint64_t kNeverBuilt = ~std::uint64_t{0};
   mutable std::shared_ptr<const graph::EdgeList> edge_snapshot_;
   mutable std::uint64_t edge_snapshot_epoch_ = kNeverBuilt;
+  /// How the cached edge snapshot was produced: true iff by the append fast
+  /// path, which is what guarantees edge POSITIONS [0, old_m) carried over
+  /// — the precondition for appending the CSR (and for the engine's
+  /// delta-replay publish to patch its mask by edge id).
+  mutable bool edge_snapshot_appended_ = false;
   mutable std::size_t num_snapshot_appends_ = 0;
   mutable std::shared_ptr<const graph::Csr> csr_snapshot_;
   mutable std::uint64_t csr_snapshot_epoch_ = kNeverBuilt;
+  mutable std::size_t num_csr_appends_ = 0;
 };
 
 }  // namespace emc::dynamic

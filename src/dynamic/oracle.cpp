@@ -7,8 +7,6 @@
 #include "bridges/cc_spanning.hpp"
 #include "bridges/tarjan_vishkin.hpp"
 #include "bridges/two_ecc.hpp"
-#include "core/euler_tour.hpp"
-#include "core/tree.hpp"
 #include "device/primitives.hpp"
 #include "device/union_find.hpp"
 
@@ -222,10 +220,9 @@ void ConnectivityOracle::rebuild(const device::Context& ctx,
 void ConnectivityOracle::index_block_tree(const device::Context& ctx,
                                           const graph::EdgeList& block_tree) {
   const auto super_root = static_cast<NodeId>(block_tree.num_nodes - 1);
-  std::vector<NodeId> parent, level;
-  core::root_tree(ctx, block_tree, super_root, parent, level);
-  const core::ParentTree tree{super_root, std::move(parent)};
-  block_lca_ = lca::InlabelLca::build_parallel(ctx, tree);
+  // One fused Euler tour roots the tree AND feeds the inlabel index (the
+  // root_tree + build_parallel pair used to tour the same tree twice).
+  block_lca_ = lca::InlabelLca::build_from_edges(ctx, block_tree, super_root);
 }
 
 bool ConnectivityOracle::apply_insertions(

@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_map>
 
 #include "bridges/chaitanya_kothapalli.hpp"
 #include "bridges/dfs_bridges.hpp"
 #include "bridges/hybrid.hpp"
 #include "bridges/tarjan_vishkin.hpp"
-#include "core/euler_tour.hpp"
-#include "core/tree.hpp"
 #include "device/primitives.hpp"
 #include "gen/graphs.hpp"
 #include "util/failpoint.hpp"
@@ -180,6 +179,8 @@ EngineStats Engine::stats() const {
   s.host_query_batches = counters_.host_query_batches.load(kRelaxed);
   s.host_fallbacks = counters_.host_fallbacks.load(kRelaxed);
   s.views = counters_.views.load(kRelaxed);
+  s.publish_replays = counters_.publish_replays.load(kRelaxed);
+  s.publish_rebuilds = counters_.publish_rebuilds.load(kRelaxed);
   return s;
 }
 
@@ -197,6 +198,9 @@ void Session::sync_epoch() {
   cache_.stitched_csr.reset();
   cache_.mask.reset();
   cache_.mask_backend = Backend::kAuto;
+  cache_.bridge_edges.reset();
+  cache_.mask_published = false;
+  cache_.forest_published = false;
   cache_.oracle_current = false;  // the oracle object itself survives: its
                                   // refresh() replays dynamic deltas
   cache_.forest_lca.reset();
@@ -493,11 +497,10 @@ const lca::InlabelLca& Session::forest_lca_artifact() {
     device::transform(ctx, k, tree.edges.data() + t, [&](std::size_t r) {
       return graph::Edge{virtual_root, reps[r]};
     });
-    std::vector<NodeId> parent, level;
-    core::root_tree(ctx, tree, virtual_root, parent, level);
-    const core::ParentTree ptree{virtual_root, std::move(parent)};
+    // One fused Euler tour roots the stitched tree AND feeds the inlabel
+    // index (the root_tree + build_parallel pair toured it twice).
     cache_.forest_lca = std::make_shared<const lca::InlabelLca>(
-        lca::InlabelLca::build_parallel(ctx, ptree));
+        lca::InlabelLca::build_from_edges(ctx, tree, virtual_root));
   }
   return *cache_.forest_lca;
 }
@@ -615,17 +618,218 @@ struct View::State {
   std::shared_ptr<const lca::InlabelLca> forest_lca;
 };
 
+void Session::ensure_bridge_edges() {
+  if (cache_.bridge_edges) return;
+  const bridges::BridgeMask& mask = *cache_.mask;
+  std::vector<EdgeId> ids(mask.size());
+  const std::size_t b = device::copy_if_index(
+      engine_->device_, mask.size(),
+      [&](std::size_t e) { return mask[e] != 0; }, ids.data());
+  ids.resize(b);
+  cache_.bridge_edges =
+      std::make_shared<const std::vector<EdgeId>>(std::move(ids));
+}
+
+bool Session::try_replay_publish(const Policy& policy) {
+  // --- eligibility: cheap host checks only; any `return false` here has
+  //     mutated NOTHING, and the caller runs the full pipeline instead.
+  if (!graph_.is_dynamic()) return false;
+  const dynamic::DynamicGraph& g = *graph_.dynamic_graph();
+  if (cache_.epoch == Cache::kNone || g.epoch() != cache_.epoch + 1) {
+    return false;
+  }
+  const dynamic::UpdateDelta& delta = g.last_delta();
+  if (delta.from_epoch != cache_.epoch || !delta.insert_only() ||
+      delta.inserted.empty()) {
+    return false;  // deletions (or no delta) take the full pipeline
+  }
+  // Every previous-epoch artifact must exist: the replay is a patch, not a
+  // build. bridge_edges is only materialized by publishes, so the FIRST
+  // publish after lazy run()-only traffic rebuilds once, then replays.
+  if (!cache_.forest || !cache_.mask || !cache_.forest_lca ||
+      !cache_.bridge_edges || !cache_.oracle_current) {
+    return false;
+  }
+  // A forced backend different from the one that produced the carried-over
+  // mask must actually run it — same rule as mask_artifact's reuse check.
+  if (policy.backend != Backend::kAuto &&
+      policy.backend != cache_.mask_backend) {
+    return false;
+  }
+  const std::size_t old_m = cache_.mask->size();
+  const std::size_t d = delta.inserted.size();
+  if (!dynamic::ConnectivityOracle::incremental_applies(d, 0, old_m)) {
+    return false;  // oversized batch: patching would not beat rebuilding
+  }
+
+  // Partition the delta by the indexed components, mirroring the oracle's
+  // refresh(): intra-component edges merge 2-ecc blocks (the forest and its
+  // LCA keep their shape), cross-component edges each become a bridge
+  // linking two forest trees. A union-find over the touched labels catches
+  // the one shape neither patch can express — a set of cross edges closing
+  // a cycle through components merged earlier in the same batch.
+  const std::vector<NodeId>& comp = cache_.forest->component;
+  std::vector<std::size_t> cross;  // delta indexes of cross-component edges
+  std::unordered_map<NodeId, NodeId> comp_uf;  // label -> parent label
+  auto find = [&](NodeId c) {
+    auto it = comp_uf.find(c);
+    while (it != comp_uf.end()) {
+      c = it->second;
+      it = comp_uf.find(c);
+    }
+    return c;
+  };
+  for (std::size_t i = 0; i < d; ++i) {
+    const graph::Edge& e = delta.inserted[i];
+    const NodeId cu = comp[e.u];
+    const NodeId cv = comp[e.v];
+    if (cu == cv) continue;
+    const NodeId a = find(cu);
+    const NodeId b = find(cv);
+    if (a == b) return false;  // cycle across components merged this batch
+    // Min label wins, so the surviving label stays self-representative
+    // (component[rep] == rep), the invariant component_representatives and
+    // the stitched augmentation rely on.
+    comp_uf[std::max(a, b)] = std::min(a, b);
+    cross.push_back(i);
+  }
+  std::unordered_map<NodeId, NodeId> merged;  // loser -> final winner
+  for (const auto& entry : comp_uf) merged[entry.first] = find(entry.first);
+
+  // --- the replay. Failure past this point (a thrown injected fault or
+  //     real OOM) leaves cache_.epoch at the PREVIOUS epoch while the graph
+  //     is ahead, so the next artifact access resyncs and rebuilds from
+  //     scratch — no path can serve a half-patched artifact. The oracle is
+  //     the one object that survives a successful step (it is then validly
+  //     at the new epoch; refresh() skips on retry).
+  const device::Context& ctx = engine_->device_;
+
+  // (1) Snapshot + CSR via the DCSR append fast paths. If the snapshot did
+  // not actually append (cache evicted by a competing export), edge ids are
+  // not position-stable and the patches below would mis-index — fall back.
+  const std::shared_ptr<const graph::EdgeList> snap = g.snapshot_shared(ctx);
+  if (snap->edges.size() != old_m + d ||
+      !std::equal(delta.inserted.begin(), delta.inserted.end(),
+                  snap->edges.begin() + static_cast<std::ptrdiff_t>(old_m),
+                  [](const graph::Edge& a, const graph::Edge& b) {
+                    return a.u == b.u && a.v == b.v;
+                  })) {
+    return false;
+  }
+  g.csr_snapshot_shared(ctx);
+
+  // (2) 2-ecc index: the oracle's own incremental refresh (it may still
+  // choose its internal full rebuild — covered-length abort — without
+  // invalidating this replay: bridgeness is block_of[u] != block_of[v]
+  // EXACTLY, whichever path produced the labels).
+  dynamic::ConnectivityOracle& oracle = oracle_mut();
+  try {
+    oracle.refresh(ctx, g, nullptr, nullptr, nullptr);
+  } catch (...) {
+    // Half-refreshed with the (uid, epoch) binding intact would let a retry
+    // replay onto a corrupt base — sever it (see oracle_artifact).
+    oracle.invalidate();
+    cache_.oracle_current = false;
+    throw;
+  }
+  const std::vector<NodeId>& block = oracle.block_labels();
+
+  // (3) Bridge mask: copy-on-write iff a View shares it, else in place.
+  std::shared_ptr<bridges::BridgeMask> mask =
+      cache_.mask_published
+          ? std::make_shared<bridges::BridgeMask>(*cache_.mask)
+          : std::const_pointer_cast<bridges::BridgeMask>(cache_.mask);
+  mask->resize(old_m + d);
+  // Appended verdicts are exact: an edge is a bridge iff its endpoints lie
+  // in different blocks of the NEW index (cross inserts always, intra
+  // inserts never — but reading the labels needs no case split).
+  device::launch(ctx, d, [&](std::size_t i) {
+    const graph::Edge e = delta.inserted[i];
+    (*mask)[old_m + i] = block[e.u] != block[e.v] ? 1 : 0;
+  });
+  // Inserts never promote an old edge to a bridge (its witness cycle
+  // survives); they only demote old bridges whose endpoints now share a
+  // block. Recheck exactly the previous epoch's bridge set.
+  const std::vector<EdgeId>& old_bridges = *cache_.bridge_edges;
+  device::launch(ctx, old_bridges.size(), [&](std::size_t i) {
+    const graph::Edge e = snap->edges[old_bridges[i]];
+    if (block[e.u] == block[e.v]) (*mask)[old_bridges[i]] = 0;
+  });
+  // New bridge set = surviving old bridges + the cross inserts, compacted
+  // bridge-count-sized rather than by rescanning the m-sized mask.
+  std::vector<EdgeId> keep(old_bridges.size());
+  const std::size_t survivors = device::copy_if_index(
+      ctx, old_bridges.size(),
+      [&](std::size_t i) { return (*mask)[old_bridges[i]] != 0; }, keep.data());
+  std::vector<EdgeId> new_bridges(survivors + cross.size());
+  device::gather(ctx, old_bridges.data(), keep.data(), survivors,
+                 new_bridges.data());
+  for (std::size_t i = 0; i < cross.size(); ++i) {
+    new_bridges[survivors + i] = static_cast<EdgeId>(old_m + cross[i]);
+  }
+  assert(new_bridges.size() == oracle.num_bridges());
+
+  // (4) Spanning forest: intra inserts leave it untouched (the endpoints
+  // were already connected, so the tree edges still span); each cross
+  // insert links two trees — append it and fold the loser labels in, the
+  // link_components relabel idiom.
+  if (!cross.empty()) {
+    std::shared_ptr<bridges::SpanningForest> forest =
+        cache_.forest_published
+            ? std::make_shared<bridges::SpanningForest>(*cache_.forest)
+            : std::const_pointer_cast<bridges::SpanningForest>(cache_.forest);
+    std::vector<NodeId>& labels = forest->component;
+    device::launch(ctx, labels.size(), [&](std::size_t v) {
+      const auto it = merged.find(labels[v]);
+      if (it != merged.end()) labels[v] = it->second;
+    });
+    forest->tree_edges.reserve(forest->tree_edges.size() + cross.size());
+    for (const std::size_t i : cross) {
+      forest->tree_edges.push_back(static_cast<EdgeId>(old_m + i));
+    }
+    forest->num_components -= cross.size();
+    cache_.forest = std::move(forest);
+    cache_.forest_published = false;
+  }
+
+  // (5) Commit. The stitched augmentation is stale either way (it embeds
+  // the old snapshot) and rebuilds lazily; the forest LCA survives exactly
+  // when the forest kept its shape (intra-only delta).
+  cache_.epoch = g.epoch();
+  cache_.mask = std::move(mask);
+  cache_.mask_published = false;
+  cache_.bridge_edges =
+      std::make_shared<const std::vector<EdgeId>>(std::move(new_bridges));
+  cache_.stitched.reset();
+  cache_.stitched_csr.reset();
+  cache_.oracle_current = true;
+  if (!cross.empty()) {
+    cache_.forest_lca.reset();
+    forest_lca_artifact();
+  }
+  ++publish_replays_;
+  engine_->counters_.publish_replays.fetch_add(1, kRelaxed);
+  return true;
+}
+
 void Session::ensure_all_artifacts(const Policy& policy) {
   // Failpoint: the publish chokepoint — both refresh() and view() pass
   // through here, and nothing is mutated yet when it fires, so a caller
   // that catches the fault keeps a coherent (stale) cache.
   util::failpoint::maybe_throw(util::failpoint::kPublish);
+  if (try_replay_publish(policy)) return;
+  const bool fresh = cache_.epoch != graph_.epoch();
   sync_epoch();
   csr_artifact();
   forest();
   mask_artifact(policy, nullptr);
   oracle_artifact(policy);
   forest_lca_artifact();
+  if (graph_.is_dynamic()) ensure_bridge_edges();
+  if (fresh) {
+    ++publish_rebuilds_;
+    engine_->counters_.publish_rebuilds.fetch_add(1, kRelaxed);
+  }
 }
 
 std::shared_ptr<const View::State> Session::make_state(const Policy& policy) {
@@ -651,9 +855,12 @@ std::shared_ptr<const View::State> Session::make_state(const Policy& policy) {
   state->mask = cache_.mask;
   state->oracle = cache_.oracle;
   state->forest_lca = cache_.forest_lca;
-  // From here on the shared oracle is frozen: the next epoch's refresh
-  // clones it first (oracle_mut) instead of replaying deltas in place.
+  // From here on the shared artifacts are frozen: the next epoch's refresh
+  // clones the oracle first (oracle_mut) instead of replaying deltas in
+  // place, and the delta-replay publish patches COPIES of the mask/forest.
   cache_.oracle_published = true;
+  cache_.mask_published = true;
+  cache_.forest_published = true;
   std::erase_if(published_, [](const auto& weak) { return weak.expired(); });
   published_.push_back(state);
   return state;

@@ -207,6 +207,11 @@ struct EngineStats {
   std::size_t host_fallbacks = 0;
   /// Views acquired via Session::view().
   std::size_t views = 0;
+  /// Epoch publishes (refresh()/view() materializations) served by the
+  /// delta-replay fast path vs the full per-artifact pipeline. A publish
+  /// that found its epoch already built counts as neither.
+  std::size_t publish_replays = 0;
+  std::size_t publish_rebuilds = 0;
 };
 
 struct EngineOptions {
@@ -252,6 +257,8 @@ class Engine {
     std::atomic<std::size_t> host_query_batches{0};
     std::atomic<std::size_t> host_fallbacks{0};
     std::atomic<std::size_t> views{0};
+    std::atomic<std::size_t> publish_replays{0};
+    std::atomic<std::size_t> publish_rebuilds{0};
   };
   Counters& counters() const { return counters_; }
 
@@ -398,6 +405,15 @@ class Session {
   /// (after kAuto resolution); kAuto if none ran yet this epoch.
   Backend mask_backend() const { return cache_.mask_backend; }
 
+  /// Epoch publishes (refresh()/view()) this session served by replaying
+  /// the graph's last delta onto the previous epoch's artifacts, vs by the
+  /// full per-artifact pipeline. A publish that found its epoch already
+  /// built counts as neither. The replay requires the PREVIOUS epoch to
+  /// have been published (its artifacts all materialized) and the delta to
+  /// be insert-only under the oracle's incremental size rule.
+  std::uint64_t publish_replays() const { return publish_replays_; }
+  std::uint64_t publish_rebuilds() const { return publish_rebuilds_; }
+
   /// Drops every cached artifact (benchmark / memory-pressure hook) except
   /// the sticky diameter hint. The next request rebuilds from scratch.
   /// Live Views are unaffected: they co-own what they pinned.
@@ -428,6 +444,17 @@ class Session {
     std::shared_ptr<const graph::Csr> stitched_csr;
     std::shared_ptr<const bridges::BridgeMask> mask;
     Backend mask_backend = Backend::kAuto;
+    /// Edge ids (mask order) of the current mask's bridges, computed on the
+    /// publish path only: the next epoch's delta replay demotes dying
+    /// bridges by rechecking exactly these instead of rescanning the mask.
+    std::shared_ptr<const std::vector<EdgeId>> bridge_edges;
+    /// Set when a View shares the mask / forest object (make_state); the
+    /// delta replay then patches a COPY (copy-on-write) instead of mutating
+    /// the artifact under the readers. Sticky for the same reason as
+    /// `oracle_published` below: a refcount load is not a synchronization
+    /// point, so use_count() == 1 must not license in-place mutation.
+    bool mask_published = false;
+    bool forest_published = false;
     bool oracle_current = false;
     // The 2-ecc index persists across epochs (dynamic refreshes replay
     // deltas). Once `oracle_published` (a View shares the object), any
@@ -475,6 +502,20 @@ class Session {
   /// Materializes every artifact for the current epoch under `policy`
   /// (expects the caller to hold the device driver lock).
   void ensure_all_artifacts(const Policy& policy);
+  /// The delta-replay publish fast path: when the graph is exactly one
+  /// insert-only batch ahead of a fully published cache (same decision-rule
+  /// family as ConnectivityOracle::incremental_applies), produce this
+  /// epoch's snapshot, CSR, spanning forest, bridge mask, and forest LCA by
+  /// patching the previous epoch's artifacts instead of rebuilding — O(n)
+  /// worst case (label relabel, CSR row shift) rather than the full
+  /// pipeline. Returns false, having mutated nothing, when any eligibility
+  /// check fails (deletions, cross-component cycle, oversized batch,
+  /// missing artifacts, forced-backend mismatch); the caller then runs the
+  /// full pipeline.
+  bool try_replay_publish(const Policy& policy);
+  /// Materializes Cache::bridge_edges from the current mask (publish path
+  /// only — dynamic sessions; lazy run() requests never need it).
+  void ensure_bridge_edges();
   /// ensure_all_artifacts + assemble and register the shared snapshot.
   std::shared_ptr<const View::State> make_state(const Policy& policy);
   /// Machine-only inputs (workers, launch overhead, n, m) — enough for the
@@ -486,6 +527,8 @@ class Session {
   Engine* engine_;
   GraphRef graph_;
   Cache cache_;
+  std::uint64_t publish_replays_ = 0;
+  std::uint64_t publish_rebuilds_ = 0;
   /// Weak registry of every State this session published, for
   /// pinned_epochs(); expired entries are pruned opportunistically.
   std::vector<std::weak_ptr<const View::State>> published_;

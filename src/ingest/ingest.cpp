@@ -273,7 +273,13 @@ void Ingestor::stop() {
 std::size_t Ingestor::lag() const {
   const std::lock_guard<std::mutex> lk(state_);
   const UpdateQueue::Stats q = queue_.stats();
-  return q.accepted - q.shed - published_applied_;
+  // Saturating: the ring's ledger and published_applied_ live under
+  // different locks, so a reader can observe published_applied_ from a
+  // publish whose accepted-side increments it hasn't seen yet. The true
+  // lag is never negative; a wrapped ~2^64 here would poison every
+  // downstream staleness gauge (Dispatcher ingest_lag, degradation).
+  return saturating_sub(saturating_sub(q.accepted, q.shed),
+                        published_applied_);
 }
 
 IngestorStats Ingestor::stats() const {
@@ -297,7 +303,8 @@ IngestorStats Ingestor::stats() const {
   s.publish_failures = publish_failures_;
   s.graph_epoch = applied_epoch_.load(std::memory_order_acquire);
   s.published_epoch = published_epoch_.load(std::memory_order_acquire);
-  s.lag = q.accepted - q.shed - published_applied_;
+  s.lag = saturating_sub(saturating_sub(q.accepted, q.shed),
+                         published_applied_);  // see lag()
   s.latency_ewma_us = latency_ewma_us_;
   return s;
 }
@@ -331,12 +338,23 @@ Ingestor::Clock::time_point Ingestor::next_deadline() const {
   if (cut_now_ || publish_now_) return now;
   const bool backlog = published_applied_ != applied_;
   if (!backlog) return now + std::chrono::hours(1);
-  // A backlog's next time-based trigger: the pacing interval (when one is
-  // configured) or the idle flush, whichever lands first.
+  // A backlog's next time-based trigger: the pacing interval or the idle
+  // flush, whichever lands first.
   auto due = last_apply_ + options_.idle_publish;
-  if (options_.publish_min_interval.count() > 0 &&
-      batches_since_publish_ >= options_.publish_every) {
-    due = std::min(due, last_publish_ + options_.publish_min_interval);
+  if (batches_since_publish_ >= options_.publish_every) {
+    // The count gate is already met, so the min-interval is the only time
+    // gate left: wake the moment it opens — immediately when none is
+    // configured. (Skipping this for a zero min-interval used to park the
+    // writer until idle_publish with a publishable backlog in hand, e.g.
+    // after a failed publish left batches_since_publish_ at the gate.)
+    // After a FAILURE the retry is floored at kPublishRetryFloor so a
+    // persistently failing hook retries at ~ms cadence instead of
+    // hot-spinning the writer through publish attempts.
+    auto interval = options_.publish_min_interval;
+    if (last_publish_failed_ && interval < kPublishRetryFloor) {
+      interval = std::chrono::microseconds(kPublishRetryFloor);
+    }
+    due = std::min(due, last_publish_ + interval);
   }
   return due;
 }
@@ -371,6 +389,7 @@ void Ingestor::maybe_publish(bool force) {
     }
     const std::lock_guard<std::mutex> lk(state_);
     if (ok) {
+      last_publish_failed_ = false;
       ++publishes_;
       published_epoch_.store(applied_epoch_.load(std::memory_order_acquire),
                              std::memory_order_release);
@@ -389,9 +408,11 @@ void Ingestor::maybe_publish(bool force) {
       }
     } else {
       ++publish_failures_;
+      last_publish_failed_ = true;
       // Re-arm the time triggers from the FAILED attempt, so a persistently
-      // failing publish retries at the pacing cadence instead of spinning
-      // the writer thread through the timeout path.
+      // failing publish retries at the pacing cadence (floored at
+      // kPublishRetryFloor by next_deadline) instead of spinning the
+      // writer thread through the timeout path.
       last_publish_ = Clock::now();
       last_apply_ = last_publish_;
     }

@@ -332,6 +332,11 @@ class Ingestor {
   std::size_t publish_failures_ = 0;
   std::size_t published_applied_ = 0;  // applied_ at the last good publish
   std::size_t batches_since_publish_ = 0;
+  /// The most recent publish attempt failed: next_deadline floors the
+  /// retry at kPublishRetryFloor so zero-min-interval pacing stays
+  /// immediate for healthy publishes without hot-spinning a failing hook.
+  bool last_publish_failed_ = false;
+  static constexpr std::chrono::milliseconds kPublishRetryFloor{1};
   Clock::time_point last_publish_ = Clock::now();
   Clock::time_point last_apply_ = Clock::now();
   /// Earliest enqueue tick among applied-but-unpublished batches.

@@ -117,6 +117,22 @@ InlabelLca InlabelLca::build_parallel(const device::Context& ctx,
   return lca;
 }
 
+InlabelLca InlabelLca::build_from_edges(const device::Context& ctx,
+                                        const graph::EdgeList& edges,
+                                        NodeId root,
+                                        util::PhaseTimer* phases) {
+  InlabelLca lca;
+  lca.root_ = root;
+  const core::EulerTour tour =
+      core::build_euler_tour(ctx, edges, root, core::RankAlgo::kWeiJaja,
+                             phases);
+  core::TreeStats stats = core::compute_tree_stats(ctx, tour, phases);
+  lca.parent_ = std::move(stats.parent);
+  lca.level_ = std::move(stats.level);
+  lca.finish_preprocessing(ctx, stats.preorder, stats.subtree_size, phases);
+  return lca;
+}
+
 InlabelLca InlabelLca::build_sequential(const core::ParentTree& tree,
                                         util::PhaseTimer* phases) {
   InlabelLca lca;

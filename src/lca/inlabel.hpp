@@ -47,6 +47,15 @@ class InlabelLca {
   static InlabelLca build_sequential(const core::ParentTree& tree,
                                      util::PhaseTimer* phases = nullptr);
 
+  /// Parallel preprocessing straight from an UNROOTED tree edge list: one
+  /// Euler tour yields preorder/size/level AND the parent array. Callers
+  /// that only have edges (the engine's stitched forest, the oracle's block
+  /// tree) previously paid root_tree + build_parallel — two full tours over
+  /// the same tree; this entry point halves that.
+  static InlabelLca build_from_edges(const device::Context& ctx,
+                                     const graph::EdgeList& edges, NodeId root,
+                                     util::PhaseTimer* phases = nullptr);
+
   /// Lowest common ancestor of x and y. O(1).
   NodeId query(NodeId x, NodeId y) const;
 

@@ -106,8 +106,15 @@ bool Dispatcher::publish_impl(engine::Session& session,
       backoff *= 2;
     }
     try {
+      // Diffing the session's replay/rebuild counters around the build
+      // attributes this publish to the incremental or full pipeline (both
+      // deltas are 0 when the epoch was already built — a cache hit).
+      const std::uint64_t replays_before = session.publish_replays();
+      const std::uint64_t rebuilds_before = session.publish_rebuilds();
       engine::View fresh = policy ? session.view(*policy) : session.view();
       const std::lock_guard<std::mutex> lk(mutex_);
+      stats_.publish_replays += session.publish_replays() - replays_before;
+      stats_.publish_rebuilds += session.publish_rebuilds() - rebuilds_before;
       latest_epoch_ = std::max(latest_epoch_, fresh.epoch());
       view_ = adapt(std::move(fresh));
       degraded_ = false;
@@ -127,6 +134,13 @@ bool Dispatcher::publish_impl(engine::Session& session,
   return false;
 }
 
+// LOCKING AUDIT (satellite of the incremental-publish PR): every call site
+// reads latest_epoch_/ingestor_ under mutex_ — stats(), the two enqueue
+// resolution points, and the drain_queries/drain_broadcast Snapshot
+// captures (both compute their Snapshot BEFORE lk.unlock()). Keep it that
+// way: an unlocked call would race publish()/attach_ingestor(). The TSan
+// CI job runs test_serve (ctest -R "test_(serve|engine|ingest)") over
+// exactly these paths.
 std::uint64_t Dispatcher::latest_known_epoch() const {
   std::uint64_t latest = latest_epoch_;
   if (ingestor_ != nullptr) {
@@ -173,7 +187,11 @@ DispatcherStats Dispatcher::stats() const {
   const std::lock_guard<std::mutex> lk(mutex_);
   DispatcherStats s = stats_;
   s.degraded = degraded_;
-  s.staleness = latest_known_epoch() - view_.epoch();
+  // Saturating: publish(View) maintains latest_epoch_ >= view_.epoch()
+  // with std::max at every assignment, but an attached ingestor's
+  // graph_epoch() is NOT part of that invariant chain (a View published
+  // out-of-band can outrun it), so the gauge clamps instead of wrapping.
+  s.staleness = saturating_sub(latest_known_epoch(), view_.epoch());
   s.faults_injected = util::failpoint::total_fired();
   if (ingestor_ != nullptr) s.ingest_lag = ingestor_->lag();
   return s;
@@ -190,7 +208,7 @@ std::future<Reply<Ans>> Dispatcher::enqueue(Lane<Req, Ans>& lane,
   const auto resolve_now = [&](Status status) {
     ++(status == Status::kCancelled ? stats_.cancelled : stats_.rejected);
     const std::uint64_t epoch = view_.epoch();
-    const std::uint64_t staleness = latest_known_epoch() - epoch;
+    const std::uint64_t staleness = saturating_sub(latest_known_epoch(), epoch);
     lk.unlock();
     std::promise<Reply<Ans>> promise;
     promise.set_value(empty_reply<Ans>(status, epoch, staleness));
@@ -246,7 +264,7 @@ std::future<Reply<Ans>> Dispatcher::enqueue(Lane<Req, Ans>& lane,
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, lane.total);
   std::future<Reply<Ans>> future = sub.queue.back().promise.get_future();
   const std::uint64_t epoch = view_.epoch();
-  const std::uint64_t staleness = latest_known_epoch() - epoch;
+  const std::uint64_t staleness = saturating_sub(latest_known_epoch(), epoch);
   lk.unlock();
   cv_.notify_all();
   if (victim) {
@@ -393,7 +411,8 @@ void Dispatcher::drain_queries(std::unique_lock<std::mutex>& lk,
   take_round(lane, options_.max_coalesce, items, expired);
   lane.claimed = false;
   const std::size_t take = items.size();
-  const Snapshot snap{view_, latest_known_epoch() - view_.epoch()};
+  const Snapshot snap{view_,
+                      saturating_sub(latest_known_epoch(), view_.epoch())};
   if (take > 0) ++stats_.rounds;
   stats_.answered += take;
   stats_.expired += expired.size();
@@ -467,7 +486,8 @@ void Dispatcher::drain_broadcast(std::unique_lock<std::mutex>& lk,
   std::vector<Item<Req, Ans>> expired;
   take_round(lane, options_.max_coalesce, items, expired);
   const std::size_t take = items.size();
-  const Snapshot snap{view_, latest_known_epoch() - view_.epoch()};
+  const Snapshot snap{view_,
+                      saturating_sub(latest_known_epoch(), view_.epoch())};
   if (take > 0) ++stats_.rounds;
   stats_.answered += take;
   stats_.expired += expired.size();

@@ -207,6 +207,13 @@ struct DispatcherStats {
   /// exhausted every attempt (entering/renewing bounded-staleness mode).
   std::size_t publish_retries = 0;
   std::size_t publish_failures = 0;
+  /// How the epochs this dispatcher published were produced: by replaying
+  /// the applied delta onto the previous epoch's artifacts (the insert-only
+  /// fast path — delta-sized work) vs by the full rebuild pipeline
+  /// (deletions, cross-heavy or oversized batches — n-sized work). A
+  /// publish that found the epoch already built counts as neither.
+  std::size_t publish_replays = 0;
+  std::size_t publish_rebuilds = 0;
   /// Process-wide injected faults (util::failpoint::total_fired()).
   std::size_t faults_injected = 0;
   /// Deepest any lane has been at admission.

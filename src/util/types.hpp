@@ -26,4 +26,15 @@ inline constexpr EdgeId kNoEdge = -1;
 /// Largest representable node id, used as +infinity in min-aggregations.
 inline constexpr NodeId kNodeInf = std::numeric_limits<NodeId>::max();
 
+/// Saturating unsigned subtraction: a - b clamped at zero instead of
+/// wrapping. Gauges like serve staleness and ingest lag are DERIVED from
+/// counters that are updated at different times (sometimes under different
+/// locks); the true difference is never negative, but a transiently
+/// inconsistent read pair would make plain unsigned subtraction report
+/// ~2^64 instead of 0. Every such gauge goes through this helper.
+template <typename T>
+constexpr T saturating_sub(T a, T b) {
+  return a > b ? static_cast<T>(a - b) : T{0};
+}
+
 }  // namespace emc

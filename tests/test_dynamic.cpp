@@ -147,6 +147,41 @@ TEST_P(DynamicParam, SnapshotCsrAlignsWithSnapshotEdgeOrder) {
   }
 }
 
+TEST_P(DynamicParam, CsrAppendServesInsertOnlyEpochsAndStaysExact) {
+  DynamicGraph dg(ctx_, gen::cycle_graph(32));
+  (void)dg.snapshot_csr(ctx_);  // epoch-0 CSR: full sort-based build
+  ASSERT_EQ(dg.num_csr_appends(), 0u);
+
+  // Back-to-back insert-only epochs splice the delta into the cached CSR.
+  dg.insert_edges(ctx_, {{0, 5}, {1, 9}});
+  (void)dg.snapshot_csr(ctx_);
+  EXPECT_EQ(dg.num_csr_appends(), 1u);
+  dg.insert_edges(ctx_, {{2, 11}});
+  const graph::Csr& csr = dg.snapshot_csr(ctx_);
+  EXPECT_EQ(dg.num_csr_appends(), 2u);
+  // The appended CSR is a valid adjacency of the appended snapshot, with
+  // edge ids aligned to snapshot order (positions [0, old_m) carry over).
+  const EdgeList& snap = dg.snapshot(ctx_);
+  EXPECT_TRUE(graph::csr_matches(snap, csr));
+  for (NodeId v = 0; v < dg.num_nodes(); ++v) {
+    for (EdgeId i = csr.row_offsets[v]; i < csr.row_offsets[v + 1]; ++i) {
+      const Edge e = snap.edges[csr.edge_ids[i]];
+      EXPECT_TRUE((e.u == v && e.v == csr.neighbors[i]) ||
+                  (e.v == v && e.u == csr.neighbors[i]));
+    }
+  }
+
+  // An erase invalidates position stability: the CSR rebuilds (the append
+  // counter stays flat)...
+  dg.erase_edges(ctx_, {{0, 1}});
+  EXPECT_TRUE(graph::csr_matches(dg.snapshot(ctx_), dg.snapshot_csr(ctx_)));
+  EXPECT_EQ(dg.num_csr_appends(), 2u);
+  // ...and the next insert-only epoch appends again on the fresh base.
+  dg.insert_edges(ctx_, {{3, 13}});
+  EXPECT_TRUE(graph::csr_matches(dg.snapshot(ctx_), dg.snapshot_csr(ctx_)));
+  EXPECT_EQ(dg.num_csr_appends(), 3u);
+}
+
 TEST_P(DynamicParam, CompactionPreservesEdgesAndAmortizes) {
   DynamicGraph dg(50);
   std::set<std::pair<NodeId, NodeId>> ref;

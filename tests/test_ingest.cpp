@@ -406,6 +406,7 @@ TEST(IngestorPipeline, InsertOnlyStretchTakesTheIncrementalPath) {
   const std::size_t rebuilds0 = session.two_ecc_index().rebuilds();
   const std::size_t incremental0 = session.two_ecc_index().incremental_refreshes();
   const std::size_t appends0 = dg.num_snapshot_appends();
+  const std::size_t csr_appends0 = dg.num_csr_appends();
 
   IngestorOptions opt;
   opt.queue_bound = 256;
@@ -430,10 +431,104 @@ TEST(IngestorPipeline, InsertOnlyStretchTakesTheIncrementalPath) {
   EXPECT_GE(s.publishes, 1u);
 
   // The oracle replayed deltas instead of rebuilding, and back-to-back
-  // insert-only epochs served their snapshots via the append fast path.
+  // insert-only epochs served their snapshots (and CSRs) via the append
+  // fast paths.
   EXPECT_EQ(session.two_ecc_index().rebuilds(), rebuilds0);
   EXPECT_GT(session.two_ecc_index().incremental_refreshes(), incremental0);
   EXPECT_GT(dg.num_snapshot_appends(), appends0);
+  EXPECT_GT(dg.num_csr_appends(), csr_appends0);
+  // And the SESSION published those epochs by delta replay, not rebuild —
+  // the whole artifact set rode the incremental path, end to end.
+  EXPECT_GT(session.publish_replays(), 0u);
+  EXPECT_EQ(session.publish_rebuilds(), 1u);  // the epoch-0 build only
+}
+
+TEST(IngestorPipeline, FailedPublishRetriesOnTheFloorNotTheIdleFlush) {
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(32));
+  Session session = engine.session(dg);
+
+  IngestorOptions opt;
+  opt.queue_bound = 64;
+  opt.max_batch = 16;
+  opt.linger = std::chrono::microseconds(0);
+  opt.publish_every = 1;
+  // The regression: with a ZERO pacing interval, a failed publish used to
+  // re-arm only the idle flush — parking a publishable backlog for the
+  // whole idle_publish window. Post-fix the retry lands on the
+  // kPublishRetryFloor (~1ms), so an hour-long idle window is irrelevant.
+  opt.publish_min_interval = std::chrono::microseconds(0);
+  opt.idle_publish = std::chrono::hours(1);
+  opt.start_paused = true;
+  Ingestor ingestor(engine, dg, session, opt);
+
+  std::atomic<int> attempts{0};
+  ingestor.set_publisher([&](engine::Session& s) {
+    if (attempts.fetch_add(1) == 0) return false;  // first attempt fails
+    s.refresh();
+    return true;
+  });
+
+  ASSERT_EQ(ingestor.insert({{0, 5}, {1, 9}}), 2u);
+  const auto started = std::chrono::steady_clock::now();
+  ingestor.resume();
+  while (ingestor.stats().publishes == 0 &&
+         std::chrono::steady_clock::now() - started < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  const IngestorStats s = ingestor.stats();
+  EXPECT_GE(s.publish_failures, 1u);  // the injected failure really fired
+  EXPECT_GE(s.publishes, 1u) << "retry never landed";
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  ingestor.stop();
+  EXPECT_EQ(ingestor.published_epoch(), dg.epoch());
+}
+
+TEST(IngestorStats, LagGaugeNeverWrapsUnderConcurrentReaders) {
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(64));
+  Session session = engine.session(dg);
+
+  // ShedOldest keeps producers unblocked, so the admission ledger and the
+  // publish counters move under their different locks as fast as possible
+  // while readers poll the gauge.
+  IngestorOptions opt;
+  opt.queue_bound = 32;
+  opt.admission = Admission::kShedOldest;
+  opt.max_batch = 8;
+  opt.linger = std::chrono::microseconds(0);
+  opt.publish_every = 1;
+  Ingestor ingestor(engine, dg, session, opt);
+
+  // The regression: lag is accepted - shed - published with the two sides
+  // under DIFFERENT locks; a torn read pair used to wrap to ~2^64. The
+  // saturating gauge may transiently read 0, never garbage.
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> wrapped{0};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (ingestor.lag() > (std::size_t{1} << 60)) ++wrapped;
+      if (ingestor.stats().lag > (std::size_t{1} << 60)) ++wrapped;
+    }
+  });
+  util::Rng rng(17);
+  for (int burst = 0; burst < 200; ++burst) {
+    std::vector<Edge> edges;
+    for (int i = 0; i < 16; ++i) {
+      edges.push_back({static_cast<NodeId>(rng.below(64)),
+                       static_cast<NodeId>(rng.below(64))});
+    }
+    ingestor.insert(edges);
+  }
+  ingestor.flush();
+  done.store(true);
+  poller.join();
+  ingestor.stop();
+  EXPECT_EQ(wrapped.load(), 0u);
+  const IngestorStats s = ingestor.stats();
+  EXPECT_EQ(s.lag, 0u);  // quiesced: everything accepted was published
+  EXPECT_EQ(s.accepted, s.shed + s.applied);
 }
 
 TEST(IngestorPipeline, AttachedDispatcherReflectsIngestLagAsStaleness) {

@@ -1,0 +1,417 @@
+// Incremental epoch publish: Session::refresh()/view() must produce a new
+// epoch's FULL artifact set (edge snapshot, Csr, spanning forest, bridge
+// mask, forest LCA, 2-ecc oracle) by replaying an insert-only delta onto
+// the previous epoch's artifacts — indistinguishable from the full rebuild
+// pipeline run from scratch at the same epoch.
+//
+// Four pillars:
+//   replay pins — insert-only intra/cross batches take the replay path
+//     (publish_replays advances, publish_rebuilds stays flat) and the
+//     resulting View agrees artifact-for-artifact with a scratch Session;
+//   fallback pins — deletions, oversized batches, multi-batch gaps and
+//     cycle-closing cross pairs take the full pipeline, correctly;
+//   copy-on-write — a View pinned at the previous epoch is immutable under
+//     replay: the mask is patched on a copy, and an intra-only replay
+//     SHARES the untouched forest with the published View (pointer pin);
+//   differential fuzz — mixed insert/erase rounds publish every epoch and
+//     diff against a from-scratch Session and the sequential reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "device/context.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "engine/engine.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "support/fuzz_env.hpp"
+#include "support/reference.hpp"
+#include "util/rng.hpp"
+
+namespace emc::engine {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using test_support::ReferenceOracle;
+
+using CanonicalEdgeSet = std::set<std::pair<NodeId, NodeId>>;
+
+/// The view's bridges as canonical endpoint pairs. Replayed and rebuilt
+/// epochs order their edge lists differently (append vs full export), so
+/// masks are only comparable as SETS of edges, never positionally.
+CanonicalEdgeSet bridge_set(const View& view) {
+  const bridges::BridgeMask& mask = view.run(Bridges{});
+  const EdgeList& g = view.edges();
+  CanonicalEdgeSet out;
+  for (std::size_t e = 0; e < mask.size(); ++e) {
+    if (mask[e] != 0) {
+      out.insert({std::min(g.edges[e].u, g.edges[e].v),
+                  std::max(g.edges[e].u, g.edges[e].v)});
+    }
+  }
+  return out;
+}
+
+/// Label vectors describe the same partition iff the label-to-label map is
+/// a bijection; the labels themselves may differ between pipelines.
+void expect_same_partition(const std::vector<NodeId>& a,
+                           const std::vector<NodeId>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  std::map<NodeId, NodeId> fwd, rev;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto [fit, fnew] = fwd.try_emplace(a[v], b[v]);
+    const auto [rit, rnew] = rev.try_emplace(b[v], a[v]);
+    ASSERT_TRUE(fit->second == b[v] && rit->second == a[v])
+        << what << " diverges at node " << v;
+  }
+}
+
+/// Full artifact-level diff of a (possibly replayed) view against a view
+/// built by an independent pipeline at the same epoch, plus a query sample.
+void expect_views_agree(const View& got, const View& want, util::Rng& rng,
+                        int num_queries) {
+  ASSERT_EQ(got.epoch(), want.epoch());
+  ASSERT_EQ(got.num_edges(), want.num_edges());
+  ASSERT_EQ(got.num_components(), want.num_components());
+  // The replayed Csr must be a valid adjacency of the replayed snapshot.
+  EXPECT_TRUE(graph::csr_matches(got.edges(), got.csr()));
+  EXPECT_EQ(bridge_set(got), bridge_set(want));
+  const TwoEccView blocks_got = got.run(TwoEcc{});
+  const TwoEccView blocks_want = want.run(TwoEcc{});
+  ASSERT_EQ(blocks_got.num_blocks, blocks_want.num_blocks);
+  ASSERT_EQ(blocks_got.num_bridges, blocks_want.num_bridges);
+  expect_same_partition(*blocks_got.labels, *blocks_want.labels, "2ecc");
+  ASSERT_EQ(got.forest().num_components, want.forest().num_components);
+  expect_same_partition(got.forest().component, want.forest().component,
+                        "forest cc");
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  ComponentSize sizes;
+  for (int q = 0; q < num_queries; ++q) {
+    pairs.push_back({static_cast<NodeId>(rng.below(got.num_nodes())),
+                     static_cast<NodeId>(rng.below(got.num_nodes()))});
+    sizes.nodes.push_back(pairs.back().first);
+  }
+  EXPECT_EQ(got.run(Same2Ecc{pairs}), want.run(Same2Ecc{pairs}));
+  EXPECT_EQ(got.run(BridgesOnPath{pairs}), want.run(BridgesOnPath{pairs}));
+  EXPECT_EQ(got.run(sizes), want.run(sizes));
+  // The forest LCA is rooting-specific (replay keeps the old rooting, a
+  // rebuild re-roots), but reachability is not: a pair meets a real
+  // ancestor iff it shares a component — on BOTH views.
+  const auto lca_got = got.run(LcaBatch{pairs});
+  const auto lca_want = want.run(LcaBatch{pairs});
+  for (std::size_t q = 0; q < pairs.size(); ++q) {
+    EXPECT_EQ(lca_got[q] == kNoNode, lca_want[q] == kNoNode)
+        << "lca split " << pairs[q].first << "," << pairs[q].second;
+  }
+}
+
+/// A from-scratch Session at the graph's current epoch: its empty cache
+/// guarantees the full rebuild pipeline, the independent baseline every
+/// replayed publish is diffed against.
+View scratch_view(Engine& engine, const dynamic::DynamicGraph& dg) {
+  Session scratch = engine.session(dg);
+  scratch.refresh();
+  return scratch.view();
+}
+
+// ------------------------------------------------------------ replay pins
+
+TEST(PublishReplay, IntraChordReplayDemotesTheOldBridge) {
+  Engine engine({.device_workers = 2});
+  // Two triangles joined by a bridge; closing a second path kills it.
+  dynamic::DynamicGraph dg(6);
+  dg.insert_edges(engine.device(),
+                  {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  Session session = engine.session(dg);
+  session.refresh();
+  EXPECT_EQ(session.publish_rebuilds(), 1u);
+  EXPECT_EQ(session.publish_replays(), 0u);
+  ASSERT_EQ(bridge_set(session.view()).size(), 1u);
+
+  dg.insert_edges(engine.device(), {{1, 4}});
+  session.refresh();
+  EXPECT_EQ(session.publish_rebuilds(), 1u);  // no full pipeline this time
+  EXPECT_EQ(session.publish_replays(), 1u);
+  const View replayed = session.view();
+  EXPECT_EQ(bridge_set(replayed).size(), 0u);  // the old bridge is demoted
+  util::Rng rng(3);
+  expect_views_agree(replayed, scratch_view(engine, dg), rng, 36);
+}
+
+TEST(PublishReplay, CrossComponentInsertPatchesForestAndLca) {
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(7);
+  dg.insert_edges(engine.device(), {{0, 1}, {1, 2}, {2, 0},    // triangle
+                                    {3, 4}, {4, 5}, {5, 3}});  // triangle
+  Session session = engine.session(dg);
+  session.refresh();
+  ASSERT_EQ(session.view().num_components(), 3u);  // node 6 isolated
+
+  // {2, 3} joins two components: the replay links the forests, appends the
+  // new tree edge, and marks it a bridge — no full pipeline.
+  dg.insert_edges(engine.device(), {{2, 3}});
+  session.refresh();
+  EXPECT_EQ(session.publish_replays(), 1u);
+  EXPECT_EQ(session.publish_rebuilds(), 1u);
+  View v = session.view();
+  EXPECT_EQ(v.num_components(), 2u);
+  EXPECT_EQ(bridge_set(v), (CanonicalEdgeSet{{2, 3}}));
+  EXPECT_NE(v.run(LcaBatch{{{0, 4}}})[0], kNoNode);  // now connected
+  EXPECT_EQ(v.run(LcaBatch{{{0, 6}}})[0], kNoNode);  // 6 still isolated
+  util::Rng rng(21);
+  expect_views_agree(v, scratch_view(engine, dg), rng, 36);
+
+  // A cross link and an intra chord in ONE batch exercise both patch paths
+  // in one replay: {6,0} is the new (only) bridge, {1,4} demotes {2,3}.
+  dg.insert_edges(engine.device(), {{6, 0}, {1, 4}});
+  session.refresh();
+  EXPECT_EQ(session.publish_replays(), 2u);
+  EXPECT_EQ(session.publish_rebuilds(), 1u);
+  v = session.view();
+  EXPECT_EQ(v.num_components(), 1u);
+  EXPECT_EQ(bridge_set(v), (CanonicalEdgeSet{{0, 6}}));
+  util::Rng rng2(22);
+  expect_views_agree(v, scratch_view(engine, dg), rng2, 36);
+}
+
+// ---------------------------------------------------------- fallback pins
+
+TEST(PublishReplay, EraseOversizedAndGapBatchesTakeTheFullPipeline) {
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(16));
+  Session session = engine.session(dg);
+  session.refresh();
+  util::Rng rng(5);
+
+  // Any erase disqualifies the replay.
+  dg.erase_edges(engine.device(), {{0, 1}});
+  session.refresh();
+  EXPECT_EQ(session.publish_rebuilds(), 2u);
+  EXPECT_EQ(session.publish_replays(), 0u);
+  expect_views_agree(session.view(), scratch_view(engine, dg), rng, 16);
+
+  // Two effective batches with no refresh between: only the second delta
+  // survives, so the one-epoch-ahead precondition fails.
+  dg.insert_edges(engine.device(), {{0, 2}});
+  dg.insert_edges(engine.device(), {{0, 4}});
+  session.refresh();
+  EXPECT_EQ(session.publish_rebuilds(), 3u);
+  EXPECT_EQ(session.publish_replays(), 0u);
+  expect_views_agree(session.view(), scratch_view(engine, dg), rng, 16);
+
+  // A delta past the size rule (max(64, m/4) here) falls back.
+  std::vector<Edge> big;
+  for (NodeId v = 0; v < 65; ++v) {
+    big.push_back({v, static_cast<NodeId>(v + 100)});
+  }
+  dynamic::DynamicGraph wide(engine.device(), gen::path_graph(200));
+  Session wide_session = engine.session(wide);
+  wide_session.refresh();
+  ASSERT_EQ(wide.insert_edges(engine.device(), big), big.size());
+  wide_session.refresh();
+  EXPECT_EQ(wide_session.publish_rebuilds(), 2u);
+  EXPECT_EQ(wide_session.publish_replays(), 0u);
+  expect_views_agree(wide_session.view(), scratch_view(engine, wide), rng, 16);
+}
+
+TEST(PublishReplay, CycleClosingCrossBatchTakesTheFullPipeline) {
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(6);
+  dg.insert_edges(engine.device(), {{0, 1}, {1, 2}, {2, 0},    // triangle
+                                    {3, 4}, {4, 5}, {5, 3}});  // triangle
+  Session session = engine.session(dg);
+  session.refresh();
+  // Two edges between the SAME pair of components in one batch: the second
+  // closes a cycle through the first, which no forest patch can express.
+  dg.insert_edges(engine.device(), {{0, 3}, {1, 4}});
+  session.refresh();
+  EXPECT_EQ(session.publish_rebuilds(), 2u);
+  EXPECT_EQ(session.publish_replays(), 0u);
+  const View v = session.view();
+  EXPECT_EQ(v.num_components(), 1u);
+  EXPECT_EQ(bridge_set(v).size(), 0u);
+  util::Rng rng(23);
+  expect_views_agree(v, scratch_view(engine, dg), rng, 24);
+}
+
+// ----------------------------------------------------------- copy-on-write
+
+TEST(PublishReplay, HeldViewsStayFrozenAndIntraReplaySharesTheForest) {
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(6);
+  dg.insert_edges(engine.device(),
+                  {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  Session session = engine.session(dg);
+  session.refresh();
+  const View v0 = session.view();
+  const std::size_t m0 = v0.num_edges();
+  ASSERT_EQ(bridge_set(v0), (CanonicalEdgeSet{{2, 3}}));
+
+  // Intra replay under a pinned view: the mask is patched on a COPY, and
+  // the untouched forest is SHARED with the pinned epoch — the same
+  // object, not a clone (the structural pin of the copy-on-write design).
+  dg.insert_edges(engine.device(), {{1, 4}});
+  session.refresh();
+  ASSERT_EQ(session.publish_replays(), 1u);
+  const View v1 = session.view();
+  EXPECT_EQ(v0.num_edges(), m0);
+  EXPECT_EQ(bridge_set(v0), (CanonicalEdgeSet{{2, 3}}));  // frozen verdicts
+  EXPECT_EQ(bridge_set(v1).size(), 0u);
+  EXPECT_EQ(&v0.forest(), &v1.forest());
+  util::Rng rng(7);
+  expect_views_agree(v1, scratch_view(engine, dg), rng, 24);
+
+  // A cross replay must NOT share: the forest gains a link, so the pinned
+  // view keeps its own copy while the new epoch sees the merge.
+  dynamic::DynamicGraph two(7);
+  two.insert_edges(engine.device(),
+                   {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  Session twos = engine.session(two);
+  twos.refresh();
+  const View w0 = twos.view();
+  two.insert_edges(engine.device(), {{2, 3}});
+  twos.refresh();
+  ASSERT_EQ(twos.publish_replays(), 1u);
+  const View w1 = twos.view();
+  EXPECT_NE(&w0.forest(), &w1.forest());
+  EXPECT_EQ(w0.forest().num_components, 3u);
+  EXPECT_EQ(w1.forest().num_components, 2u);
+  EXPECT_EQ(w0.run(LcaBatch{{{0, 4}}})[0], kNoNode);
+  EXPECT_NE(w1.run(LcaBatch{{{0, 4}}})[0], kNoNode);
+}
+
+// ------------------------------------------------ launch-count guarantees
+
+TEST(PublishLaunches, ReplayedPublishIsDeltaSizedNotGraphSized) {
+  Engine engine({.device_workers = 2});
+  // Road-like base, one giant component (reliability 1 keeps it connected).
+  dynamic::DynamicGraph dg(engine.device(),
+                           gen::road_graph(40, 40, 1.0, 0.05, 3));
+  Session session = engine.session(dg);
+  session.refresh();
+  const auto cc = test_support::cc_labels(dg.snapshot(engine.device()));
+
+  util::Rng rng(11);
+  auto intra_batch = [&](std::size_t size) {
+    std::vector<Edge> batch;
+    while (batch.size() < size) {
+      const auto u = static_cast<NodeId>(rng.below(dg.num_nodes()));
+      const auto v = static_cast<NodeId>(rng.below(dg.num_nodes()));
+      if (u != v && cc[u] == cc[v] && !dg.has_edge(u, v)) {
+        batch.push_back({u, v});
+      }
+    }
+    return batch;
+  };
+  auto publish_launches = [&](const std::vector<Edge>& batch) {
+    EXPECT_GT(dg.insert_edges(engine.device(), batch), 0u);
+    const std::uint64_t before = engine.device_launches();
+    session.refresh();
+    return engine.device_launches() - before;
+  };
+
+  // Replayed publishes run a FIXED kernel sequence: the launch count must
+  // not scale with the delta (only per-kernel work does)...
+  const std::uint64_t small = publish_launches(intra_batch(8));
+  const std::uint64_t large = publish_launches(intra_batch(56));
+  EXPECT_EQ(session.publish_replays(), 2u);
+  EXPECT_EQ(small, large)
+      << "replayed publish launch count must not scale with the delta";
+
+  // ...and must undercut the full pipeline at the same epoch.
+  Session scratch = engine.session(dg);
+  const std::uint64_t before = engine.device_launches();
+  scratch.refresh();
+  const std::uint64_t full = engine.device_launches() - before;
+  EXPECT_LT(large, full);
+}
+
+// ------------------------------------------------------------------- fuzz
+
+TEST(PublishFuzz, EveryEpochMatchesAScratchSessionAndTheReference) {
+  Engine engine({.device_workers = 2});
+  const device::Context ref_ctx = device::Context::sequential();
+  constexpr NodeId kNodes = 60;
+  const std::uint64_t seed = test_support::fuzz_seed(90210);
+  const int rounds = test_support::fuzz_rounds(120);
+  util::Rng rng(seed);
+  test_support::BatchScript script;
+
+  // Disconnected base (two cycles + isolated tail nodes): rounds mix
+  // intra-component inserts (replay), cross-component links (replay or
+  // rebuild, batch-dependent) and erases (always rebuild).
+  dynamic::DynamicGraph dg(kNodes);
+  std::vector<Edge> base;
+  for (NodeId v = 0; v < 24; ++v) {
+    base.push_back({v, static_cast<NodeId>((v + 1) % 24)});
+  }
+  for (NodeId v = 24; v < 48; ++v) {
+    base.push_back({v, static_cast<NodeId>(v == 47 ? 24 : v + 1)});
+  }
+  dg.insert_edges(engine.device(), base);
+  Session session = engine.session(dg);
+  session.refresh();
+
+  std::vector<Edge> inserted_pool(base);
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<Edge> batch;
+    const std::size_t size = 1 + rng.below(10);
+    if (round % 4 == 3) {
+      for (std::size_t i = 0; i < size; ++i) {
+        batch.push_back(inserted_pool[rng.below(inserted_pool.size())]);
+      }
+      script.add(round, "erase", batch);
+      dg.erase_edges(engine.device(), batch);
+    } else {
+      for (std::size_t i = 0; i < size; ++i) {
+        const Edge e = {static_cast<NodeId>(rng.below(kNodes)),
+                        static_cast<NodeId>(rng.below(kNodes))};
+        batch.push_back(e);
+        if (e.u != e.v) inserted_pool.push_back(e);
+      }
+      script.add(round, "insert", batch);
+      dg.insert_edges(engine.device(), batch);
+    }
+    // IIFE so a fatal failure lands here and the replay print still fires.
+    [&] {
+      session.refresh();
+      const View got = session.view();
+      ASSERT_EQ(got.epoch(), dg.epoch());
+      expect_views_agree(got, scratch_view(engine, dg), rng, 12);
+      // Ground truth: the sequential reference of the SAME snapshot.
+      const ReferenceOracle ref(ref_ctx, dg.snapshot(engine.device()));
+      EXPECT_EQ(bridge_set(got).size(), ref.num_bridges);
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      for (int q = 0; q < 8; ++q) {
+        pairs.push_back({static_cast<NodeId>(rng.below(kNodes)),
+                         static_cast<NodeId>(rng.below(kNodes))});
+      }
+      const auto same = got.run(Same2Ecc{pairs});
+      for (std::size_t q = 0; q < pairs.size(); ++q) {
+        const auto [u, v] = pairs[q];
+        EXPECT_EQ(same[q] != 0, ref.comp[u] == ref.comp[v])
+            << "same2ecc " << u << "," << v;
+      }
+    }();
+    if (::testing::Test::HasFailure()) {
+      std::cerr << script.replay(seed, rounds);
+      return;
+    }
+  }
+  // Both publish paths must have carried real rounds — a coverage claim
+  // that only holds statistically, so skip it under a small replay-session
+  // EMC_FUZZ_ROUNDS override.
+  if (rounds >= 30) {
+    EXPECT_GT(session.publish_replays(), 0u);
+    EXPECT_GT(session.publish_rebuilds(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace emc::engine

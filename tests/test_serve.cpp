@@ -881,6 +881,55 @@ TEST(ServeFailpoints, PublishGivesUpIntoBoundedStalenessAndRecovers) {
   EXPECT_EQ(reply.staleness, 0u);
 }
 
+TEST(ServeStats, StalenessCountsForwardFromTheHighWaterMarkAndNeverWraps) {
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(32));
+  Session session = engine.session(dg);
+  const View v0 = session.view();  // epoch 0
+  ASSERT_GT(dg.insert_edges(engine.device(), {{0, 5}}), 0u);
+  ASSERT_GT(dg.insert_edges(engine.device(), {{1, 9}}), 0u);
+  session.refresh();
+
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(session.view(), options);  // serving epoch 2
+  EXPECT_EQ(dispatcher.stats().staleness, 0u);
+
+  // Publishing an OLDER View (a rollback) must not wrap the gauge: the
+  // high-water mark stays at the newest epoch ever seen, so the dispatcher
+  // reports serving 2 epochs behind — a small forward count, not ~2^64 —
+  // and stamps the same clamped number into replies.
+  dispatcher.publish(v0);
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.staleness, 2u);
+  const auto reply = dispatcher.submit(engine::Same2Ecc{{{0, 1}}}).get();
+  EXPECT_EQ(reply.status, Status::kOk);
+  EXPECT_EQ(reply.epoch, 0u);
+  EXPECT_EQ(reply.staleness, 2u);
+}
+
+TEST(ServeStats, PublishAttributionSeparatesReplaysFromRebuilds) {
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(64));
+  Session session = engine.session(dg);
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(session.view(), options);
+  ASSERT_EQ(dispatcher.stats().publish_rebuilds, 0u);  // ctor View isn't one
+
+  // An insert-only chord publishes by delta replay; an erase forces the
+  // full pipeline; a publish with nothing new counts as neither.
+  dg.insert_edges(engine.device(), {{0, 32}});
+  EXPECT_TRUE(dispatcher.publish(session));
+  dg.erase_edges(engine.device(), {{0, 32}});
+  EXPECT_TRUE(dispatcher.publish(session));
+  EXPECT_TRUE(dispatcher.publish(session));  // same epoch: a cache hit
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.publish_replays, 1u);
+  EXPECT_EQ(stats.publish_rebuilds, 1u);
+  EXPECT_EQ(stats.views_published, 3u);
+}
+
 // The robustness fuzz (ISSUE 6 acceptance): under fault injection at EVERY
 // catalog site, every submitted future must still resolve with a definite
 // Status, kOk answers must match the reference of their serving epoch, and

@@ -12,6 +12,16 @@
 namespace emc::util {
 namespace {
 
+// ---------------------------------------------------------------- types
+
+TEST(Types, SaturatingSubClampsAtZeroInsteadOfWrapping) {
+  EXPECT_EQ(saturating_sub<std::uint64_t>(5, 3), 2u);
+  EXPECT_EQ(saturating_sub<std::uint64_t>(3, 5), 0u);  // would wrap to ~2^64
+  EXPECT_EQ(saturating_sub<std::uint64_t>(7, 7), 0u);
+  EXPECT_EQ(saturating_sub<std::uint64_t>(0, ~std::uint64_t{0}), 0u);
+  EXPECT_EQ(saturating_sub<std::size_t>(~std::size_t{0}, 0), ~std::size_t{0});
+}
+
 // ---------------------------------------------------------------- rng
 
 TEST(Rng, DeterministicForSameSeed) {
