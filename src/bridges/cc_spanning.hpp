@@ -36,19 +36,9 @@ SpanningForest cc_spanning_forest(const device::Context& ctx,
                                   const graph::EdgeList& graph,
                                   util::PhaseTimer* phases = nullptr);
 
-/// The component representatives (nodes v with component[v] == v),
-/// compacted in node order — exactly forest.num_components entries.
-std::vector<NodeId> component_representatives(const device::Context& ctx,
-                                              const SpanningForest& forest);
-
-/// The connected augmentation every stitch-and-slice caller shares: `graph`
-/// plus one virtual edge from the first representative to each other one.
-/// A virtual edge can never change a real edge's bridgeness (it is the only
-/// connection between its components, so no cycle through a real edge runs
-/// over it and back), so a mask computed on the augmentation and truncated
-/// to graph.num_edges() is exact. `reps` comes from
-/// component_representatives(); a connected graph is returned unchanged.
-graph::EdgeList stitch_components(const graph::EdgeList& graph,
-                                  const std::vector<NodeId>& reps);
+// component_representatives / stitch_components — the virtual-edge
+// stitch-and-slice machinery built on this forest — live in
+// bridges/stitch.hpp (standalone so the shard summary can reuse them
+// without pulling in the CC kernels' callers).
 
 }  // namespace emc::bridges

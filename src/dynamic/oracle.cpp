@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "bridges/cc_spanning.hpp"
+#include "bridges/stitch.hpp"
 #include "bridges/tarjan_vishkin.hpp"
 #include "bridges/two_ecc.hpp"
 #include "device/primitives.hpp"

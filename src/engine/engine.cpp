@@ -8,6 +8,7 @@
 #include "bridges/chaitanya_kothapalli.hpp"
 #include "bridges/dfs_bridges.hpp"
 #include "bridges/hybrid.hpp"
+#include "bridges/stitch.hpp"
 #include "bridges/tarjan_vishkin.hpp"
 #include "device/primitives.hpp"
 #include "gen/graphs.hpp"
@@ -526,7 +527,8 @@ TwoEccView Session::run(const TwoEcc&, const Policy& policy) {
   engine_->counters_.requests.fetch_add(1, kRelaxed);
   const auto lock = engine_->device_.exclusive();
   const dynamic::ConnectivityOracle& oracle = oracle_artifact(policy);
-  return {&oracle.block_labels(), oracle.num_blocks(), oracle.num_bridges()};
+  return {&oracle.block_labels(), &oracle.block_sizes(), oracle.num_blocks(),
+          oracle.num_bridges()};
 }
 
 const dynamic::ConnectivityOracle& Session::locked_oracle(
@@ -916,8 +918,8 @@ const bridges::BridgeMask& View::run(const Bridges&) const {
 
 TwoEccView View::run(const TwoEcc&) const {
   state_->engine->counters().requests.fetch_add(1, kRelaxed);
-  return {&state_->oracle->block_labels(), state_->oracle->num_blocks(),
-          state_->oracle->num_bridges()};
+  return {&state_->oracle->block_labels(), &state_->oracle->block_sizes(),
+          state_->oracle->num_blocks(), state_->oracle->num_bridges()};
 }
 
 std::vector<std::uint8_t> View::run(const Same2Ecc& request) const {

@@ -145,6 +145,11 @@ struct LcaBatch {
 /// View (or any copy) lives.
 struct TwoEccView {
   const std::vector<NodeId>* labels = nullptr;  // block id per node
+  /// Vertex count per block id (indexable by (*labels)[v]) — the weight a
+  /// composite index needs when its nodes are CONTRACTED blocks rather
+  /// than vertices (shard::ShardedView accumulates these per summary
+  /// block to answer global ComponentSize).
+  const std::vector<NodeId>* sizes = nullptr;
   std::size_t num_blocks = 0;
   std::size_t num_bridges = 0;
 };

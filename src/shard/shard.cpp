@@ -1,0 +1,743 @@
+#include "shard/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "device/primitives.hpp"
+#include "engine/policy.hpp"
+#include "util/env.hpp"
+
+namespace emc::shard {
+
+namespace {
+
+/// Batch routing mirrors engine::Policy::use_device_batch: one bulk launch
+/// pays the launch latency but divides the per-query work across device
+/// workers, while the host loop pays the undivided work latency-free. The
+/// façade reads only machine parameters from the pinned context — on a
+/// single-worker device the host loop always wins, exactly like the
+/// unsharded engine's answer path, so sharding adds no routing skew.
+bool use_device_batch(const device::Context& ctx, std::size_t size) {
+  engine::PlanInputs inputs;
+  inputs.device_workers = ctx.workers();
+  inputs.launch_overhead = ctx.launch_overhead();
+  return engine::Policy{}.use_device_batch(size, inputs);
+}
+
+}  // namespace
+
+std::size_t resolve_shard_count(std::size_t from_options) {
+  if (from_options != 0) return from_options;
+  return static_cast<std::size_t>(
+      util::env_int_or("EMC_SHARD_COUNT", 4, 1, 1024));
+}
+
+// --------------------------------------------------------------- Router
+
+Router::Router(NodeId num_nodes, std::size_t shards)
+    : num_nodes_(num_nodes), shards_(shards == 0 ? 1 : shards) {}
+
+bool Router::insert_boundary(NodeId u, NodeId v) {
+  const std::uint64_t key = graph::edge_key(u, v);
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool changed = boundary_.insert(key).second;
+  if (changed) ++version_;
+  return changed;
+}
+
+bool Router::erase_boundary(NodeId u, NodeId v) {
+  const std::uint64_t key = graph::edge_key(u, v);
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool changed = boundary_.erase(key) != 0;
+  if (changed) ++version_;
+  return changed;
+}
+
+std::pair<std::size_t, std::size_t> Router::apply_boundary(
+    const std::vector<std::pair<std::uint64_t, bool>>& ops) {
+  std::size_t applied = 0;
+  std::size_t noops = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, is_insert] : ops) {
+    const bool changed =
+        is_insert ? boundary_.insert(key).second : boundary_.erase(key) != 0;
+    if (changed) {
+      ++version_;
+      ++applied;
+    } else {
+      ++noops;
+    }
+  }
+  return {applied, noops};
+}
+
+std::pair<std::shared_ptr<const std::vector<graph::Edge>>, std::uint64_t>
+Router::boundary_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot_version_ != version_ || snapshot_ == nullptr) {
+    std::vector<std::uint64_t> keys(boundary_.begin(), boundary_.end());
+    std::sort(keys.begin(), keys.end());
+    auto edges = std::make_shared<std::vector<graph::Edge>>();
+    edges->reserve(keys.size());
+    for (const std::uint64_t key : keys) {
+      edges->push_back({static_cast<NodeId>(key >> 32),
+                        static_cast<NodeId>(key & 0xffffffffu)});
+    }
+    snapshot_ = std::move(edges);
+    snapshot_version_ = version_;
+  }
+  return {snapshot_, snapshot_version_};
+}
+
+std::uint64_t Router::boundary_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+std::size_t Router::boundary_edges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return boundary_.size();
+}
+
+// ----------------------------------------------------- ShardedView::State
+
+struct ShardedView::State {
+  const device::Context* ctx = nullptr;  // façade device (summary kernels)
+  EpochVector epochs;
+  std::uint64_t version = 0;
+  std::size_t shards = 0;
+  NodeId num_nodes = 0;
+  std::vector<engine::View> views;  // epoch-pinned, one per shard
+  std::shared_ptr<const std::vector<graph::Edge>> boundary;
+  /// Summary node id of shard s's block b is offsets[s] + b.
+  std::vector<NodeId> offsets;
+  /// Per shard: block label per LOCAL node, borrowed from the pinned
+  /// view's frozen 2-ecc index (alive as long as views[s] is).
+  std::vector<const std::vector<NodeId>*> labels;
+  graph::EdgeList summary_graph;  // shard bridges + boundary (multigraph)
+  dynamic::ConnectivityOracle summary;
+  /// Vertex count per summary 2-ecc block: shard-block weights accumulated
+  /// under the summary's labels — the global ComponentSize answer.
+  std::vector<NodeId> weight;
+  /// Per-vertex composed lookups, built once per stitch: hnode[v] is the
+  /// summary node of v's shard-local block, glabel[v] that node's global
+  /// 2-ecc label. They collapse every query to the same flat label reads
+  /// the unsharded oracle does — no per-query modulo or double hop (the
+  /// arithmetic form cost >10x on large Same2Ecc batches).
+  std::vector<NodeId> hnode;
+  std::vector<NodeId> glabel;
+  std::size_t num_edges = 0;
+  std::size_t num_components = 0;
+};
+
+const EpochVector& ShardedView::epochs() const { return state_->epochs; }
+std::uint64_t ShardedView::version() const { return state_->version; }
+NodeId ShardedView::num_nodes() const { return state_->num_nodes; }
+std::size_t ShardedView::num_edges() const { return state_->num_edges; }
+std::size_t ShardedView::num_components() const {
+  return state_->num_components;
+}
+std::size_t ShardedView::num_blocks() const {
+  return state_->summary.num_blocks();
+}
+std::size_t ShardedView::num_bridges() const {
+  return state_->summary.num_bridges();
+}
+
+const engine::View& ShardedView::shard_view(std::size_t shard) const {
+  return state_->views[shard];
+}
+const std::vector<graph::Edge>& ShardedView::boundary() const {
+  return *state_->boundary;
+}
+const graph::EdgeList& ShardedView::summary_graph() const {
+  return state_->summary_graph;
+}
+const dynamic::ConnectivityOracle& ShardedView::summary() const {
+  return state_->summary;
+}
+
+NodeId ShardedView::summary_node(NodeId v) const {
+  assert(v < state_->num_nodes);
+  return state_->hnode[v];
+}
+
+bool ShardedView::same_2ecc(NodeId u, NodeId v) const {
+  return state_->glabel[u] == state_->glabel[v];
+}
+
+NodeId ShardedView::bridges_on_path(NodeId u, NodeId v) const {
+  return state_->summary.bridges_on_path(summary_node(u), summary_node(v));
+}
+
+NodeId ShardedView::component_size(NodeId u) const {
+  const State& s = *state_;
+  return s.weight[s.glabel[u]];
+}
+
+std::vector<std::uint8_t> ShardedView::run(
+    const engine::Same2Ecc& request) const {
+  const State& s = *state_;
+  std::vector<std::uint8_t> answers(request.pairs.size());
+  const auto answer = [&](std::size_t q) {
+    const auto& [u, v] = request.pairs[q];
+    return static_cast<std::uint8_t>(s.glabel[u] == s.glabel[v]);
+  };
+  if (use_device_batch(*s.ctx, request.pairs.size())) {
+    const auto lock = s.ctx->exclusive();
+    device::transform(*s.ctx, request.pairs.size(), answers.data(), answer);
+  } else {
+    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+      answers[q] = answer(q);
+    }
+  }
+  return answers;
+}
+
+std::vector<NodeId> ShardedView::run(
+    const engine::BridgesOnPath& request) const {
+  const State& s = *state_;
+  std::vector<NodeId> answers(request.pairs.size());
+  const auto answer = [&](std::size_t q) {
+    const auto& [u, v] = request.pairs[q];
+    return s.summary.bridges_on_path(s.hnode[u], s.hnode[v]);
+  };
+  if (use_device_batch(*s.ctx, request.pairs.size())) {
+    const auto lock = s.ctx->exclusive();
+    device::transform(*s.ctx, request.pairs.size(), answers.data(), answer);
+  } else {
+    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+      answers[q] = answer(q);
+    }
+  }
+  return answers;
+}
+
+std::vector<NodeId> ShardedView::run(
+    const engine::ComponentSize& request) const {
+  // Weighted lookups are O(1) host reads — a launch could never win.
+  std::vector<NodeId> answers;
+  answers.reserve(request.nodes.size());
+  for (const NodeId v : request.nodes) answers.push_back(component_size(v));
+  return answers;
+}
+
+// ---------------------------------------------------------- ShardedGraph
+
+struct ShardedGraph::Shard {
+  // Declaration order IS the teardown contract: the Dispatcher is
+  // destroyed first, the (stopped) Ingestor after it, then the Session,
+  // the graph it serves, and finally the Engine whose contexts ran it all.
+  std::unique_ptr<engine::Engine> engine;
+  std::unique_ptr<dynamic::DynamicGraph> graph;
+  std::unique_ptr<engine::Session> session;
+  std::unique_ptr<ingest::Ingestor> ingestor;
+  std::unique_ptr<serve::Dispatcher> dispatcher;
+};
+
+ShardedGraph::ShardedGraph(NodeId num_nodes, const ShardedOptions& options)
+    : ShardedGraph(num_nodes, graph::EdgeList{num_nodes, {}}, options) {}
+
+ShardedGraph::ShardedGraph(NodeId num_nodes, const graph::EdgeList& initial,
+                           const ShardedOptions& options)
+    : options_(options),
+      router_(num_nodes, resolve_shard_count(options.shards)) {
+  const std::size_t k = router_.shards();
+  // Per-shard engines get a bounded worker slice so K shards don't each
+  // spawn a machine-wide pool; the façade engine answers cross-shard
+  // batches and must route them exactly like an unsharded Engine would,
+  // so it takes the machine defaults (worker count drives the cost
+  // model's host-loop-vs-bulk-kernel decision).
+  const engine::EngineOptions eopt{
+      .device_workers = options_.shard_workers,
+      .multicore_workers = options_.shard_workers,
+      .policy = {},
+      .calibrate = false};
+  facade_ = std::make_unique<engine::Engine>(engine::EngineOptions{
+      .device_workers = 0, .multicore_workers = 0, .policy = {},
+      .calibrate = false});
+
+  // Partition the seed: intra-shard slices in LOCAL ids, boundary edges
+  // into the router's set.
+  std::vector<graph::EdgeList> parts(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    parts[s].num_nodes = router_.local_nodes(s);
+  }
+  for (const graph::Edge& e : initial.edges) {
+    if (!graph::edge_valid(e.u, e.v, num_nodes)) {
+      ++invalid_dropped_;
+      continue;
+    }
+    if (router_.is_boundary(e.u, e.v)) {
+      if (router_.insert_boundary(e.u, e.v)) {
+        ++boundary_applied_;
+      } else {
+        ++boundary_noops_;
+      }
+    } else {
+      parts[router_.shard_of(e.u)].edges.push_back(
+          {router_.local_of(e.u), router_.local_of(e.v)});
+    }
+  }
+
+  shards_.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<engine::Engine>(eopt);
+    shard->graph = std::make_unique<dynamic::DynamicGraph>(
+        shard->engine->device(), parts[s]);
+    shard->session = std::make_unique<engine::Session>(
+        shard->engine->session(*shard->graph));
+    // Dispatcher first (it pins epoch 0's view, which drives the session —
+    // the writer thread must not exist yet), then the Ingestor, then the
+    // attach that reroutes publishes through the dispatcher's
+    // retry/backoff/bounded-staleness path. No traffic flows until this
+    // constructor returns, so the rewiring is race-free.
+    shard->dispatcher = std::make_unique<serve::Dispatcher>(
+        shard->session->view(), options_.dispatch);
+    shard->ingestor = std::make_unique<ingest::Ingestor>(
+        *shard->engine, *shard->graph, *shard->session, options_.ingest);
+    shard->dispatcher->attach_ingestor(*shard->ingestor);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedGraph::~ShardedGraph() { stop(); }
+
+std::size_t ShardedGraph::submit(const std::vector<ingest::Update>& updates) {
+  const std::size_t k = router_.shards();
+  std::vector<std::vector<ingest::Update>> per_shard(k);
+  std::vector<std::pair<std::uint64_t, bool>> boundary_ops;
+  boundary_ops.reserve(updates.size());
+  std::size_t accepted = 0;
+  std::size_t invalid = 0;
+  for (const ingest::Update& up : updates) {
+    const NodeId u = up.edge.u;
+    const NodeId v = up.edge.v;
+    if (!graph::edge_valid(u, v, router_.num_nodes())) {
+      ++invalid;
+      continue;
+    }
+    if (router_.is_boundary(u, v)) {
+      boundary_ops.push_back({graph::edge_key(u, v),
+                              up.kind == ingest::UpdateKind::kInsert});
+      ++accepted;
+    } else {
+      ingest::Update local = up;
+      local.edge = {router_.local_of(u), router_.local_of(v)};
+      per_shard[router_.shard_of(u)].push_back(local);
+    }
+  }
+  std::size_t applied = 0;
+  std::size_t noops = 0;
+  if (!boundary_ops.empty()) {
+    std::tie(applied, noops) = router_.apply_boundary(boundary_ops);
+  }
+  for (std::size_t s = 0; s < k; ++s) {
+    if (!per_shard[s].empty()) {
+      accepted += shards_[s]->ingestor->submit(per_shard[s]);
+    }
+  }
+  if (applied + noops + invalid > 0) {
+    std::lock_guard<std::mutex> lock(boundary_ledger_mu_);
+    boundary_applied_ += applied;
+    boundary_noops_ += noops;
+    invalid_dropped_ += invalid;
+  }
+  return accepted;
+}
+
+std::size_t ShardedGraph::insert(const std::vector<graph::Edge>& edges,
+                                 std::uint32_t producer) {
+  std::vector<ingest::Update> ups;
+  ups.reserve(edges.size());
+  for (const graph::Edge& e : edges) {
+    ups.push_back({e, ingest::UpdateKind::kInsert, producer, 0});
+  }
+  return submit(ups);
+}
+
+std::size_t ShardedGraph::erase(const std::vector<graph::Edge>& edges,
+                                std::uint32_t producer) {
+  std::vector<ingest::Update> ups;
+  ups.reserve(edges.size());
+  for (const graph::Edge& e : edges) {
+    ups.push_back({e, ingest::UpdateKind::kErase, producer, 0});
+  }
+  return submit(ups);
+}
+
+void ShardedGraph::drain() {
+  for (auto& shard : shards_) shard->ingestor->drain();
+}
+
+void ShardedGraph::flush() {
+  for (auto& shard : shards_) shard->ingestor->flush();
+}
+
+void ShardedGraph::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Ingestors first: their final publishes land through the attached
+  // Dispatchers, which must still be running.
+  for (auto& shard : shards_) shard->ingestor->stop();
+  for (auto& shard : shards_) shard->dispatcher->stop();
+}
+
+EpochVector ShardedGraph::current_epochs() const {
+  EpochVector vec;
+  vec.shard_epochs.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    vec.shard_epochs.push_back(shard->dispatcher->current_view().epoch());
+  }
+  vec.boundary_version = router_.boundary_version();
+  return vec;
+}
+
+ShardedView ShardedGraph::view() { return ShardedView(stitch()); }
+
+std::shared_ptr<const ShardedView::State> ShardedGraph::stitch() {
+  const std::size_t k = router_.shards();
+  // Pin first, compare second: the epoch vector is read off the very views
+  // we hold, so it cannot tear against concurrent publishes.
+  std::vector<engine::View> views;
+  views.reserve(k);
+  EpochVector vec;
+  vec.shard_epochs.reserve(k);
+  for (const auto& shard : shards_) {
+    views.push_back(shard->dispatcher->current_view());
+    vec.shard_epochs.push_back(views.back().epoch());
+  }
+  auto [boundary, boundary_version] = router_.boundary_snapshot();
+  vec.boundary_version = boundary_version;
+
+  std::lock_guard<std::mutex> lock(stitch_mu_);
+  if (stitched_ != nullptr && stitched_->epochs == vec) {
+    ++stitch_hits_;
+    return stitched_;
+  }
+  ++stitch_builds_;
+
+  auto state = std::make_shared<ShardedView::State>();
+  state->ctx = &facade_->device();
+  state->epochs = std::move(vec);
+  state->version = ++stitch_version_;
+  state->shards = k;
+  state->num_nodes = router_.num_nodes();
+  state->views = std::move(views);
+  state->boundary = std::move(boundary);
+
+  // Contract each shard to its 2-ecc blocks. These run on FROZEN views —
+  // inside the engine they are artifact-cache hits, not kernel work.
+  std::vector<engine::TwoEccView> blocks(k);
+  state->offsets.assign(k + 1, 0);
+  state->labels.resize(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    blocks[s] = state->views[s].run(engine::TwoEcc{});
+    state->labels[s] = blocks[s].labels;
+    state->offsets[s + 1] =
+        state->offsets[s] + static_cast<NodeId>(blocks[s].num_blocks);
+  }
+
+  // Summary graph: each shard's bridge edges block-to-block, plus every
+  // boundary edge mapped through its endpoints' shard labels. Parallel
+  // summary edges are deliberately KEPT (EdgeList is a multigraph): two
+  // boundary edges landing on the same block pair demote each other to
+  // non-bridges, which is exactly the global answer.
+  graph::EdgeList summary;
+  summary.num_nodes = state->offsets[k];
+  std::size_t intra_edges = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    const bridges::BridgeMask& mask =
+        state->views[s].run(engine::Bridges{});
+    const std::vector<graph::Edge>& edges = state->views[s].edges().edges;
+    const std::vector<NodeId>& labels = *state->labels[s];
+    const NodeId off = state->offsets[s];
+    intra_edges += edges.size();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (mask[e] != 0) {
+        summary.edges.push_back(
+            {off + labels[edges[e].u], off + labels[edges[e].v]});
+      }
+    }
+  }
+  for (const graph::Edge& e : *state->boundary) {
+    const std::size_t su = router_.shard_of(e.u);
+    const std::size_t sv = router_.shard_of(e.v);
+    summary.edges.push_back(
+        {state->offsets[su] + (*state->labels[su])[router_.local_of(e.u)],
+         state->offsets[sv] + (*state->labels[sv])[router_.local_of(e.v)]});
+  }
+  state->num_edges = intra_edges + state->boundary->size();
+  state->summary_graph = std::move(summary);
+
+  if (state->summary_graph.num_nodes > 0) {
+    const auto device_lock = state->ctx->exclusive();
+    state->summary.build(*state->ctx, state->summary_graph);
+  }
+
+  // Weights: a summary block's vertex count is the sum of its shard
+  // blocks' vertex counts (TwoEccView::sizes — the engine plumbing this
+  // module added). O(total shard blocks), not O(n).
+  const std::vector<NodeId>& slabels = state->summary.block_labels();
+  state->weight.assign(state->summary.num_blocks(), 0);
+  for (std::size_t s = 0; s < k; ++s) {
+    const NodeId off = state->offsets[s];
+    for (std::size_t b = 0; b < blocks[s].num_blocks; ++b) {
+      state->weight[slabels[off + static_cast<NodeId>(b)]] +=
+          (*blocks[s].sizes)[b];
+    }
+  }
+  const std::vector<NodeId>& cc = state->summary.component_labels();
+  std::size_t components = 0;
+  for (std::size_t h = 0; h < cc.size(); ++h) {
+    components += cc[h] == static_cast<NodeId>(h) ? 1 : 0;
+  }
+  state->num_components = components;
+
+  // Per-vertex composed tables (one O(n) pass; every later query is flat
+  // label reads, the same shape as the unsharded oracle's).
+  const auto n = static_cast<std::size_t>(state->num_nodes);
+  state->hnode.resize(n);
+  state->glabel.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId h = state->offsets[v % k] +
+                     (*state->labels[v % k])[v / k];
+    state->hnode[v] = h;
+    state->glabel[v] = slabels[h];
+  }
+
+  stitched_ = std::move(state);
+  return stitched_;
+}
+
+ShardedStats ShardedGraph::stats() const {
+  ShardedStats out;
+  const std::size_t k = router_.shards();
+  out.shards = k;
+  out.per_shard_dispatch.reserve(k);
+  out.per_shard_ingest.reserve(k);
+  for (const auto& shard : shards_) {
+    const serve::DispatcherStats d = shard->dispatcher->stats();
+    const ingest::IngestorStats i = shard->ingestor->stats();
+
+    // Dispatcher ledger: counters sum; high-water marks and epoch gauges
+    // take the worst shard; degraded is sticky across the fleet.
+    out.dispatch.submitted += d.submitted;
+    out.dispatch.answered += d.answered;
+    out.dispatch.rounds += d.rounds;
+    out.dispatch.coalesced_requests += d.coalesced_requests;
+    out.dispatch.max_round = std::max(out.dispatch.max_round, d.max_round);
+    out.dispatch.views_published += d.views_published;
+    out.dispatch.shed += d.shed;
+    out.dispatch.rejected += d.rejected;
+    out.dispatch.expired += d.expired;
+    out.dispatch.cancelled += d.cancelled;
+    out.dispatch.faulted += d.faulted;
+    out.dispatch.stale_served += d.stale_served;
+    out.dispatch.publish_retries += d.publish_retries;
+    out.dispatch.publish_failures += d.publish_failures;
+    out.dispatch.publish_replays += d.publish_replays;
+    out.dispatch.publish_rebuilds += d.publish_rebuilds;
+    // faults_injected mirrors the PROCESS-WIDE failpoint counter — max,
+    // not sum, or K shards would count each fault K times.
+    out.dispatch.faults_injected =
+        std::max(out.dispatch.faults_injected, d.faults_injected);
+    out.dispatch.max_queue_depth =
+        std::max(out.dispatch.max_queue_depth, d.max_queue_depth);
+    out.dispatch.degraded = out.dispatch.degraded || d.degraded;
+    out.dispatch.staleness = std::max(out.dispatch.staleness, d.staleness);
+    out.dispatch.ingest_lag += d.ingest_lag;
+
+    out.ingest.submitted += i.submitted;
+    out.ingest.accepted += i.accepted;
+    out.ingest.rejected += i.rejected;
+    out.ingest.shed += i.shed;
+    out.ingest.cancelled += i.cancelled;
+    out.ingest.queue_depth += i.queue_depth;
+    out.ingest.max_queue_depth =
+        std::max(out.ingest.max_queue_depth, i.max_queue_depth);
+    out.ingest.applied += i.applied;
+    out.ingest.applied_effective += i.applied_effective;
+    out.ingest.batches += i.batches;
+    out.ingest.insert_batches += i.insert_batches;
+    out.ingest.erase_batches += i.erase_batches;
+    out.ingest.max_batch = std::max(out.ingest.max_batch, i.max_batch);
+    out.ingest.publishes += i.publishes;
+    out.ingest.publish_failures += i.publish_failures;
+    out.ingest.graph_epoch = std::max(out.ingest.graph_epoch, i.graph_epoch);
+    out.ingest.published_epoch =
+        std::max(out.ingest.published_epoch, i.published_epoch);
+    out.ingest.lag += i.lag;
+    out.ingest.latency_ewma_us =
+        std::max(out.ingest.latency_ewma_us, i.latency_ewma_us);
+
+    const std::uint64_t applied_epoch = shard->ingestor->graph_epoch();
+    const std::uint64_t serving_epoch =
+        shard->dispatcher->current_view().epoch();
+    out.shard_epochs.push_back(serving_epoch);
+    out.shard_staleness.push_back(
+        saturating_sub(applied_epoch, serving_epoch));
+    out.max_staleness =
+        std::max(out.max_staleness, out.shard_staleness.back());
+
+    out.per_shard_dispatch.push_back(d);
+    out.per_shard_ingest.push_back(i);
+  }
+  out.boundary_version = router_.boundary_version();
+  out.boundary_edges = router_.boundary_edges();
+  {
+    std::lock_guard<std::mutex> lock(boundary_ledger_mu_);
+    out.boundary_applied = boundary_applied_;
+    out.boundary_noops = boundary_noops_;
+    out.invalid_dropped = invalid_dropped_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stitch_mu_);
+    out.stitch_builds = stitch_builds_;
+    out.stitch_hits = stitch_hits_;
+  }
+  return out;
+}
+
+engine::Engine& ShardedGraph::shard_engine(std::size_t shard) {
+  return *shards_[shard]->engine;
+}
+serve::Dispatcher& ShardedGraph::shard_dispatcher(std::size_t shard) {
+  return *shards_[shard]->dispatcher;
+}
+ingest::Ingestor& ShardedGraph::shard_ingestor(std::size_t shard) {
+  return *shards_[shard]->ingestor;
+}
+
+// ------------------------------------------------------ ShardedDispatcher
+
+ShardedDispatcher::ShardedDispatcher(ShardedGraph& graph,
+                                     const ShardedDispatcherOptions& options)
+    : graph_(graph), options_(options) {
+  const unsigned workers = options_.workers == 0 ? 1 : options_.workers;
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { run(); });
+  }
+}
+
+ShardedDispatcher::~ShardedDispatcher() { stop(); }
+
+template <typename Value, typename Fn>
+std::future<serve::Reply<Value>> ShardedDispatcher::enqueue(Fn&& answer) {
+  auto promise = std::make_shared<std::promise<serve::Reply<Value>>>();
+  std::future<serve::Reply<Value>> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    if (stopping_) {
+      ++cancelled_;
+      serve::Reply<Value> reply;
+      reply.status = serve::Status::kCancelled;
+      promise->set_value(std::move(reply));
+      return future;
+    }
+    jobs_.push_back(
+        [this, promise, answer = std::forward<Fn>(answer)]() mutable {
+          serve::Reply<Value> reply;
+          try {
+            // One pinned view per request: the map and the answer read the
+            // same epoch vector, no matter how the shards move meanwhile.
+            const ShardedView view = graph_.view();
+            reply.value = answer(view);
+            reply.epoch = view.version();
+            reply.status = serve::Status::kOk;
+            std::lock_guard<std::mutex> counter_lock(mu_);
+            ++answered_;
+          } catch (...) {
+            reply.status = serve::Status::kFaulted;
+            std::lock_guard<std::mutex> counter_lock(mu_);
+            ++faulted_;
+          }
+          promise->set_value(std::move(reply));
+        });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::future<serve::Reply<std::vector<std::uint8_t>>> ShardedDispatcher::submit(
+    engine::Same2Ecc request) {
+  return enqueue<std::vector<std::uint8_t>>(
+      [request = std::move(request)](const ShardedView& view) {
+        return view.run(request);
+      });
+}
+
+std::future<serve::Reply<std::vector<NodeId>>> ShardedDispatcher::submit(
+    engine::BridgesOnPath request) {
+  return enqueue<std::vector<NodeId>>(
+      [request = std::move(request)](const ShardedView& view) {
+        return view.run(request);
+      });
+}
+
+std::future<serve::Reply<std::vector<NodeId>>> ShardedDispatcher::submit(
+    engine::ComponentSize request) {
+  return enqueue<std::vector<NodeId>>(
+      [request = std::move(request)](const ShardedView& view) {
+        return view.run(request);
+      });
+}
+
+std::future<serve::Reply<serve::TwoEccSummary>> ShardedDispatcher::submit(
+    engine::TwoEcc) {
+  return enqueue<serve::TwoEccSummary>([](const ShardedView& view) {
+    return serve::TwoEccSummary{view.num_blocks(), view.num_bridges()};
+  });
+}
+
+std::future<serve::Reply<std::size_t>> ShardedDispatcher::submit(
+    engine::Bridges) {
+  return enqueue<std::size_t>(
+      [](const ShardedView& view) { return view.num_bridges(); });
+}
+
+void ShardedDispatcher::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+    if (jobs_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    std::function<void()> job = std::move(jobs_.front());
+    jobs_.pop_front();
+    lock.unlock();
+    job();  // answers + counts under its own locking
+    lock.lock();
+  }
+}
+
+void ShardedDispatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Workers drain every queued job before exiting: no future is abandoned.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ShardedStats ShardedDispatcher::stats() const {
+  ShardedStats out = graph_.stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  out.dispatch.submitted += submitted_;
+  out.dispatch.answered += answered_;
+  out.dispatch.cancelled += cancelled_;
+  out.dispatch.faulted += faulted_;
+  return out;
+}
+
+}  // namespace emc::shard

@@ -1,0 +1,447 @@
+// emc::shard — K-shard partitioned graphs behind one routing façade.
+//
+// One DynamicGraph is one memory arena driven by one writer thread: that
+// caps sustained write throughput at a single Ingestor and caps graph size
+// at one arena. This module is the other half of the scaling story:
+//
+//   ShardedGraph — hash-partitions the vertex set into K shards
+//     (shard_of(v) = v % K), each owning a full vertical slice of the
+//     serving stack: its own engine::Engine (own execution contexts, so
+//     shards never serialize on one driver lock), DynamicGraph (LOCAL
+//     vertex ids — shard s holds v/K for every v with v % K == s),
+//     engine::Session, ingest::Ingestor (K writer threads applying in
+//     parallel) and serve::Dispatcher (per-shard fault-tolerant publish:
+//     retry/backoff/bounded staleness stay PER SHARD — one shard's failing
+//     publish leaves the others serving fresh epochs).
+//
+//   Router — classifies every edge by its endpoints' shards. An
+//     INTRA-shard edge is remapped to local ids and queued on the owning
+//     shard's Ingestor; a CROSS-shard (boundary) edge never enters any
+//     DynamicGraph — it lands in the router's dedicated boundary set (a
+//     canonical-key hash set under one mutex, versioned per effective
+//     change). The modulo rule makes both directions O(1) arithmetic:
+//     local(v) = v / K, global(s, l) = l * K + s — no translation tables.
+//
+//   ShardedView — the cross-shard consistency snapshot: one epoch-pinned
+//     engine::View per shard plus one boundary-set snapshot, identified by
+//     the EPOCH VECTOR (K per-shard epochs, boundary version). Cross-shard
+//     connectivity is answered by STITCHING: contract each shard to its
+//     2-ecc block graph (per-shard bulk TwoEcc/Bridges on the pinned
+//     Views), then build a small top-level SUMMARY graph whose nodes are
+//     shard blocks and whose edges are (a) each shard's bridge edges and
+//     (b) the boundary edges mapped through the owning shards' block
+//     labels — kept as a MULTIGRAPH: two boundary edges landing on the
+//     same block pair demote each other to non-bridges, exactly like
+//     parallel edges anywhere else in the library. A
+//     dynamic::ConnectivityOracle built over the summary (which reuses
+//     bridges/stitch.hpp internally for the naturally-disconnected case)
+//     then composes shard-local answers into global ones:
+//
+//       same_2ecc_G(u, v)       = summary.same_2ecc(h(u), h(v))
+//       bridges_on_path_G(u, v) = summary.bridges_on_path(h(u), h(v))
+//       component_size_G(v)     = Σ vertex weights of v's summary block
+//       bridges(G)              = shard bridges surviving in the summary
+//                                 + boundary edges that are summary bridges
+//                               = summary.num_bridges()
+//
+//     where h(v) = block_offset[shard_of(v)] + shard_block_label(v).
+//     Contracting a 2-edge-connected subgraph never changes any remaining
+//     edge's bridgeness, so the summary's verdicts are exact — pinned by
+//     the differential fuzz in tests/test_shard.cpp against an unsharded
+//     Session and the sequential ReferenceOracle.
+//
+//   ShardedDispatcher — the serving façade: a small worker pool that
+//     answers typed requests (Same2Ecc / BridgesOnPath / ComponentSize /
+//     TwoEcc / Bridges) against the freshest ShardedView, each request
+//     mapped and answered atomically against ONE pinned view (no
+//     torn-epoch answers). stats() folds the façade ledger into the
+//     per-shard Dispatcher/Ingestor ledgers as one coherent snapshot.
+//
+// Stitch caching: ShardedGraph::view() memoizes the summary per epoch
+// vector — while no shard publishes and the boundary set is unchanged,
+// repeated view() calls are one comparison (stitch_hits vs stitch_builds in
+// ShardedStats). Any single shard advancing invalidates only the cache, not
+// the per-shard artifacts: the rebuild re-runs per-shard TwoEcc/Bridges on
+// ALREADY-FROZEN views (cache hits inside the engine) plus the summary
+// build, whose size is the number of shard blocks + bridges + boundary
+// edges, not n.
+//
+// Lifetimes/threading: submit()/insert()/erase() are safe from any producer
+// thread; view()/stats() from any thread. A ShardedView (and any reply
+// computed from it) must not outlive its ShardedGraph — summary bulk
+// kernels run on the façade engine's context. stop() quiesces in the
+// documented order (ingestors first, then dispatchers); the destructor
+// calls it.
+//
+// Env knobs (strict util/env.hpp grammar — a typo degrades to the default):
+//   EMC_SHARD_COUNT   shards K when ShardedOptions.shards == 0
+//                     [1, 1024]  (default 4)
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "dynamic/oracle.hpp"
+#include "engine/engine.hpp"
+#include "graph/graph.hpp"
+#include "ingest/ingest.hpp"
+#include "serve/serve.hpp"
+#include "util/types.hpp"
+
+namespace emc::shard {
+
+/// The resolved shard count: `from_options` when nonzero, else a strict
+/// EMC_SHARD_COUNT parse (complete, in [1, 1024]), else 4. Exposed for the
+/// env-hardening tests (test_flags.cpp).
+std::size_t resolve_shard_count(std::size_t from_options);
+
+// --------------------------------------------------------------- Router
+
+/// Pure partition arithmetic plus the boundary set. Owned by ShardedGraph;
+/// exposed const so tests can pin the routing rule directly.
+class Router {
+ public:
+  Router(NodeId num_nodes, std::size_t shards);
+
+  std::size_t shards() const { return shards_; }
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// The partition rule: shard_of(v) = v % K. Modulo (not range) keeps both
+  /// id directions O(1) and spreads any contiguous id range evenly.
+  std::size_t shard_of(NodeId v) const {
+    return static_cast<std::size_t>(v) % shards_;
+  }
+  NodeId local_of(NodeId v) const {
+    return v / static_cast<NodeId>(shards_);
+  }
+  NodeId global_of(std::size_t shard, NodeId local) const {
+    return local * static_cast<NodeId>(shards_) +
+           static_cast<NodeId>(shard);
+  }
+  /// Vertices owned by `shard` — zero is legal (num_nodes < K leaves the
+  /// high shards empty).
+  NodeId local_nodes(std::size_t shard) const {
+    const auto n = static_cast<std::uint64_t>(num_nodes_);
+    if (n <= shard) return 0;
+    return static_cast<NodeId>((n - 1 - shard) / shards_ + 1);
+  }
+  bool is_boundary(NodeId u, NodeId v) const {
+    return shard_of(u) != shard_of(v);
+  }
+
+  /// Boundary-set mutations (thread-safe; canonical edge_key dedup).
+  /// Return true iff the set changed — the boundary VERSION advances iff
+  /// that is the case, mirroring DynamicGraph's effective-epoch rule.
+  bool insert_boundary(NodeId u, NodeId v);
+  bool erase_boundary(NodeId u, NodeId v);
+  /// A pre-routed batch of (canonical edge key, is_insert) ops applied in
+  /// order under ONE lock acquisition — per-edge locking dominated the
+  /// write path at high cross-shard fractions. Returns {applied, noops};
+  /// the version advances once per effective change, as above.
+  std::pair<std::size_t, std::size_t> apply_boundary(
+      const std::vector<std::pair<std::uint64_t, bool>>& ops);
+
+  /// The boundary edges as a canonical (key-sorted) list plus the version
+  /// it belongs to. Cached per version: repeated snapshots of an unchanged
+  /// set share one immutable vector.
+  std::pair<std::shared_ptr<const std::vector<graph::Edge>>, std::uint64_t>
+  boundary_snapshot() const;
+
+  std::uint64_t boundary_version() const;
+  std::size_t boundary_edges() const;
+
+ private:
+  NodeId num_nodes_;
+  std::size_t shards_;
+  mutable std::mutex mu_;
+  std::unordered_set<std::uint64_t> boundary_;  // canonical edge keys
+  std::uint64_t version_ = 0;
+  mutable std::shared_ptr<const std::vector<graph::Edge>> snapshot_;
+  mutable std::uint64_t snapshot_version_ = ~std::uint64_t{0};
+};
+
+// -------------------------------------------------------------- options
+
+struct ShardedOptions {
+  /// Number of shards. 0 = resolve_shard_count (EMC_SHARD_COUNT, else 4).
+  std::size_t shards = 0;
+  /// Device workers per shard engine. Shards own separate engines so
+  /// their writers never contend on one driver lock. The façade engine
+  /// (summary build + cross-shard batch queries) always takes the machine
+  /// defaults instead, so batch routing matches an unsharded Engine.
+  unsigned shard_workers = 2;
+  /// Per-shard ingest pipeline knobs (queue bound, admission, batching,
+  /// publish pacing). Applied identically to every shard.
+  ingest::IngestorOptions ingest{};
+  /// Per-shard dispatcher knobs (publish retry/backoff, degradation).
+  serve::DispatcherOptions dispatch{};
+};
+
+// --------------------------------------------------------- epoch vector
+
+/// The cross-shard consistency key: one published epoch per shard plus the
+/// boundary-set version. Two ShardedViews with equal vectors answer every
+/// query identically.
+struct EpochVector {
+  std::vector<std::uint64_t> shard_epochs;
+  std::uint64_t boundary_version = 0;
+
+  friend bool operator==(const EpochVector&, const EpochVector&) = default;
+};
+
+// ---------------------------------------------------------------- stats
+
+/// One coherent cross-shard snapshot. The aggregate `dispatch` ledger obeys
+/// the same identity each per-shard Dispatcher pins once quiesced:
+///   submitted == answered + shed + rejected + expired + cancelled + faulted
+/// (sums preserve it). Epoch gauges that are not meaningfully summable
+/// (graph_epoch, published_epoch, staleness, latency EWMA) aggregate as the
+/// MAXIMUM over shards — "how far behind is the worst shard" — and every
+/// subtraction routes through util::saturating_sub so a torn read can never
+/// wrap a gauge.
+struct ShardedStats {
+  std::size_t shards = 0;
+
+  /// Per-shard Dispatcher ledgers summed (max for max_round /
+  /// max_queue_depth / staleness; OR for degraded; sum for ingest_lag).
+  /// Through ShardedDispatcher::stats() the façade's own
+  /// submitted/answered/cancelled/faulted are folded in too.
+  serve::DispatcherStats dispatch;
+  /// Per-shard Ingestor ledgers summed (max for max_batch /
+  /// max_queue_depth / epoch gauges / latency EWMA).
+  ingest::IngestorStats ingest;
+
+  /// The unaggregated per-shard snapshots (isolation tests read these: a
+  /// publish failpoint on one shard must not degrade the others).
+  std::vector<serve::DispatcherStats> per_shard_dispatch;
+  std::vector<ingest::IngestorStats> per_shard_ingest;
+
+  /// Serving (published) epoch per shard, and how many epochs each shard's
+  /// serving view lags its applied graph (saturating).
+  std::vector<std::uint64_t> shard_epochs;
+  std::vector<std::uint64_t> shard_staleness;
+  std::uint64_t max_staleness = 0;
+
+  // Boundary-set ledger (cross-shard edges bypass the ingest pipelines).
+  std::uint64_t boundary_version = 0;
+  std::size_t boundary_edges = 0;
+  std::size_t boundary_applied = 0;  // effective inserts + erases
+  std::size_t boundary_noops = 0;    // duplicate insert / absent erase
+  /// Updates dropped at the façade for invalid endpoints (self-loop or out
+  /// of range) — neither shards nor the boundary set ever see them.
+  std::size_t invalid_dropped = 0;
+
+  // Summary-stitch cache outcomes (view() calls).
+  std::size_t stitch_builds = 0;
+  std::size_t stitch_hits = 0;
+};
+
+// ----------------------------------------------------------- ShardedView
+
+/// An immutable cross-shard snapshot: K epoch-pinned engine::Views, the
+/// boundary edges, and the stitched summary index, all at one EpochVector.
+/// Copyable (copies share the refcounted state); answers every query
+/// against the pinned vector no matter how far the shards advance. Safe
+/// from any number of threads; must not outlive the ShardedGraph.
+class ShardedView {
+ public:
+  ShardedView() = default;
+  explicit operator bool() const { return state_ != nullptr; }
+
+  const EpochVector& epochs() const;
+  /// Monotone stitch generation (bumps per summary rebuild) — the scalar
+  /// "epoch" stamped into ShardedDispatcher replies.
+  std::uint64_t version() const;
+
+  NodeId num_nodes() const;
+  std::size_t num_edges() const;      // intra-shard + boundary
+  std::size_t num_components() const;
+  std::size_t num_blocks() const;     // global 2-ecc blocks
+  std::size_t num_bridges() const;    // global bridges
+
+  /// Scalar queries on GLOBAL vertex ids (host, O(1)).
+  bool same_2ecc(NodeId u, NodeId v) const;
+  NodeId bridges_on_path(NodeId u, NodeId v) const;
+  NodeId component_size(NodeId u) const;
+
+  /// Batch forms, mirroring engine::View::run — pairs/nodes are global
+  /// ids, answered from the per-vertex composed tables the stitch
+  /// precomputes. Batches route exactly like the unsharded engine:
+  /// engine::Policy's cost model picks one bulk device transform or a
+  /// plain host loop (ComponentSize is always O(1) weight lookups).
+  std::vector<std::uint8_t> run(const engine::Same2Ecc& request) const;
+  std::vector<NodeId> run(const engine::BridgesOnPath& request) const;
+  std::vector<NodeId> run(const engine::ComponentSize& request) const;
+
+  /// Plumbing accessors (tests/benches).
+  const engine::View& shard_view(std::size_t shard) const;
+  const std::vector<graph::Edge>& boundary() const;
+  const graph::EdgeList& summary_graph() const;
+  const dynamic::ConnectivityOracle& summary() const;
+
+ private:
+  friend class ShardedGraph;
+  struct State;
+  explicit ShardedView(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+  /// h(v): the summary node of v's shard-local 2-ecc block.
+  NodeId summary_node(NodeId v) const;
+
+  std::shared_ptr<const State> state_;
+};
+
+// ---------------------------------------------------------- ShardedGraph
+
+class ShardedGraph {
+ public:
+  explicit ShardedGraph(NodeId num_nodes, const ShardedOptions& options = {});
+  /// Seeds each shard's epoch 0 with its slice of `initial`; boundary
+  /// edges land in the boundary set before any traffic flows (the version
+  /// counts each effective seed insert, like any later change).
+  ShardedGraph(NodeId num_nodes, const graph::EdgeList& initial,
+               const ShardedOptions& options = {});
+  ~ShardedGraph();
+
+  ShardedGraph(const ShardedGraph&) = delete;
+  ShardedGraph& operator=(const ShardedGraph&) = delete;
+
+  // --- producers (any thread) -------------------------------------
+  /// Routes each update: invalid edges dropped, boundary edges applied to
+  /// the router's set inline, intra-shard edges remapped to local ids and
+  /// queued on the owning shard's Ingestor. Returns updates accepted
+  /// (boundary updates count as accepted whether or not effective,
+  /// mirroring ring semantics for duplicate inserts).
+  std::size_t submit(const std::vector<ingest::Update>& updates);
+  std::size_t insert(const std::vector<graph::Edge>& edges,
+                     std::uint32_t producer = 0);
+  std::size_t erase(const std::vector<graph::Edge>& edges,
+                    std::uint32_t producer = 0);
+
+  // --- lifecycle ---------------------------------------------------
+  /// Waits until every accepted update is applied or shed on every shard
+  /// (publish pacing still applies — shards may serve older epochs after).
+  void drain();
+  /// drain(), then forces every shard to publish its final epoch.
+  void flush();
+  /// Quiesces the whole fleet: stops every Ingestor (final publishes land
+  /// through the attached Dispatchers), then every Dispatcher. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  // --- reading -----------------------------------------------------
+  /// The freshest consistent snapshot: pins each shard's current serving
+  /// View + the boundary set, and builds (or reuses — see stitch_hits) the
+  /// summary index for that epoch vector.
+  ShardedView view();
+  /// The epoch vector view() would pin right now.
+  EpochVector current_epochs() const;
+
+  ShardedStats stats() const;
+
+  // --- plumbing ----------------------------------------------------
+  std::size_t shards() const { return router_.shards(); }
+  NodeId num_nodes() const { return router_.num_nodes(); }
+  const Router& router() const { return router_; }
+  engine::Engine& shard_engine(std::size_t shard);
+  serve::Dispatcher& shard_dispatcher(std::size_t shard);
+  ingest::Ingestor& shard_ingestor(std::size_t shard);
+
+ private:
+  friend class ShardedDispatcher;
+  struct Shard;
+
+  void seed(const graph::EdgeList& initial);
+  std::shared_ptr<const ShardedView::State> stitch();
+
+  ShardedOptions options_;
+  Router router_;
+  /// unique_ptrs: DynamicGraph and the pipeline stages are non-movable,
+  /// and per-Shard declaration order encodes the teardown contract
+  /// (Ingestor declared before Dispatcher, destroyed after it).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<engine::Engine> facade_;  // summary build + bulk queries
+
+  mutable std::mutex boundary_ledger_mu_;
+  std::size_t boundary_applied_ = 0;
+  std::size_t boundary_noops_ = 0;
+  std::size_t invalid_dropped_ = 0;
+
+  mutable std::mutex stitch_mu_;
+  std::shared_ptr<const ShardedView::State> stitched_;
+  std::uint64_t stitch_version_ = 0;
+  std::size_t stitch_builds_ = 0;
+  std::size_t stitch_hits_ = 0;
+  bool stopped_ = false;
+};
+
+// ------------------------------------------------------ ShardedDispatcher
+
+struct ShardedDispatcherOptions {
+  /// Worker threads answering façade requests.
+  unsigned workers = 1;
+};
+
+/// The cross-shard serving front door: submit() enqueues a typed request
+/// and returns a future; a worker maps and answers it against ONE pinned
+/// ShardedView (the freshest at answer time), so no reply mixes epochs.
+/// Reply.epoch carries the view's stitch generation (ShardedView::version).
+/// stop() drains the queue — every future resolves — then joins; submits
+/// after stop() resolve kCancelled. The ShardedGraph must outlive it.
+class ShardedDispatcher {
+ public:
+  explicit ShardedDispatcher(ShardedGraph& graph,
+                             const ShardedDispatcherOptions& options = {});
+  ~ShardedDispatcher();
+
+  ShardedDispatcher(const ShardedDispatcher&) = delete;
+  ShardedDispatcher& operator=(const ShardedDispatcher&) = delete;
+
+  std::future<serve::Reply<std::vector<std::uint8_t>>> submit(
+      engine::Same2Ecc request);
+  std::future<serve::Reply<std::vector<NodeId>>> submit(
+      engine::BridgesOnPath request);
+  std::future<serve::Reply<std::vector<NodeId>>> submit(
+      engine::ComponentSize request);
+  /// Global block/bridge counts (serve's value-type TwoEcc answer).
+  std::future<serve::Reply<serve::TwoEccSummary>> submit(
+      engine::TwoEcc request);
+  /// Global bridge COUNT — a cross-shard bridge mask has no single edge
+  /// order to index, so the façade serves the scalar the stitch proves.
+  std::future<serve::Reply<std::size_t>> submit(engine::Bridges request);
+
+  void stop();
+
+  /// ShardedGraph::stats() with the façade's own ledger folded into
+  /// `dispatch` (submitted/answered/cancelled/faulted), so the balance
+  /// identity covers every request that entered the system anywhere.
+  ShardedStats stats() const;
+
+ private:
+  template <typename Value, typename Fn>
+  std::future<serve::Reply<Value>> enqueue(Fn&& answer);
+  void run();
+
+  ShardedGraph& graph_;
+  ShardedDispatcherOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  bool stopping_ = false;
+  std::size_t submitted_ = 0;
+  std::size_t answered_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t faulted_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace emc::shard

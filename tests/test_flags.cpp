@@ -9,6 +9,7 @@
 #include "device/primitives.hpp"
 #include "ingest/ingest.hpp"
 #include "serve/serve.hpp"
+#include "shard/shard.hpp"
 #include "support/fuzz_env.hpp"
 #include "util/failpoint.hpp"
 #include "util/flags.hpp"
@@ -240,6 +241,32 @@ TEST(IngestEnv, InvalidValuesFallBackToDefaults) {
   unsetenv("EMC_INGEST_MAX_BATCH");
   unsetenv("EMC_INGEST_LINGER_US");
   unsetenv("EMC_INGEST_PUBLISH_EVERY");
+}
+
+// EMC_SHARD_COUNT follows the same strict contract: explicit
+// ShardedOptions.shards wins, a valid complete in-range parse is honored,
+// and anything else degrades to the default of 4 shards.
+
+TEST(ShardEnv, ShardCountIsHonoredAndOptionsWin) {
+  ASSERT_EQ(setenv("EMC_SHARD_COUNT", "6", 1), 0);
+  EXPECT_EQ(shard::resolve_shard_count(0), 6u);
+  EXPECT_EQ(shard::resolve_shard_count(2), 2u);  // options beat the env
+  ASSERT_EQ(setenv("EMC_SHARD_COUNT", "1", 1), 0);   // range floor
+  EXPECT_EQ(shard::resolve_shard_count(0), 1u);
+  ASSERT_EQ(setenv("EMC_SHARD_COUNT", "1024", 1), 0);  // range ceiling
+  EXPECT_EQ(shard::resolve_shard_count(0), 1024u);
+  unsetenv("EMC_SHARD_COUNT");
+  EXPECT_EQ(shard::resolve_shard_count(0), 4u);  // documented default
+}
+
+TEST(ShardEnv, InvalidShardCountFallsBackToDefault) {
+  for (const char* bad : {"-5", "abc", "", "4k", "1e1", "0", "1025",
+                          "99999999999999999999"}) {
+    ASSERT_EQ(setenv("EMC_SHARD_COUNT", bad, 1), 0);
+    EXPECT_EQ(shard::resolve_shard_count(0), 4u)
+        << "EMC_SHARD_COUNT=\"" << bad << "\"";
+  }
+  unsetenv("EMC_SHARD_COUNT");
 }
 
 // EMC_FAILPOINT's spec grammar ("0.25" | "7" | "7+") is strict, and a full
