@@ -39,6 +39,12 @@
 //
 // Their rows add .../shed, .../expired and .../stale counts (n = count).
 //
+// A third section covers the vertex-connectivity request families (ISSUE
+// 10) end to end through their dispatcher lanes — single-pair SameBcc,
+// single-node CcMembership, hot-source BfsLevels (a burst shares one
+// traversal), and the broadcast Articulations mask — one closed-loop cell
+// each on the auto route, as op = serve/<scenario>/family/<name> rows.
+//
 // With --check 1 (default), exits nonzero if any forced-device coalesced
 // cell fails to beat its per-request twin — that pair is the paper's
 // batched-query prediction, and losing it means coalescing is broken —
@@ -381,6 +387,7 @@ int main(int argc, char** argv) {
                      "req/s", "p50us", "p99us", "rounds", "published"});
   util::Table qos_table({"scenario", "mode", "ok/s", "p50us", "p99us", "shed",
                          "expired", "stale", "retries", "maxdepth"});
+  util::Table family_table({"scenario", "family", "req/s"});
   std::vector<bench::BenchRow> rows;
   bool coalescing_won = true;
   bool flash_p99_ok = true;
@@ -515,11 +522,59 @@ int main(int argc, char** argv) {
         flash_p99_ok = false;
       }
     }
+
+    // --- the vertex-connectivity families, through their own lanes ---
+    {
+      serve::DispatcherOptions options;
+      options.workers = 2;
+      serve::Dispatcher dispatcher(session.view(auto_policy), options);
+      util::Rng frng(4242);
+      const NodeId n = dg.num_nodes();
+      session.run(engine::Articulations{});  // BCC index warm, off the clock
+      const auto family_cell = [&](const char* family, std::size_t family_burst,
+                                   auto make_request) {
+        std::vector<decltype(dispatcher.submit(make_request()))> inflight;
+        inflight.reserve(family_burst);
+        std::size_t completed = 0;
+        util::Timer timer;
+        while (timer.seconds() < duration * 0.5) {
+          inflight.clear();
+          for (std::size_t i = 0; i < family_burst; ++i) {
+            inflight.push_back(dispatcher.submit(make_request()));
+          }
+          for (auto& future : inflight) future.get();
+          completed += family_burst;
+        }
+        const double rps = static_cast<double>(completed) / timer.seconds();
+        family_table.add_row(
+            {scenario.name, family,
+             bench::human(static_cast<std::size_t>(rps))});
+        rows.push_back({"serve/" + scenario.name + "/family/" + family,
+                        completed, scenario.name,
+                        1e9 / std::max(rps, 1e-9)});
+      };
+      family_cell("samebcc", 64, [&] {
+        return engine::SameBcc{{{static_cast<NodeId>(frng.below(n)),
+                                 static_cast<NodeId>(frng.below(n))}}};
+      });
+      family_cell("ccmember", 64, [&] {
+        return engine::CcMembership{{static_cast<NodeId>(frng.below(n))}};
+      });
+      // One hot source: the coalescer merges a burst into one traversal.
+      family_cell("bfslevels", 16, [&] {
+        return engine::BfsLevels{{{0, static_cast<NodeId>(frng.below(n))}}};
+      });
+      family_cell("articulations", 8,
+                  [&] { return engine::Articulations{}; });
+      dispatcher.stop();
+    }
   }
 
   table.print();
   std::printf("\n# overload (bounded lanes, ShedOldest, 5ms TTL)\n\n");
   qos_table.print();
+  std::printf("\n# vertex-connectivity families (auto route, closed loop)\n\n");
+  family_table.print();
   std::printf("\ncoalescing %s the per-request baseline on every "
               "forced-device cell\n",
               coalescing_won ? "beat" : "LOST to");

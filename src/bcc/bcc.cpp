@@ -1,0 +1,222 @@
+#include "bcc/bcc.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "bridges/stitch.hpp"
+#include "bridges/tv_detail.hpp"
+#include "core/euler_tour.hpp"
+#include "device/primitives.hpp"
+#include "rmq/segment_tree.hpp"
+#include "rmq/sparse_table.hpp"
+#include "util/env.hpp"
+
+namespace emc::bcc {
+
+BccIndex BccIndex::build(const device::Context& ctx,
+                         const graph::EdgeList& graph,
+                         const bridges::SpanningForest& forest,
+                         util::PhaseTimer* phases) {
+  const auto n = static_cast<std::size_t>(graph.num_nodes);
+  const std::size_t m = graph.edges.size();
+  BccIndex result;
+  result.edge_block.assign(m, kNoNode);
+  result.vertex_block.assign(n, kNoNode);
+  result.is_articulation.assign(n, 0);
+  if (m == 0) return result;
+
+  // --- Stitched tree: the forest's tree edges plus one virtual edge from a
+  // virtual root to each component representative — the same augmentation
+  // the forest-LCA artifact uses. n + 1 nodes, exactly n tree edges.
+  const NodeId vroot = graph.num_nodes;
+  const std::size_t t = forest.tree_edges.size();
+  std::vector<std::uint8_t> is_tree_edge(m, 0);
+  device::launch(ctx, t, [&](std::size_t k) {
+    is_tree_edge[forest.tree_edges[k]] = 1;
+  });
+  const std::vector<NodeId> reps =
+      bridges::component_representatives(ctx, forest);
+  graph::EdgeList tree;
+  tree.num_nodes = graph.num_nodes + 1;
+  tree.edges.resize(t + reps.size());
+  device::transform(ctx, t, tree.edges.data(), [&](std::size_t k) {
+    return graph.edges[forest.tree_edges[k]];
+  });
+  device::transform(ctx, reps.size(), tree.edges.data() + t,
+                    [&](std::size_t r) {
+                      return graph::Edge{vroot, reps[r]};
+                    });
+
+  core::TreeStats stats;
+  {
+    util::ScopedPhase phase(phases, "euler_tour");
+    const core::EulerTour tour = core::build_euler_tour(ctx, tree, vroot);
+    stats = core::compute_tree_stats(ctx, tour);
+  }
+  const std::vector<NodeId>& pre = stats.preorder;      // over n + 1 nodes
+  const std::vector<NodeId>& size = stats.subtree_size;
+  const std::vector<NodeId>& parent = stats.parent;     // parent[rep] == vroot
+
+  util::ScopedPhase phase(phases, "blocks");
+
+  // --- Per-node min/max non-tree neighbor preorders, then subtree low/high.
+  // Preorders are global over the stitched tree, but each component's form a
+  // contiguous interval, so every comparison below — always within one
+  // component — is equivalent to the per-component computation.
+  const std::size_t ns = n + 1;
+  std::vector<NodeId> node_min(ns), node_max(ns);
+  device::launch(ctx, ns, [&](std::size_t v) {
+    node_min[v] = pre[v];
+    node_max[v] = pre[v];
+  });
+  bridges::tv_detail::aggregate_non_tree_min_max(ctx, graph, is_tree_edge, pre,
+                                                 node_min, node_max);
+  std::vector<NodeId> by_pre_min(ns), by_pre_max(ns), node_at_pre(ns);
+  device::launch(ctx, ns, [&](std::size_t v) {
+    by_pre_min[pre[v] - 1] = node_min[v];
+    by_pre_max[pre[v] - 1] = node_max[v];
+    node_at_pre[pre[v] - 1] = static_cast<NodeId>(v);
+  });
+  const rmq::SparseTable<NodeId, rmq::MinOp> low_tree(ctx, by_pre_min);
+  const rmq::SparseTable<NodeId, rmq::MaxOp> high_tree(ctx, by_pre_max);
+  std::vector<NodeId> low(ns), high(ns);
+  device::launch(ctx, ns, [&](std::size_t v) {
+    const auto lo = static_cast<std::size_t>(pre[v]) - 1;
+    const auto hi = lo + static_cast<std::size_t>(size[v]) - 1;
+    low[v] = low_tree.query(lo, hi);
+    high[v] = high_tree.query(lo, hi);
+  });
+
+  // --- Auxiliary graph G'' over parent edges (aux vertex w stands for the
+  // tree edge {w, parent[w]}). Virtual parent edges never participate:
+  // rule (a) cannot pick a representative (every non-tree edge incident to
+  // one stays inside its subtree, so the unrelatedness test fails) and
+  // rule (b) skips w or v whose parent is the virtual root — the "v is not
+  // the root" side condition of per-component Tarjan-Vishkin.
+  graph::EdgeList aux;
+  aux.num_nodes = graph.num_nodes;
+  {
+    std::vector<EdgeId> flag(m), pos(m);
+    device::transform(ctx, m, flag.data(), [&](std::size_t e) -> EdgeId {
+      if (is_tree_edge[e]) return 0;
+      auto [u, v] = graph.edges[e];
+      if (u == v) return 0;  // self-loops belong to no block
+      if (pre[v] < pre[u]) std::swap(u, v);
+      return pre[u] + size[u] <= pre[v] ? 1 : 0;
+    });
+    const EdgeId rule_a =
+        device::exclusive_scan(ctx, flag.data(), m, pos.data());
+    std::vector<EdgeId> flag_b(n), pos_b(n);
+    device::transform(ctx, n, flag_b.data(), [&](std::size_t w) -> EdgeId {
+      const NodeId v = parent[w];
+      if (v == kNoNode || v == vroot) return 0;
+      if (parent[v] == kNoNode || parent[v] == vroot) return 0;
+      return (low[w] < pre[v] || high[w] >= pre[v] + size[v]) ? 1 : 0;
+    });
+    const EdgeId rule_b =
+        device::exclusive_scan(ctx, flag_b.data(), n, pos_b.data());
+    aux.edges.resize(static_cast<std::size_t>(rule_a + rule_b));
+    device::launch(ctx, m, [&](std::size_t e) {
+      if (!flag[e]) return;
+      aux.edges[pos[e]] = graph.edges[e];
+    });
+    device::launch(ctx, n, [&](std::size_t w) {
+      if (!flag_b[w]) return;
+      aux.edges[rule_a + pos_b[w]] = {static_cast<NodeId>(w), parent[w]};
+    });
+  }
+
+  // --- Blocks = connected components of G''.
+  const bridges::SpanningForest blocks = bridges::cc_spanning_forest(ctx, aux);
+
+  const auto real_parent = [&](std::size_t w) {
+    return parent[w] != kNoNode && parent[w] != vroot;
+  };
+
+  // --- Compact the raw labels (component representatives in G'') to dense
+  // ids. Every block contains at least one real tree edge, so flagging the
+  // labels of real-parent nodes covers exactly the blocks.
+  std::vector<NodeId> compact(n, kNoNode);
+  {
+    std::vector<NodeId> flag(n, 0), pos(n);
+    device::launch(ctx, n, [&](std::size_t w) {
+      if (real_parent(w)) {
+        std::atomic_ref<NodeId>(flag[blocks.component[w]])
+            .store(1, std::memory_order_relaxed);
+      }
+    });
+    const NodeId total =
+        device::exclusive_scan(ctx, flag.data(), n, pos.data());
+    result.num_blocks = static_cast<std::size_t>(total);
+    device::launch(ctx, n, [&](std::size_t raw) {
+      if (flag[raw]) compact[raw] = pos[raw];
+    });
+  }
+
+  // --- Edge labels: a tree edge takes its child endpoint's component, a
+  // non-tree edge its deeper endpoint's (the deeper endpoint always has a
+  // real parent edge — a representative is the shallowest node of its
+  // component, and self-loops were excluded above).
+  device::transform(ctx, m, result.edge_block.data(),
+                    [&](std::size_t e) -> NodeId {
+                      const auto [u, v] = graph.edges[e];
+                      if (u == v) return kNoNode;
+                      if (is_tree_edge[e]) {
+                        const NodeId child = parent[u] == v ? u : v;
+                        return compact[blocks.component[child]];
+                      }
+                      return compact[blocks.component[pre[u] > pre[v] ? u : v]];
+                    });
+  device::launch(ctx, n, [&](std::size_t w) {
+    if (real_parent(w)) {
+      result.vertex_block[w] = compact[blocks.component[w]];
+    }
+  });
+
+  // --- head[b]: block b ∩ T is a connected subtree, so the minimum
+  // preorder among members' PARENTS is the subtree's root — the one member
+  // whose own parent edge lies outside b.
+  result.head.assign(result.num_blocks, kNoNode);
+  std::vector<NodeId> head_count(n, 0);
+  if (result.num_blocks != 0) {
+    std::vector<NodeId> head_pre(result.num_blocks,
+                                 std::numeric_limits<NodeId>::max());
+    device::launch(ctx, n, [&](std::size_t w) {
+      const NodeId b = result.vertex_block[w];
+      if (b != kNoNode) device::atomic_min(&head_pre[b], pre[parent[w]]);
+    });
+    device::launch(ctx, result.num_blocks, [&](std::size_t b) {
+      const NodeId h = node_at_pre[head_pre[b] - 1];
+      result.head[b] = h;
+      std::atomic_ref<NodeId>(head_count[h])
+          .fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // --- Articulations: v belongs to >= 2 blocks. v's blocks are
+  // {vertex_block[v]} ∪ {b : head[b] == v}, disjoint by construction (the
+  // head's parent edge is outside its block).
+  device::transform(ctx, n, result.is_articulation.data(),
+                    [&](std::size_t v) -> std::uint8_t {
+                      const NodeId own =
+                          result.vertex_block[v] != kNoNode ? 1 : 0;
+                      return own + head_count[v] >= 2 ? 1 : 0;
+                    });
+  result.num_articulations = device::reduce(
+      ctx, n, std::size_t{0},
+      [&](std::size_t v) -> std::size_t { return result.is_articulation[v]; },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  return result;
+}
+
+bool resolve_bcc_eager() {
+  return util::env_int_or("EMC_BCC_EAGER", 0, 0, 1) != 0;
+}
+
+std::size_t resolve_bcc_min_device_batch() {
+  return static_cast<std::size_t>(util::env_int_or(
+      "EMC_BCC_MIN_DEVICE_BATCH", 0, 0, std::int64_t{1} << 30));
+}
+
+}  // namespace emc::bcc

@@ -1,0 +1,139 @@
+// Vertex biconnectivity on the engine's cached artifacts.
+//
+// bridges/biconnectivity.hpp completes the Tarjan-Vishkin framework for
+// CONNECTED inputs; this module is the serving-shaped version: it computes
+// blocks (2-vertex-connected components) and articulation points for ANY
+// snapshot — disconnected, multigraph, edgeless — directly from the spanning
+// forest the engine already caches per epoch, and packages the result as an
+// immutable epoch-keyed artifact (`BccIndex`) behind a once-per-epoch cell
+// (`BccCell`) that Session and View share.
+//
+// Construction = Tarjan-Vishkin over the same virtual-root stitched tree the
+// forest-LCA artifact uses (one virtual root adjacent to every component
+// representative; n + 1 nodes, exactly n tree edges):
+//   * low/high per node from the Euler tour of the stitched tree + one
+//     non-tree min/max aggregation + two sparse tables (cf. fast-bcc's
+//     low/high interval machinery);
+//   * the auxiliary graph G'' over parent edges, with both rules restricted
+//     to REAL edges: a representative's parent edge is virtual, and rule (a)
+//     can never select it (every non-tree edge incident to a representative
+//     stays inside its subtree), while rule (b) explicitly skips nodes whose
+//     parent — or grandparent — is the virtual root, which is exactly the
+//     "v is not the root" side condition of per-component Tarjan-Vishkin
+//     rooted at the representative;
+//   * block labels compacted to [0, num_blocks) (the bridge-module variant
+//     keeps raw representatives; the serving layer wants dense ids for the
+//     O(num_blocks) head/articulation passes and for cross-shard offsets).
+//
+// Two derived tables make every point query O(1):
+//   * vertex_block[v] — the block of v's parent edge (kNoNode for component
+//     roots and isolated nodes). Within a block B, B ∩ T is a connected
+//     subtree, so every vertex of B except the subtree's top has its parent
+//     edge IN B.
+//   * head[b] — that top vertex (the minimum-preorder vertex of block b).
+// Then v's blocks are {vertex_block[v]} ∪ {b : head[b] == v} with no double
+// count, giving both same_bcc() and the articulation mask ("belongs to >= 2
+// blocks") without the counting-sorted incidence pass biconnectivity_tv
+// needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bridges/cc_spanning.hpp"
+#include "device/context.hpp"
+#include "graph/graph.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace emc::bcc {
+
+/// Immutable vertex-biconnectivity artifact for one epoch's snapshot.
+/// Everything is computed once by build(); afterwards the structure is
+/// read-only and safe to share across reader threads without locks — the
+/// same published-artifact discipline as the bridge mask (a new epoch gets
+/// a NEW index; the old one stays frozen under its pinned Views).
+struct BccIndex {
+  /// Per undirected edge: its block id in [0, num_blocks), or kNoNode for
+  /// a self-loop (self-loops belong to no block; the engine's snapshots
+  /// never contain one, but skeleton callers may).
+  std::vector<NodeId> edge_block;
+  /// Per node: the block of v's parent edge in the spanning forest, or
+  /// kNoNode when v has none (component representatives, isolated nodes).
+  std::vector<NodeId> vertex_block;
+  /// Per block: its minimum-preorder vertex — the root of the block's
+  /// subtree in the forest, the one member whose parent edge is outside.
+  std::vector<NodeId> head;
+  /// Per node: 1 iff removing the node increases the component count.
+  std::vector<std::uint8_t> is_articulation;
+  std::size_t num_blocks = 0;
+  std::size_t num_articulations = 0;
+
+  /// True iff some block contains both u and v (u == v counts as true).
+  /// O(1): v's blocks are {vertex_block[v]} ∪ {b : head[b] == v}.
+  bool same_bcc(NodeId u, NodeId v) const {
+    if (u == v) return true;
+    const NodeId bu = vertex_block[u];
+    const NodeId bv = vertex_block[v];
+    if (bu != kNoNode && bu == bv) return true;
+    if (bu != kNoNode && head[bu] == v) return true;
+    if (bv != kNoNode && head[bv] == u) return true;
+    return false;
+  }
+
+  /// Builds the index from a snapshot and its cached spanning forest (the
+  /// exact forest the engine's bridge pipeline produced for this epoch).
+  /// Caller must hold the device driver lock, as for every bulk build.
+  static BccIndex build(const device::Context& ctx,
+                        const graph::EdgeList& graph,
+                        const bridges::SpanningForest& forest,
+                        util::PhaseTimer* phases = nullptr);
+};
+
+/// Once-per-epoch build cell. The Session's artifact cache holds one
+/// BccCell per epoch (a fresh cell on every publish/invalidate, never a
+/// mutation of the old one — copy-on-write at cell granularity); Views
+/// share the epoch's cell and the first query builds the index.
+///
+/// Lock order: device exclusive lock FIRST, then the cell mutex —
+/// get_or_build assumes the caller already holds the driver lock (it runs
+/// bulk kernels), and peek() takes only the cell mutex.
+class BccCell {
+ public:
+  /// Returns the index, building it on first call. Exception-safe: a fault
+  /// mid-build (failpoints, allocation) leaves the cell empty and the next
+  /// caller retries.
+  std::shared_ptr<const BccIndex> get_or_build(
+      const device::Context& ctx, const graph::EdgeList& graph,
+      const bridges::SpanningForest& forest) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_ == nullptr) {
+      index_ = std::make_shared<const BccIndex>(
+          BccIndex::build(ctx, graph, forest));
+    }
+    return index_;
+  }
+
+  /// The index if already built, else nullptr. Never builds.
+  std::shared_ptr<const BccIndex> peek() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const BccIndex> index_;
+};
+
+/// EMC_BCC_EAGER ∈ {0, 1} (default 0): build the BCC index at publish time
+/// instead of on first query. Strict parse on the shared env grammar.
+bool resolve_bcc_eager();
+
+/// EMC_BCC_MIN_DEVICE_BATCH ∈ [0, 2^30] (default 0 = let the Policy cost
+/// model decide): batches at least this large take the bulk-kernel route in
+/// the BCC answer paths regardless of the model.
+std::size_t resolve_bcc_min_device_batch();
+
+}  // namespace emc::bcc

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "bridges/bfs.hpp"
 #include "bridges/chaitanya_kothapalli.hpp"
 #include "bridges/dfs_bridges.hpp"
 #include "bridges/hybrid.hpp"
@@ -146,6 +147,122 @@ std::vector<NodeId> answer_lca(const Engine& engine, const lca::InlabelLca& lca,
   return answers;
 }
 
+/// The new-family batch routing: the Policy cost model, with the strict
+/// EMC_BCC_MIN_DEVICE_BATCH floor as an operator override (0 = model only).
+bool use_device_for_family(const Policy& policy, std::size_t size,
+                           const PlanInputs& inputs) {
+  const std::size_t floor = bcc::resolve_bcc_min_device_batch();
+  if (floor != 0 && size >= floor) return true;
+  return policy.use_device_batch(size, inputs);
+}
+
+std::vector<std::uint8_t> answer_same_bcc(const Engine& engine,
+                                          const bcc::BccIndex& index,
+                                          const Policy& policy,
+                                          const PlanInputs& inputs,
+                                          const SameBcc& request) {
+  std::vector<std::uint8_t> answers(request.pairs.size());
+  const auto answer = [&](std::size_t q) -> std::uint8_t {
+    return index.same_bcc(request.pairs[q].first, request.pairs[q].second)
+               ? 1
+               : 0;
+  };
+  if (use_device_for_family(policy, request.pairs.size(), inputs)) {
+    const auto lock = lock_device_for_batch(engine, policy);
+    if (lock.owns_lock()) {
+      engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+      device::transform(engine.device(), request.pairs.size(), answers.data(),
+                        answer);
+      return answers;
+    }
+  }
+  engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+  for (std::size_t q = 0; q < request.pairs.size(); ++q) answers[q] = answer(q);
+  return answers;
+}
+
+std::vector<NodeId> answer_cc_membership(const Engine& engine,
+                                         const bridges::SpanningForest& forest,
+                                         const Policy& policy,
+                                         const PlanInputs& inputs,
+                                         const CcMembership& request) {
+  std::vector<NodeId> answers(request.nodes.size());
+  if (use_device_for_family(policy, request.nodes.size(), inputs)) {
+    const auto lock = lock_device_for_batch(engine, policy);
+    if (lock.owns_lock()) {
+      engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+      device::gather(engine.device(), forest.component.data(),
+                     request.nodes.data(), request.nodes.size(),
+                     answers.data());
+      return answers;
+    }
+  }
+  engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+  for (std::size_t q = 0; q < request.nodes.size(); ++q) {
+    answers[q] = forest.component[request.nodes[q]];
+  }
+  return answers;
+}
+
+std::vector<NodeId> answer_bfs_levels(const Engine& engine,
+                                      const graph::Csr& csr,
+                                      const Policy& policy,
+                                      const PlanInputs& inputs,
+                                      const BfsLevels& request) {
+  std::vector<NodeId> answers(request.pairs.size(), kNoNode);
+  if (request.pairs.empty()) return answers;
+  // Group by distinct source: pairs sharing one share one traversal (the
+  // launch-count pin — K same-source queries cost ONE device BFS). Both
+  // routes are O(n + m) per distinct source; the policy's batch decision
+  // separates the level-synchronous device kernels from a cache-friendly
+  // sequential frontier walk, exactly the Figure 6 trade-off.
+  std::unordered_map<NodeId, std::vector<std::size_t>> by_source;
+  for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+    by_source[request.pairs[q].first].push_back(q);
+  }
+  if (use_device_for_family(policy, request.pairs.size(), inputs)) {
+    const auto lock = lock_device_for_batch(engine, policy);
+    if (lock.owns_lock()) {
+      engine.counters().device_query_batches.fetch_add(1, kRelaxed);
+      for (const auto& [source, queries] : by_source) {
+        const bridges::BfsTree tree =
+            bridges::bfs(engine.device(), csr, source);
+        for (const std::size_t q : queries) {
+          answers[q] = tree.level[request.pairs[q].second];
+        }
+      }
+      return answers;
+    }
+  }
+  engine.counters().host_query_batches.fetch_add(1, kRelaxed);
+  std::vector<NodeId> level(static_cast<std::size_t>(csr.num_nodes));
+  std::vector<NodeId> frontier, next;
+  for (const auto& [source, queries] : by_source) {
+    std::fill(level.begin(), level.end(), kNoNode);
+    level[source] = 0;
+    frontier.assign(1, source);
+    NodeId depth = 0;
+    while (!frontier.empty()) {
+      ++depth;
+      next.clear();
+      for (const NodeId v : frontier) {
+        for (EdgeId i = csr.row_offsets[v]; i < csr.row_offsets[v + 1]; ++i) {
+          const NodeId w = csr.neighbors[i];
+          if (level[w] == kNoNode) {
+            level[w] = depth;
+            next.push_back(w);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    for (const std::size_t q : queries) {
+      answers[q] = level[request.pairs[q].second];
+    }
+  }
+  return answers;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- Engine
@@ -205,6 +322,9 @@ void Session::sync_epoch() {
   cache_.oracle_current = false;  // the oracle object itself survives: its
                                   // refresh() replays dynamic deltas
   cache_.forest_lca.reset();
+  // A FRESH cell, not a reset of the old one: Views pinning the outgoing
+  // epoch share the old cell and may still be building into it.
+  cache_.bcc = std::make_shared<bcc::BccCell>();
   // The diameter hint is sticky by design (see diameter_estimate()).
 }
 
@@ -223,6 +343,7 @@ void Session::drop_results() {
   cache_.oracle_current = false;
   oracle_mut().invalidate();  // see drop_artifacts()
   cache_.forest_lca.reset();
+  cache_.bcc = std::make_shared<bcc::BccCell>();
 }
 
 dynamic::ConnectivityOracle& Session::oracle_mut() {
@@ -544,6 +665,27 @@ const lca::InlabelLca& Session::locked_forest_lca() {
   return forest_lca_artifact();
 }
 
+std::shared_ptr<const bcc::BccIndex> Session::bcc_artifact() {
+  sync_epoch();
+  track(cache_.bcc->peek() == nullptr);
+  forest();  // the build input; counted separately, like every artifact
+  return cache_.bcc->get_or_build(engine_->device_,
+                                  graph_.edges(engine_->device_),
+                                  *cache_.forest);
+}
+
+std::shared_ptr<const bcc::BccIndex> Session::locked_bcc() {
+  engine_->counters_.requests.fetch_add(1, kRelaxed);
+  const auto lock = engine_->device_.exclusive();
+  return bcc_artifact();
+}
+
+const bridges::SpanningForest& Session::locked_forest() {
+  engine_->counters_.requests.fetch_add(1, kRelaxed);
+  const auto lock = engine_->device_.exclusive();
+  return forest();
+}
+
 std::vector<std::uint8_t> Session::run(const Same2Ecc& request) {
   return run(request, engine_->default_policy());
 }
@@ -585,6 +727,45 @@ std::vector<NodeId> Session::run(const LcaBatch& request,
                     machine_inputs(), request);
 }
 
+std::vector<std::uint8_t> Session::run(const Articulations&) {
+  return locked_bcc()->is_articulation;
+}
+
+std::vector<std::uint8_t> Session::run(const SameBcc& request) {
+  return run(request, engine_->default_policy());
+}
+
+std::vector<std::uint8_t> Session::run(const SameBcc& request,
+                                       const Policy& policy) {
+  return answer_same_bcc(*engine_, *locked_bcc(), policy, machine_inputs(),
+                         request);
+}
+
+std::vector<NodeId> Session::run(const BfsLevels& request) {
+  return run(request, engine_->default_policy());
+}
+
+std::vector<NodeId> Session::run(const BfsLevels& request,
+                                 const Policy& policy) {
+  engine_->counters_.requests.fetch_add(1, kRelaxed);
+  const graph::Csr* csr = nullptr;
+  {
+    const auto lock = engine_->device_.exclusive();
+    csr = &csr_artifact();
+  }
+  return answer_bfs_levels(*engine_, *csr, policy, machine_inputs(), request);
+}
+
+std::vector<NodeId> Session::run(const CcMembership& request) {
+  return run(request, engine_->default_policy());
+}
+
+std::vector<NodeId> Session::run(const CcMembership& request,
+                                 const Policy& policy) {
+  return answer_cc_membership(*engine_, locked_forest(), policy,
+                              machine_inputs(), request);
+}
+
 Plan Session::plan(const Bridges& request) {
   return plan(request, engine_->default_policy());
 }
@@ -618,6 +799,11 @@ struct View::State {
   std::shared_ptr<const bridges::BridgeMask> mask;
   std::shared_ptr<const dynamic::ConnectivityOracle> oracle;
   std::shared_ptr<const lca::InlabelLca> forest_lca;
+  /// The epoch's BCC cell, SHARED with the session's cache: whichever side
+  /// builds first, everyone reads the same immutable index. The cell is
+  /// epoch-keyed (sync_epoch swaps a fresh one in), so a View never sees a
+  /// later epoch's index.
+  std::shared_ptr<bcc::BccCell> bcc;
 };
 
 void Session::ensure_bridge_edges() {
@@ -804,6 +990,10 @@ bool Session::try_replay_publish(const Policy& policy) {
       std::make_shared<const std::vector<EdgeId>>(std::move(new_bridges));
   cache_.stitched.reset();
   cache_.stitched_csr.reset();
+  // Even an intra-component insert can merge blocks or demote an
+  // articulation — the BCC index never survives a replay (incremental BCC
+  // maintenance is a recorded follow-up). Fresh cell: old Views keep theirs.
+  cache_.bcc = std::make_shared<bcc::BccCell>();
   cache_.oracle_current = true;
   if (!cross.empty()) {
     cache_.forest_lca.reset();
@@ -819,7 +1009,13 @@ void Session::ensure_all_artifacts(const Policy& policy) {
   // through here, and nothing is mutated yet when it fires, so a caller
   // that catches the fault keeps a coherent (stale) cache.
   util::failpoint::maybe_throw(util::failpoint::kPublish);
-  if (try_replay_publish(policy)) return;
+  // EMC_BCC_EAGER moves the BCC build from first-query to publish time;
+  // it runs LAST either way, so a fault inside it leaves every other
+  // artifact committed and only the (retryable) cell empty.
+  if (try_replay_publish(policy)) {
+    if (bcc::resolve_bcc_eager()) bcc_artifact();
+    return;
+  }
   const bool fresh = cache_.epoch != graph_.epoch();
   sync_epoch();
   csr_artifact();
@@ -828,6 +1024,7 @@ void Session::ensure_all_artifacts(const Policy& policy) {
   oracle_artifact(policy);
   forest_lca_artifact();
   if (graph_.is_dynamic()) ensure_bridge_edges();
+  if (bcc::resolve_bcc_eager()) bcc_artifact();
   if (fresh) {
     ++publish_rebuilds_;
     engine_->counters_.publish_rebuilds.fetch_add(1, kRelaxed);
@@ -857,6 +1054,7 @@ std::shared_ptr<const View::State> Session::make_state(const Policy& policy) {
   state->mask = cache_.mask;
   state->oracle = cache_.oracle;
   state->forest_lca = cache_.forest_lca;
+  state->bcc = cache_.bcc;
   // From here on the shared artifacts are frozen: the next epoch's refresh
   // clones the oracle first (oracle_mut) instead of replaying deltas in
   // place, and the delta-replay publish patches COPIES of the mask/forest.
@@ -949,6 +1147,48 @@ std::vector<NodeId> View::run(const LcaBatch& request) const {
                     state_->policy,
                     query_inputs(*state_->engine, state_->n, state_->m),
                     request);
+}
+
+std::shared_ptr<const bcc::BccIndex> View::bcc_index() const {
+  // Fast path: someone (this View, a sibling, or the Session) already built
+  // this epoch's index — no device lock needed, the index is immutable.
+  if (auto index = state_->bcc->peek()) {
+    state_->engine->counters().artifact_hits.fetch_add(1, kRelaxed);
+    return index;
+  }
+  const auto lock = state_->engine->device().exclusive();
+  const bool built = state_->bcc->peek() == nullptr;  // re-check under lock
+  (built ? state_->engine->counters().artifact_builds
+         : state_->engine->counters().artifact_hits)
+      .fetch_add(1, kRelaxed);
+  return state_->bcc->get_or_build(state_->engine->device(), *state_->edges,
+                                   *state_->forest);
+}
+
+std::vector<std::uint8_t> View::run(const Articulations&) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return bcc_index()->is_articulation;
+}
+
+std::vector<std::uint8_t> View::run(const SameBcc& request) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return answer_same_bcc(*state_->engine, *bcc_index(), state_->policy,
+                         query_inputs(*state_->engine, state_->n, state_->m),
+                         request);
+}
+
+std::vector<NodeId> View::run(const BfsLevels& request) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return answer_bfs_levels(*state_->engine, *state_->csr, state_->policy,
+                           query_inputs(*state_->engine, state_->n, state_->m),
+                           request);
+}
+
+std::vector<NodeId> View::run(const CcMembership& request) const {
+  state_->engine->counters().requests.fetch_add(1, kRelaxed);
+  return answer_cc_membership(
+      *state_->engine, *state_->forest, state_->policy,
+      query_inputs(*state_->engine, state_->n, state_->m), request);
 }
 
 // ------------------------------------------------------------ calibration

@@ -20,16 +20,18 @@
 //             forever at epoch 0).
 //   Session — a GraphRef plus an epoch-keyed artifact cache. Requests are
 //             typed batches (Bridges, TwoEcc, Same2Ecc, BridgesOnPath,
-//             ComponentSize, LcaBatch); each is answered with the existing
-//             bulk kernels, a Policy picks the backend per request
+//             ComponentSize, LcaBatch, Articulations, SameBcc, BfsLevels,
+//             CcMembership); each is answered with the existing bulk
+//             kernels, a Policy picks the backend per request
 //             (explicit override or the calibrated cost model —
 //             policy.hpp), and every derived artifact (Csr, spanning
 //             forest, stitched augmentation, bridge mask, 2-ecc index,
-//             forest LCA) is cached under the graph epoch so repeated and
-//             mixed request batches pay only the marginal work.
+//             forest LCA, BCC index) is cached under the graph epoch so
+//             repeated and mixed request batches pay only the marginal
+//             work.
 //   View    — an immutable, refcounted snapshot of ONE epoch's artifacts,
-//             acquired with Session::view(). A View answers all six request
-//             types concurrently from any number of threads (snapshot
+//             acquired with Session::view(). A View answers every request
+//             type concurrently from any number of threads (snapshot
 //             isolation): host-routed query batches are lock-free reads of
 //             the frozen index; device-routed bulk kernels serialize on the
 //             context's driver lock. The serving shape is one writer thread
@@ -78,6 +80,7 @@
 #include <utility>
 #include <vector>
 
+#include "bcc/bcc.hpp"
 #include "bridges/bridges.hpp"
 #include "bridges/cc_spanning.hpp"
 #include "device/context.hpp"
@@ -137,6 +140,32 @@ struct ComponentSize {
 /// are artifacts — built once per epoch via the Euler tour technique.
 struct LcaBatch {
   std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+/// Whole-graph articulation-point mask: per node, 1 iff removing the node
+/// increases the component count. Served from the epoch's cached BCC index
+/// (built on first demand, or at publish under EMC_BCC_EAGER).
+struct Articulations {};
+
+/// For each pair: does some biconnected component (block) contain both
+/// endpoints? Equivalently, are they connected by two vertex-disjoint
+/// paths — or adjacent, or equal. The vertex analogue of Same2Ecc.
+struct SameBcc {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+/// For each (source, target) pair: target's BFS level from source, kNoNode
+/// when unreachable. Pairs sharing a source share ONE traversal (the batch
+/// is grouped by distinct source), so K same-source queries cost one BFS.
+struct BfsLevels {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+/// For each node: its connected-component label — the spanning forest's
+/// flat representative, so two nodes are connected iff labels match.
+/// Labels are representatives, not compacted; compare, don't index.
+struct CcMembership {
+  std::vector<NodeId> nodes;
 };
 
 /// Answer view for TwoEcc: compact per-node block ids served straight from
@@ -321,6 +350,18 @@ class View {
   std::vector<NodeId> run(const BridgesOnPath& request) const;
   std::vector<NodeId> run(const ComponentSize& request) const;
   std::vector<NodeId> run(const LcaBatch& request) const;
+  std::vector<std::uint8_t> run(const Articulations& request) const;
+  std::vector<std::uint8_t> run(const SameBcc& request) const;
+  std::vector<NodeId> run(const BfsLevels& request) const;
+  std::vector<NodeId> run(const CcMembership& request) const;
+
+  /// The epoch's vertex-biconnectivity artifact, building it on first call
+  /// (the build serializes on the device driver lock; afterwards the index
+  /// is immutable and lock-free to read). Shared with the session's cache
+  /// cell, so the first builder — session or any View — pays for everyone.
+  /// Composite indexes (shard::ShardedView's skeleton stitch) read the
+  /// per-shard tables through this.
+  std::shared_ptr<const bcc::BccIndex> bcc_index() const;
 
   /// A copy of this View answering under a different routing policy (e.g.
   /// host_fallback_when_busy for degraded serving). Cheap: the copy shares
@@ -361,6 +402,13 @@ class Session {
   std::vector<NodeId> run(const ComponentSize& request, const Policy& policy);
   std::vector<NodeId> run(const LcaBatch& request);
   std::vector<NodeId> run(const LcaBatch& request, const Policy& policy);
+  std::vector<std::uint8_t> run(const Articulations& request);
+  std::vector<std::uint8_t> run(const SameBcc& request);
+  std::vector<std::uint8_t> run(const SameBcc& request, const Policy& policy);
+  std::vector<NodeId> run(const BfsLevels& request);
+  std::vector<NodeId> run(const BfsLevels& request, const Policy& policy);
+  std::vector<NodeId> run(const CcMembership& request);
+  std::vector<NodeId> run(const CcMembership& request, const Policy& policy);
 
   // --- snapshot serving
   //
@@ -468,6 +516,13 @@ class Session {
     std::shared_ptr<dynamic::ConnectivityOracle> oracle =
         std::make_shared<dynamic::ConnectivityOracle>();
     std::shared_ptr<const lca::InlabelLca> forest_lca;
+    /// Vertex-biconnectivity cell: built at most once per epoch (lazily on
+    /// first Articulations/SameBcc demand, or at publish under
+    /// EMC_BCC_EAGER). An epoch change swaps in a FRESH cell — never a
+    /// mutation of the old one — so Views pinning the outgoing epoch keep
+    /// their (immutable) index: copy-on-write at cell granularity, the
+    /// same published-artifact discipline as the bridge mask.
+    std::shared_ptr<bcc::BccCell> bcc = std::make_shared<bcc::BccCell>();
     // Sticky diameter hint (see diameter_estimate()).
     static constexpr std::uint64_t kDiameterMaxAge = 16;  // effective batches
     NodeId diameter = kNoNode;
@@ -500,6 +555,10 @@ class Session {
   /// lock, release it — answering then routes host/device per policy.
   const dynamic::ConnectivityOracle& locked_oracle(const Policy& policy);
   const lca::InlabelLca& locked_forest_lca();
+  /// The BCC index artifact (expects the device driver lock held).
+  std::shared_ptr<const bcc::BccIndex> bcc_artifact();
+  std::shared_ptr<const bcc::BccIndex> locked_bcc();
+  const bridges::SpanningForest& locked_forest();
   /// Mutable access to the 2-ecc index: clones it first if a View shares
   /// the object (copy-on-write — cumulative stats and the (uid, epoch)
   /// binding travel with the clone, so incremental replay still applies).

@@ -5,6 +5,7 @@
 #include <exception>
 #include <iterator>
 #include <optional>
+#include <unordered_map>
 
 #include "ingest/ingest.hpp"
 #include "util/env.hpp"
@@ -24,6 +25,8 @@ std::string_view to_string(Status status) {
       return "cancelled";
     case Status::kFaulted:
       return "faulted";
+    case Status::kUnsupported:
+      return "unsupported";
   }
   return "?";
 }
@@ -48,6 +51,18 @@ template <typename Ans>
 Reply<Ans> empty_reply(Status status, std::uint64_t epoch,
                        std::uint64_t staleness) {
   return Reply<Ans>{Ans{}, epoch, status, staleness};
+}
+
+/// Per-round dedup keys: both payload element shapes pack into 64 bits.
+/// Order-sensitive for pairs — (u,v) and (v,u) stay distinct, so the
+/// cache never assumes a family is symmetric.
+std::uint64_t dedup_key(NodeId v) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+}
+std::uint64_t dedup_key(const std::pair<NodeId, NodeId>& p) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.first))
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.second));
 }
 
 }  // namespace
@@ -304,17 +319,40 @@ std::future<Reply<TwoEccSummary>> Dispatcher::submit(engine::TwoEcc request,
   return enqueue(twoecc_, std::move(request), ticket);
 }
 
+std::future<Reply<std::vector<std::uint8_t>>> Dispatcher::submit(
+    engine::Articulations request, Ticket ticket) {
+  return enqueue(articulations_, std::move(request), ticket);
+}
+
+std::future<Reply<std::vector<std::uint8_t>>> Dispatcher::submit(
+    engine::SameBcc request, Ticket ticket) {
+  return enqueue(samebcc_, std::move(request), ticket);
+}
+
+std::future<Reply<std::vector<NodeId>>> Dispatcher::submit(
+    engine::BfsLevels request, Ticket ticket) {
+  return enqueue(bfslevels_, std::move(request), ticket);
+}
+
+std::future<Reply<std::vector<NodeId>>> Dispatcher::submit(
+    engine::CcMembership request, Ticket ticket) {
+  return enqueue(ccmember_, std::move(request), ticket);
+}
+
 bool Dispatcher::pending_unclaimed() const {
   const auto ready = [](const auto& lane) {
     return !lane.claimed && lane.total > 0;
   };
   return ready(same_) || ready(paths_) || ready(sizes_) || ready(lcas_) ||
-         ready(bridges_) || ready(twoecc_);
+         ready(bridges_) || ready(twoecc_) || ready(articulations_) ||
+         ready(samebcc_) || ready(bfslevels_) || ready(ccmember_);
 }
 
 bool Dispatcher::pending_none() const {
   return same_.total == 0 && paths_.total == 0 && sizes_.total == 0 &&
-         lcas_.total == 0 && bridges_.total == 0 && twoecc_.total == 0;
+         lcas_.total == 0 && bridges_.total == 0 && twoecc_.total == 0 &&
+         articulations_.total == 0 && samebcc_.total == 0 &&
+         bfslevels_.total == 0 && ccmember_.total == 0;
 }
 
 template <typename Req, typename Ans>
@@ -432,6 +470,7 @@ void Dispatcher::drain_queries(std::unique_lock<std::mutex>& lk,
   // exactly its own requests — each resolves kFaulted with a definite
   // Reply; nothing escapes the worker thread, no future is abandoned.
   bool faulted = false;
+  std::size_t cache_hits = 0;
   if (take > 0) {
     try {
       Req merged;
@@ -443,7 +482,32 @@ void Dispatcher::drain_queries(std::unique_lock<std::mutex>& lk,
         all.insert(all.end(), part.begin(), part.end());
         cuts.push_back(all.size());
       }
-      const Ans full = snap.view.run(merged);
+      // Per-round answer cache: Zipf-hot payload elements repeat within a
+      // coalesced round, so the round computes each DISTINCT element once
+      // and scatters the shared answer to every duplicate — the kernel
+      // batch shrinks to the distinct count. Everything answered in this
+      // round still comes from the same View::run, so an element repeated
+      // across requests cannot observe two epochs.
+      auto& uniq = merged.*payload;  // compacted in place below
+      std::vector<std::size_t> uniq_of(all.size());
+      {
+        std::unordered_map<std::uint64_t, std::size_t> index;
+        index.reserve(all.size());
+        std::size_t distinct = 0;
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          const auto [it, inserted] =
+              index.emplace(dedup_key(all[i]), distinct);
+          if (inserted) uniq[distinct++] = all[i];
+          uniq_of[i] = it->second;
+        }
+        cache_hits = all.size() - distinct;
+        uniq.resize(distinct);
+      }
+      const Ans uniq_answers = snap.view.run(merged);
+      Ans full(uniq_of.size());
+      for (std::size_t i = 0; i < uniq_of.size(); ++i) {
+        full[i] = uniq_answers[uniq_of[i]];
+      }
       std::size_t begin = 0;
       for (std::size_t i = 0; i < items.size(); ++i) {
         Ans slice(full.begin() + static_cast<std::ptrdiff_t>(begin),
@@ -473,6 +537,8 @@ void Dispatcher::drain_queries(std::unique_lock<std::mutex>& lk,
     if (faulted) {
       stats_.answered -= take;
       stats_.faulted += take;
+    } else {
+      stats_.coalesce_cache_hits += cache_hits;
     }
   }
   cv_.notify_all();  // stopping workers wait for pending_none(); blocked
@@ -546,6 +612,10 @@ void Dispatcher::serve_next(std::unique_lock<std::mutex>& lk) {
   consider(lcas_, 3);
   consider(bridges_, 4);
   consider(twoecc_, 5);
+  consider(articulations_, 6);
+  consider(samebcc_, 7);
+  consider(bfslevels_, 8);
+  consider(ccmember_, 9);
   switch (which) {
     case 0:
       drain_queries(lk, same_, &engine::Same2Ecc::pairs);
@@ -569,6 +639,20 @@ void Dispatcher::serve_next(std::unique_lock<std::mutex>& lk) {
         const engine::TwoEccView answer = view.run(engine::TwoEcc{});
         return TwoEccSummary{answer.num_blocks, answer.num_bridges};
       });
+      break;
+    case 6:
+      drain_broadcast(lk, articulations_, [](const engine::View& view) {
+        return view.run(engine::Articulations{});
+      });
+      break;
+    case 7:
+      drain_queries(lk, samebcc_, &engine::SameBcc::pairs);
+      break;
+    case 8:
+      drain_queries(lk, bfslevels_, &engine::BfsLevels::pairs);
+      break;
+    case 9:
+      drain_queries(lk, ccmember_, &engine::CcMembership::nodes);
       break;
     default:
       break;

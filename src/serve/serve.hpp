@@ -29,6 +29,9 @@
 //   kCancelled   submitted after stop() began
 //   kFaulted     the answering round threw (injected fault, real OOM);
 //                the round fails exactly its own requests
+//   kUnsupported the deployment cannot answer this family at all (e.g.
+//                BfsLevels against a sharded graph — see shard.hpp);
+//                resolved immediately, never queued
 // Lanes are BOUNDED (`queue_bound`, or EMC_SERVE_QUEUE_BOUND) with an
 // explicit admission policy, and drained FAIRLY: each lane keeps one
 // sub-queue per client (Ticket::client), and rounds take items by
@@ -92,6 +95,7 @@ enum class Status : std::uint8_t {
   kOverloaded,
   kCancelled,
   kFaulted,
+  kUnsupported,
 };
 
 std::string_view to_string(Status status);
@@ -191,16 +195,27 @@ struct DispatcherStats {
   std::size_t rounds = 0;
   /// Requests that shared their round with at least one other request.
   std::size_t coalesced_requests = 0;
+  /// Payload elements a round answered WITHOUT computing: under Zipfian
+  /// skew the same hot (u,v) pairs repeat within one coalesced round, so
+  /// the merged payload is deduplicated before View::run and the shared
+  /// answer is scattered to every duplicate. Counts duplicates elided,
+  /// summed over rounds (the ROADMAP skew item's candidate fix).
+  std::size_t coalesce_cache_hits = 0;
   std::size_t max_round = 0;  // largest round, in requests
   std::size_t views_published = 0;
 
   // --- overload / failure outcomes (submitted == answered + shed +
-  //     rejected + expired + cancelled + faulted once drained) ---
+  //     rejected + expired + cancelled + faulted + unsupported once
+  //     drained) ---
   std::size_t shed = 0;       // ShedOldest victims (kOverloaded)
   std::size_t rejected = 0;   // Reject admissions (kOverloaded)
   std::size_t expired = 0;    // deadline passed before a round (kTimeout)
   std::size_t cancelled = 0;  // submitted after stop() (kCancelled)
   std::size_t faulted = 0;    // round threw (kFaulted)
+  /// Families the deployment cannot answer (kUnsupported). Always 0 for
+  /// this Dispatcher — every engine family is served unsharded; the
+  /// sharded façade folds its BfsLevels resolutions in here.
+  std::size_t unsupported = 0;
   /// Requests answered while the serving View lagged the graph.
   std::size_t stale_served = 0;
   /// publish(Session&) attempts beyond each call's first, and calls that
@@ -291,6 +306,17 @@ class Dispatcher {
                                                  Ticket ticket = {});
   std::future<Reply<TwoEccSummary>> submit(engine::TwoEcc request,
                                            Ticket ticket = {});
+  // The vertex-biconnectivity families. Articulations is whole-graph
+  // (answered once per round, mask broadcast like Bridges); the other
+  // three coalesce like their edge-connectivity namesakes.
+  std::future<Reply<std::vector<std::uint8_t>>> submit(
+      engine::Articulations request, Ticket ticket = {});
+  std::future<Reply<std::vector<std::uint8_t>>> submit(engine::SameBcc request,
+                                                       Ticket ticket = {});
+  std::future<Reply<std::vector<NodeId>>> submit(engine::BfsLevels request,
+                                                 Ticket ticket = {});
+  std::future<Reply<std::vector<NodeId>>> submit(engine::CcMembership request,
+                                                 Ticket ticket = {});
 
   /// Releases start_paused workers.
   void resume();
@@ -398,6 +424,10 @@ class Dispatcher {
   Lane<engine::LcaBatch, std::vector<NodeId>> lcas_;
   Lane<engine::Bridges, bridges::BridgeMask> bridges_;
   Lane<engine::TwoEcc, TwoEccSummary> twoecc_;
+  Lane<engine::Articulations, std::vector<std::uint8_t>> articulations_;
+  Lane<engine::SameBcc, std::vector<std::uint8_t>> samebcc_;
+  Lane<engine::BfsLevels, std::vector<NodeId>> bfslevels_;
+  Lane<engine::CcMembership, std::vector<NodeId>> ccmember_;
 
   std::vector<std::thread> threads_;
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <tuple>
 
+#include "bcc/bcc.hpp"
 #include "device/primitives.hpp"
 #include "engine/policy.hpp"
 #include "util/env.hpp"
@@ -102,6 +103,24 @@ std::size_t Router::boundary_edges() const {
 
 // ----------------------------------------------------- ShardedView::State
 
+/// The lazily-built cross-shard vertex-biconnectivity index: per-shard
+/// BccIndexes plus the BccIndex of the gadget skeleton (see the stitching
+/// note in shard.hpp). Immutable once published under State::bcc.
+struct BccStitch {
+  /// Pinned per-shard indexes — these keep each shard's epoch artifacts
+  /// alive for the skeleton's lifetime.
+  std::vector<std::shared_ptr<const bcc::BccIndex>> shard_bcc;
+  /// The skeleton's own biconnectivity structure; its blocks restricted
+  /// to terminal nodes are exactly the global blocks.
+  bcc::BccIndex skeleton;
+  /// Per GLOBAL vertex: its skeleton node — the terminal node when the
+  /// vertex is preserved (local articulation or boundary endpoint), else
+  /// its unique local block's gadget node, else kNoNode (in no block).
+  std::vector<NodeId> bcc_node;
+  /// Global articulation mask over all n vertices.
+  std::vector<std::uint8_t> is_articulation;
+};
+
 struct ShardedView::State {
   const device::Context* ctx = nullptr;  // façade device (summary kernels)
   EpochVector epochs;
@@ -129,7 +148,130 @@ struct ShardedView::State {
   std::vector<NodeId> glabel;
   std::size_t num_edges = 0;
   std::size_t num_components = 0;
+  /// Vertex-biconnectivity stitch, built by the FIRST BCC-family query on
+  /// this snapshot (snapshots that never see one pay nothing — the 2-ecc
+  /// stitch above stays exactly as cheap as before this family existed).
+  /// Double-checked under bcc_mu; immutable once set.
+  mutable std::mutex bcc_mu;
+  mutable std::shared_ptr<const BccStitch> bcc;
+  const BccStitch& ensure_bcc() const;
 };
+
+const BccStitch& ShardedView::State::ensure_bcc() const {
+  std::lock_guard<std::mutex> lock(bcc_mu);
+  if (bcc != nullptr) return *bcc;
+  auto out = std::make_shared<BccStitch>();
+  const std::size_t k = shards;
+  const auto n = static_cast<std::size_t>(num_nodes);
+
+  // Per-shard indexes (each builds under its OWN shard engine's lock on
+  // first use) and gadget-node numbering: shard s's local block b becomes
+  // skeleton node beta[s] + b — all gadget nodes first, terminals after.
+  out->shard_bcc.resize(k);
+  std::vector<NodeId> beta(k + 1, 0);
+  for (std::size_t s = 0; s < k; ++s) {
+    out->shard_bcc[s] = views[s].bcc_index();
+    beta[s + 1] =
+        beta[s] + static_cast<NodeId>(out->shard_bcc[s]->num_blocks);
+  }
+
+  // Preserved vertices (terminals): local articulation points plus
+  // boundary endpoints. Terminal nodes are numbered in global vertex
+  // order so the skeleton is deterministic for a given epoch vector.
+  std::vector<std::vector<std::uint8_t>> preserved(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    const auto& mask = out->shard_bcc[s]->is_articulation;
+    preserved[s].assign(mask.begin(), mask.end());
+  }
+  for (const graph::Edge& e : *boundary) {
+    preserved[e.u % k][e.u / k] = 1;
+    preserved[e.v % k][e.v / k] = 1;
+  }
+  out->bcc_node.assign(n, kNoNode);
+  NodeId next = beta[k];
+  for (std::size_t v = 0; v < n; ++v) {
+    if (preserved[v % k][v / k]) out->bcc_node[v] = next++;
+  }
+
+  // The skeleton: per local block a 2-connected gadget over its terminals
+  // — a cycle gadget-node -> t1 -> ... -> tk -> gadget-node (one edge for
+  // a single terminal, an isolated gadget node for none) — plus every
+  // boundary edge between terminal nodes. Contracting a block would
+  // invent articulations; the gadget keeps any two attachment points on
+  // two internally-disjoint paths, exactly like the block it stands for.
+  graph::EdgeList skel;
+  skel.num_nodes = next;
+  for (std::size_t s = 0; s < k; ++s) {
+    const bcc::BccIndex& idx = *out->shard_bcc[s];
+    const std::size_t ln = preserved[s].size();
+    std::vector<std::vector<NodeId>> term(idx.num_blocks);
+    for (std::size_t l = 0; l < ln; ++l) {
+      const NodeId b = idx.vertex_block[l];
+      if (preserved[s][l] && b != kNoNode) {
+        term[b].push_back(out->bcc_node[l * k + s]);
+      }
+    }
+    // A block's head has its parent edge OUTSIDE the block, so the pass
+    // above never saw it — terminal lists stay duplicate-free.
+    for (std::size_t b = 0; b < idx.num_blocks; ++b) {
+      const auto h = static_cast<std::size_t>(idx.head[b]);
+      if (preserved[s][h]) term[b].push_back(out->bcc_node[h * k + s]);
+    }
+    for (std::size_t b = 0; b < idx.num_blocks; ++b) {
+      const NodeId g = beta[s] + static_cast<NodeId>(b);
+      const std::vector<NodeId>& t = term[b];
+      if (t.empty()) continue;
+      skel.edges.push_back({g, t.front()});
+      if (t.size() == 1) continue;
+      for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        skel.edges.push_back({t[i], t[i + 1]});
+      }
+      skel.edges.push_back({t.back(), g});
+    }
+  }
+  for (const graph::Edge& e : *boundary) {
+    skel.edges.push_back({out->bcc_node[e.u], out->bcc_node[e.v]});
+  }
+
+  {
+    const auto device_lock = ctx->exclusive();
+    const bridges::SpanningForest forest =
+        bridges::cc_spanning_forest(*ctx, skel);
+    out->skeleton = bcc::BccIndex::build(*ctx, skel, forest);
+  }
+
+  // Non-preserved vertices map to their unique local block (if any) via
+  // the head inverse. A head of >= 2 blocks is an articulation and
+  // therefore preserved, so the last-write inverse is only ever read
+  // where it is unique.
+  for (std::size_t s = 0; s < k; ++s) {
+    const bcc::BccIndex& idx = *out->shard_bcc[s];
+    const std::size_t ln = preserved[s].size();
+    std::vector<NodeId> head_block(ln, kNoNode);
+    for (std::size_t b = 0; b < idx.num_blocks; ++b) {
+      head_block[idx.head[b]] = static_cast<NodeId>(b);
+    }
+    for (std::size_t l = 0; l < ln; ++l) {
+      if (preserved[s][l]) continue;
+      const NodeId b = idx.vertex_block[l] != kNoNode ? idx.vertex_block[l]
+                                                      : head_block[l];
+      if (b != kNoNode) out->bcc_node[l * k + s] = beta[s] + b;
+    }
+  }
+
+  // A non-preserved vertex sits in <= 1 local and therefore <= 1 global
+  // block — never an articulation; a preserved one is one exactly when
+  // its terminal node separates the skeleton.
+  out->is_articulation.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (preserved[v % k][v / k]) {
+      out->is_articulation[v] =
+          out->skeleton.is_articulation[out->bcc_node[v]];
+    }
+  }
+  bcc = std::move(out);
+  return *bcc;
+}
 
 const EpochVector& ShardedView::epochs() const { return state_->epochs; }
 std::uint64_t ShardedView::version() const { return state_->version; }
@@ -176,6 +318,20 @@ NodeId ShardedView::component_size(NodeId u) const {
   return s.weight[s.glabel[u]];
 }
 
+bool ShardedView::same_bcc(NodeId u, NodeId v) const {
+  if (u == v) return true;
+  const BccStitch& bcc = state_->ensure_bcc();
+  const NodeId nu = bcc.bcc_node[u];
+  const NodeId nv = bcc.bcc_node[v];
+  if (nu == kNoNode || nv == kNoNode) return false;
+  // Same gadget node = same local block; otherwise ask the skeleton.
+  return nu == nv || bcc.skeleton.same_bcc(nu, nv);
+}
+
+bool ShardedView::is_articulation(NodeId v) const {
+  return state_->ensure_bcc().is_articulation[v] != 0;
+}
+
 std::vector<std::uint8_t> ShardedView::run(
     const engine::Same2Ecc& request) const {
   const State& s = *state_;
@@ -220,6 +376,56 @@ std::vector<NodeId> ShardedView::run(
   std::vector<NodeId> answers;
   answers.reserve(request.nodes.size());
   for (const NodeId v : request.nodes) answers.push_back(component_size(v));
+  return answers;
+}
+
+std::vector<std::uint8_t> ShardedView::run(
+    const engine::SameBcc& request) const {
+  const State& s = *state_;
+  const BccStitch& bcc = s.ensure_bcc();  // once, outside the batch
+  std::vector<std::uint8_t> answers(request.pairs.size());
+  const auto answer = [&](std::size_t q) -> std::uint8_t {
+    const auto& [u, v] = request.pairs[q];
+    if (u == v) return 1;
+    const NodeId nu = bcc.bcc_node[u];
+    const NodeId nv = bcc.bcc_node[v];
+    if (nu == kNoNode || nv == kNoNode) return 0;
+    return nu == nv || bcc.skeleton.same_bcc(nu, nv) ? 1 : 0;
+  };
+  if (use_device_batch(*s.ctx, request.pairs.size())) {
+    const auto lock = s.ctx->exclusive();
+    device::transform(*s.ctx, request.pairs.size(), answers.data(), answer);
+  } else {
+    for (std::size_t q = 0; q < request.pairs.size(); ++q) {
+      answers[q] = answer(q);
+    }
+  }
+  return answers;
+}
+
+std::vector<std::uint8_t> ShardedView::run(const engine::Articulations&) const {
+  return state_->ensure_bcc().is_articulation;
+}
+
+std::vector<NodeId> ShardedView::run(
+    const engine::CcMembership& request) const {
+  const State& s = *state_;
+  const std::vector<NodeId>& cc = s.summary.component_labels();
+  std::vector<NodeId> answers(request.nodes.size());
+  // Shard bridges and boundary edges connect blocks WITHIN a component,
+  // so summary components are exactly global components; the label is the
+  // summary representative of v's block — a partition id, not a vertex.
+  const auto answer = [&](std::size_t q) {
+    return cc[s.hnode[request.nodes[q]]];
+  };
+  if (use_device_batch(*s.ctx, request.nodes.size())) {
+    const auto lock = s.ctx->exclusive();
+    device::transform(*s.ctx, request.nodes.size(), answers.data(), answer);
+  } else {
+    for (std::size_t q = 0; q < request.nodes.size(); ++q) {
+      answers[q] = answer(q);
+    }
+  }
   return answers;
 }
 
@@ -535,6 +741,8 @@ ShardedStats ShardedGraph::stats() const {
     out.dispatch.expired += d.expired;
     out.dispatch.cancelled += d.cancelled;
     out.dispatch.faulted += d.faulted;
+    out.dispatch.unsupported += d.unsupported;
+    out.dispatch.coalesce_cache_hits += d.coalesce_cache_hits;
     out.dispatch.stale_served += d.stale_served;
     out.dispatch.publish_retries += d.publish_retries;
     out.dispatch.publish_failures += d.publish_failures;
@@ -700,6 +908,48 @@ std::future<serve::Reply<std::size_t>> ShardedDispatcher::submit(
       [](const ShardedView& view) { return view.num_bridges(); });
 }
 
+std::future<serve::Reply<std::vector<std::uint8_t>>> ShardedDispatcher::submit(
+    engine::SameBcc request) {
+  return enqueue<std::vector<std::uint8_t>>(
+      [request = std::move(request)](const ShardedView& view) {
+        return view.run(request);
+      });
+}
+
+std::future<serve::Reply<std::vector<std::uint8_t>>> ShardedDispatcher::submit(
+    engine::Articulations request) {
+  return enqueue<std::vector<std::uint8_t>>(
+      [request = std::move(request)](const ShardedView& view) {
+        return view.run(request);
+      });
+}
+
+std::future<serve::Reply<std::vector<NodeId>>> ShardedDispatcher::submit(
+    engine::CcMembership request) {
+  return enqueue<std::vector<NodeId>>(
+      [request = std::move(request)](const ShardedView& view) {
+        return view.run(request);
+      });
+}
+
+std::future<serve::Reply<std::vector<NodeId>>> ShardedDispatcher::submit(
+    engine::BfsLevels) {
+  // The honest refusal (see shard.hpp): resolved inline, never queued, so
+  // no worker burns a pinned view on a family the façade cannot answer.
+  // Ledger-balanced: counts as submitted AND unsupported.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    ++unsupported_;
+  }
+  std::promise<serve::Reply<std::vector<NodeId>>> promise;
+  std::future<serve::Reply<std::vector<NodeId>>> future = promise.get_future();
+  serve::Reply<std::vector<NodeId>> reply;
+  reply.status = serve::Status::kUnsupported;
+  promise.set_value(std::move(reply));
+  return future;
+}
+
 void ShardedDispatcher::run() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -737,6 +987,7 @@ ShardedStats ShardedDispatcher::stats() const {
   out.dispatch.answered += answered_;
   out.dispatch.cancelled += cancelled_;
   out.dispatch.faulted += faulted_;
+  out.dispatch.unsupported += unsupported_;
   return out;
 }
 

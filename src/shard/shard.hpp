@@ -50,6 +50,35 @@
 //     the differential fuzz in tests/test_shard.cpp against an unsharded
 //     Session and the sequential ReferenceOracle.
 //
+//     VERTEX biconnectivity stitches the same way but contraction is not
+//     enough — collapsing a local block to one node would invent
+//     articulation points. Instead each shard block is replaced by a
+//     2-connected GADGET on its terminals (local articulation points and
+//     boundary endpoints in the block) plus one fresh interior node: a
+//     cycle through all of them (an edge for one terminal, an isolated
+//     node for none). Within a block any two terminals are connected by
+//     two internally-disjoint paths, and so are any two gadget nodes —
+//     and every non-terminal vertex of the block is an interior vertex on
+//     no cross-shard separator, so the skeleton (all gadgets + boundary
+//     edges on the terminal nodes) has EXACTLY the global block structure
+//     restricted to terminals. Global answers compose through bcc_node(v)
+//     = v's terminal node when preserved, else its unique block's gadget
+//     node; the skeleton's BccIndex answers SameBcc, and a preserved
+//     vertex is a global articulation iff its terminal node is one in the
+//     skeleton (a non-preserved vertex sits in <= 1 local = <= 1 global
+//     block, never an articulation). CcMembership composes the summary's
+//     connected-component labels through h(v) — labels are
+//     REPRESENTATIVES (summary node ids), equal iff same global
+//     component; compare, don't index.
+//
+//     BfsLevels is NOT served sharded: exact cross-shard BFS needs
+//     iterative boundary-edge relaxation between per-shard traversals (a
+//     distributed delta-stepping round trip per level), which is a
+//     different cost class from every other composed answer here. The
+//     façade resolves BfsLevels with an honest Status::kUnsupported
+//     instead of a silently-wrong per-shard answer; the relaxation loop
+//     is a recorded ROADMAP follow-up.
+//
 //   ShardedDispatcher — the serving façade: a small worker pool that
 //     answers typed requests (Same2Ecc / BridgesOnPath / ComponentSize /
 //     TwoEcc / Bridges) against the freshest ShardedView, each request
@@ -203,7 +232,8 @@ struct EpochVector {
 
 /// One coherent cross-shard snapshot. The aggregate `dispatch` ledger obeys
 /// the same identity each per-shard Dispatcher pins once quiesced:
-///   submitted == answered + shed + rejected + expired + cancelled + faulted
+///   submitted == answered + shed + rejected + expired + cancelled
+///                + faulted + unsupported
 /// (sums preserve it). Epoch gauges that are not meaningfully summable
 /// (graph_epoch, published_epoch, staleness, latency EWMA) aggregate as the
 /// MAXIMUM over shards — "how far behind is the worst shard" — and every
@@ -273,6 +303,12 @@ class ShardedView {
   bool same_2ecc(NodeId u, NodeId v) const;
   NodeId bridges_on_path(NodeId u, NodeId v) const;
   NodeId component_size(NodeId u) const;
+  /// Vertex biconnectivity on global ids (see the gadget-skeleton note in
+  /// the header comment). First call per snapshot builds the skeleton
+  /// lazily — per-shard BCC indexes plus one small skeleton BccIndex —
+  /// so views that never see a BCC family pay nothing.
+  bool same_bcc(NodeId u, NodeId v) const;
+  bool is_articulation(NodeId v) const;
 
   /// Batch forms, mirroring engine::View::run — pairs/nodes are global
   /// ids, answered from the per-vertex composed tables the stitch
@@ -282,6 +318,13 @@ class ShardedView {
   std::vector<std::uint8_t> run(const engine::Same2Ecc& request) const;
   std::vector<NodeId> run(const engine::BridgesOnPath& request) const;
   std::vector<NodeId> run(const engine::ComponentSize& request) const;
+  std::vector<std::uint8_t> run(const engine::SameBcc& request) const;
+  /// Global articulation-point mask over all n vertices.
+  std::vector<std::uint8_t> run(const engine::Articulations& request) const;
+  /// Global connected-component labels for the queried nodes. Labels are
+  /// summary-node representatives: equal iff same component (compare,
+  /// don't index — they are not vertex ids).
+  std::vector<NodeId> run(const engine::CcMembership& request) const;
 
   /// Plumbing accessors (tests/benches).
   const engine::View& shard_view(std::size_t shard) const;
@@ -418,6 +461,20 @@ class ShardedDispatcher {
   /// Global bridge COUNT — a cross-shard bridge mask has no single edge
   /// order to index, so the façade serves the scalar the stitch proves.
   std::future<serve::Reply<std::size_t>> submit(engine::Bridges request);
+  // Vertex-biconnectivity families, answered through the gadget-skeleton
+  // stitch (see the header comment).
+  std::future<serve::Reply<std::vector<std::uint8_t>>> submit(
+      engine::SameBcc request);
+  std::future<serve::Reply<std::vector<std::uint8_t>>> submit(
+      engine::Articulations request);
+  std::future<serve::Reply<std::vector<NodeId>>> submit(
+      engine::CcMembership request);
+  /// Resolves IMMEDIATELY with Status::kUnsupported — exact cross-shard
+  /// BFS needs boundary relaxation rounds this façade does not implement
+  /// (documented choice; see the header comment). The request still
+  /// enters the ledger: submitted and unsupported both count.
+  std::future<serve::Reply<std::vector<NodeId>>> submit(
+      engine::BfsLevels request);
 
   void stop();
 
@@ -441,6 +498,7 @@ class ShardedDispatcher {
   std::size_t answered_ = 0;
   std::size_t cancelled_ = 0;
   std::size_t faulted_ = 0;
+  std::size_t unsupported_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -91,6 +92,110 @@ inline std::vector<NodeId> bfs_levels(const graph::Csr& csr, NodeId source) {
   }
   return dist;
 }
+
+/// Sequential iterative Hopcroft–Tarjan vertex biconnectivity: per-edge
+/// block labels, articulation mask, and per-vertex block membership. The
+/// classical edge-stack DFS — deliberately nothing like the bulk
+/// Tarjan-Vishkin pipeline in src/bcc it checks. Handles disconnected
+/// inputs (fresh DFS per component), multigraphs (the parent skip is by
+/// edge id, so a parallel edge counts as a back edge and glues its
+/// endpoints into one block), and self-loops (excluded: they belong to no
+/// block, mirroring edge_block == kNoNode in the device pipeline).
+struct ReferenceBcc {
+  std::vector<NodeId> edge_block;            // kNoNode for self-loops
+  std::vector<std::uint8_t> is_articulation; // member of >= 2 blocks
+  std::vector<std::vector<NodeId>> vertex_blocks;  // sorted, unique
+  std::size_t num_blocks = 0;
+
+  explicit ReferenceBcc(const graph::EdgeList& g) {
+    const auto n = static_cast<std::size_t>(g.num_nodes);
+    const std::size_t m = g.edges.size();
+    edge_block.assign(m, kNoNode);
+    is_articulation.assign(n, 0);
+    vertex_blocks.assign(n, {});
+    std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(n);
+    for (std::size_t e = 0; e < m; ++e) {
+      const auto [u, v] = g.edges[e];
+      if (u == v) continue;
+      adj[u].push_back({v, static_cast<EdgeId>(e)});
+      adj[v].push_back({u, static_cast<EdgeId>(e)});
+    }
+
+    struct Frame {
+      NodeId v;
+      EdgeId via;        // edge used to enter v (kNoEdge at a root)
+      std::size_t next;  // cursor into adj[v]
+      NodeId children;   // tree children seen so far
+    };
+    std::vector<NodeId> disc(n, kNoNode), low(n, 0);
+    std::vector<EdgeId> estack;
+    std::vector<Frame> stack;
+    NodeId time = 0;
+    for (NodeId root = 0; root < g.num_nodes; ++root) {
+      if (disc[root] != kNoNode) continue;
+      disc[root] = low[root] = time++;
+      stack.push_back({root, kNoEdge, 0, 0});
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        if (f.next < adj[f.v].size()) {
+          const auto [w, e] = adj[f.v][f.next++];
+          if (e == f.via) continue;  // the one entering edge, by id
+          if (disc[w] == kNoNode) {
+            estack.push_back(e);
+            disc[w] = low[w] = time++;
+            ++f.children;
+            stack.push_back({w, e, 0, 0});
+          } else if (disc[w] < disc[f.v]) {
+            estack.push_back(e);  // back edge (its reverse view is skipped)
+            low[f.v] = std::min(low[f.v], disc[w]);
+          }
+          continue;
+        }
+        const Frame done = f;
+        stack.pop_back();
+        if (stack.empty()) continue;  // component finished; estack is empty
+        Frame& p = stack.back();
+        low[p.v] = std::min(low[p.v], low[done.v]);
+        if (low[done.v] >= disc[p.v]) {
+          // done's subtree hangs off p through no back edge: flush one block.
+          const auto b = static_cast<NodeId>(num_blocks++);
+          EdgeId e = kNoEdge;
+          do {
+            e = estack.back();
+            estack.pop_back();
+            edge_block[e] = b;
+          } while (e != done.via);
+        }
+      }
+    }
+
+    for (std::size_t e = 0; e < m; ++e) {
+      if (edge_block[e] == kNoNode) continue;
+      vertex_blocks[g.edges[e].u].push_back(edge_block[e]);
+      vertex_blocks[g.edges[e].v].push_back(edge_block[e]);
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      auto& blocks = vertex_blocks[v];
+      std::sort(blocks.begin(), blocks.end());
+      blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+      is_articulation[v] = blocks.size() >= 2 ? 1 : 0;
+    }
+  }
+
+  /// Do u and v share a biconnected block? (u == v counts as yes, the
+  /// same convention BccIndex::same_bcc uses.)
+  bool same_bcc(NodeId u, NodeId v) const {
+    if (u == v) return true;
+    const auto& a = vertex_blocks[u];
+    const auto& b = vertex_blocks[v];
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] == b[j]) return true;
+      a[i] < b[j] ? ++i : ++j;
+    }
+    return false;
+  }
+};
 
 /// From-scratch recompute reference for every ConnectivityOracle query:
 /// DFS bridges, union-find cc/2ecc labels, and BFS distances over the

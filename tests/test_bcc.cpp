@@ -1,0 +1,792 @@
+// Vertex biconnectivity: the BccIndex artifact and the four request
+// families built on it (Articulations, SameBcc, BfsLevels, CcMembership).
+//
+// Four pillars:
+//   deterministic shapes — paths, cycles, bowties, multigraphs,
+//     self-loops, disconnected and edgeless graphs pin the exact
+//     block/articulation structure the bulk Tarjan-Vishkin pipeline must
+//     produce, checked against the sequential Hopcroft-Tarjan reference;
+//   differential fuzz — seed-replayable rounds across the whole gen suite
+//     (with injected parallel edges and self-loops) diff every family on
+//     the Session/View path AND the K-sharded gadget-skeleton stitch
+//     against the reference. Replay with EMC_FUZZ_SEED/EMC_FUZZ_ROUNDS;
+//   launch pins — bulk batches cost exactly ONE answer kernel on the
+//     device route, zero on the host route, and BfsLevels pairs sharing a
+//     source share one traversal;
+//   failpoints — engine.snapshot/engine.publish faults during (eager) BCC
+//     artifact builds leave the session resumable at the old epoch.
+#include "bcc/bcc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bridges/stitch.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "engine/engine.hpp"
+#include "gen/graphs.hpp"
+#include "graph/graph.hpp"
+#include "serve/serve.hpp"
+#include "shard/shard.hpp"
+#include "support/fuzz_env.hpp"
+#include "support/reference.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace emc::bcc {
+namespace {
+
+using engine::Engine;
+using engine::Policy;
+using engine::Session;
+using engine::View;
+using graph::Edge;
+using graph::EdgeList;
+using test_support::ReferenceBcc;
+
+namespace failpoint = util::failpoint;
+
+/// Label arrays that must induce the same partition without agreeing on
+/// representatives (block ids, component labels). kNoNode must map to
+/// kNoNode exactly.
+void expect_same_partition(const std::vector<NodeId>& got,
+                           const std::vector<NodeId>& want,
+                           const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  std::map<NodeId, NodeId> fwd, rev;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] == kNoNode || want[i] == kNoNode) {
+      EXPECT_EQ(got[i], want[i]) << what << " sentinel mismatch at " << i;
+      continue;
+    }
+    const auto [f, fnew] = fwd.insert({got[i], want[i]});
+    EXPECT_EQ(f->second, want[i]) << what << " split at " << i;
+    const auto [r, rnew] = rev.insert({want[i], got[i]});
+    EXPECT_EQ(r->second, got[i]) << what << " merge at " << i;
+  }
+}
+
+/// Direct artifact build (no engine): the unit-shape harness.
+BccIndex build_index(const device::Context& ctx, const EdgeList& g) {
+  const bridges::SpanningForest forest = bridges::cc_spanning_forest(ctx, g);
+  return BccIndex::build(ctx, g, forest);
+}
+
+void expect_matches_reference(const BccIndex& index, const EdgeList& g,
+                              const char* what) {
+  const ReferenceBcc ref(g);
+  expect_same_partition(index.edge_block, ref.edge_block, what);
+  ASSERT_EQ(index.num_blocks, ref.num_blocks) << what;
+  std::size_t want_arts = 0;
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    EXPECT_EQ(index.is_articulation[v] != 0, ref.is_articulation[v] != 0)
+        << what << " articulation(" << v << ")";
+    want_arts += ref.is_articulation[v];
+  }
+  EXPECT_EQ(index.num_articulations, want_arts) << what;
+  for (NodeId u = 0; u < g.num_nodes; ++u) {
+    for (NodeId v = 0; v < g.num_nodes; ++v) {
+      EXPECT_EQ(index.same_bcc(u, v), ref.same_bcc(u, v))
+          << what << " same_bcc(" << u << ", " << v << ")";
+    }
+  }
+}
+
+// ------------------------------------------------------- deterministic
+
+TEST(BccIndex, PathEveryInternalVertexCuts) {
+  const device::Context ctx = device::Context::sequential();
+  const EdgeList g = gen::path_graph(5);
+  const BccIndex index = build_index(ctx, g);
+  EXPECT_EQ(index.num_blocks, 4u);  // every edge its own block
+  EXPECT_EQ(index.num_articulations, 3u);
+  EXPECT_FALSE(index.is_articulation[0]);
+  EXPECT_TRUE(index.is_articulation[2]);
+  EXPECT_TRUE(index.same_bcc(1, 2));
+  EXPECT_FALSE(index.same_bcc(0, 2));
+  expect_matches_reference(index, g, "path5");
+}
+
+TEST(BccIndex, CycleIsOneBlockWithNoCuts) {
+  const device::Context ctx = device::Context::sequential();
+  const EdgeList g = gen::cycle_graph(7);
+  const BccIndex index = build_index(ctx, g);
+  EXPECT_EQ(index.num_blocks, 1u);
+  EXPECT_EQ(index.num_articulations, 0u);
+  EXPECT_TRUE(index.same_bcc(0, 4));
+  expect_matches_reference(index, g, "cycle7");
+}
+
+TEST(BccIndex, BowtiePinsTheSharedCutVertex) {
+  const device::Context ctx = device::Context::sequential();
+  EdgeList g;
+  g.num_nodes = 5;  // triangles {0,1,2} and {2,3,4} sharing vertex 2
+  g.edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}};
+  const BccIndex index = build_index(ctx, g);
+  EXPECT_EQ(index.num_blocks, 2u);
+  EXPECT_EQ(index.num_articulations, 1u);
+  EXPECT_TRUE(index.is_articulation[2]);
+  EXPECT_TRUE(index.same_bcc(0, 2));
+  EXPECT_TRUE(index.same_bcc(2, 4));
+  EXPECT_FALSE(index.same_bcc(1, 3));
+  expect_matches_reference(index, g, "bowtie");
+}
+
+TEST(BccIndex, DisconnectedComponentsAndIsolatedNodes) {
+  const device::Context ctx = device::Context::sequential();
+  EdgeList g;
+  g.num_nodes = 7;  // triangle {0,1,2}, lone edge {4,5}, isolated 3 and 6
+  g.edges = {{0, 1}, {1, 2}, {0, 2}, {4, 5}};
+  const BccIndex index = build_index(ctx, g);
+  EXPECT_EQ(index.num_blocks, 2u);
+  EXPECT_EQ(index.num_articulations, 0u);
+  EXPECT_TRUE(index.same_bcc(4, 5));
+  EXPECT_FALSE(index.same_bcc(0, 4));
+  EXPECT_FALSE(index.same_bcc(3, 6));  // isolated nodes share no block
+  EXPECT_TRUE(index.same_bcc(3, 3));   // but trivially with themselves
+  expect_matches_reference(index, g, "disconnected");
+}
+
+TEST(BccIndex, MultigraphParallelEdgesGlueOneBlockAndSelfLoopsAreNoBlock) {
+  const device::Context ctx = device::Context::sequential();
+  EdgeList g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}, {0, 1}, {1, 2}, {1, 1}};
+  const BccIndex index = build_index(ctx, g);
+  EXPECT_EQ(index.num_blocks, 2u);  // {e0,e1} and {e2}; the loop in neither
+  EXPECT_EQ(index.edge_block[0], index.edge_block[1]);
+  EXPECT_NE(index.edge_block[0], index.edge_block[2]);
+  EXPECT_EQ(index.edge_block[3], kNoNode);
+  EXPECT_EQ(index.num_articulations, 1u);
+  EXPECT_TRUE(index.is_articulation[1]);
+  expect_matches_reference(index, g, "multigraph");
+}
+
+TEST(BccIndex, EdgelessGraphHasNoBlocks) {
+  const device::Context ctx = device::Context::sequential();
+  EdgeList g;
+  g.num_nodes = 4;
+  const BccIndex index = build_index(ctx, g);
+  EXPECT_EQ(index.num_blocks, 0u);
+  EXPECT_EQ(index.num_articulations, 0u);
+  EXPECT_FALSE(index.same_bcc(0, 3));
+  expect_matches_reference(index, g, "edgeless");
+}
+
+// ------------------------------------------------------------------ fuzz
+
+/// One graph from the gen suite, plus injected multigraph noise: parallel
+/// copies of existing edges and self-loops, the corner inputs the issue
+/// calls out. Round-robins every generator family.
+EdgeList fuzz_graph(util::Rng& rng, int round, std::uint64_t seed) {
+  EdgeList g;
+  switch (round % 7) {
+    case 0:
+      g = gen::er_graph(static_cast<NodeId>(2 + rng.below(120)),
+                        rng.below(300), seed + round);
+      break;
+    case 1:
+      g = gen::road_graph(static_cast<NodeId>(2 + rng.below(10)),
+                          static_cast<NodeId>(2 + rng.below(10)), 0.7, 0.05,
+                          seed + round);
+      break;
+    case 2:
+      g = gen::rmat_graph(3 + static_cast<int>(rng.below(4)), 2.0, 0.45, 0.2,
+                          0.2, seed + round);
+      break;
+    case 3:
+      g = gen::kron_graph(3 + static_cast<int>(rng.below(4)), 2.5,
+                          seed + round);
+      break;
+    case 4:
+      g = gen::social_graph(3 + static_cast<int>(rng.below(4)), 2.0,
+                            seed + round);
+      break;
+    case 5:
+      g = gen::cycle_graph(static_cast<NodeId>(3 + rng.below(60)));
+      break;
+    default:
+      g = gen::path_graph(static_cast<NodeId>(2 + rng.below(60)));
+      break;
+  }
+  if (rng.below(4) == 0 && !g.edges.empty()) {  // parallel copies
+    for (std::size_t i = rng.below(4); i-- > 0;) {
+      g.edges.push_back(g.edges[rng.below(g.edges.size())]);
+    }
+  }
+  if (rng.below(4) == 0) {  // self-loops
+    const auto v = static_cast<NodeId>(rng.below(g.num_nodes));
+    g.edges.push_back({v, v});
+  }
+  if (rng.below(8) == 0) g.edges.clear();  // edgeless corner
+  return g;
+}
+
+std::vector<std::pair<NodeId, NodeId>> fuzz_pairs(util::Rng& rng,
+                                                  const EdgeList& g,
+                                                  std::size_t count) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!g.edges.empty() && rng.below(3) == 0) {
+      // Adjacent pairs: the same_bcc == true cases random pairs rarely hit.
+      const Edge& e = g.edges[rng.below(g.edges.size())];
+      pairs.push_back({e.u, e.v});
+    } else {
+      pairs.push_back({static_cast<NodeId>(rng.below(g.num_nodes)),
+                       static_cast<NodeId>(rng.below(g.num_nodes))});
+    }
+  }
+  if (count != 0) pairs.push_back({pairs[0].first, pairs[0].first});
+  return pairs;
+}
+
+TEST(BccFuzz, DifferentialVsHopcroftTarjanAcrossGenSuite) {
+  const auto fuzz = test_support::fuzz_run(/*seed=*/7741, /*rounds=*/120);
+  SCOPED_TRACE(fuzz.trace);
+  Engine engine({.device_workers = 2});
+  const device::Context ref_ctx = device::Context::sequential();
+  Policy device_route;
+  device_route.min_device_batch = 1;
+
+  util::Rng rng(fuzz.seed);
+  for (int round = 0; round < fuzz.rounds; ++round) {
+    const EdgeList g = fuzz_graph(rng, round, fuzz.seed);
+    SCOPED_TRACE("round " + std::to_string(round) + " n=" +
+                 std::to_string(g.num_nodes) + " m=" +
+                 std::to_string(g.edges.size()));
+    Session session = engine.session(g);
+    const ReferenceBcc ref(g);
+
+    // Articulations: the whole-graph mask, exact.
+    const std::vector<std::uint8_t> arts = session.run(engine::Articulations{});
+    ASSERT_EQ(arts.size(), static_cast<std::size_t>(g.num_nodes));
+    for (NodeId v = 0; v < g.num_nodes; ++v) {
+      ASSERT_EQ(arts[v] != 0, ref.is_articulation[v] != 0)
+          << "articulation(" << v << ")";
+    }
+
+    // SameBcc: host and device routes, both against the reference.
+    const auto pairs = fuzz_pairs(rng, g, 60);
+    const auto same_host = session.run(engine::SameBcc{pairs});
+    const auto same_dev = session.run(engine::SameBcc{pairs}, device_route);
+    for (std::size_t q = 0; q < pairs.size(); ++q) {
+      const auto [u, v] = pairs[q];
+      ASSERT_EQ(same_host[q] != 0, ref.same_bcc(u, v))
+          << "same_bcc(" << u << ", " << v << ") host";
+      ASSERT_EQ(same_dev[q], same_host[q])
+          << "same_bcc(" << u << ", " << v << ") device vs host";
+    }
+
+    // BfsLevels: grouped-by-source levels against the sequential BFS.
+    const graph::Csr csr = graph::build_csr(ref_ctx, g);
+    std::vector<std::pair<NodeId, NodeId>> bfs_pairs;
+    std::array<NodeId, 3> sources;
+    for (auto& s : sources) s = static_cast<NodeId>(rng.below(g.num_nodes));
+    for (int q = 0; q < 24; ++q) {
+      bfs_pairs.push_back({sources[rng.below(sources.size())],
+                           static_cast<NodeId>(rng.below(g.num_nodes))});
+    }
+    const auto levels_host = session.run(engine::BfsLevels{bfs_pairs});
+    const auto levels_dev =
+        session.run(engine::BfsLevels{bfs_pairs}, device_route);
+    std::map<NodeId, std::vector<NodeId>> dist;
+    for (const NodeId s : sources) {
+      if (!dist.count(s)) dist[s] = test_support::bfs_levels(csr, s);
+    }
+    for (std::size_t q = 0; q < bfs_pairs.size(); ++q) {
+      const auto [s, t] = bfs_pairs[q];
+      ASSERT_EQ(levels_host[q], dist[s][t])
+          << "bfs_level(" << s << " -> " << t << ")";
+      ASSERT_EQ(levels_dev[q], levels_host[q])
+          << "bfs_level(" << s << " -> " << t << ") device vs host";
+    }
+
+    // CcMembership: representative labels — compare the partition.
+    std::vector<NodeId> nodes(static_cast<std::size_t>(g.num_nodes));
+    for (NodeId v = 0; v < g.num_nodes; ++v) nodes[v] = v;
+    const auto cc_got = session.run(engine::CcMembership{nodes});
+    const auto cc_dev =
+        session.run(engine::CcMembership{nodes}, device_route);
+    expect_same_partition(cc_got, test_support::cc_labels(g), "cc_membership");
+    ASSERT_EQ(cc_dev, cc_got);
+  }
+}
+
+// ------------------------------------------------------------ launch pins
+
+TEST(BccPins, ArtifactIsBuiltOncePerEpochAndRerunsAreFree) {
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::road_graph(20, 20, 0.72, 0.04, 11);
+  Session session = engine.session(g);
+
+  const auto first = session.run(engine::Articulations{});
+  ASSERT_GT(engine.stats().artifact_builds, 0u);
+
+  // Same epoch: the mask re-serves from the cached index, the host-route
+  // batch walks it — zero further kernel launches.
+  const std::uint64_t before = engine.device_launches();
+  const auto second = session.run(engine::Articulations{});
+  const auto same = session.run(engine::SameBcc{{{0, 1}, {3, 7}}});
+  EXPECT_EQ(engine.device_launches(), before);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(same.size(), 2u);
+}
+
+TEST(BccPins, ForcedDeviceBatchesCostExactlyOneKernel) {
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::road_graph(20, 20, 0.72, 0.04, 12);
+  Session session = engine.session(g);
+  session.run(engine::Articulations{});  // artifacts in place
+
+  Policy device_route;
+  device_route.min_device_batch = 1;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::vector<NodeId> nodes;
+  util::Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    pairs.push_back({static_cast<NodeId>(rng.below(g.num_nodes)),
+                     static_cast<NodeId>(rng.below(g.num_nodes))});
+    nodes.push_back(static_cast<NodeId>(rng.below(g.num_nodes)));
+  }
+  const std::uint64_t before = engine.device_launches();
+  session.run(engine::SameBcc{pairs}, device_route);
+  EXPECT_EQ(engine.device_launches(), before + 1);
+  session.run(engine::CcMembership{nodes}, device_route);
+  EXPECT_EQ(engine.device_launches(), before + 2);
+}
+
+TEST(BccPins, BfsLevelsPairsSharingASourceShareOneTraversal) {
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::road_graph(20, 20, 0.72, 0.04, 13);
+  Session session = engine.session(g);
+  session.run(engine::Articulations{});
+
+  Policy device_route;
+  device_route.min_device_batch = 1;
+  const NodeId s = 7;
+  session.run(engine::BfsLevels{{{s, 0}}}, device_route);  // warm the CSR
+  const std::uint64_t before_one = engine.device_launches();
+  session.run(engine::BfsLevels{{{s, 12}}}, device_route);
+  const std::uint64_t one = engine.device_launches() - before_one;
+  ASSERT_GT(one, 0u);
+
+  std::vector<std::pair<NodeId, NodeId>> batch;
+  for (NodeId t = 0; t < 16; ++t) batch.push_back({s, t});
+  const std::uint64_t before_many = engine.device_launches();
+  session.run(engine::BfsLevels{batch}, device_route);
+  // The pin: 16 same-source pairs, exactly the one traversal's launches.
+  EXPECT_EQ(engine.device_launches() - before_many, one);
+}
+
+TEST(BccPins, EnvFloorForcesTheDeviceRoute) {
+  Engine engine({.device_workers = 2});
+  const EdgeList g = gen::road_graph(16, 16, 0.72, 0.04, 14);
+  Session session = engine.session(g);
+  session.run(engine::Articulations{});
+
+  ASSERT_EQ(setenv("EMC_BCC_MIN_DEVICE_BATCH", "1", 1), 0);
+  const std::uint64_t before = engine.device_launches();
+  // Default policy would host-route a 2-pair batch; the env floor wins.
+  session.run(engine::SameBcc{{{0, 1}, {2, 3}}});
+  EXPECT_EQ(engine.device_launches(), before + 1);
+  unsetenv("EMC_BCC_MIN_DEVICE_BATCH");
+
+  const std::uint64_t after = engine.device_launches();
+  session.run(engine::SameBcc{{{0, 1}, {2, 3}}});
+  EXPECT_EQ(engine.device_launches(), after);  // host route again
+}
+
+TEST(BccPins, EagerEnvBuildsTheIndexAtPublish) {
+  ASSERT_EQ(setenv("EMC_BCC_EAGER", "1", 1), 0);
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(48));
+  Session session = engine.session(dg);
+  View view = session.view();  // publish ran the eager build
+  const std::uint64_t before = engine.device_launches();
+  const auto arts = view.run(engine::Articulations{});
+  EXPECT_EQ(engine.device_launches(), before);  // already built
+  EXPECT_EQ(arts.size(), 48u);
+  unsetenv("EMC_BCC_EAGER");
+}
+
+// ------------------------------------------------------------- dispatcher
+
+TEST(BccServe, AllFourFamiliesEndToEndThroughTheDispatcher) {
+  Engine engine({.device_workers = 2});
+  const device::Context ref_ctx = device::Context::sequential();
+  const EdgeList g = graph::largest_component(
+      graph::simplified(gen::road_graph(16, 16, 0.75, 0.05, 21)));
+  Session session = engine.session(g);
+  const ReferenceBcc ref(g);
+  const graph::Csr csr = graph::build_csr(ref_ctx, g);
+
+  serve::DispatcherOptions options;
+  options.workers = 2;
+  serve::Dispatcher dispatcher(session.view(), options);
+
+  auto arts = dispatcher.submit(engine::Articulations{});
+  auto same = dispatcher.submit(engine::SameBcc{{{0, 1}, {0, 5}, {3, 3}}});
+  auto levels = dispatcher.submit(engine::BfsLevels{{{0, 1}, {0, 9}}});
+  auto cc = dispatcher.submit(engine::CcMembership{{0, 1, 2, 3}});
+
+  const auto arts_reply = arts.get();
+  ASSERT_EQ(arts_reply.status, serve::Status::kOk);
+  ASSERT_EQ(arts_reply.value.size(), static_cast<std::size_t>(g.num_nodes));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    EXPECT_EQ(arts_reply.value[v] != 0, ref.is_articulation[v] != 0);
+  }
+  const auto same_reply = same.get();
+  ASSERT_TRUE(same_reply.ok());
+  EXPECT_EQ(same_reply.value[0] != 0, ref.same_bcc(0, 1));
+  EXPECT_EQ(same_reply.value[1] != 0, ref.same_bcc(0, 5));
+  EXPECT_NE(same_reply.value[2], 0u);
+  const auto levels_reply = levels.get();
+  ASSERT_TRUE(levels_reply.ok());
+  const std::vector<NodeId> dist = test_support::bfs_levels(csr, 0);
+  EXPECT_EQ(levels_reply.value[0], dist[1]);
+  EXPECT_EQ(levels_reply.value[1], dist[9]);
+  const auto cc_reply = cc.get();
+  ASSERT_TRUE(cc_reply.ok());
+  ASSERT_EQ(cc_reply.value.size(), 4u);  // one component: labels all equal
+  EXPECT_EQ(cc_reply.value[0], cc_reply.value[3]);
+
+  dispatcher.stop();
+  const serve::DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.answered, 4u);
+  EXPECT_EQ(stats.unsupported, 0u);
+  EXPECT_EQ(stats.submitted,
+            stats.answered + stats.shed + stats.rejected + stats.expired +
+                stats.cancelled + stats.faulted + stats.unsupported);
+}
+
+TEST(BccServe, CoalescerDedupCachePinsRepeatedPairsInOneRound) {
+  Engine engine({.device_workers = 2});
+  const EdgeList g = graph::largest_component(
+      graph::simplified(gen::road_graph(16, 16, 0.75, 0.05, 22)));
+  Session session = engine.session(g);
+  const ReferenceBcc ref(g);
+
+  Policy device_route;
+  device_route.min_device_batch = 1;
+  serve::DispatcherOptions options;
+  options.workers = 1;  // deterministic: one drainer, one round
+  options.start_paused = true;
+  serve::Dispatcher dispatcher(session.view(device_route), options);
+  session.run(engine::Articulations{});  // artifact up front, off the pin
+
+  // A Zipf-shaped round: 12x the hot pair, 4x a second pair, 1x the hot
+  // pair reversed (order-sensitive: {b,a} is NOT a duplicate of {a,b}).
+  const std::pair<NodeId, NodeId> hot{0, 1}, warm{2, 5};
+  std::vector<std::pair<NodeId, NodeId>> submitted;
+  std::vector<std::future<serve::Reply<std::vector<std::uint8_t>>>> futures;
+  for (int i = 0; i < 12; ++i) submitted.push_back(hot);
+  for (int i = 0; i < 4; ++i) submitted.push_back(warm);
+  submitted.push_back({hot.second, hot.first});
+  for (const auto& pair : submitted) {
+    futures.push_back(dispatcher.submit(engine::SameBcc{{pair}}));
+  }
+
+  const std::uint64_t before = engine.device_launches();
+  dispatcher.resume();
+  for (std::size_t i = 0; i < submitted.size(); ++i) {
+    const auto reply = futures[i].get();
+    ASSERT_EQ(reply.status, serve::Status::kOk);
+    ASSERT_EQ(reply.value.size(), 1u);
+    const auto [u, v] = submitted[i];
+    EXPECT_EQ(reply.value[0] != 0, ref.same_bcc(u, v)) << u << "," << v;
+  }
+  // The pins: 17 payload pairs, 3 distinct -> 14 cache hits, and still
+  // exactly ONE bulk kernel for the whole round.
+  EXPECT_EQ(engine.device_launches(), before + 1);
+  dispatcher.stop();
+  const serve::DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(stats.coalesced_requests, submitted.size());
+  EXPECT_EQ(stats.coalesce_cache_hits, 14u);
+  EXPECT_EQ(stats.answered, submitted.size());
+}
+
+// ---------------------------------------------------------------- sharded
+
+/// Random simple graph (sharded stores have set semantics: duplicates and
+/// self-loops are dropped at the façade, so the canonical edge set is the
+/// deduped one — multigraph coverage lives in the unsharded fuzz above).
+EdgeList random_simple(util::Rng& rng, NodeId n, std::size_t tries) {
+  std::map<std::uint64_t, Edge> keyed;
+  for (std::size_t i = 0; i < tries; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    const auto lo = std::min(u, v), hi = std::max(u, v);
+    keyed.insert({(static_cast<std::uint64_t>(lo) << 32) | hi, Edge{u, v}});
+  }
+  EdgeList g;
+  g.num_nodes = n;
+  for (const auto& [key, e] : keyed) g.edges.push_back(e);
+  return g;
+}
+
+shard::ShardedOptions fast_options(std::size_t shards) {
+  shard::ShardedOptions opts;
+  opts.shards = shards;
+  opts.shard_workers = 1;
+  opts.ingest.admission = ingest::Admission::kBlock;
+  opts.ingest.max_batch = 8;
+  opts.ingest.linger = std::chrono::microseconds(0);
+  opts.ingest.publish_every = 1;
+  opts.dispatch.workers = 1;
+  return opts;
+}
+
+void expect_sharded_matches(Engine& engine, const shard::ShardedView& view,
+                            const EdgeList& expected) {
+  const NodeId n = expected.num_nodes;
+  Session session = engine.session(expected);
+  const ReferenceBcc ref(expected);
+
+  const auto got_arts = view.run(engine::Articulations{});
+  const auto want_arts = session.run(engine::Articulations{});
+  ASSERT_EQ(got_arts.size(), static_cast<std::size_t>(n));
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u; v < n; ++v) pairs.push_back({u, v});
+  }
+  const auto got_same = view.run(engine::SameBcc{pairs});
+  const auto want_same = session.run(engine::SameBcc{{pairs}});
+  for (NodeId v = 0; v < n; ++v) {
+    ASSERT_EQ(got_arts[v] != 0, ref.is_articulation[v] != 0)
+        << "articulation(" << v << ") vs reference";
+    ASSERT_EQ(got_arts[v], want_arts[v])
+        << "articulation(" << v << ") vs unsharded session";
+    ASSERT_EQ(view.is_articulation(v), got_arts[v] != 0);
+  }
+  for (std::size_t q = 0; q < pairs.size(); ++q) {
+    const auto [u, v] = pairs[q];
+    ASSERT_EQ(got_same[q] != 0, ref.same_bcc(u, v))
+        << "same_bcc(" << u << ", " << v << ") vs reference";
+    ASSERT_EQ(got_same[q], want_same[q])
+        << "same_bcc(" << u << ", " << v << ") vs unsharded session";
+    ASSERT_EQ(view.same_bcc(u, v), got_same[q] != 0);
+  }
+
+  std::vector<NodeId> nodes(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) nodes[v] = v;
+  const auto got_cc = view.run(engine::CcMembership{nodes});
+  expect_same_partition(got_cc, test_support::cc_labels(expected),
+                        "sharded cc_membership");
+}
+
+TEST(BccShard, CrossShardShapesStitchExactly) {
+  Engine engine({.device_workers = 2});
+
+  // Bowtie split across 2 shards (even/odd): cut vertex 2 is a boundary
+  // endpoint AND a local articulation.
+  {
+    EdgeList g;
+    g.num_nodes = 6;
+    g.edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}};
+    shard::ShardedGraph sg(6, g, fast_options(2));
+    sg.flush();
+    expect_sharded_matches(engine, sg.view(), g);
+  }
+  // Cycle through 3 shards: every edge a boundary edge, one global block,
+  // no articulations anywhere.
+  {
+    const EdgeList g = gen::cycle_graph(6);
+    shard::ShardedGraph sg(6, g, fast_options(3));
+    sg.flush();
+    expect_sharded_matches(engine, sg.view(), g);
+  }
+  // Path through 2 shards: every internal vertex cuts, every vertex is a
+  // boundary endpoint (so every one is preserved in the skeleton).
+  {
+    const EdgeList g = gen::path_graph(5);
+    shard::ShardedGraph sg(5, g, fast_options(2));
+    sg.flush();
+    expect_sharded_matches(engine, sg.view(), g);
+  }
+  // The block-star killer: a local triangle {0,2,4} with two ears through
+  // the other shard (0-1-3-4). The union is ONE biconnected block; a
+  // stitch that contracted the local block to a star would wrongly call
+  // its vertices articulations.
+  {
+    EdgeList g;
+    g.num_nodes = 5;
+    g.edges = {{0, 2}, {2, 4}, {0, 4}, {0, 1}, {1, 3}, {3, 4}};
+    shard::ShardedGraph sg(5, g, fast_options(2));
+    sg.flush();
+    expect_sharded_matches(engine, sg.view(), g);
+  }
+  // Shards that own zero vertices (n=2, K=4) still stitch.
+  {
+    EdgeList g;
+    g.num_nodes = 2;
+    g.edges = {{0, 1}};
+    shard::ShardedGraph sg(2, g, fast_options(4));
+    sg.flush();
+    expect_sharded_matches(engine, sg.view(), g);
+  }
+}
+
+TEST(BccShard, DifferentialFuzzVsUnshardedAndReference) {
+  const auto fuzz = test_support::fuzz_run(/*seed=*/6163, /*rounds=*/40);
+  SCOPED_TRACE(fuzz.trace);
+  Engine engine({.device_workers = 2});
+
+  util::Rng rng(fuzz.seed);
+  for (int round = 0; round < fuzz.rounds; ++round) {
+    const auto n = static_cast<NodeId>(2 + rng.below(22));
+    const std::size_t shards = 1 + rng.below(4);
+    const EdgeList g = random_simple(rng, n, 2 + rng.below(40));
+    SCOPED_TRACE("round " + std::to_string(round) + " n=" +
+                 std::to_string(n) + " m=" + std::to_string(g.edges.size()) +
+                 " k=" + std::to_string(shards));
+    shard::ShardedGraph sg(n, g, fast_options(shards));
+    sg.flush();
+    expect_sharded_matches(engine, sg.view(), g);
+  }
+}
+
+TEST(BccShard, DispatcherServesThreeFamiliesAndRefusesBfsHonestly) {
+  EdgeList g;
+  g.num_nodes = 6;
+  g.edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}};
+  shard::ShardedGraph sg(6, g, fast_options(2));
+  sg.flush();
+  shard::ShardedDispatcher dispatcher(sg, {.workers = 2});
+
+  auto arts = dispatcher.submit(engine::Articulations{});
+  auto same = dispatcher.submit(engine::SameBcc{{{0, 1}, {1, 3}}});
+  auto cc = dispatcher.submit(engine::CcMembership{{0, 3, 5}});
+  auto bfs = dispatcher.submit(engine::BfsLevels{{{0, 4}}});
+
+  const shard::ShardedView view = sg.view();
+  const auto arts_reply = arts.get();
+  ASSERT_EQ(arts_reply.status, serve::Status::kOk);
+  EXPECT_EQ(arts_reply.value, view.run(engine::Articulations{}));
+  const auto same_reply = same.get();
+  ASSERT_TRUE(same_reply.ok());
+  EXPECT_EQ(same_reply.value, view.run(engine::SameBcc{{{0, 1}, {1, 3}}}));
+  const auto cc_reply = cc.get();
+  ASSERT_TRUE(cc_reply.ok());
+  EXPECT_EQ(cc_reply.value, view.run(engine::CcMembership{{{0, 3, 5}}}));
+  // The honest refusal: exact cross-shard BFS is a recorded follow-up, so
+  // the façade resolves immediately with kUnsupported — never kOk with a
+  // wrong level, never a hang.
+  const auto bfs_reply = bfs.get();
+  EXPECT_EQ(bfs_reply.status, serve::Status::kUnsupported);
+  EXPECT_TRUE(bfs_reply.value.empty());
+
+  dispatcher.stop();
+  const shard::ShardedStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.dispatch.submitted, 4u);
+  EXPECT_EQ(stats.dispatch.answered, 3u);
+  EXPECT_EQ(stats.dispatch.unsupported, 1u);
+  EXPECT_EQ(stats.dispatch.submitted,
+            stats.dispatch.answered + stats.dispatch.shed +
+                stats.dispatch.rejected + stats.dispatch.expired +
+                stats.dispatch.cancelled + stats.dispatch.faulted +
+                stats.dispatch.unsupported);
+}
+
+// ------------------------------------------------------------- failpoints
+
+TEST(BccFailpoints, MidBuildFaultLeavesTheSessionResumableAtTheOldEpoch) {
+  failpoint::disable_all();
+  ASSERT_EQ(setenv("EMC_BCC_EAGER", "1", 1), 0);  // build inside publish
+  for (const char* site : {failpoint::kSnapshot, failpoint::kPublish}) {
+    SCOPED_TRACE(site);
+    Engine engine({.device_workers = 2});
+    dynamic::DynamicGraph dg(engine.device(), gen::cycle_graph(32));
+    Session session = engine.session(dg);
+    View v0 = session.view();
+    const auto arts0 = v0.run(engine::Articulations{});  // cycle: no cuts
+
+    // Erasing {10,11} opens the cycle into a path: internal cuts appear.
+    ASSERT_EQ(dg.erase_edges(engine.device(), {{10, 11}}), 1u);
+    ASSERT_TRUE(failpoint::configure(site, "1"));
+    EXPECT_THROW(session.refresh(), failpoint::InjectedFault);
+    failpoint::disable_all();
+
+    // The old epoch still serves, untouched by the aborted build.
+    EXPECT_EQ(v0.run(engine::Articulations{}), arts0);
+    EXPECT_EQ(v0.run(engine::SameBcc{{{0, 16}}})[0], 1u);
+
+    // And the session resumes: the retry publishes and the new epoch's
+    // answers match the new graph's reference.
+    EXPECT_NO_THROW(session.refresh());
+    const ReferenceBcc ref(dg.snapshot(engine.device()));
+    const auto arts1 = session.run(engine::Articulations{});
+    for (NodeId v = 0; v < 32; ++v) {
+      ASSERT_EQ(arts1[v] != 0, ref.is_articulation[v] != 0)
+          << "articulation(" << v << ") after resume";
+    }
+  }
+  unsetenv("EMC_BCC_EAGER");
+}
+
+TEST(BccFailpoints, AnswersStayCorrectUnderRandomizedPublishFaults) {
+  const auto fuzz = test_support::fuzz_run(/*seed=*/3307, /*rounds=*/24);
+  SCOPED_TRACE(fuzz.trace);
+  ASSERT_EQ(setenv("EMC_BCC_EAGER", "1", 1), 0);
+
+  // Re-arm from the environment explicitly (the CI path); otherwise
+  // rotate the publish-side sites ourselves.
+  const char* env_spec = std::getenv("EMC_FAILPOINT");
+  const bool env_armed =
+      env_spec != nullptr && failpoint::configure_from_string(env_spec) > 0;
+
+  Engine engine({.device_workers = 2});
+  dynamic::DynamicGraph dg(engine.device(), gen::er_graph(96, 180, fuzz.seed));
+  Session session = engine.session(dg);
+  util::Rng rng(fuzz.seed * 17 + 3);
+
+  for (int round = 0; round < fuzz.rounds; ++round) {
+    if (!env_armed) {
+      failpoint::disable_all();
+      ASSERT_TRUE(failpoint::configure(
+          round % 2 == 0 ? failpoint::kSnapshot : failpoint::kPublish, "0.4"));
+    }
+    {
+      // The writer's own mutation must stay fault-free: it is the ground
+      // truth, not the system under test.
+      failpoint::ScopedSuspend suspend;
+      std::vector<Edge> batch;
+      for (int i = 0; i < 4; ++i) {
+        batch.push_back({static_cast<NodeId>(rng.below(96)),
+                         static_cast<NodeId>(rng.below(96))});
+      }
+      dg.insert_edges(engine.device(), batch);
+    }
+    try {
+      session.refresh();
+    } catch (const failpoint::InjectedFault&) {
+      continue;  // resumable: the next round's refresh retries
+    }
+    // A successful publish must serve exactly its own epoch's truth.
+    failpoint::ScopedSuspend suspend;
+    const ReferenceBcc ref(session.view().edges());
+    const auto arts = session.run(engine::Articulations{});
+    const auto pair = std::pair<NodeId, NodeId>{
+        static_cast<NodeId>(rng.below(96)), static_cast<NodeId>(rng.below(96))};
+    const auto same = session.run(engine::SameBcc{{pair}});
+    ASSERT_EQ(same[0] != 0, ref.same_bcc(pair.first, pair.second));
+    for (NodeId v = 0; v < 96; ++v) {
+      ASSERT_EQ(arts[v] != 0, ref.is_articulation[v] != 0);
+    }
+  }
+  failpoint::disable_all();
+  unsetenv("EMC_BCC_EAGER");
+}
+
+}  // namespace
+}  // namespace emc::bcc
